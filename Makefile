@@ -1,0 +1,31 @@
+# Convenience targets for the same/different fault dictionary reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench table6 examples full-sweep clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+table6:
+	$(PYTHON) examples/reproduce_table6.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/custom_circuit.py
+	$(PYTHON) examples/sequential_dictionary.py
+	$(PYTHON) examples/diagnose_failing_chip.py
+	$(PYTHON) examples/dictionary_tradeoffs.py
+
+full-sweep:
+	REPRO_FULL_SWEEP=1 $(PYTHON) examples/reproduce_table6.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+The Table 6 benches sweep ``DEFAULT_CIRCUITS`` by default; set
+``REPRO_FULL_SWEEP=1`` to include the large proxies (p641 … p9234) as the
+paper does.  Test-set generation per (circuit, type) cell is cached within
+the pytest process, so each cell's generation cost is paid once even
+though several benches touch it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import DEFAULT_CIRCUITS, EXTENDED_CIRCUITS
+
+
+def sweep_circuits():
+    circuits = list(DEFAULT_CIRCUITS)
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        circuits += list(EXTENDED_CIRCUITS)
+    return circuits
+
+
+@pytest.fixture(scope="session")
+def table6_rows():
+    """Accumulator: benches append their Table6Row here; the final
+    rendering bench prints the assembled table."""
+    return []

@@ -1,0 +1,26 @@
+"""Ablation bench E10: mixed fault-free/baseline storage (Section 2 remark)."""
+
+from repro.dictionaries import build_same_different
+from repro.experiments.table6 import response_table_for
+
+
+def test_mixed_storage_accounting(benchmark):
+    _, table = response_table_for("p208", "diag", seed=0)
+
+    def run():
+        dictionary, _ = build_same_different(table, calls=20, seed=0)
+        return dictionary
+
+    dictionary = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.sim import PASS
+
+    fault_free = sum(1 for b in dictionary.baselines if b == PASS)
+    benchmark.extra_info.update(
+        {
+            "plain_bits": dictionary.size_bits,
+            "mixed_bits": dictionary.mixed_size_bits(),
+            "fault_free_baselines": fault_free,
+            "tests": table.n_tests,
+        }
+    )
+    assert dictionary.mixed_size_bits() <= dictionary.size_bits + table.n_tests

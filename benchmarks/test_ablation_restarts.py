@@ -1,0 +1,35 @@
+"""Ablation bench E8: the Procedure 1 random-restart budget (CALLS1)."""
+
+import pytest
+
+from repro.dictionaries import build_same_different
+from repro.experiments.table6 import response_table_for
+
+BUDGETS = (1, 5, 20, 100)
+
+
+@pytest.mark.parametrize("calls", BUDGETS)
+def test_restart_budget(benchmark, calls):
+    _, table = response_table_for("p208", "diag", seed=0)
+
+    def run():
+        return build_same_different(table, calls=calls, replace=False, seed=0)
+
+    _, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "CALLS1": calls,
+            "distinguished": report.distinguished_procedure1,
+            "calls_run": report.procedure1_calls,
+        }
+    )
+
+
+def test_restarts_monotone():
+    _, table = response_table_for("p208", "diag", seed=0)
+    results = [
+        build_same_different(table, calls=calls, replace=False, seed=0)[1]
+        for calls in BUDGETS
+    ]
+    values = [r.distinguished_procedure1 for r in results]
+    assert values == sorted(values)

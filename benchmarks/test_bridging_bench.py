@@ -1,0 +1,54 @@
+"""Benchmark E14: diagnosing bridging defects with stuck-at dictionaries.
+
+The experiment of the paper's reference [7] (Millman/McCluskey/Acken):
+inject wired-AND/OR bridging defects — which the stuck-at dictionaries do
+NOT model — and check how often the ranked candidates point at one of the
+bridged nets.  Records per-policy hit rates for the full dictionary's
+response data via the matching module.
+"""
+
+import pytest
+
+from repro.diagnosis import observe_defect
+from repro.diagnosis.matching import Policy, rank_candidates
+from repro.experiments.table6 import response_table_for
+from repro.faults.bridging import enumerate_bridges, inject_bridge
+
+SAMPLE = 20
+
+
+@pytest.mark.parametrize("policy", list(Policy))
+def test_bridging_diagnosis(benchmark, policy):
+    netlist, table = response_table_for("p208", "diag", seed=0)
+    bridges = enumerate_bridges(netlist, count=SAMPLE, seed=7)
+
+    def run():
+        hits = 0
+        diagnosable = 0
+        for bridge in bridges:
+            defective = inject_bridge(netlist, bridge)
+            if defective.outputs != netlist.outputs:
+                continue  # PI-as-PO corner: interface changed, skip
+            observed = observe_defect(netlist, defective, table.tests)
+            if not any(tuple(sig) for sig in observed):
+                continue  # bridge not excited by this test set
+            diagnosable += 1
+            ranked = rank_candidates(table, observed, policy=policy, limit=10)
+            nets = {bridge.net_a, bridge.net_b}
+            if any(fault.line in nets for fault, _ in ranked):
+                hits += 1
+        return hits, diagnosable
+
+    hits, diagnosable = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "policy": policy.value,
+            "bridges_injected": SAMPLE,
+            "bridges_excited": diagnosable,
+            "top10_net_hits": hits,
+        }
+    )
+    if diagnosable:
+        # Stuck-at dictionaries must localise a reasonable share of
+        # bridges (ref [7]'s premise).
+        assert hits >= diagnosable // 3

@@ -1,0 +1,57 @@
+"""Ablation bench E13: dictionaries under output response compaction.
+
+Section 2: "If test response compaction is used, the number of outputs
+will be significantly smaller" — which shrinks the same/different
+dictionary's k·m overhead.  This bench builds the p208 dictionaries with
+the outputs compacted to parity signatures of several widths and records
+the size/resolution trade-off.
+"""
+
+import pytest
+
+from repro.circuit.compactor import parity_compactor
+from repro.dictionaries import (
+    DictionarySizes,
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from repro.experiments.table6 import prepared_experiment
+from repro.faults import collapse
+from repro.sim import FaultSimulator, ResponseTable
+
+WIDTHS = (4, 2, 1)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_compacted_dictionary(benchmark, width):
+    netlist, tests = prepared_experiment("p208", "diag", 0)
+    compacted = parity_compactor(netlist, width)
+    faults = collapse(netlist)
+
+    def build():
+        simulator = FaultSimulator(compacted, tests)
+        detected = [f for f in faults if simulator.detection_word(f)]
+        table = ResponseTable.build(compacted, detected, tests)
+        samediff, _ = build_same_different(table, calls=20, seed=0)
+        return table, samediff
+
+    table, samediff = benchmark.pedantic(build, rounds=1, iterations=1)
+    sizes = DictionarySizes.of(table)
+    benchmark.extra_info.update(
+        {
+            "signature_width": width,
+            "faults_detected": table.n_faults,
+            "size_full": sizes.full,
+            "size_sd": sizes.same_different,
+            "ind_full": FullDictionary(table).indistinguished_pairs(),
+            "ind_pf": PassFailDictionary(table).indistinguished_pairs(),
+            "ind_sd": samediff.indistinguished_pairs(),
+        }
+    )
+    # The organisational ordering survives compaction.
+    assert (
+        FullDictionary(table).indistinguished_pairs()
+        <= samediff.indistinguished_pairs()
+        <= PassFailDictionary(table).indistinguished_pairs()
+    )

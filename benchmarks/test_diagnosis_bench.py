@@ -1,0 +1,58 @@
+"""Benchmark E11: diagnosis quality downstream of dictionary resolution.
+
+Runs defect-injection campaigns against all three dictionaries and records
+the realized candidate-set sizes — the practical payoff of the resolution
+numbers in Table 6.
+"""
+
+import pytest
+
+from repro.diagnosis import single_fault_campaign
+from repro.dictionaries import FullDictionary, PassFailDictionary, build_same_different
+from repro.experiments.table6 import response_table_for
+
+
+@pytest.fixture(scope="module")
+def setup():
+    netlist, table = response_table_for("p208", "diag", seed=0)
+    samediff, _ = build_same_different(table, calls=20, seed=0)
+    dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+    return netlist, table, dictionaries
+
+
+def test_single_fault_campaign(benchmark, setup):
+    netlist, table, dictionaries = setup
+
+    def run():
+        return single_fault_campaign(
+            netlist, table.tests, dictionaries, sample=30, seed=0
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            kind: {
+                "mean_candidates": round(result.mean_candidates, 3),
+                "unique_fraction": round(result.unique_fraction, 3),
+                "top1": round(result.top1_accuracy, 3),
+            }
+            for kind, result in results.items()
+        }
+    )
+    assert (
+        results["full"].mean_candidates
+        <= results["same/different"].mean_candidates
+        <= results["pass/fail"].mean_candidates
+    )
+
+
+def test_dictionary_lookup_speed(benchmark, setup):
+    """Raw per-chip lookup latency of the same/different dictionary."""
+    netlist, table, dictionaries = setup
+    samediff = dictionaries[2]
+    from repro.diagnosis import Diagnoser, observe_fault
+
+    observed = observe_fault(netlist, table.tests, table.faults[0])
+    diagnoser = Diagnoser(samediff)
+    diagnosis = benchmark(lambda: diagnoser.diagnose(observed))
+    assert table.faults[0] in diagnosis.exact

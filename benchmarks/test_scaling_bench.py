@@ -1,0 +1,24 @@
+"""Benchmark E16: pipeline cost scaling across circuit sizes."""
+
+from repro.experiments.scaling import scaling_study
+
+
+def test_scaling_study(benchmark):
+    points = benchmark.pedantic(
+        lambda: scaling_study(circuits=("p208", "p344", "p641"), tests_per_circuit=96),
+        rounds=1,
+        iterations=1,
+    )
+    for point in points:
+        benchmark.extra_info[point.circuit] = {
+            "gates": point.gates,
+            "faults": point.faults,
+            "build_table_s": round(point.build_table_seconds, 4),
+            "procedure1_s": round(point.procedure1_seconds, 4),
+            "procedure2_s": round(point.procedure2_seconds, 4),
+        }
+    # Near-linear growth: 6x the gates must not cost 50x the time.
+    small, large = points[0], points[-1]
+    size_ratio = large.faults / max(1, small.faults)
+    time_ratio = (large.procedure1_seconds + 1e-9) / (small.procedure1_seconds + 1e-9)
+    assert time_ratio < size_ratio * 8

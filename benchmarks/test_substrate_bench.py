@@ -1,0 +1,64 @@
+"""Substrate throughput benches: simulation, fault simulation, ATPG.
+
+Not tied to a paper artefact; these quantify the simulator and PODEM
+engine the experiments stand on and guard against performance regressions.
+"""
+
+import pytest
+
+from repro.circuit import load_circuit, prepare_for_test
+from repro.faults import collapse
+from repro.sim import FaultSimulator, ResponseTable, TestSet, simulate
+from repro.atpg import Podem
+
+
+@pytest.fixture(scope="module")
+def p641():
+    netlist = prepare_for_test(load_circuit("p641"))
+    return netlist, collapse(netlist)
+
+
+def test_logic_simulation_throughput(benchmark, p641):
+    netlist, _ = p641
+    tests = TestSet.random(netlist.inputs, 256, seed=0)
+    words = benchmark(lambda: simulate(netlist, tests))
+    benchmark.extra_info["pattern_gate_evals"] = 256 * netlist.num_gates
+    assert len(words) == len(netlist.gates)
+
+
+def test_fault_simulation_throughput(benchmark, p641):
+    netlist, faults = p641
+    tests = TestSet.random(netlist.inputs, 128, seed=0)
+    simulator = FaultSimulator(netlist, tests)
+    sample = faults[:200]
+
+    def run():
+        return sum(1 for fault in sample if simulator.detection_word(fault))
+
+    detected = benchmark(run)
+    benchmark.extra_info.update({"faults": len(sample), "patterns": 128})
+    assert 0 < detected <= len(sample)
+
+
+def test_response_table_build(benchmark, p641):
+    netlist, faults = p641
+    tests = TestSet.random(netlist.inputs, 64, seed=1)
+
+    def run():
+        return ResponseTable.build(netlist, faults[:300], tests)
+
+    table = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert table.n_faults == 300
+
+
+def test_podem_throughput(benchmark, p641):
+    netlist, faults = p641
+    engine = Podem(netlist, backtrack_limit=256)
+    sample = faults[::17][:40]
+
+    def run():
+        return [engine.generate(fault).status.value for fault in sample]
+
+    statuses = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["faults"] = len(sample)
+    assert len(statuses) == len(sample)

@@ -1,0 +1,80 @@
+"""Benchmark + regeneration of the paper's Table 6 (experiments E3/E4).
+
+Each cell benchmarks the same/different dictionary construction
+(Procedure 1 with restarts + Procedure 2) on that cell's response table
+and records every Table 6 column in ``extra_info``.  The final test prints
+the assembled table in the paper's layout (visible with ``-s`` and stored
+in the benchmark JSON).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionaries import FullDictionary, PassFailDictionary, build_same_different
+from repro.experiments import render_table6
+from repro.experiments.table6 import Table6Row, response_table_for
+from benchmarks.conftest import sweep_circuits
+
+_CELLS = [
+    (circuit, test_type)
+    for circuit in sweep_circuits()
+    for test_type in ("diag", "10det")
+]
+
+
+@pytest.mark.parametrize("circuit,test_type", _CELLS)
+def test_table6_cell(benchmark, table6_rows, circuit, test_type):
+    _, table = response_table_for(circuit, test_type, seed=0)
+
+    def build():
+        return build_same_different(table, lower=10, calls=100, seed=0)
+
+    _, report = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    full = FullDictionary(table)
+    passfail = PassFailDictionary(table)
+    row = Table6Row(
+        circuit=circuit,
+        test_type=test_type,
+        n_tests=table.n_tests,
+        n_faults=table.n_faults,
+        n_outputs=table.n_outputs,
+        indist_full=full.indistinguished_pairs(),
+        indist_passfail=passfail.indistinguished_pairs(),
+        indist_sd_random=report.indistinguished_procedure1,
+        indist_sd_replace=report.indistinguished_procedure2,
+        build=report,
+    )
+    table6_rows.append(row)
+    benchmark.extra_info.update(
+        {
+            "circuit": circuit,
+            "Ttype": test_type,
+            "|T|": row.n_tests,
+            "size_full": row.sizes.full,
+            "size_pf": row.sizes.pass_fail,
+            "size_sd": row.sizes.same_different,
+            "ind_full": row.indist_full,
+            "ind_pf": row.indist_passfail,
+            "ind_sd_rand": row.indist_sd_random,
+            "ind_sd_repl": row.indist_sd_replace,
+        }
+    )
+    # The paper's headline orderings must hold in every cell.
+    assert row.indist_full <= row.indist_sd_replace <= row.indist_sd_random
+    assert row.indist_sd_random <= row.indist_passfail
+    assert row.sizes.pass_fail < row.sizes.same_different < row.sizes.full
+
+
+def test_render_table6(benchmark, table6_rows):
+    """Print the assembled Table 6 (run last; depends on the cell benches)."""
+    if not table6_rows:
+        pytest.skip("cell benches did not run")
+    ordered = sorted(
+        table6_rows, key=lambda row: (_CELLS.index((row.circuit, row.test_type)))
+    )
+    text = benchmark(lambda: render_table6(ordered))
+    print()
+    print(text)
+    benchmark.extra_info["table"] = text.splitlines()

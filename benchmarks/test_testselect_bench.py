@@ -1,0 +1,57 @@
+"""Benchmark E12: dictionary shrinking via test selection.
+
+The "small dictionaries" baseline the paper builds on (its refs [9],
+[12]): instead of changing the dictionary *organisation*, drop tests that
+carry no extra diagnostic information.  Records how far each criterion
+shrinks a redundant test set and what each resulting dictionary costs —
+the context in which the same/different organisation's k·m overhead is
+negligible.
+"""
+
+import pytest
+
+from repro.dictionaries import (
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+    select_tests_preserving_detection,
+    select_tests_preserving_resolution,
+)
+from repro.experiments.table6 import response_table_for
+
+
+@pytest.fixture(scope="module")
+def table():
+    _, table = response_table_for("p208", "10det", seed=0)
+    return table
+
+
+def test_select_detection(benchmark, table):
+    chosen = benchmark.pedantic(
+        lambda: select_tests_preserving_detection(table), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"tests_before": table.n_tests, "tests_after": len(chosen)}
+    )
+    assert len(chosen) < table.n_tests
+
+
+def test_select_resolution(benchmark, table):
+    chosen = benchmark.pedantic(
+        lambda: select_tests_preserving_resolution(table), rounds=1, iterations=1
+    )
+    sub = table.subset(chosen)
+    assert (
+        FullDictionary(sub).indistinguished_pairs()
+        == FullDictionary(table).indistinguished_pairs()
+    )
+    samediff, _ = build_same_different(sub, calls=20, seed=0)
+    benchmark.extra_info.update(
+        {
+            "tests_before": table.n_tests,
+            "tests_after": len(chosen),
+            "pf_bits_after": PassFailDictionary(sub).size_bits,
+            "sd_bits_after": samediff.size_bits,
+            "sd_indistinguished_after": samediff.indistinguished_pairs(),
+        }
+    )

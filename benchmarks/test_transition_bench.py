@@ -1,0 +1,55 @@
+"""Benchmark E17: same/different dictionaries for transition faults.
+
+The paper's construction only assumes a response table — fault model
+agnostic.  This bench builds two-pattern test sets and the three
+dictionary organisations for the transition fault model on p208 and
+records the same columns as Table 6.
+"""
+
+from repro.dictionaries import (
+    DictionarySizes,
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from repro.experiments.table6 import prepared_experiment
+from repro.faults.transition import transition_faults, transition_response_table
+from repro.atpg.transition_atpg import generate_transition_tests
+
+
+def test_transition_dictionary(benchmark):
+    netlist, _ = prepared_experiment("p208", "diag", 0)
+    faults = transition_faults(netlist)
+
+    def build():
+        launch, capture, report = generate_transition_tests(
+            netlist, faults, seed=0, random_pairs=64
+        )
+        table = transition_response_table(
+            netlist, launch, capture, report["detected"]
+        )
+        samediff, _ = build_same_different(table, calls=20, seed=0)
+        return table, samediff, report
+
+    table, samediff, report = benchmark.pedantic(build, rounds=1, iterations=1)
+    sizes = DictionarySizes.of(table)
+    full = FullDictionary(table)
+    passfail = PassFailDictionary(table)
+    benchmark.extra_info.update(
+        {
+            "transition_faults": len(faults),
+            "detected": len(report["detected"]),
+            "untestable": len(report["untestable"]),
+            "pairs": table.n_tests,
+            "size_pf": sizes.pass_fail,
+            "size_sd": sizes.same_different,
+            "ind_full": full.indistinguished_pairs(),
+            "ind_pf": passfail.indistinguished_pairs(),
+            "ind_sd": samediff.indistinguished_pairs(),
+        }
+    )
+    assert (
+        full.indistinguished_pairs()
+        <= samediff.indistinguished_pairs()
+        <= passfail.indistinguished_pairs()
+    )

@@ -1,0 +1,82 @@
+"""Diagnose failing chips with each dictionary organisation.
+
+Simulates the scenario the paper's dictionaries exist for: manufactured
+chips come back failing, their tester responses are compared against the
+precomputed dictionary, and the dictionary returns candidate defect sites.
+The script injects (a) a modelled single stuck-at fault and (b) a
+non-modelled double fault into the p344 benchmark proxy and shows what
+each dictionary concludes.
+
+Usage::
+
+    python examples/diagnose_failing_chip.py [circuit] [seed]
+"""
+
+import sys
+
+from repro import (
+    Diagnoser,
+    FullDictionary,
+    PassFailDictionary,
+    ResponseTable,
+    build_same_different,
+    collapse,
+    generate_detection_tests,
+    load_circuit,
+    observe_defect,
+    observe_fault,
+    prepare_for_test,
+)
+from repro.atpg import injected_copy
+from repro.sim import FaultSimulator
+
+
+def diagnose_and_print(dictionaries, observed, truth) -> None:
+    for dictionary in dictionaries:
+        diagnosis = Diagnoser(dictionary).diagnose(observed, limit=5)
+        exact = ", ".join(str(f) for f in diagnosis.exact[:6]) or "(none)"
+        print(f"  [{dictionary.kind:^14}] {len(diagnosis.exact):3d} exact candidates: {exact}")
+        hit = any(fault in truth for fault, _ in diagnosis.ranked[:5])
+        top = ", ".join(f"{fault}({score})" for fault, score in diagnosis.ranked[:3])
+        print(f"  {'':16} top ranked: {top}  -> constituent in top-5: {hit}")
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "p344"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    netlist = prepare_for_test(load_circuit(circuit))
+    faults = collapse(netlist)
+    tests, _ = generate_detection_tests(netlist, faults, seed=seed)
+    simulator = FaultSimulator(netlist, tests)
+    detected = [f for f in faults if simulator.detection_word(f)]
+    print(
+        f"{circuit}: {len(detected)} detected faults, {len(tests)} tests, "
+        f"{len(netlist.outputs)} outputs"
+    )
+
+    table = ResponseTable.build(netlist, detected, tests)
+    samediff, _ = build_same_different(table, calls=20, seed=seed)
+    dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+
+    victim = detected[seed % len(detected)]
+    print(f"\n--- chip #1: modelled defect, {victim} ---")
+    observed = observe_fault(netlist, tests, victim)
+    diagnose_and_print(dictionaries, observed, {victim})
+
+    a = detected[(seed * 13 + 1) % len(detected)]
+    b = detected[(seed * 29 + 2) % len(detected)]
+    print(f"\n--- chip #2: NON-modelled defect, {a} AND {b} simultaneously ---")
+    defective = injected_copy(injected_copy(netlist, a), b)
+    observed = observe_defect(netlist, defective, tests)
+    diagnose_and_print(dictionaries, observed, {a, b})
+
+    print(
+        "\nNote how the same/different dictionary's exact candidate sets sit "
+        "between full and pass/fail — higher resolution than pass/fail at "
+        "nearly the same size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Ablations: the knobs behind the same/different dictionary.
+
+Explores the design choices the paper discusses — the ``LOWER``
+early-termination constant, the random-restart budget (``CALLS1``), the
+optional second baseline per test, and the mixed storage scheme — and
+prints the resolution/size/runtime trade-off of each.
+
+Usage::
+
+    python examples/dictionary_tradeoffs.py [circuit]
+"""
+
+import sys
+
+from repro.experiments import (
+    calls_sweep,
+    lower_sweep,
+    mixed_storage_study,
+    multi_baseline_study,
+)
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "p208"
+
+    print(f"ablations on {circuit}, diagnostic test set\n")
+
+    points = lower_sweep(circuit, "diag", lowers=(1, 2, 5, 10, 20, 10**9))
+    print(
+        format_table(
+            ("LOWER", "distinguished pairs", "seconds/call"),
+            [(p.lower if p.lower < 10**9 else "inf", p.distinguished, round(p.seconds, 4)) for p in points],
+            "E7: LOWER early-termination cutoff (single Procedure 1 call)",
+        )
+    )
+    print()
+
+    points = calls_sweep(circuit, "diag", calls_values=(1, 5, 20, 100))
+    print(
+        format_table(
+            ("CALLS1", "best distinguished", "calls actually run"),
+            [
+                (p.calls, p.distinguished_procedure1, p.procedure1_calls)
+                for p in points
+            ],
+            "E8: random-restart budget for Procedure 1",
+        )
+    )
+    print()
+
+    points = multi_baseline_study(circuit, "diag", max_extra=2, calls=20)
+    print(
+        format_table(
+            ("baselines/test", "size (bits)", "indistinguished pairs"),
+            [(p.baselines_per_test, p.size_bits, p.indistinguished) for p in points],
+            "E9: more than one baseline vector per test (Section 2 remark)",
+        )
+    )
+    print()
+
+    mixed = mixed_storage_study(circuit, "diag", calls=20)
+    print("E10: mixed storage (Section 2 remark)")
+    print(f"  plain same/different size: {mixed.plain_size_bits} bits")
+    print(f"  mixed size:                {mixed.mixed_size_bits} bits")
+    print(
+        f"  ({mixed.fault_free_baselines} of {mixed.n_tests} baselines are the "
+        "fault-free vector and need not be stored)"
+    )
+
+
+if __name__ == "__main__":
+    main()

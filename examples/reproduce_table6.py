@@ -1,0 +1,53 @@
+"""Regenerate the paper's Table 6.
+
+Runs the complete evaluation — diagnostic and 10-detection test sets,
+three dictionary organisations, Procedures 1 and 2 — for a set of
+benchmark circuits and prints the table in the paper's layout.
+
+Usage::
+
+    python examples/reproduce_table6.py                 # default sweep
+    python examples/reproduce_table6.py p208 p298       # chosen circuits
+    REPRO_FULL_SWEEP=1 python examples/reproduce_table6.py   # + big proxies
+
+Expect a few minutes for the default sweep (test generation dominates).
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments import (
+    DEFAULT_CIRCUITS,
+    EXTENDED_CIRCUITS,
+    render_table6,
+    table6_row,
+)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        circuits = sys.argv[1:]
+    elif os.environ.get("REPRO_FULL_SWEEP"):
+        circuits = list(DEFAULT_CIRCUITS) + list(EXTENDED_CIRCUITS)
+    else:
+        circuits = list(DEFAULT_CIRCUITS)
+
+    rows = []
+    for circuit in circuits:
+        for test_type in ("diag", "10det"):
+            start = time.perf_counter()
+            row = table6_row(circuit, test_type, seed=0)
+            elapsed = time.perf_counter() - start
+            rows.append(row)
+            print(
+                f"[{elapsed:7.1f}s] {circuit:>6} {test_type:>5}: |T|={row.n_tests:4d} "
+                f"faults={row.n_faults:5d} ind p/f={row.indist_passfail:6d} "
+                f"ind s/d={row.indist_sd_replace:6d} ind full={row.indist_full:6d}"
+            )
+    print()
+    print(render_table6(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The same/different dictionary on a second fault model: transition faults.
+
+The paper's construction never looks inside the fault model — it only
+needs the table of responses.  This example builds two-pattern
+(launch/capture) test sets for gross-delay faults, captures the response
+table, and shows the familiar size/resolution picture on the transition
+model.
+
+Usage::
+
+    python examples/transition_faults.py [circuit]
+"""
+
+import sys
+
+from repro.atpg.transition_atpg import generate_transition_tests
+from repro.dictionaries import (
+    DictionarySizes,
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from repro.experiments.reporting import format_table
+from repro.faults.transition import transition_faults, transition_response_table
+from repro import load_circuit, prepare_for_test
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "p208"
+    netlist = prepare_for_test(load_circuit(circuit))
+    faults = transition_faults(netlist)
+    print(f"{circuit}: {len(faults)} transition faults (slow-to-rise/fall per net)")
+
+    launch, capture, report = generate_transition_tests(netlist, faults, seed=0)
+    print(
+        f"two-pattern test set: {len(launch)} (launch, capture) pairs; "
+        f"{len(report['detected'])} detected, "
+        f"{len(report['untestable'])} proven untestable, "
+        f"{len(report['aborted'])} aborted"
+    )
+
+    table = transition_response_table(netlist, launch, capture, report["detected"])
+    sizes = DictionarySizes.of(table)
+    full = FullDictionary(table)
+    passfail = PassFailDictionary(table)
+    samediff, build = build_same_different(table, calls=20, seed=0)
+    print()
+    print(
+        format_table(
+            ("dictionary", "size (bits)", "indistinguished pairs"),
+            [
+                ("full", sizes.full, full.indistinguished_pairs()),
+                ("pass/fail", sizes.pass_fail, passfail.indistinguished_pairs()),
+                ("same/different", sizes.same_different, samediff.indistinguished_pairs()),
+            ],
+            f"{circuit}, transition faults, two-pattern tests",
+        )
+    )
+    print(
+        f"\nProcedure 1 ran {build.procedure1_calls}x, Procedure 2 replaced "
+        f"{build.replacements} baselines — the construction is fault-model agnostic."
+    )
+
+
+if __name__ == "__main__":
+    main()

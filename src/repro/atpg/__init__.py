@@ -1,0 +1,66 @@
+"""Automatic test pattern generation: PODEM and test-set drivers."""
+
+from .compact import compact_detection_tests
+from .detect import GenerationReport, generate_detection_tests
+from .diagnostic import (
+    DiagnosticReport,
+    generate_diagnostic_tests,
+    response_classes,
+)
+from .distinguish import (
+    DistinguishResult,
+    Distinguisher,
+    build_difference_miter,
+    build_miter,
+    inject_fault,
+    injected_copy,
+)
+from .ndetect import generate_ndetect_tests
+from .podem import Podem, PodemResult, Status
+from .sat import BudgetExceeded, Solver
+from .satatpg import SatAtpg
+from .testability import controllability, observability
+from .transition_atpg import (
+    TransitionAtpg,
+    TransitionResult,
+    generate_transition_tests,
+)
+from .timeframe import (
+    SequenceGenerator,
+    SequenceResult,
+    sequential_diagnostic_set,
+    sequential_test_set,
+    unroll,
+)
+
+__all__ = [
+    "DiagnosticReport",
+    "DistinguishResult",
+    "Distinguisher",
+    "BudgetExceeded",
+    "GenerationReport",
+    "Podem",
+    "PodemResult",
+    "SatAtpg",
+    "SequenceGenerator",
+    "SequenceResult",
+    "Solver",
+    "Status",
+    "TransitionAtpg",
+    "TransitionResult",
+    "build_difference_miter",
+    "build_miter",
+    "compact_detection_tests",
+    "controllability",
+    "generate_detection_tests",
+    "generate_diagnostic_tests",
+    "generate_ndetect_tests",
+    "generate_transition_tests",
+    "inject_fault",
+    "injected_copy",
+    "observability",
+    "response_classes",
+    "sequential_diagnostic_set",
+    "sequential_test_set",
+    "unroll",
+]

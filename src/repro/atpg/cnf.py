@@ -1,0 +1,114 @@
+"""Tseitin encoding of netlists into CNF.
+
+Each net becomes one SAT variable; every gate contributes the standard
+Tseitin clauses relating its output variable to its input variables.  The
+encoding is the bridge between the netlist world and the
+:mod:`repro.atpg.sat` solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from .sat import Solver
+
+
+class CnfEncoder:
+    """Encodes one combinational netlist; owns the net→variable map."""
+
+    def __init__(self, netlist: Netlist, solver: Solver = None) -> None:
+        if not netlist.is_combinational:
+            raise ValueError("CNF encoding requires a combinational netlist")
+        self.netlist = netlist
+        self.solver = solver or Solver()
+        self.variable: Dict[str, int] = {}
+        for net in netlist.topological_order():
+            self.variable[net] = self.solver.new_var()
+        for net in netlist.topological_order():
+            self._encode_gate(net)
+
+    # ------------------------------------------------------------------
+    def _encode_gate(self, net: str) -> None:
+        gate = self.netlist.gates[net]
+        out = self.variable[net]
+        kind = gate.gate_type
+        add = self.solver.add_clause
+        if kind is GateType.INPUT:
+            return
+        if kind is GateType.CONST0:
+            add([-out])
+            return
+        if kind is GateType.CONST1:
+            add([out])
+            return
+        ins = [self.variable[i] for i in gate.inputs]
+        if kind is GateType.BUF:
+            add([-out, ins[0]])
+            add([out, -ins[0]])
+        elif kind is GateType.NOT:
+            add([-out, -ins[0]])
+            add([out, ins[0]])
+        elif kind in (GateType.AND, GateType.NAND):
+            y = out if kind is GateType.AND else -out
+            # y <-> AND(ins)
+            for i in ins:
+                add([-y, i])
+            add([y] + [-i for i in ins])
+        elif kind in (GateType.OR, GateType.NOR):
+            y = out if kind is GateType.OR else -out
+            for i in ins:
+                add([y, -i])
+            add([-y] + list(ins))
+        elif kind in (GateType.XOR, GateType.XNOR):
+            # Chain binary XORs through fresh variables.
+            accumulator = ins[0]
+            for i in ins[1:-1]:
+                fresh = self.solver.new_var()
+                self._xor2(fresh, accumulator, i)
+                accumulator = fresh
+            target = out if kind is GateType.XOR else -out
+            self._xor2(target, accumulator, ins[-1])
+        elif kind is GateType.DFF:
+            raise ValueError("DFFs must be removed (scan/unroll) before encoding")
+        else:
+            raise ValueError(f"cannot encode gate type {kind.value}")
+
+    def _xor2(self, y: int, a: int, b: int) -> None:
+        add = self.solver.add_clause
+        add([-y, a, b])
+        add([-y, -a, -b])
+        add([y, -a, b])
+        add([y, a, -b])
+
+    # ------------------------------------------------------------------
+    def literal(self, net: str, value: int) -> int:
+        """The literal asserting ``net == value``."""
+        variable = self.variable[net]
+        return variable if value else -variable
+
+    def extract_inputs(self, model: Dict[int, bool]) -> Dict[str, int]:
+        """Primary-input assignment from a SAT model (unassigned PIs -> 0)."""
+        return {
+            net: int(model.get(self.variable[net], False))
+            for net in self.netlist.inputs
+        }
+
+
+def solve_output_one(
+    netlist: Netlist,
+    output: str,
+    max_conflicts: int = None,
+) -> "Dict[str, int] | None":
+    """Find an input vector setting ``output`` to 1, or prove none exists.
+
+    The workhorse of SAT-based ATPG: applied to a miter output this
+    decides detectability / distinguishability exactly.
+    """
+    encoder = CnfEncoder(netlist)
+    encoder.solver.add_clause([encoder.literal(output, 1)])
+    model = encoder.solver.solve(max_conflicts=max_conflicts)
+    if model is None:
+        return None
+    return encoder.extract_inputs(model)

@@ -1,0 +1,40 @@
+"""Static test set compaction.
+
+Reverse-order compaction: walk the tests from last to first and drop any
+test whose detected faults are all detected at least twice among the tests
+still retained.  This is the classical cheap pass; it never reduces fault
+coverage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.patterns import TestSet
+
+
+def compact_detection_tests(
+    netlist: Netlist, tests: TestSet, faults: Sequence[Fault]
+) -> TestSet:
+    """Reverse-order compaction preserving the detection of every fault."""
+    if not len(tests):
+        return tests
+    simulator = FaultSimulator(netlist, tests)
+    detectors: List[List[int]] = [[] for _ in range(len(tests))]
+    counts: List[int] = []
+    for index, fault in enumerate(faults):
+        word = simulator.detection_word(fault)
+        counts.append(0)
+        for j in iter_bits(word):
+            detectors[j].append(index)
+            counts[index] += 1
+    keep = [True] * len(tests)
+    for j in reversed(range(len(tests))):
+        if all(counts[i] >= 2 for i in detectors[j]):
+            keep[j] = False
+            for i in detectors[j]:
+                counts[i] -= 1
+    return tests.subset([j for j in range(len(tests)) if keep[j]])

@@ -1,0 +1,116 @@
+"""Single-detection test set generation.
+
+Two phases, the standard recipe: a cheap random-pattern phase that retains
+only useful vectors, then deterministic PODEM for every fault the random
+phase missed.  Finishes with reverse-order compaction.  The result records
+per-fault outcomes so callers can separate untestable from aborted faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from ..sim.faultsim import FaultSimulator
+from ..sim.patterns import TestSet
+from .compact import compact_detection_tests
+from .podem import Podem, Status
+
+
+@dataclass
+class GenerationReport:
+    """Outcome summary of a test generation run."""
+
+    detected: List[Fault] = field(default_factory=list)
+    untestable: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.untestable) + len(self.aborted)
+        return len(self.detected) / total if total else 1.0
+
+    @property
+    def fault_efficiency(self) -> float:
+        """Detected + proven-untestable over all faults (ATPG quality metric)."""
+        total = len(self.detected) + len(self.untestable) + len(self.aborted)
+        classified = len(self.detected) + len(self.untestable)
+        return classified / total if total else 1.0
+
+
+def generate_detection_tests(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    seed: int = 0,
+    backtrack_limit: int = 512,
+    random_batch: int = 64,
+    max_stale_batches: int = 3,
+    compact: bool = True,
+) -> "tuple[TestSet, GenerationReport]":
+    """Generate a compacted test set detecting every testable fault.
+
+    Random batches are retained pattern-by-pattern while they keep paying
+    off; after ``max_stale_batches`` consecutive batches that detect
+    nothing new, PODEM takes over for the remainder.
+    """
+    rng = random.Random(seed)
+    tests = TestSet(netlist.inputs)
+    undetected: Set[int] = set(range(len(faults)))
+    report = GenerationReport()
+
+    # --- random phase -------------------------------------------------
+    stale = 0
+    while undetected and stale < max_stale_batches:
+        batch = TestSet.random(netlist.inputs, random_batch, seed=rng.getrandbits(32))
+        simulator = FaultSimulator(netlist, batch)
+        useful: Dict[int, List[int]] = {}
+        for index in sorted(undetected):
+            word = simulator.detection_word(faults[index])
+            if word:
+                first = (word & -word).bit_length() - 1
+                useful.setdefault(first, []).append(index)
+        if not useful:
+            stale += 1
+            continue
+        stale = 0
+        for pattern in sorted(useful):
+            tests.append(batch[pattern])
+            for index in useful[pattern]:
+                undetected.discard(index)
+                report.detected.append(faults[index])
+
+    # --- deterministic phase -------------------------------------------
+    engine = Podem(netlist, backtrack_limit=backtrack_limit, rng=rng)
+    pending = sorted(undetected)
+    position = 0
+    while position < len(pending):
+        index = pending[position]
+        position += 1
+        if index not in undetected:
+            continue
+        result = engine.generate(faults[index])
+        if result.status is Status.UNTESTABLE:
+            undetected.discard(index)
+            report.untestable.append(faults[index])
+            continue
+        if result.status is Status.ABORTED:
+            undetected.discard(index)
+            report.aborted.append(faults[index])
+            continue
+        vector = engine.fill(result, rng)
+        single = TestSet(netlist.inputs)
+        single.append_assignment(vector)
+        tests.append(single[0])
+        # Fortuitous detection: the new test often catches other faults.
+        simulator = FaultSimulator(netlist, single)
+        for other in list(undetected):
+            if simulator.detection_word(faults[other]):
+                undetected.discard(other)
+                report.detected.append(faults[other])
+
+    if compact and len(tests):
+        tests = compact_detection_tests(netlist, tests, report.detected)
+    return tests.deduplicated(), report

@@ -1,0 +1,208 @@
+"""Exact fault-pair distinguishing via a miter construction.
+
+A test ``t`` distinguishes faults ``f1`` and ``f2`` when the two faulty
+machines respond differently: ``z_1(t) != z_2(t)``.  We build a *miter*:
+two copies of the circuit sharing the primary inputs, one with ``f1``
+injected structurally (the faulty line tied to its stuck value) and one
+with ``f2``, their outputs XORed pairwise and ORed into a single net.  The
+miter output is 1 exactly on distinguishing tests, so PODEM targeting
+``miter_output stuck-at-0`` either returns a distinguishing test or — when
+it exhausts the search space — proves the pair indistinguishable by any
+test (the pair is *functionally equivalent* as observed machines).
+
+This machinery powers the diagnostic test generator and doubles as an
+equivalence checker for fault pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from .podem import Podem, Status
+
+MITER_OUTPUT = "__miter"
+
+
+def inject_fault(netlist: Netlist, fault: Fault, prefix: str = "") -> None:
+    """Structurally inject ``fault`` into ``netlist`` (in place).
+
+    Stem faults tie the whole (prefixed) net to a constant.  Pin faults
+    splice a fresh constant net into the sink gate's fan-in, leaving the
+    stem intact for its other branches.  ``prefix`` is applied to all net
+    names, matching a copy created by :func:`_add_copy`.
+    """
+    const = GateType.CONST1 if fault.stuck_at else GateType.CONST0
+    line = prefix + fault.line
+    if line not in netlist.gates:
+        raise ValueError(f"cannot inject {fault}: net {line!r} not found")
+    if fault.is_stem:
+        gate = netlist.gates[line]
+        if gate.gate_type is GateType.INPUT:
+            # Keep the INPUT gate so the circuit interface (and therefore
+            # test-vector alignment) is unchanged; redirect all consumers
+            # to a constant stand-in instead.
+            stub = f"{line}__stuck{fault.stuck_at}"
+            netlist.add_gate(stub, const, ())
+            for name, sink in list(netlist.gates.items()):
+                if line in sink.inputs and name != stub:
+                    new_inputs = tuple(stub if i == line else i for i in sink.inputs)
+                    netlist.gates[name] = type(sink)(name, sink.gate_type, new_inputs)
+            netlist.outputs = [stub if o == line else o for o in netlist.outputs]
+        else:
+            netlist.gates[line] = type(gate)(line, const, ())
+        netlist._invalidate()
+        return
+    sink_name = prefix + fault.input_of
+    sink = netlist.gates.get(sink_name)
+    if sink is None or line not in sink.inputs:
+        raise ValueError(f"cannot inject {fault}: pin not found")
+    stub = f"{line}__pin_sa{fault.stuck_at}__{sink_name}"
+    netlist.add_gate(stub, const, ())
+    new_inputs = tuple(stub if i == line else i for i in sink.inputs)
+    netlist.gates[sink_name] = type(sink)(sink_name, sink.gate_type, new_inputs)
+    netlist._invalidate()
+
+
+def injected_copy(netlist: Netlist, fault: Fault) -> Netlist:
+    """A copy of ``netlist`` with ``fault`` structurally present."""
+    clone = netlist.copy(f"{netlist.name}__{fault}")
+    inject_fault(clone, fault)
+    clone.validate()
+    return clone
+
+
+def _add_copy(miter: Netlist, netlist: Netlist, prefix: str) -> None:
+    """Add a prefixed copy of ``netlist`` to ``miter``, PIs read through BUFs."""
+    for gate in netlist:
+        name = prefix + gate.name
+        if gate.gate_type is GateType.INPUT:
+            miter.add_gate(name, GateType.BUF, (gate.name,))
+        else:
+            miter.add_gate(name, gate.gate_type, tuple(prefix + i for i in gate.inputs))
+
+
+def build_difference_miter(netlist_a: Netlist, netlist_b: Netlist) -> Netlist:
+    """A miter of two same-interface machines.
+
+    Output net :data:`MITER_OUTPUT` is 1 under exactly the input vectors
+    where the two machines produce different output vectors.  Both
+    netlists must be combinational with identical input and output lists.
+    """
+    if not netlist_a.is_combinational or not netlist_b.is_combinational:
+        raise ValueError("miter construction requires combinational netlists")
+    if list(netlist_a.inputs) != list(netlist_b.inputs) or list(
+        netlist_a.outputs
+    ) != list(netlist_b.outputs):
+        raise ValueError("miter operands must share inputs and outputs")
+    miter = Netlist(f"{netlist_a.name}__vs__{netlist_b.name}")
+    for net in netlist_a.inputs:
+        miter.add_input(net)
+    _add_copy(miter, netlist_a, "A__")
+    _add_copy(miter, netlist_b, "B__")
+    # Pairwise output XORs, then a balanced OR tree.
+    frontier = []
+    for index, out in enumerate(netlist_a.outputs):
+        name = f"__xor{index}"
+        miter.add_gate(name, GateType.XOR, (f"A__{out}", f"B__{out}"))
+        frontier.append(name)
+    level = 0
+    while len(frontier) > 1:
+        merged = []
+        for i in range(0, len(frontier) - 1, 2):
+            name = f"__or{level}_{i // 2}"
+            miter.add_gate(name, GateType.OR, (frontier[i], frontier[i + 1]))
+            merged.append(name)
+        if len(frontier) % 2:
+            merged.append(frontier[-1])
+        frontier = merged
+        level += 1
+    miter.add_gate(MITER_OUTPUT, GateType.BUF, (frontier[0],))
+    miter.add_output(MITER_OUTPUT)
+    miter.validate()
+    return miter
+
+
+def build_miter(netlist: Netlist, fault_a: Fault, fault_b: Fault) -> Netlist:
+    """The difference miter of the two faulty machines.
+
+    Output net :data:`MITER_OUTPUT` is 1 under exactly the input vectors
+    where the machine with ``fault_a`` and the machine with ``fault_b``
+    produce different output vectors.
+    """
+    if not netlist.is_combinational:
+        raise ValueError("miter construction requires a combinational netlist")
+    miter = Netlist(f"{netlist.name}__miter")
+    for net in netlist.inputs:
+        miter.add_input(net)
+    _add_copy(miter, netlist, "A__")
+    _add_copy(miter, netlist, "B__")
+    inject_fault(miter, fault_a, prefix="A__")
+    inject_fault(miter, fault_b, prefix="B__")
+    frontier = []
+    for index, out in enumerate(netlist.outputs):
+        name = f"__xor{index}"
+        miter.add_gate(name, GateType.XOR, (f"A__{out}", f"B__{out}"))
+        frontier.append(name)
+    level = 0
+    while len(frontier) > 1:
+        merged = []
+        for i in range(0, len(frontier) - 1, 2):
+            name = f"__or{level}_{i // 2}"
+            miter.add_gate(name, GateType.OR, (frontier[i], frontier[i + 1]))
+            merged.append(name)
+        if len(frontier) % 2:
+            merged.append(frontier[-1])
+        frontier = merged
+        level += 1
+    miter.add_gate(MITER_OUTPUT, GateType.BUF, (frontier[0],))
+    miter.add_output(MITER_OUTPUT)
+    miter.validate()
+    return miter
+
+
+@dataclass
+class DistinguishResult:
+    """Outcome of one pair-distinguishing attempt."""
+
+    status: Status
+    fault_a: Fault
+    fault_b: Fault
+    #: A full input vector distinguishing the pair (only when DETECTED).
+    test: Optional[Dict[str, int]] = None
+
+    @property
+    def distinguished(self) -> bool:
+        return self.status is Status.DETECTED
+
+    @property
+    def proven_equivalent(self) -> bool:
+        return self.status is Status.UNTESTABLE
+
+
+class Distinguisher:
+    """Generates tests that tell fault pairs of one netlist apart."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        backtrack_limit: int = 512,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.backtrack_limit = backtrack_limit
+        self.rng = rng or random.Random(0)
+
+    def distinguish(self, fault_a: Fault, fault_b: Fault) -> DistinguishResult:
+        """Find a test with ``z_a != z_b``, or prove none exists."""
+        miter = build_miter(self.netlist, fault_a, fault_b)
+        engine = Podem(miter, backtrack_limit=self.backtrack_limit, rng=self.rng)
+        result = engine.generate(Fault(MITER_OUTPUT, 0))
+        if not result.detected:
+            return DistinguishResult(result.status, fault_a, fault_b)
+        vector = engine.fill(result, self.rng)
+        return DistinguishResult(Status.DETECTED, fault_a, fault_b, vector)

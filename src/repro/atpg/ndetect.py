@@ -1,0 +1,142 @@
+"""n-detection test set generation (the paper's "10-detection" sets).
+
+An n-detection test set detects every (testable) fault with at least ``n``
+different tests.  Larger sets of this kind carry more diagnostic
+information, which is why the paper pairs them with the same/different
+dictionary.  The driver again works in two phases: random batches retained
+while they raise detection counts, then randomized PODEM (scrambled
+backtrace decisions and random X-fill) to top up individual faults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Set
+
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.patterns import TestSet
+from .detect import GenerationReport, generate_detection_tests
+from .podem import Podem, Status
+
+
+def generate_ndetect_tests(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    n: int = 10,
+    seed: int = 0,
+    backtrack_limit: int = 512,
+    random_batch: int = 64,
+    max_stale_batches: int = 3,
+    podem_attempts: int = 4,
+) -> "tuple[TestSet, GenerationReport]":
+    """Generate a test set detecting every testable fault ``n`` times.
+
+    Starts from a compacted 1-detection set (so coverage bookkeeping —
+    untestable/aborted faults — is inherited from
+    :func:`generate_detection_tests`), then grows it.  ``podem_attempts``
+    bounds how many randomized PODEM calls are spent per missing detection
+    slot of a fault; attempts that only reproduce already-present vectors
+    are discarded.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    tests, report = generate_detection_tests(
+        netlist,
+        faults,
+        seed=seed,
+        backtrack_limit=backtrack_limit,
+        random_batch=random_batch,
+        max_stale_batches=max_stale_batches,
+    )
+    testable = {i for i, f in enumerate(faults) if f in set(report.detected)}
+    counts = _detection_counts(netlist, tests, faults, testable)
+    below: Set[int] = {i for i in testable if counts[i] < n}
+
+    # --- random top-up --------------------------------------------------
+    stale = 0
+    seen = set(tests)
+    while below and stale < max_stale_batches:
+        batch = TestSet.random(netlist.inputs, random_batch, seed=rng.getrandbits(32))
+        simulator = FaultSimulator(netlist, batch)
+        keep: List[int] = []
+        credited: Dict[int, List[int]] = {}
+        for index in sorted(below):
+            for j in iter_bits(simulator.detection_word(faults[index])):
+                credited.setdefault(j, []).append(index)
+        progressed = False
+        for j in sorted(credited):
+            if batch[j] in seen:
+                continue
+            helped = [i for i in credited[j] if counts[i] < n]
+            if not helped:
+                continue
+            keep.append(j)
+            seen.add(batch[j])
+            progressed = True
+            for i in credited[j]:
+                counts[i] += 1
+                if counts[i] >= n:
+                    below.discard(i)
+        for j in keep:
+            tests.append(batch[j])
+        stale = 0 if progressed else stale + 1
+
+    # --- deterministic top-up --------------------------------------------
+    # Each randomized PODEM call pins only the necessary inputs; filling
+    # the don't-cares several ways yields a whole batch of distinct
+    # candidate vectors per call, which is how faults with few detecting
+    # vectors get saturated.
+    engine = Podem(netlist, backtrack_limit=backtrack_limit, rng=rng)
+    fills_per_call = 8
+    for index in sorted(below):
+        attempts = 0
+        while counts[index] < n and attempts < podem_attempts:
+            attempts += 1
+            result = engine.generate(faults[index], randomize=True)
+            if result.status is not Status.DETECTED:
+                break
+            batch = TestSet(netlist.inputs)
+            for _ in range(fills_per_call):
+                batch.append_assignment(engine.fill(result, rng))
+            batch = batch.deduplicated()
+            simulator = FaultSimulator(netlist, batch)
+            target_word = simulator.detection_word(faults[index])
+            fresh = [j for j in iter_bits(target_word) if batch[j] not in seen]
+            added = []
+            for j in fresh:
+                if counts[index] >= n:
+                    break
+                seen.add(batch[j])
+                tests.append(batch[j])
+                counts[index] += 1
+                added.append(j)
+            if added:
+                attempts = 0
+                # Credit the new vectors to every other fault still short.
+                for other in list(below):
+                    if other == index:
+                        continue
+                    word = simulator.detection_word(faults[other])
+                    gained = sum(1 for j in added if (word >> j) & 1)
+                    if gained:
+                        counts[other] += gained
+                        if counts[other] >= n:
+                            below.discard(other)
+        if counts[index] >= n:
+            below.discard(index)
+    return tests.deduplicated(), report
+
+
+def _detection_counts(
+    netlist: Netlist,
+    tests: TestSet,
+    faults: Sequence[Fault],
+    testable: Set[int],
+) -> Dict[int, int]:
+    if not len(tests):
+        return {i: 0 for i in testable}
+    simulator = FaultSimulator(netlist, tests)
+    return {
+        i: bin(simulator.detection_word(faults[i])).count("1") for i in testable
+    }

@@ -1,0 +1,269 @@
+"""A small CDCL SAT solver.
+
+Conflict-driven clause learning with two-watched-literal propagation,
+first-UIP learning, activity-based (VSIDS-style) decisions and geometric
+restarts — the standard architecture, kept compact.  Used by the
+SAT-based ATPG engine as an independent decision procedure for fault
+detection and fault-pair equivalence, cross-checking PODEM.
+
+Variables are positive integers; literals are non-zero integers with sign
+for polarity (DIMACS convention).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Solver:
+    """One-shot CDCL solver: add clauses, call :meth:`solve`."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self._clauses: List[List[int]] = []
+        # watch lists: literal -> clause indices watching it
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: Dict[int, bool] = {}
+        self._level: Dict[int, int] = {}
+        self._reason: Dict[int, Optional[int]] = {}
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._activity: Dict[int, float] = {}
+        self._activity_inc = 1.0
+        self._unsat = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause (a disjunction of literals)."""
+        clause = sorted(set(literals), key=abs)
+        if not clause:
+            self._unsat = True
+            return
+        for literal in clause:
+            variable = abs(literal)
+            self.num_vars = max(self.num_vars, variable)
+            if -literal in clause and literal > 0:
+                return  # tautology
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        if len(clause) == 1:
+            # Defer: units are enqueued at solve() start (level 0).
+            return
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(literal, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> Optional[bool]:
+        assigned = self._assign.get(abs(literal))
+        if assigned is None:
+            return None
+        return assigned if literal > 0 else not assigned
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+        value = self._value(literal)
+        if value is not None:
+            return value
+        variable = abs(literal)
+        self._assign[variable] = literal > 0
+        self._level[variable] = len(self._trail_lim)
+        self._reason[variable] = reason
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """BCP; returns a conflicting clause index or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self._trail):
+            literal = self._trail[head]
+            head += 1
+            falsified = -literal
+            watchers = self._watches.get(falsified, [])
+            index = 0
+            while index < len(watchers):
+                clause_index = watchers[index]
+                clause = self._clauses[clause_index]
+                # Ensure the falsified literal sits in slot 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                replacement = None
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) is not False:
+                        replacement = position
+                        break
+                if replacement is not None:
+                    clause[1], clause[replacement] = clause[replacement], clause[1]
+                    watchers[index] = watchers[-1]
+                    watchers.pop()
+                    self._watch(clause[1], clause_index)
+                    continue
+                # No replacement: clause is unit or conflicting.
+                if self._value(first) is False:
+                    self._qhead = len(self._trail)
+                    return clause_index
+                self._enqueue(first, clause_index)
+                index += 1
+        self._qhead = head
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump(self, variable: int) -> None:
+        self._activity[variable] = self._activity.get(variable, 0.0) + self._activity_inc
+        if self._activity[variable] > 1e100:
+            for key in self._activity:
+                self._activity[key] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _analyse(self, conflict_index: int) -> "tuple[List[int], int]":
+        """First-UIP learning: returns (learnt clause, backjump level)."""
+        current_level = len(self._trail_lim)
+        learnt: List[int] = []
+        seen: Dict[int, bool] = {}
+        counter = 0
+        literal = 0
+        reason_clause = self._clauses[conflict_index]
+        trail_position = len(self._trail) - 1
+        while True:
+            for lit in reason_clause:
+                if abs(lit) == abs(literal):
+                    continue  # the literal being resolved on
+                variable = abs(lit)
+                if seen.get(variable) or self._level.get(variable, 0) == 0:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(lit)
+            # Pick the next trail literal to resolve on.
+            while not seen.get(abs(self._trail[trail_position])):
+                trail_position -= 1
+            literal = -self._trail[trail_position]
+            variable = abs(literal)
+            seen[variable] = False
+            counter -= 1
+            trail_position -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[variable]
+            reason_clause = self._clauses[reason_index]
+        learnt.insert(0, literal)
+        if len(learnt) == 1:
+            return learnt, 0
+        backjump = max(self._level[abs(lit)] for lit in learnt[1:])
+        return learnt, backjump
+
+    def _backtrack(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            limit = self._trail_lim.pop()
+            while len(self._trail) > limit:
+                literal = self._trail.pop()
+                variable = abs(literal)
+                del self._assign[variable]
+                del self._level[variable]
+                del self._reason[variable]
+        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Optional[Dict[int, bool]]:
+        """Solve under optional assumptions.
+
+        Returns a model ({variable: value}) when satisfiable, ``None``
+        when unsatisfiable, and raises :class:`BudgetExceeded` when
+        ``max_conflicts`` runs out before a decision is reached.
+        """
+        if self._unsat:
+            return None
+        self._qhead = 0
+        self._trail.clear()
+        self._trail_lim.clear()
+        self._assign.clear()
+        self._level.clear()
+        self._reason.clear()
+        # Level-0 units.
+        for index, clause in enumerate(self._clauses):
+            if len(clause) == 1:
+                if not self._enqueue(clause[0], index):
+                    return None
+        if self._propagate() is not None:
+            return None
+        for literal in assumptions:
+            if self._value(literal) is False:
+                return None
+            if self._value(literal) is None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(literal, None)
+                if self._propagate() is not None:
+                    return None
+        assumption_levels = len(self._trail_lim)
+
+        conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    raise BudgetExceeded(conflicts)
+                if len(self._trail_lim) <= assumption_levels:
+                    return None
+                learnt, backjump = self._analyse(conflict)
+                self._backtrack(max(backjump, assumption_levels))
+                index = len(self._clauses)
+                self._clauses.append(learnt)
+                if len(learnt) > 1:
+                    self._watch(learnt[0], index)
+                    self._watch(learnt[1], index)
+                self._enqueue(learnt[0], index)
+                self._activity_inc *= 1.05
+            else:
+                decision = self._pick_branch()
+                if decision is None:
+                    return dict(self._assign)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(decision, None)
+
+    def _pick_branch(self) -> Optional[int]:
+        best = None
+        best_activity = -1.0
+        for variable in range(1, self.num_vars + 1):
+            if variable in self._assign:
+                continue
+            activity = self._activity.get(variable, 0.0)
+            if activity > best_activity:
+                best_activity = activity
+                best = variable
+        if best is None:
+            return None
+        return -best  # negative-first polarity: cheap and effective on miters
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when the conflict budget runs out (an ABORT, not an answer)."""
+
+    def __init__(self, conflicts: int) -> None:
+        super().__init__(f"conflict budget exceeded after {conflicts} conflicts")
+        self.conflicts = conflicts

@@ -1,0 +1,108 @@
+"""SCOAP-style testability measures.
+
+Combinational 0/1 controllability (CC0/CC1) in the classic Goldstein
+formulation: the controllability of a net is (1 + the cheapest way to set
+it) through its driving gate.  PODEM's backtrace uses these numbers to pick
+the easiest input when one controlling value suffices and the hardest input
+when all inputs must be set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+
+#: Controllability assigned to sources (PIs and scan cells).
+_SOURCE_COST = 1
+
+
+def controllability(netlist: Netlist) -> Dict[str, Tuple[int, int]]:
+    """CC0/CC1 per net: ``result[net] == (cc0, cc1)``, lower is easier."""
+    measures: Dict[str, Tuple[int, int]] = {}
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        kind = gate.gate_type
+        if kind in (GateType.INPUT, GateType.DFF):
+            measures[net] = (_SOURCE_COST, _SOURCE_COST)
+            continue
+        if kind is GateType.CONST0:
+            measures[net] = (0, _INFINITY)
+            continue
+        if kind is GateType.CONST1:
+            measures[net] = (_INFINITY, 0)
+            continue
+        fanin = [measures[i] for i in gate.inputs]
+        measures[net] = _gate_controllability(kind, fanin)
+    return measures
+
+
+_INFINITY = 10**9
+
+
+def _saturating_sum(values) -> int:
+    return min(sum(values), _INFINITY)
+
+
+def _gate_controllability(kind: GateType, fanin) -> Tuple[int, int]:
+    cc0s = [cc0 for cc0, _ in fanin]
+    cc1s = [cc1 for _, cc1 in fanin]
+    if kind is GateType.AND:
+        return (1 + min(cc0s), 1 + _saturating_sum(cc1s))
+    if kind is GateType.NAND:
+        return (1 + _saturating_sum(cc1s), 1 + min(cc0s))
+    if kind is GateType.OR:
+        return (1 + _saturating_sum(cc0s), 1 + min(cc1s))
+    if kind is GateType.NOR:
+        return (1 + min(cc1s), 1 + _saturating_sum(cc0s))
+    if kind is GateType.NOT:
+        return (1 + cc1s[0], 1 + cc0s[0])
+    if kind is GateType.BUF:
+        return (1 + cc0s[0], 1 + cc1s[0])
+    if kind in (GateType.XOR, GateType.XNOR):
+        # Cheapest even/odd parity combination; exact for two inputs, a
+        # standard approximation beyond.
+        even = min(_saturating_sum(cc0s), _saturating_sum(cc1s))
+        odd = min(
+            _saturating_sum([cc1s[i] if i == flipped else cc0s[i] for i in range(len(fanin))])
+            for flipped in range(len(fanin))
+        )
+        if kind is GateType.XOR:
+            return (1 + even, 1 + odd)
+        return (1 + odd, 1 + even)
+    raise ValueError(f"no controllability rule for {kind.value}")
+
+
+def observability(netlist: Netlist) -> Dict[str, int]:
+    """SCOAP combinational observability (CO) per net, lower is easier.
+
+    The observability of a net is the cost of propagating it through its
+    easiest fan-out path to a primary output; primary outputs cost 0.
+    """
+    measures = controllability(netlist)
+    fanout = netlist.fanout_map()
+    observabilities: Dict[str, int] = {}
+    order = netlist.topological_order()
+    outputs = set(netlist.outputs)
+    for net in reversed(order):
+        best = 0 if net in outputs else _INFINITY
+        for sink_name in fanout[net]:
+            sink = netlist.gates[sink_name]
+            if sink.gate_type is GateType.DFF:
+                continue
+            sink_obs = observabilities.get(sink_name, _INFINITY)
+            if sink_obs >= _INFINITY:
+                continue
+            side_inputs = [i for i in sink.inputs if i != net]
+            cost = sink_obs + 1
+            kind = sink.gate_type
+            if kind in (GateType.AND, GateType.NAND):
+                cost += _saturating_sum(measures[i][1] for i in side_inputs)
+            elif kind in (GateType.OR, GateType.NOR):
+                cost += _saturating_sum(measures[i][0] for i in side_inputs)
+            elif kind in (GateType.XOR, GateType.XNOR):
+                cost += _saturating_sum(min(measures[i]) for i in side_inputs)
+            best = min(best, cost)
+        observabilities[net] = min(best, _INFINITY)
+    return observabilities

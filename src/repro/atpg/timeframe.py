@@ -1,0 +1,294 @@
+"""Bounded time-frame expansion and sequential ATPG.
+
+A non-scan sequential circuit is *unrolled* over ``T`` clock cycles into a
+combinational model: frame ``f`` gets its own copy ``t<f>__<net>`` of the
+logic, every flip-flop reads the previous frame's D value (frame 0 reads
+the reset state), and the outputs of every frame are observed.  On that
+model the combinational machinery works unchanged:
+
+* :class:`SequenceGenerator.generate` — a test *sequence* detecting a
+  single stuck-at fault, via the miter of the unrolled good machine
+  against the unrolled faulty machine (the fault present in **every**
+  frame, as a physical defect is);
+* :class:`SequenceGenerator.distinguish` — a sequence telling two faults
+  apart, which is what diagnostic test generation for non-scan circuits
+  needs (feeding the sequential dictionaries of
+  :mod:`repro.sim.seqfaultsim`).
+
+``UNTESTABLE`` results are proofs *within the frame budget* only: a fault
+may need a longer sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from ..sim.seqfaultsim import Frames
+from .distinguish import MITER_OUTPUT, build_difference_miter, injected_copy
+from .podem import Podem, Status
+
+
+@dataclass(frozen=True)
+class UnrollInfo:
+    """Name bookkeeping of one unrolled netlist."""
+
+    frames: int
+    #: original primary inputs, in order.
+    inputs: Tuple[str, ...]
+
+    def frame_input(self, frame: int, net: str) -> str:
+        return f"t{frame}__{net}"
+
+
+def unroll(netlist: Netlist, frames: int, reset_value: int = 0) -> "Tuple[Netlist, UnrollInfo]":
+    """Combinational expansion of ``netlist`` over ``frames`` cycles.
+
+    Flip-flop outputs in frame 0 take the reset constant; in frame ``f>0``
+    they buffer the previous frame's D net.  Every frame's primary outputs
+    are primary outputs of the expansion (named ``t<f>__<po>``).
+    """
+    if frames < 1:
+        raise ValueError("need at least one time frame")
+    if netlist.is_combinational:
+        raise ValueError("unrolling a combinational netlist is pointless")
+    reset = GateType.CONST1 if reset_value else GateType.CONST0
+    expanded = Netlist(f"{netlist.name}__x{frames}")
+    for frame in range(frames):
+        prefix = f"t{frame}__"
+        for gate in netlist:
+            name = prefix + gate.name
+            if gate.gate_type is GateType.INPUT:
+                expanded.add_gate(name, GateType.INPUT, ())
+            elif gate.gate_type is GateType.DFF:
+                if frame == 0:
+                    expanded.add_gate(name, reset, ())
+                else:
+                    previous_d = f"t{frame - 1}__{gate.inputs[0]}"
+                    expanded.add_gate(name, GateType.BUF, (previous_d,))
+            else:
+                expanded.add_gate(
+                    name, gate.gate_type, tuple(prefix + i for i in gate.inputs)
+                )
+        for out in netlist.outputs:
+            expanded.add_output(prefix + out)
+    expanded.validate()
+    return expanded, UnrollInfo(frames, tuple(netlist.inputs))
+
+
+def assignment_to_sequence(
+    info: UnrollInfo, assignment: Dict[str, int]
+) -> List[Dict[str, int]]:
+    """Convert an unrolled-PI assignment into per-frame input vectors."""
+    sequence: List[Dict[str, int]] = []
+    for frame in range(info.frames):
+        sequence.append(
+            {
+                net: assignment.get(info.frame_input(frame, net), 0)
+                for net in info.inputs
+            }
+        )
+    return sequence
+
+
+@dataclass
+class SequenceResult:
+    """Outcome of one sequential ATPG run."""
+
+    status: Status
+    fault: Fault
+    #: The generated test sequence (per-frame {input: value}); DETECTED only.
+    sequence: Optional[List[Dict[str, int]]] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.status is Status.DETECTED
+
+
+class SequenceGenerator:
+    """Sequential ATPG over a fixed frame budget."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        frames: int = 4,
+        backtrack_limit: int = 512,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if netlist.is_combinational:
+            raise ValueError(
+                "the circuit is combinational; use Podem directly"
+            )
+        self.netlist = netlist
+        self.frames = frames
+        self.backtrack_limit = backtrack_limit
+        self.rng = rng or random.Random(0)
+        self._good_unrolled, self.info = unroll(netlist, frames)
+
+    def _miter_search(self, other: Netlist) -> Optional[Dict[str, int]]:
+        miter = build_difference_miter(self._good_unrolled, other)
+        engine = Podem(miter, backtrack_limit=self.backtrack_limit, rng=self.rng)
+        result = engine.generate(Fault(MITER_OUTPUT, 0))
+        if result.status is Status.DETECTED:
+            return engine.fill(result, self.rng)
+        return None if result.status is Status.UNTESTABLE else _ABORTED
+
+    def generate(self, fault: Fault) -> SequenceResult:
+        """A sequence detecting ``fault`` (present in every frame), if any.
+
+        UNTESTABLE means no sequence of at most ``frames`` cycles from the
+        reset state detects the fault.
+        """
+        faulty, _ = unroll(injected_copy(self.netlist, fault), self.frames)
+        outcome = self._miter_search(faulty)
+        if outcome is _ABORTED:
+            return SequenceResult(Status.ABORTED, fault)
+        if outcome is None:
+            return SequenceResult(Status.UNTESTABLE, fault)
+        return SequenceResult(
+            Status.DETECTED, fault, assignment_to_sequence(self.info, outcome)
+        )
+
+    def distinguish(self, fault_a: Fault, fault_b: Fault) -> SequenceResult:
+        """A sequence on which the two faulty machines respond differently."""
+        unrolled_a, _ = unroll(injected_copy(self.netlist, fault_a), self.frames)
+        unrolled_b, _ = unroll(injected_copy(self.netlist, fault_b), self.frames)
+        miter = build_difference_miter(unrolled_a, unrolled_b)
+        engine = Podem(miter, backtrack_limit=self.backtrack_limit, rng=self.rng)
+        result = engine.generate(Fault(MITER_OUTPUT, 0))
+        if result.status is Status.DETECTED:
+            assignment = engine.fill(result, self.rng)
+            return SequenceResult(
+                Status.DETECTED,
+                fault_a,
+                assignment_to_sequence(self.info, assignment),
+            )
+        return SequenceResult(result.status, fault_a)
+
+
+#: Sentinel distinguishing an aborted miter search from a proof.
+_ABORTED = object()
+
+
+def sequential_diagnostic_set(
+    netlist: Netlist,
+    faults,
+    frames: int = 4,
+    random_sequences_count: int = 32,
+    seed: int = 0,
+    backtrack_limit: int = 256,
+    max_pairs: int = 200,
+) -> "Tuple[List[Frames], dict]":
+    """Diagnostic sequence set: distinguish fault pairs of a non-scan circuit.
+
+    Starts from :func:`sequential_test_set`, partitions the detected
+    faults by their sequence responses, and attacks adjacent pairs of each
+    class with :meth:`SequenceGenerator.distinguish` until no class splits
+    or ``max_pairs`` attempts are spent.  Returns the sequences and a
+    report with ``classes_before`` / ``classes_after`` / the per-status
+    pair lists.
+    """
+    from ..sim.seqfaultsim import sequential_response_table
+
+    rng = random.Random(seed ^ 0x5E9)
+    sequences, generation = sequential_test_set(
+        netlist,
+        faults,
+        frames=frames,
+        random_sequences_count=random_sequences_count,
+        seed=seed,
+        backtrack_limit=backtrack_limit,
+    )
+    targets = list(generation["detected"])
+    report = {
+        "generation": generation,
+        "equivalent_pairs": [],
+        "aborted_pairs": [],
+        "classes_before": 0,
+        "classes_after": 0,
+    }
+
+    def classes_of():
+        table = sequential_response_table(netlist, sequences, targets)
+        groups: Dict[tuple, List[int]] = {}
+        for index in range(len(targets)):
+            groups.setdefault(table.full_row(index), []).append(index)
+        return list(groups.values())
+
+    classes = classes_of()
+    report["classes_before"] = len(classes)
+    generator = SequenceGenerator(
+        netlist, frames=frames, backtrack_limit=backtrack_limit, rng=rng
+    )
+    settled = set()
+    attempts = 0
+    progress = True
+    while progress and attempts < max_pairs:
+        progress = False
+        for members in classes:
+            if len(members) < 2 or attempts >= max_pairs:
+                continue
+            for left, right in zip(members, members[1:]):
+                pair = frozenset((targets[left], targets[right]))
+                if pair in settled:
+                    continue
+                attempts += 1
+                outcome = generator.distinguish(targets[left], targets[right])
+                if outcome.detected:
+                    sequences.append(outcome.sequence)
+                    progress = True
+                else:
+                    settled.add(pair)
+                    record = (targets[left], targets[right])
+                    if outcome.status is Status.UNTESTABLE:
+                        report["equivalent_pairs"].append(record)
+                    else:
+                        report["aborted_pairs"].append(record)
+                break
+        if progress:
+            classes = classes_of()
+    report["classes_after"] = len(classes_of())
+    return sequences, report
+
+
+def sequential_test_set(
+    netlist: Netlist,
+    faults,
+    frames: int = 4,
+    random_sequences_count: int = 32,
+    seed: int = 0,
+    backtrack_limit: int = 256,
+) -> "Tuple[List[Frames], dict]":
+    """Detection sequence set: random sequences + miter top-up.
+
+    Returns the sequence list and a report dict with per-status fault
+    counts (``detected`` / ``untestable`` (within the budget) /
+    ``aborted``).
+    """
+    from ..sim.seqfaultsim import random_sequences, sequential_detection_word
+
+    rng = random.Random(seed)
+    sequences: List[Frames] = random_sequences(
+        netlist, count=random_sequences_count, length=frames, seed=seed
+    )
+    report = {"detected": [], "untestable": [], "aborted": []}
+    generator = SequenceGenerator(
+        netlist, frames=frames, backtrack_limit=backtrack_limit, rng=rng
+    )
+    for fault in faults:
+        if sequential_detection_word(netlist, sequences, fault):
+            report["detected"].append(fault)
+            continue
+        result = generator.generate(fault)
+        if result.detected:
+            sequences.append(result.sequence)
+            report["detected"].append(fault)
+        elif result.status is Status.UNTESTABLE:
+            report["untestable"].append(fault)
+        else:
+            report["aborted"].append(fault)
+    return sequences, report

@@ -1,0 +1,136 @@
+"""Two-pattern (launch/capture) test generation for transition faults.
+
+SAT formulation: one copy of the circuit constrained to hold the fault
+site at its initial value (the launch condition) and an independent
+good-vs-faulty miter whose output is forced to 1 (the capture detection),
+sharing nothing — enhanced-scan semantics where both vectors are free.
+One :class:`~repro.atpg.sat.Solver` instance decides both at once, so an
+UNSAT answer is a proof that no two-pattern test exists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..circuit.netlist import Netlist
+from ..faults.transition import TransitionFault, TransitionFaultSimulator
+from ..sim.patterns import TestSet
+from .cnf import CnfEncoder
+from .distinguish import MITER_OUTPUT, build_difference_miter, injected_copy
+from .podem import Status
+from .sat import BudgetExceeded, Solver
+
+
+@dataclass
+class TransitionResult:
+    """Outcome of one two-pattern generation attempt."""
+
+    status: Status
+    fault: TransitionFault
+    launch: Optional[dict] = None
+    capture: Optional[dict] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.status is Status.DETECTED
+
+
+class TransitionAtpg:
+    """SAT-based two-pattern ATPG for one combinational (scan) netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        max_conflicts: int = 50_000,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not netlist.is_combinational:
+            raise ValueError("transition ATPG requires a full-scan netlist")
+        self.netlist = netlist
+        self.max_conflicts = max_conflicts
+        self.rng = rng or random.Random(0)
+
+    def generate(self, fault: TransitionFault) -> TransitionResult:
+        """A (launch, capture) vector pair detecting ``fault``, if one exists."""
+        solver = Solver()
+        launch_encoder = CnfEncoder(self.netlist, solver)
+        solver.add_clause(
+            [launch_encoder.literal(fault.line, fault.initial_value)]
+        )
+        miter = build_difference_miter(
+            self.netlist.copy(self.netlist.name),
+            injected_copy(self.netlist, fault.residual_stuck_at),
+        )
+        capture_encoder = CnfEncoder(miter, solver)
+        solver.add_clause([capture_encoder.literal(MITER_OUTPUT, 1)])
+        try:
+            model = solver.solve(max_conflicts=self.max_conflicts)
+        except BudgetExceeded:
+            return TransitionResult(Status.ABORTED, fault)
+        if model is None:
+            return TransitionResult(Status.UNTESTABLE, fault)
+        return TransitionResult(
+            Status.DETECTED,
+            fault,
+            launch=launch_encoder.extract_inputs(model),
+            capture=capture_encoder.extract_inputs(model),
+        )
+
+
+def generate_transition_tests(
+    netlist: Netlist,
+    faults: List[TransitionFault],
+    seed: int = 0,
+    random_pairs: int = 64,
+    max_stale_batches: int = 3,
+    max_conflicts: int = 50_000,
+) -> "Tuple[TestSet, TestSet, dict]":
+    """Two-pattern test set for a transition fault list.
+
+    Random launch/capture pairs first (retained per new detection), then
+    SAT top-up per remaining fault.  Returns (launch set, capture set,
+    report) with report keys ``detected`` / ``untestable`` / ``aborted``.
+    """
+    rng = random.Random(seed ^ 0x7A57)
+    launch = TestSet(netlist.inputs)
+    capture = TestSet(netlist.inputs)
+    report = {"detected": [], "untestable": [], "aborted": []}
+    remaining = list(faults)
+
+    stale = 0
+    while remaining and stale < max_stale_batches:
+        batch_launch = TestSet.random(netlist.inputs, random_pairs, seed=rng.getrandbits(32))
+        batch_capture = TestSet.random(netlist.inputs, random_pairs, seed=rng.getrandbits(32))
+        simulator = TransitionFaultSimulator(netlist, batch_launch, batch_capture)
+        useful = {}
+        for fault in remaining:
+            word = simulator.detection_word(fault)
+            if word:
+                useful.setdefault((word & -word).bit_length() - 1, []).append(fault)
+        if not useful:
+            stale += 1
+            continue
+        stale = 0
+        newly = set()
+        for j in sorted(useful):
+            launch.append(batch_launch[j])
+            capture.append(batch_capture[j])
+            for fault in useful[j]:
+                newly.add(fault)
+                report["detected"].append(fault)
+        remaining = [f for f in remaining if f not in newly]
+
+    engine = TransitionAtpg(netlist, max_conflicts=max_conflicts, rng=rng)
+    for fault in remaining:
+        result = engine.generate(fault)
+        if result.detected:
+            launch.append_assignment(result.launch)
+            capture.append_assignment(result.capture)
+            report["detected"].append(fault)
+        elif result.status is Status.UNTESTABLE:
+            report["untestable"].append(fault)
+        else:
+            report["aborted"].append(fault)
+    return launch, capture, report

@@ -1,0 +1,86 @@
+"""Three-valued (0/1/X) logic used by PODEM.
+
+PODEM tracks, for every net, a pair of three-valued values: the fault-free
+(good) value and the faulty value.  The composite five-valued alphabet of
+the D-algorithm falls out of the pairing: ``D`` is good 1 / faulty 0 and
+``D'`` is good 0 / faulty 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuit.gates import GateType
+
+ZERO = 0
+ONE = 1
+X = 2
+
+_NOT3 = (ONE, ZERO, X)
+
+
+def not3(value: int) -> int:
+    return _NOT3[value]
+
+
+def and3(values: Sequence[int]) -> int:
+    result = ONE
+    for value in values:
+        if value == ZERO:
+            return ZERO
+        if value == X:
+            result = X
+    return result
+
+
+def or3(values: Sequence[int]) -> int:
+    result = ZERO
+    for value in values:
+        if value == ONE:
+            return ONE
+        if value == X:
+            result = X
+    return result
+
+
+def xor3(values: Sequence[int]) -> int:
+    result = ZERO
+    for value in values:
+        if value == X:
+            return X
+        result ^= value
+    return result
+
+
+def evaluate3(gate_type: GateType, values: Sequence[int]) -> int:
+    """Three-valued evaluation of one gate."""
+    if gate_type is GateType.AND:
+        return and3(values)
+    if gate_type is GateType.NAND:
+        return not3(and3(values))
+    if gate_type is GateType.OR:
+        return or3(values)
+    if gate_type is GateType.NOR:
+        return not3(or3(values))
+    if gate_type is GateType.XOR:
+        return xor3(values)
+    if gate_type is GateType.XNOR:
+        return not3(xor3(values))
+    if gate_type is GateType.NOT:
+        return not3(values[0])
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.CONST0:
+        return ZERO
+    if gate_type is GateType.CONST1:
+        return ONE
+    raise ValueError(f"cannot evaluate gate type {gate_type.value}")
+
+
+def to_symbol(good: int, faulty: int) -> str:
+    """Render a (good, faulty) pair in D-notation for debugging."""
+    if good == X or faulty == X:
+        return "X"
+    if good == faulty:
+        return str(good)
+    return "D" if good == ONE else "D'"

@@ -1,0 +1,101 @@
+"""Reader and writer for the ISCAS-85/89 ``.bench`` netlist format.
+
+The format is line-oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G7  = DFF(G10)
+
+Gate type names are case-insensitive.  ``NOT``/``INV`` and ``BUF``/``BUFF``
+are accepted as synonyms.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from .gates import GateType
+from .netlist import Netlist, NetlistError
+
+_ALIASES = {
+    "INV": GateType.NOT,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_ASSIGN_RE = re.compile(r"^(?P<net>[^=\s]+)\s*=\s*(?P<type>\w+)\s*\((?P<args>[^)]*)\)$")
+_IO_RE = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)$", re.IGNORECASE)
+
+
+class BenchParseError(NetlistError):
+    """Raised on malformed ``.bench`` text, with a line number."""
+
+
+def _gate_type(token: str, line_no: int) -> GateType:
+    upper = token.upper()
+    if upper in _ALIASES:
+        return _ALIASES[upper]
+    try:
+        return GateType(upper)
+    except ValueError:
+        raise BenchParseError(f"line {line_no}: unknown gate type {token!r}")
+
+
+def loads(text: str, name: str = "circuit") -> Netlist:
+    """Parse ``.bench`` text into a validated :class:`Netlist`."""
+    netlist = Netlist(name)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net").strip()
+            if io_match.group("kind").upper() == "INPUT":
+                netlist.add_input(net)
+            else:
+                netlist.add_output(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchParseError(f"line {line_no}: cannot parse {raw.strip()!r}")
+        net = assign.group("net")
+        gate_type = _gate_type(assign.group("type"), line_no)
+        args = [a.strip() for a in assign.group("args").split(",") if a.strip()]
+        try:
+            netlist.add_gate(net, gate_type, args)
+        except NetlistError as exc:
+            raise BenchParseError(f"line {line_no}: {exc}") from exc
+    netlist.validate()
+    return netlist
+
+
+def load(path: Union[str, Path], name: str = "") -> Netlist:
+    """Read a ``.bench`` file; the netlist name defaults to the file stem."""
+    path = Path(path)
+    return loads(path.read_text(), name or path.stem)
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialise a :class:`Netlist` back to ``.bench`` text."""
+    lines = [f"# {netlist.name}"]
+    for net in netlist.inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in netlist:
+        if gate.gate_type is GateType.INPUT:
+            continue
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.name} = {gate.gate_type.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump(netlist: Netlist, path: Union[str, Path]) -> None:
+    """Write a :class:`Netlist` to a ``.bench`` file."""
+    Path(path).write_text(dumps(netlist))

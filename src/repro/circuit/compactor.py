@@ -1,0 +1,102 @@
+"""Output response compaction.
+
+Section 2 of the paper notes that with test response compaction the
+number of observed outputs ``m`` shrinks substantially — which shrinks
+both the full dictionary (``k·n·m``) and the same/different dictionary's
+baseline overhead (``k·m``).  This module implements space compaction in
+the netlist domain: the circuit's ``m`` primary outputs are replaced by
+``w < m`` parity (XOR-tree) signatures, so every downstream tool —
+simulation, dictionaries, diagnosis — sees the compacted design as an
+ordinary circuit.
+
+Compaction trades observability for size: two different output vectors
+can alias to the same signature.  The dictionaries built on a compacted
+circuit quantify exactly that trade (see the compaction ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .gates import GateType
+from .netlist import Netlist
+
+
+def parity_compactor(
+    netlist: Netlist, width: int, prefix: str = "__sig"
+) -> Netlist:
+    """Replace the primary outputs with ``width`` interleaved parity groups.
+
+    Output ``o`` feeds signature ``o mod width`` — the classic interleaved
+    parity space compactor.  Groups with a single member become BUFs.  The
+    returned netlist has ``width`` outputs named ``<prefix>0 …``.
+    """
+    if width < 1:
+        raise ValueError("compactor width must be at least 1")
+    if width >= len(netlist.outputs):
+        raise ValueError(
+            f"width {width} does not compact {len(netlist.outputs)} outputs"
+        )
+    groups: List[List[str]] = [[] for _ in range(width)]
+    for index, net in enumerate(netlist.outputs):
+        groups[index % width].append(net)
+    return _with_compacted_outputs(netlist, groups, prefix)
+
+
+def grouped_compactor(
+    netlist: Netlist, groups: Sequence[Sequence[str]], prefix: str = "__sig"
+) -> Netlist:
+    """Compact with an explicit output grouping (each group one parity bit)."""
+    seen = [net for group in groups for net in group]
+    if sorted(seen) != sorted(netlist.outputs):
+        raise ValueError("groups must partition the primary outputs")
+    return _with_compacted_outputs(netlist, [list(g) for g in groups], prefix)
+
+
+def _with_compacted_outputs(
+    netlist: Netlist, groups: List[List[str]], prefix: str
+) -> Netlist:
+    compacted = Netlist(f"{netlist.name}__x{len(groups)}")
+    for gate in netlist:
+        compacted.add_gate(gate.name, gate.gate_type, gate.inputs)
+    for index, group in enumerate(groups):
+        name = f"{prefix}{index}"
+        if len(group) == 1:
+            compacted.add_gate(name, GateType.BUF, (group[0],))
+        else:
+            compacted.add_gate(name, GateType.XOR, tuple(group))
+        compacted.add_output(name)
+    compacted.validate()
+    return compacted
+
+
+def compaction_alias_rate(
+    netlist: Netlist,
+    compacted: Netlist,
+    vectors: "Tuple[int, ...]" = (),
+) -> float:
+    """Fraction of distinct full output vectors that collide after compaction.
+
+    Exhaustive over the input space when ``vectors`` is empty (small
+    circuits only); otherwise over the given test integers.
+    """
+    from ..sim.patterns import TestSet
+    from ..sim.logicsim import output_vectors
+
+    tests = (
+        TestSet.exhaustive(netlist.inputs)
+        if not vectors
+        else TestSet(netlist.inputs, vectors)
+    )
+    full = output_vectors(netlist, tests)
+    small = output_vectors(compacted, tests)
+    full_distinct = set(full)
+    collided = set()
+    seen = {}
+    for f, s in zip(full, small):
+        if s in seen and seen[s] != f:
+            collided.add(f)
+            collided.add(seen[s])
+        else:
+            seen.setdefault(s, f)
+    return len(collided) / len(full_distinct) if full_distinct else 0.0

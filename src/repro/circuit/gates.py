@@ -1,0 +1,180 @@
+"""Gate types and bit-parallel evaluation functions.
+
+Every net in a simulation carries a Python integer whose bit ``p`` is the
+logic value of the net under test pattern ``p``.  A gate evaluation is then a
+single arbitrary-precision bitwise operation across all patterns at once.
+Inversions are performed as ``mask ^ value`` where ``mask`` has one set bit
+per pattern, so values never grow negative or wider than the pattern count.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Sequence
+
+
+class GateType(enum.Enum):
+    """The gate primitives understood by the netlist and simulators."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    DFF = "DFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is GateType.DFF
+
+    @property
+    def is_constant(self) -> bool:
+        return self in (GateType.CONST0, GateType.CONST1)
+
+    @property
+    def min_inputs(self) -> int:
+        return _MIN_INPUTS[self]
+
+    @property
+    def max_inputs(self) -> int:
+        """Maximum number of inputs, or -1 when unbounded."""
+        return _MAX_INPUTS[self]
+
+
+_MIN_INPUTS: Dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.AND: 2,
+    GateType.NAND: 2,
+    GateType.OR: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.DFF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+_MAX_INPUTS: Dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.AND: -1,
+    GateType.NAND: -1,
+    GateType.OR: -1,
+    GateType.NOR: -1,
+    GateType.XOR: -1,
+    GateType.XNOR: -1,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.DFF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+# Gate types whose output inverts relative to the underlying monotone
+# function; used by fault collapsing to map input faults to output faults.
+INVERTING = frozenset({GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR})
+
+
+def _eval_and(inputs: Sequence[int], mask: int) -> int:
+    value = mask
+    for bits in inputs:
+        value &= bits
+    return value
+
+
+def _eval_or(inputs: Sequence[int], mask: int) -> int:
+    value = 0
+    for bits in inputs:
+        value |= bits
+    return value
+
+
+def _eval_xor(inputs: Sequence[int], mask: int) -> int:
+    value = 0
+    for bits in inputs:
+        value ^= bits
+    return value
+
+
+def _eval_nand(inputs: Sequence[int], mask: int) -> int:
+    return mask ^ _eval_and(inputs, mask)
+
+
+def _eval_nor(inputs: Sequence[int], mask: int) -> int:
+    return mask ^ _eval_or(inputs, mask)
+
+
+def _eval_xnor(inputs: Sequence[int], mask: int) -> int:
+    return mask ^ _eval_xor(inputs, mask)
+
+
+def _eval_not(inputs: Sequence[int], mask: int) -> int:
+    return mask ^ inputs[0]
+
+
+def _eval_buf(inputs: Sequence[int], mask: int) -> int:
+    return inputs[0]
+
+
+def _eval_const0(inputs: Sequence[int], mask: int) -> int:
+    return 0
+
+
+def _eval_const1(inputs: Sequence[int], mask: int) -> int:
+    return mask
+
+
+#: Bit-parallel evaluation function per gate type.  ``INPUT`` and ``DFF``
+#: are driven externally (pattern source / scan state) and therefore have no
+#: entry; the full-scan transform replaces DFFs before simulation.
+EVALUATORS: Dict[GateType, Callable[[Sequence[int], int], int]] = {
+    GateType.AND: _eval_and,
+    GateType.NAND: _eval_nand,
+    GateType.OR: _eval_or,
+    GateType.NOR: _eval_nor,
+    GateType.XOR: _eval_xor,
+    GateType.XNOR: _eval_xnor,
+    GateType.NOT: _eval_not,
+    GateType.BUF: _eval_buf,
+    GateType.CONST0: _eval_const0,
+    GateType.CONST1: _eval_const1,
+}
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate one gate bit-parallel over all patterns.
+
+    ``inputs`` are the big-int values of the gate's fan-in nets and ``mask``
+    is the all-patterns-set constant ``(1 << num_patterns) - 1``.
+    """
+    try:
+        evaluator = EVALUATORS[gate_type]
+    except KeyError:
+        raise ValueError(f"gate type {gate_type.value} cannot be evaluated directly")
+    return evaluator(inputs, mask)
+
+
+#: Controlling value per gate type (the input value that alone determines the
+#: output), or None for parity gates which have no controlling value.  Used
+#: by PODEM's backtrace and by testability heuristics.
+CONTROLLING_VALUE: Dict[GateType, int] = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Output value produced when a controlling value is present.
+CONTROLLED_OUTPUT: Dict[GateType, int] = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 1,
+    GateType.NOR: 0,
+}

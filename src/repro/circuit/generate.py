@@ -1,0 +1,162 @@
+"""Deterministic synthetic benchmark circuit generator.
+
+The paper evaluates on ISCAS-89 sequential circuits, which are not
+redistributable in this environment.  :func:`generate_netlist` produces a
+random sequential circuit with a requested interface (primary inputs,
+primary outputs, flip-flops) and gate count, fully determined by its seed.
+The generator biases fan-in selection toward recently created nets so the
+circuit acquires realistic logic depth and reconvergent fan-out rather than
+a flat two-level structure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .gates import GateType
+from .netlist import Netlist
+
+#: Gate type mix for generated logic; NAND/NOR heavy like standard-cell
+#: mapped benchmark circuits, with occasional parity gates for response
+#: diversity.
+_GATE_MIX = (
+    (GateType.NAND, 30),
+    (GateType.NOR, 22),
+    (GateType.AND, 14),
+    (GateType.OR, 14),
+    (GateType.NOT, 10),
+    (GateType.XOR, 5),
+    (GateType.XNOR, 3),
+    (GateType.BUF, 2),
+)
+
+#: Fan-in count distribution for multi-input gates.
+_FANIN_MIX = ((2, 70), (3, 22), (4, 8))
+
+
+def _weighted_choice(rng: random.Random, pairs) -> object:
+    total = sum(weight for _, weight in pairs)
+    pick = rng.uniform(0, total)
+    accumulated = 0.0
+    for value, weight in pairs:
+        accumulated += weight
+        if pick <= accumulated:
+            return value
+    return pairs[-1][0]
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of one synthetic circuit.  Equal specs generate equal netlists."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flip_flops: int
+    n_gates: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("need at least one primary input")
+        if self.n_outputs < 1:
+            raise ValueError("need at least one primary output")
+        if self.n_flip_flops < 0:
+            raise ValueError("flip-flop count cannot be negative")
+        minimum = self.n_outputs + self.n_flip_flops
+        if self.n_gates < minimum:
+            raise ValueError(
+                f"n_gates={self.n_gates} too small: need at least one gate per "
+                f"output and per flip-flop D input ({minimum})"
+            )
+
+
+def generate_netlist(spec: GeneratorSpec) -> Netlist:
+    """Generate the circuit described by ``spec`` (deterministic in ``spec``)."""
+    rng = random.Random(spec.seed)
+    netlist = Netlist(spec.name)
+
+    sources: List[str] = []
+    for i in range(spec.n_inputs):
+        netlist.add_input(f"pi{i}")
+        sources.append(f"pi{i}")
+    # Flip-flop outputs are sources of the combinational logic; their D
+    # inputs are wired up after the logic exists.
+    for i in range(spec.n_flip_flops):
+        sources.append(f"ff{i}")
+
+    # Layered construction: gate i targets a logic level that grows linearly
+    # with i up to ``depth``.  Its first fan-in comes from the previous
+    # level (fixing the gate's level); the rest come from any earlier
+    # level, which produces reconvergent fan-out without degenerating into
+    # a single deep chain whose signals saturate to constants.
+    depth = max(4, int(2.5 * math.log2(spec.n_gates)))
+    by_level: List[List[str]] = [list(sources)]
+    levels = {net: 0 for net in sources}
+    nets: List[str] = list(sources)
+    for i in range(spec.n_gates):
+        target = 1 + (i * (depth - 1)) // max(1, spec.n_gates - 1)
+        target = min(target, len(by_level))
+        gate_type = _weighted_choice(rng, _GATE_MIX)
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanin_count = 1
+        else:
+            fanin_count = min(_weighted_choice(rng, _FANIN_MIX), len(nets))
+            if fanin_count < 2:
+                gate_type = GateType.NOT
+                fanin_count = 1
+        fanin = [rng.choice(by_level[target - 1])]
+        while len(fanin) < fanin_count:
+            candidate = nets[rng.randrange(len(nets))]
+            if levels[candidate] < target and candidate not in fanin:
+                fanin.append(candidate)
+        name = f"n{i}"
+        netlist.add_gate(name, gate_type, fanin)
+        level = 1 + max(levels[net] for net in fanin)
+        levels[name] = level
+        while len(by_level) <= level:
+            by_level.append([])
+        by_level[level].append(name)
+        nets.append(name)
+
+    sinks = _sink_nets(netlist, spec)
+    rng.shuffle(sinks)
+    for i in range(spec.n_flip_flops):
+        netlist.add_gate(f"ff{i}", GateType.DFF, (sinks[i],))
+    for i in range(spec.n_outputs):
+        netlist.add_output(sinks[spec.n_flip_flops + i])
+
+    netlist.validate()
+    return netlist
+
+
+def _sink_nets(netlist: Netlist, spec: GeneratorSpec) -> List[str]:
+    """Choose distinct nets to serve as PO / flip-flop D connections.
+
+    Dangling gate outputs are used so that every gate has a path to an
+    observable point.  Surplus dangling nets are merged pairwise through
+    extra NAND gates (so the final gate count can slightly exceed
+    ``spec.n_gates``); a shortfall is covered by the deepest logic nets.
+    """
+    needed = spec.n_outputs + spec.n_flip_flops
+    fanout = netlist.fanout_map()
+    logic = [g.name for g in netlist if g.gate_type is not GateType.INPUT]
+    dangling = [name for name in logic if not fanout[name]]
+    # FIFO pairwise merging builds a balanced tree, adding only
+    # logarithmic depth.
+    merge_index = 0
+    while len(dangling) > needed:
+        left = dangling.pop(0)
+        right = dangling.pop(0)
+        name = f"m{merge_index}"
+        merge_index += 1
+        netlist.add_gate(name, GateType.NAND, (left, right))
+        dangling.append(name)
+    if len(dangling) < needed:
+        used = set(dangling)
+        extras = [name for name in reversed(logic) if name not in used]
+        dangling += extras[: needed - len(dangling)]
+    return dangling

@@ -1,0 +1,97 @@
+"""Built-in circuits.
+
+Two real benchmark circuits (ISCAS-85 ``c17`` and ISCAS-89 ``s27``) are
+embedded verbatim for ground-truth testing.  The ISCAS-89 circuits evaluated
+in the paper (s208 … s9234) are not redistributable here, so
+:func:`load_circuit` falls back to deterministic synthetic proxies
+(``p208`` … ``p9234``) from :mod:`repro.circuit.generate` whose interface
+statistics (PIs, POs, flip-flops, gate count) approximate the published
+originals.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import bench
+from .generate import GeneratorSpec, generate_netlist
+from .netlist import Netlist
+
+C17_BENCH = """\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+S27_BENCH = """\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+_EMBEDDED: Dict[str, str] = {"c17": C17_BENCH, "s27": S27_BENCH}
+
+#: Synthetic proxies for the paper's ISCAS-89 circuits.  The interface
+#: statistics approximate the published originals; functionality is a
+#: deterministic random function of the fixed seed.
+PROXY_SPECS: Dict[str, GeneratorSpec] = {
+    "p208": GeneratorSpec("p208", n_inputs=10, n_outputs=1, n_flip_flops=8, n_gates=96, seed=208),
+    "p298": GeneratorSpec("p298", n_inputs=3, n_outputs=6, n_flip_flops=14, n_gates=119, seed=298),
+    "p344": GeneratorSpec("p344", n_inputs=9, n_outputs=11, n_flip_flops=15, n_gates=160, seed=344),
+    "p382": GeneratorSpec("p382", n_inputs=3, n_outputs=6, n_flip_flops=21, n_gates=158, seed=382),
+    "p386": GeneratorSpec("p386", n_inputs=7, n_outputs=7, n_flip_flops=6, n_gates=159, seed=386),
+    "p400": GeneratorSpec("p400", n_inputs=3, n_outputs=6, n_flip_flops=21, n_gates=162, seed=400),
+    "p420": GeneratorSpec("p420", n_inputs=18, n_outputs=1, n_flip_flops=16, n_gates=218, seed=420),
+    "p510": GeneratorSpec("p510", n_inputs=19, n_outputs=7, n_flip_flops=6, n_gates=211, seed=510),
+    "p526": GeneratorSpec("p526", n_inputs=3, n_outputs=6, n_flip_flops=21, n_gates=193, seed=526),
+    "p641": GeneratorSpec("p641", n_inputs=35, n_outputs=24, n_flip_flops=19, n_gates=379, seed=641),
+    "p820": GeneratorSpec("p820", n_inputs=18, n_outputs=19, n_flip_flops=5, n_gates=289, seed=820),
+    "p953": GeneratorSpec("p953", n_inputs=16, n_outputs=23, n_flip_flops=29, n_gates=395, seed=953),
+    "p1196": GeneratorSpec("p1196", n_inputs=14, n_outputs=14, n_flip_flops=18, n_gates=529, seed=1196),
+    "p1423": GeneratorSpec("p1423", n_inputs=17, n_outputs=5, n_flip_flops=74, n_gates=657, seed=1423),
+    "p5378": GeneratorSpec("p5378", n_inputs=35, n_outputs=49, n_flip_flops=179, n_gates=2779, seed=5378),
+    "p9234": GeneratorSpec("p9234", n_inputs=36, n_outputs=39, n_flip_flops=211, n_gates=5597, seed=9234),
+}
+
+
+def available_circuits() -> List[str]:
+    """Names accepted by :func:`load_circuit`, embedded circuits first."""
+    return list(_EMBEDDED) + list(PROXY_SPECS)
+
+
+def load_circuit(name: str) -> Netlist:
+    """Load an embedded circuit or generate a named synthetic proxy."""
+    if name in _EMBEDDED:
+        return bench.loads(_EMBEDDED[name], name)
+    if name in PROXY_SPECS:
+        return generate_netlist(PROXY_SPECS[name])
+    raise KeyError(
+        f"unknown circuit {name!r}; available: {', '.join(available_circuits())}"
+    )

@@ -1,0 +1,77 @@
+"""Full-scan transformation.
+
+The paper evaluates scan designs: a test vector drives both the primary
+inputs and (through the scan chain) the flip-flop states, and the response
+is observed at the primary outputs and the next flip-flop states.  For test
+generation and dictionary construction this is equivalent to the
+*combinational* circuit in which every flip-flop output is a pseudo primary
+input and every flip-flop D input is a pseudo primary output.
+:func:`full_scan` performs that conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .gates import GateType
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ScanInfo:
+    """Book-keeping for a full-scan conversion.
+
+    ``pseudo_inputs`` are the former flip-flop output nets (now INPUTs) and
+    ``pseudo_outputs`` the former D-input nets (now also primary outputs),
+    in matching scan-chain order.  ``original_outputs`` is the number of
+    true primary outputs, which precede the pseudo outputs in the scanned
+    netlist's output list.
+    """
+
+    pseudo_inputs: tuple
+    pseudo_outputs: tuple
+    original_outputs: int
+
+
+def full_scan(netlist: Netlist) -> "tuple[Netlist, ScanInfo]":
+    """Return a combinational full-scan equivalent of ``netlist``.
+
+    Every ``DFF`` gate is replaced by an ``INPUT`` gate on its output net,
+    and its D net is appended to the primary outputs (unless it already is
+    one).  Combinational circuits pass through unchanged (but copied).
+    """
+    scanned = Netlist(netlist.name)
+    pseudo_inputs: List[str] = []
+    pseudo_outputs: List[str] = []
+    for gate in netlist:
+        if gate.gate_type is GateType.DFF:
+            scanned.add_gate(gate.name, GateType.INPUT, ())
+            pseudo_inputs.append(gate.name)
+            pseudo_outputs.append(gate.inputs[0])
+        else:
+            scanned.add_gate(gate.name, gate.gate_type, gate.inputs)
+    for net in netlist.outputs:
+        scanned.add_output(net)
+    for net in pseudo_outputs:
+        if net not in scanned.outputs:
+            scanned.add_output(net)
+    scanned.validate()
+    info = ScanInfo(
+        pseudo_inputs=tuple(pseudo_inputs),
+        pseudo_outputs=tuple(pseudo_outputs),
+        original_outputs=len(netlist.outputs),
+    )
+    return scanned, info
+
+
+def prepare_for_test(netlist: Netlist) -> Netlist:
+    """Full-scan ``netlist`` if sequential, otherwise copy it.
+
+    This is the canonical entry point used by ATPG, simulation and the
+    dictionary builders: they all operate on the combinational scan view.
+    """
+    if netlist.is_combinational:
+        return netlist.copy()
+    scanned, _ = full_scan(netlist)
+    return scanned

@@ -1,0 +1,182 @@
+"""Netlist transformations.
+
+Structure-preserving clean-ups and rewrites used when importing circuits
+from outside sources:
+
+* :func:`sweep_constants` — propagate CONST0/CONST1 through the logic and
+  simplify (ties from fault injection, configuration bits…).
+* :func:`remove_dangling` — drop logic with no path to any output.
+* :func:`decompose_to_two_input` — expand wide AND/NAND/OR/NOR/XOR/XNOR
+  gates into balanced trees of two-input gates (some flows and fault
+  models assume bounded fan-in).
+
+All functions return new netlists; inputs are never mutated.  Every
+transform preserves the circuit's input/output functional behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .gates import GateType
+from .netlist import Netlist
+
+_IDENTITY_UNDER_CONST: Dict[GateType, Tuple[int, int]] = {
+    # gate type -> (controlling value, controlled output)
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+def sweep_constants(netlist: Netlist) -> Netlist:
+    """Propagate constants and simplify; interface nets are preserved.
+
+    A gate whose value is forced by constant inputs becomes CONST; a
+    surviving AND/OR-family gate drops its non-controlling constant
+    inputs; single-input leftovers turn into BUF/NOT.  Primary outputs and
+    inputs keep their names so test vectors and observations stay aligned.
+    """
+    kinds: Dict[str, GateType] = {}
+    rewritten: Dict[str, Tuple[GateType, Tuple[str, ...]]] = {}
+
+    def const_of(net: str) -> Optional[int]:
+        kind = kinds[net]
+        if kind is GateType.CONST0:
+            return 0
+        if kind is GateType.CONST1:
+            return 1
+        return None
+
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        kind = gate.gate_type
+        if kind in (GateType.INPUT, GateType.DFF) or kind.is_constant:
+            rewritten[net] = (kind, gate.inputs)
+            kinds[net] = kind
+            continue
+        values = [const_of(i) for i in gate.inputs]
+        new_kind, new_inputs = _simplify(kind, gate.inputs, values)
+        rewritten[net] = (new_kind, new_inputs)
+        kinds[net] = new_kind
+
+    # Rebuild in the original insertion order so the interface (and every
+    # order-dependent view like `inputs`) is unchanged.
+    swept = Netlist(netlist.name)
+    for gate in netlist:
+        kind, inputs = rewritten[gate.name]
+        swept.add_gate(gate.name, kind, inputs)
+    for out in netlist.outputs:
+        swept.add_output(out)
+    swept.validate()
+    return swept
+
+
+def _simplify(
+    kind: GateType, inputs: Tuple[str, ...], values: List[Optional[int]]
+) -> Tuple[GateType, Tuple[str, ...]]:
+    if kind in _IDENTITY_UNDER_CONST:
+        controlling, controlled = _IDENTITY_UNDER_CONST[kind]
+        if controlling in values:
+            return (GateType.CONST1 if controlled else GateType.CONST0), ()
+        survivors = tuple(i for i, v in zip(inputs, values) if v is None)
+        if not survivors:
+            # All inputs were the non-controlling constant.
+            inverted = kind in (GateType.NAND, GateType.NOR)
+            result = (1 - controlling) if not inverted else controlling
+            return (GateType.CONST1 if result else GateType.CONST0), ()
+        if len(survivors) == 1:
+            inverted = kind in (GateType.NAND, GateType.NOR)
+            return (GateType.NOT if inverted else GateType.BUF), survivors
+        return kind, survivors
+    if kind in (GateType.XOR, GateType.XNOR):
+        parity = sum(v for v in values if v is not None) % 2
+        if kind is GateType.XNOR:
+            parity ^= 1
+        survivors = tuple(i for i, v in zip(inputs, values) if v is None)
+        if not survivors:
+            return (GateType.CONST1 if parity else GateType.CONST0), ()
+        if len(survivors) == 1:
+            return (GateType.NOT if parity else GateType.BUF), survivors
+        return (GateType.XNOR if parity else GateType.XOR), survivors
+    if kind in (GateType.NOT, GateType.BUF):
+        value = values[0]
+        if value is None:
+            return kind, inputs
+        result = (1 - value) if kind is GateType.NOT else value
+        return (GateType.CONST1 if result else GateType.CONST0), ()
+    return kind, inputs
+
+
+def remove_dangling(netlist: Netlist) -> Netlist:
+    """Drop every gate with no path to a primary output or flip-flop D pin."""
+    keep = set()
+    for out in netlist.outputs:
+        keep |= netlist.input_cone(out)
+    # Flip-flops are roots too: their D cones feed future-cycle behaviour.
+    changed = True
+    while changed:
+        changed = False
+        for ff in netlist.flip_flops:
+            if ff in keep:
+                d_cone = netlist.input_cone(netlist.gates[ff].inputs[0])
+                if not d_cone <= keep:
+                    keep |= d_cone
+                    changed = True
+    pruned = Netlist(netlist.name)
+    for gate in netlist:
+        if gate.name in keep:
+            pruned.add_gate(gate.name, gate.gate_type, gate.inputs)
+        elif gate.gate_type is GateType.INPUT:
+            pruned.add_gate(gate.name, GateType.INPUT, ())  # keep the interface
+    for out in netlist.outputs:
+        pruned.add_output(out)
+    pruned.validate()
+    return pruned
+
+
+def decompose_to_two_input(netlist: Netlist) -> Netlist:
+    """Expand gates with more than two inputs into two-input trees.
+
+    AND/OR/XOR families build balanced trees of the monotone core with a
+    single inverting root for NAND/NOR/XNOR, preserving functionality.
+    New intermediate nets are named ``<gate>__dcN``.
+    """
+    result = Netlist(netlist.name)
+    core_of = {
+        GateType.AND: GateType.AND,
+        GateType.NAND: GateType.AND,
+        GateType.OR: GateType.OR,
+        GateType.NOR: GateType.OR,
+        GateType.XOR: GateType.XOR,
+        GateType.XNOR: GateType.XOR,
+    }
+    inverted = {GateType.NAND, GateType.NOR, GateType.XNOR}
+    for gate in netlist:
+        if gate.gate_type not in core_of or len(gate.inputs) <= 2:
+            result.add_gate(gate.name, gate.gate_type, gate.inputs)
+            continue
+        core = core_of[gate.gate_type]
+        frontier = list(gate.inputs)
+        counter = 0
+        while len(frontier) > 2:
+            merged = []
+            for i in range(0, len(frontier) - 1, 2):
+                net = f"{gate.name}__dc{counter}"
+                counter += 1
+                result.add_gate(net, core, (frontier[i], frontier[i + 1]))
+                merged.append(net)
+            if len(frontier) % 2:
+                merged.append(frontier[-1])
+            frontier = merged
+        root = GateType(core.value) if gate.gate_type not in inverted else {
+            GateType.AND: GateType.NAND,
+            GateType.OR: GateType.NOR,
+            GateType.XOR: GateType.XNOR,
+        }[core]
+        result.add_gate(gate.name, root, tuple(frontier))
+    for out in netlist.outputs:
+        result.add_output(out)
+    result.validate()
+    return result

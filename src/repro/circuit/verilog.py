@@ -1,0 +1,174 @@
+"""Structural Verilog netlist reader and writer.
+
+Supports the gate-level subset that benchmark circuits use: one module,
+``input``/``output``/``wire`` declarations, and primitive gate instances
+(``and``, ``nand``, ``or``, ``nor``, ``xor``, ``xnor``, ``not``, ``buf``)
+plus ``dff`` instances written as ``dff name (Q, D);``.  The first port of
+a primitive is its output, the rest are inputs — standard Verilog
+primitive ordering.  Verilog escaped identifiers (``\\name`` followed by
+whitespace) are supported in both directions, so benchmark nets with
+numeric names ("1", "22" …) round-trip.
+
+This is an interchange format: ``loads(dumps(netlist))`` is an identity on
+the structural content.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .gates import GateType
+from .netlist import Netlist, NetlistError
+
+_PRIMITIVES: Dict[str, GateType] = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+}
+
+_TYPE_NAMES = {gate_type: name for name, gate_type in _PRIMITIVES.items()}
+
+_PLAIN_ID = re.compile(r"[A-Za-z_][\w$]*\Z")
+
+
+class VerilogParseError(NetlistError):
+    """Raised on unsupported or malformed structural Verilog."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+_MODULE_RE = re.compile(
+    r"\bmodule\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^;]*)\)\s*;"
+)
+_DECL_RE = re.compile(r"\b(?P<kind>input|output|wire)\b(?P<nets>[^;]*);")
+_INSTANCE_RE = re.compile(
+    r"\b(?P<prim>and|nand|or|nor|xor|xnor|not|buf|dff)\b\s*"
+    r"(?P<label>[A-Za-z_][\w$]*)?\s*\((?P<ports>[^;]*)\)\s*;"
+)
+
+
+def _parse_net(token: str) -> str:
+    """Validate and normalise one net token (plain or escaped identifier)."""
+    token = token.strip()
+    if token.startswith("\\"):
+        name = token[1:]
+        if not name or any(ch.isspace() for ch in name):
+            raise VerilogParseError(f"bad escaped identifier {token!r}")
+        return name
+    if not _PLAIN_ID.match(token):
+        raise VerilogParseError(f"unsupported net name {token!r}")
+    return token
+
+
+def _split_nets(text: str) -> List[str]:
+    return [_parse_net(t) for t in text.split(",") if t.strip()]
+
+
+def loads(text: str, name: str = "") -> Netlist:
+    """Parse structural Verilog into a validated :class:`Netlist`."""
+    source = _strip_comments(text)
+    module = _MODULE_RE.search(source)
+    if not module:
+        raise VerilogParseError("no module declaration found")
+    netlist = Netlist(name or module.group("name"))
+    end = source.find("endmodule", module.end())
+    body = source[module.end(): end if end >= 0 else len(source)]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for declaration in _DECL_RE.finditer(body):
+        nets = _split_nets(declaration.group("nets"))
+        if declaration.group("kind") == "input":
+            inputs.extend(nets)
+        elif declaration.group("kind") == "output":
+            outputs.extend(nets)
+        # wires need no action: drivers declare them.
+
+    for net in inputs:
+        netlist.add_input(net)
+    for instance in _INSTANCE_RE.finditer(body):
+        gate_type = _PRIMITIVES[instance.group("prim")]
+        ports = _split_nets(instance.group("ports"))
+        if len(ports) < 2:
+            raise VerilogParseError(
+                f"instance {instance.group(0).strip()!r} needs an output and inputs"
+            )
+        out, fanin = ports[0], ports[1:]
+        try:
+            netlist.add_gate(out, gate_type, fanin)
+        except NetlistError as exc:
+            raise VerilogParseError(str(exc)) from exc
+    for net in outputs:
+        netlist.add_output(net)
+    netlist.validate()
+    return netlist
+
+
+def load(path: Union[str, Path], name: str = "") -> Netlist:
+    path = Path(path)
+    return loads(path.read_text(), name or path.stem)
+
+
+def _net(name: str) -> str:
+    """Render a net name, escaping it when it is not a plain identifier."""
+    if _PLAIN_ID.match(name):
+        return name
+    if any(ch.isspace() for ch in name):
+        raise NetlistError(f"net name {name!r} cannot be serialised to Verilog")
+    return f"\\{name} "
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialise a netlist as structural Verilog."""
+    inputs = [_net(n) for n in netlist.inputs]
+    outputs = [_net(n) for n in netlist.outputs]
+    ports = ", ".join(inputs + outputs)
+    lines = [f"module {_identifier(netlist.name)} ({ports});"]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    if outputs:
+        lines.append(f"  output {', '.join(outputs)};")
+    output_set = set(netlist.outputs)
+    wires = [
+        _net(gate.name)
+        for gate in netlist
+        if gate.gate_type is not GateType.INPUT and gate.name not in output_set
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    counter = 0
+    for gate in netlist:
+        if gate.gate_type is GateType.INPUT:
+            continue
+        if gate.gate_type.is_constant:
+            raise NetlistError(
+                f"cannot serialise constant gate {gate.name!r} to Verilog"
+            )
+        primitive = _TYPE_NAMES[gate.gate_type]
+        port_list = ", ".join(_net(n) for n in (gate.name,) + gate.inputs)
+        lines.append(f"  {primitive} g{counter} ({port_list});")
+        counter += 1
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def dump(netlist: Netlist, path: Union[str, Path]) -> None:
+    Path(path).write_text(dumps(netlist))
+
+
+def _identifier(name: str) -> str:
+    cleaned = re.sub(r"[^\w$]", "_", name)
+    if not re.match(r"[A-Za-z_]", cleaned):
+        cleaned = "m_" + cleaned
+    return cleaned

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Installed as the ``repro-fd`` console script::
+
+    repro-fd list                         # available circuits
+    repro-fd stats p344                   # circuit statistics
+    repro-fd example                      # the paper's Tables 1-5
+    repro-fd atpg p208 --ttype diag       # generate a test set, print summary
+    repro-fd table6 p208 p298             # reproduce Table 6 rows
+    repro-fd diagnose p208 --fault n3/sa1 # diagnose an injected fault
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .circuit import available_circuits, load_circuit, prepare_for_test
+from .diagnosis import Diagnoser, observe_fault
+from .dictionaries import (
+    DictionarySizes,
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from .faults import Fault, collapse
+from .experiments import render_table6, table6_row
+from .experiments.example_tables import render_all
+from .experiments.reporting import format_table
+from .experiments.table6 import prepared_experiment, response_table_for
+
+
+def _parse_fault(text: str) -> Fault:
+    """Parse 'line/sa0' or 'line->sink/sa1' into a Fault."""
+    location, _, polarity = text.rpartition("/sa")
+    if polarity not in ("0", "1") or not location:
+        raise argparse.ArgumentTypeError(
+            f"bad fault {text!r}; expected e.g. n3/sa1 or n3->n7/sa0"
+        )
+    line, arrow, sink = location.partition("->")
+    return Fault(line, int(polarity), input_of=sink if arrow else None)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in available_circuits():
+        print(name)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    netlist = load_circuit(args.circuit)
+    scan = prepare_for_test(netlist)
+    faults = collapse(scan)
+    stats = netlist.stats()
+    rows = [(key, value) for key, value in stats.items()]
+    rows.append(("collapsed faults (scan view)", len(faults)))
+    print(format_table(("property", "value"), rows, args.circuit))
+    return 0
+
+
+def cmd_example(args: argparse.Namespace) -> int:
+    print(render_all())
+    return 0
+
+
+def cmd_atpg(args: argparse.Namespace) -> int:
+    netlist, tests = prepared_experiment(args.circuit, args.ttype, args.seed)
+    faults = collapse(netlist)
+    from .sim import FaultSimulator
+
+    simulator = FaultSimulator(netlist, tests)
+    detected = sum(1 for f in faults if simulator.detection_word(f))
+    print(
+        f"{args.circuit} {args.ttype}: {len(tests)} tests, "
+        f"{detected}/{len(faults)} collapsed faults detected"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            for j in range(len(tests)):
+                handle.write(tests.as_string(j) + "\n")
+        print(f"wrote {len(tests)} vectors to {args.output}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .circuit import bench, verilog
+
+    source = Path(args.source)
+    target = Path(args.target)
+    readers = {".bench": bench.load, ".v": verilog.load}
+    writers = {".bench": bench.dump, ".v": verilog.dump}
+    try:
+        reader = readers[source.suffix]
+        writer = writers[target.suffix]
+    except KeyError as exc:
+        print(f"unsupported extension {exc}", file=sys.stderr)
+        return 1
+    netlist = reader(source)
+    writer(netlist, target)
+    print(f"wrote {netlist!r} to {target}")
+    return 0
+
+
+def cmd_table6(args: argparse.Namespace) -> int:
+    rows = []
+    for circuit in args.circuits:
+        for ttype in ("diag", "10det"):
+            rows.append(
+                table6_row(circuit, ttype, seed=args.seed, calls=args.calls)
+            )
+    print(render_table6(rows))
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
+    samediff, _ = build_same_different(table, calls=args.calls, seed=args.seed)
+    dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+    if args.fault is not None:
+        victim = args.fault
+        if victim not in table.faults:
+            print(f"fault {victim} is not in the dictionary fault list", file=sys.stderr)
+            return 1
+    else:
+        victim = table.faults[args.seed % table.n_faults]
+    observed = observe_fault(netlist, table.tests, victim)
+    print(f"injected: {victim}\n")
+    for dictionary in dictionaries:
+        diagnosis = Diagnoser(dictionary).diagnose(observed, limit=5)
+        exact = ", ".join(str(f) for f in diagnosis.exact[:8]) or "(none)"
+        print(f"[{dictionary.kind:^14}] {len(diagnosis.exact)} exact: {exact}")
+    sizes = DictionarySizes.of(table)
+    print(
+        f"\nsizes: full={sizes.full} p/f={sizes.pass_fail} "
+        f"s/d={sizes.same_different} bits"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fd",
+        description="Same/different fault dictionary (DATE 2008) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available circuits").set_defaults(func=cmd_list)
+
+    stats = sub.add_parser("stats", help="circuit statistics")
+    stats.add_argument("circuit")
+    stats.set_defaults(func=cmd_stats)
+
+    example = sub.add_parser("example", help="print the paper's Tables 1-5")
+    example.set_defaults(func=cmd_example)
+
+    atpg = sub.add_parser("atpg", help="generate a test set")
+    atpg.add_argument("circuit")
+    atpg.add_argument("--ttype", choices=("diag", "10det"), default="diag")
+    atpg.add_argument("--seed", type=int, default=0)
+    atpg.add_argument("--output", help="write vectors to this file")
+    atpg.set_defaults(func=cmd_atpg)
+
+    convert = sub.add_parser(
+        "convert", help="convert between .bench and structural .v"
+    )
+    convert.add_argument("source")
+    convert.add_argument("target")
+    convert.set_defaults(func=cmd_convert)
+
+    table6 = sub.add_parser("table6", help="reproduce Table 6 rows")
+    table6.add_argument("circuits", nargs="+")
+    table6.add_argument("--seed", type=int, default=0)
+    table6.add_argument("--calls", type=int, default=100, help="CALLS1")
+    table6.set_defaults(func=cmd_table6)
+
+    diagnose = sub.add_parser("diagnose", help="diagnose an injected fault")
+    diagnose.add_argument("circuit")
+    diagnose.add_argument("--ttype", choices=("diag", "10det"), default="diag")
+    diagnose.add_argument("--fault", type=_parse_fault, default=None)
+    diagnose.add_argument("--seed", type=int, default=0)
+    diagnose.add_argument("--calls", type=int, default=20)
+    diagnose.set_defaults(func=cmd_diagnose)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Cause-effect diagnosis engine and evaluation campaigns."""
+
+from .engine import Diagnoser, Diagnosis, observe_defect, observe_fault
+from .evaluate import (
+    CampaignResult,
+    double_fault_campaign,
+    single_fault_campaign,
+)
+from .matching import (
+    MatchScore,
+    Policy,
+    rank_candidates,
+    score_fault,
+    slat_candidates,
+)
+from .truncated import (
+    TruncatedLog,
+    TruncatedScore,
+    exact_prefix_candidates,
+    rank_truncated,
+    score_truncated,
+    truncate_log,
+)
+from .twostage import (
+    TwoStageDiagnoser,
+    TwoStageDiagnosis,
+    screening_cost_comparison,
+)
+
+__all__ = [
+    "CampaignResult",
+    "Diagnoser",
+    "Diagnosis",
+    "MatchScore",
+    "Policy",
+    "TruncatedLog",
+    "TruncatedScore",
+    "TwoStageDiagnoser",
+    "exact_prefix_candidates",
+    "rank_truncated",
+    "score_truncated",
+    "truncate_log",
+    "TwoStageDiagnosis",
+    "double_fault_campaign",
+    "observe_defect",
+    "observe_fault",
+    "rank_candidates",
+    "score_fault",
+    "screening_cost_comparison",
+    "single_fault_campaign",
+    "slat_candidates",
+]

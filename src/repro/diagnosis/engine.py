@@ -1,0 +1,99 @@
+"""Cause-effect diagnosis using a precomputed fault dictionary.
+
+Given the observed response of a failing chip (as per-test failing-output
+signatures relative to the fault-free response), a :class:`Diagnoser`
+encodes it in its dictionary's row space and returns the candidate faults:
+exact row matches when they exist, otherwise the best matches by per-test
+agreement — the standard cause-effect flow the paper's dictionaries feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.logicsim import output_words
+from ..sim.patterns import TestSet
+from ..sim.responses import Signature
+from ..dictionaries.base import FaultDictionary
+
+
+@dataclass
+class Diagnosis:
+    """Result of one dictionary lookup."""
+
+    #: Faults whose stored rows match the observed response exactly.
+    exact: List[Fault]
+    #: Best-matching faults with their per-test agreement scores.
+    ranked: List[Tuple[Fault, int]]
+
+    @property
+    def is_unique(self) -> bool:
+        return len(self.exact) == 1
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.exact)
+
+
+class Diagnoser:
+    """Wraps one dictionary as a diagnosis engine."""
+
+    def __init__(self, dictionary: FaultDictionary) -> None:
+        self.dictionary = dictionary
+
+    def diagnose(self, observed: Sequence[Signature], limit: int = 10) -> Diagnosis:
+        """Candidates for an observed response (one signature per test)."""
+        faults = self.dictionary.table.faults
+        exact = [
+            faults[index]
+            for index in self.dictionary.exact_candidates(observed)
+        ]
+        ranked = [
+            (faults[candidate.fault_index], candidate.score)
+            for candidate in self.dictionary.ranked_candidates(observed, limit)
+        ]
+        return Diagnosis(exact, ranked)
+
+
+def observe_fault(netlist: Netlist, tests: TestSet, fault: Fault) -> List[Signature]:
+    """The observed response of a chip carrying one modelled fault."""
+    simulator = FaultSimulator(netlist, tests)
+    return _diffs_to_signatures(
+        netlist, simulator.output_diffs(fault), len(tests)
+    )
+
+
+def observe_defect(
+    good_netlist: Netlist, defective_netlist: Netlist, tests: TestSet
+) -> List[Signature]:
+    """The observed response of an arbitrary defective circuit.
+
+    ``defective_netlist`` may differ from ``good_netlist`` in any way
+    (multiple stuck lines, rewired gates…) as long as the interface is
+    identical — this is how non-modelled defects are fed to diagnosis.
+    """
+    if list(defective_netlist.inputs) != list(good_netlist.inputs) or list(
+        defective_netlist.outputs
+    ) != list(good_netlist.outputs):
+        raise ValueError("defective circuit must keep the interface unchanged")
+    good = output_words(good_netlist, tests)
+    bad = output_words(defective_netlist, tests)
+    diffs = {
+        net: good[net] ^ bad[net] for net in good if good[net] != bad[net]
+    }
+    return _diffs_to_signatures(good_netlist, diffs, len(tests))
+
+
+def _diffs_to_signatures(
+    netlist: Netlist, diffs: Dict[str, int], n_tests: int
+) -> List[Signature]:
+    per_test: Dict[int, List[int]] = {}
+    for o, net in enumerate(netlist.outputs):
+        word = diffs.get(net, 0)
+        for j in iter_bits(word):
+            per_test.setdefault(j, []).append(o)
+    return [tuple(per_test.get(j, ())) for j in range(n_tests)]

@@ -1,0 +1,151 @@
+"""Response-matching strategies for non-modelled defects.
+
+A single stuck-at dictionary row rarely matches a real defect (bridge,
+open, multiple faults) exactly.  Practical cause-effect tools therefore
+rank candidates with weaker per-test comparisons; this module implements
+the classic family (in the spirit of POIROT and the SLAT paradigm):
+
+* **exact** — the stored response equals the observation on the test;
+* **subset / superset** — the stored failing-output set is contained in /
+  contains the observed one (a defect that behaves like the fault "plus
+  more", or the fault partially activated);
+* **intersection** — the two failing-output sets overlap at all.
+
+:func:`score_fault` tallies all categories for one candidate;
+:func:`rank_candidates` orders the fault list under a chosen policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..faults.model import Fault
+from ..sim.responses import PASS, ResponseTable, Signature
+
+
+@dataclass(frozen=True)
+class MatchScore:
+    """Per-test comparison tallies of one candidate against an observation."""
+
+    #: Failing tests where prediction == observation (non-empty and equal).
+    exact_fail: int = 0
+    #: Failing tests where the prediction is a proper subset of the observation.
+    subset_fail: int = 0
+    #: Failing tests where the prediction is a proper superset of the observation.
+    superset_fail: int = 0
+    #: Failing tests with some overlap but neither containment.
+    overlap_fail: int = 0
+    #: Observed-failing tests the candidate does not explain at all.
+    unexplained_fail: int = 0
+    #: Tests where the candidate predicts a failure the chip did not show.
+    mispredicted_fail: int = 0
+    #: Tests where both chip and candidate pass.
+    pass_agree: int = 0
+
+    @property
+    def explained_fail(self) -> int:
+        """Failing tests explained at least partially."""
+        return self.exact_fail + self.subset_fail + self.superset_fail + self.overlap_fail
+
+    @property
+    def slat_consistent(self) -> bool:
+        """SLAT-style consistency: explains some test exactly, never
+        predicts a failure the chip did not show."""
+        return self.exact_fail > 0 and self.mispredicted_fail == 0
+
+
+class Policy(enum.Enum):
+    """Ranking policies."""
+
+    EXACT = "exact"
+    SLAT = "slat"
+    INTERSECTION = "intersection"
+
+
+def score_fault(
+    table: ResponseTable, fault_index: int, observed: Sequence[Signature]
+) -> MatchScore:
+    """Compare one candidate's stored responses against the observation."""
+    if len(observed) != table.n_tests:
+        raise ValueError(
+            f"observation has {len(observed)} tests, table has {table.n_tests}"
+        )
+    exact = subset = superset = overlap = unexplained = mispredicted = agree = 0
+    for j, raw in enumerate(observed):
+        observed_sig = tuple(raw)
+        predicted = table.signature(fault_index, j)
+        if observed_sig == PASS and predicted == PASS:
+            agree += 1
+        elif observed_sig == PASS:
+            mispredicted += 1
+        elif predicted == PASS:
+            unexplained += 1
+        elif predicted == observed_sig:
+            exact += 1
+        else:
+            p, o = set(predicted), set(observed_sig)
+            if p < o:
+                subset += 1
+            elif p > o:
+                superset += 1
+            elif p & o:
+                overlap += 1
+            else:
+                unexplained += 1
+    return MatchScore(
+        exact_fail=exact,
+        subset_fail=subset,
+        superset_fail=superset,
+        overlap_fail=overlap,
+        unexplained_fail=unexplained,
+        mispredicted_fail=mispredicted,
+        pass_agree=agree,
+    )
+
+
+def _policy_key(policy: Policy, score: MatchScore) -> Tuple:
+    if policy is Policy.EXACT:
+        return (score.exact_fail, -score.mispredicted_fail, -score.unexplained_fail)
+    if policy is Policy.SLAT:
+        return (
+            int(score.slat_consistent),
+            score.exact_fail,
+            -score.mispredicted_fail,
+            -score.unexplained_fail,
+        )
+    if policy is Policy.INTERSECTION:
+        return (
+            score.explained_fail,
+            -score.mispredicted_fail,
+            score.exact_fail,
+        )
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def rank_candidates(
+    table: ResponseTable,
+    observed: Sequence[Signature],
+    policy: Policy = Policy.SLAT,
+    limit: int = 10,
+) -> List[Tuple[Fault, MatchScore]]:
+    """The best ``limit`` candidates under ``policy``, best first."""
+    scored = [
+        (table.faults[i], score_fault(table, i, observed))
+        for i in range(table.n_faults)
+    ]
+    scored.sort(key=lambda item: _policy_key(policy, item[1]), reverse=True)
+    return scored[:limit]
+
+
+def slat_candidates(
+    table: ResponseTable, observed: Sequence[Signature]
+) -> List[Fault]:
+    """All SLAT-consistent candidates (exactly explain ≥1 failing test,
+    predict no failure the chip did not show)."""
+    return [
+        table.faults[i]
+        for i in range(table.n_faults)
+        if score_fault(table, i, observed).slat_consistent
+    ]

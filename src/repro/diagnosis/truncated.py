@@ -1,0 +1,123 @@
+"""Diagnosis from truncated tester logs.
+
+Production testers frequently stop logging after the first few failing
+tests (or stop the test entirely — "stop on first fail").  The observed
+response is then *truncated*: failures after the cut-off are unknown, not
+passes.  Matching must treat the unknown region accordingly, otherwise
+every candidate gets penalised for "mispredicting" failures the tester
+simply never looked at.
+
+:func:`truncate_log` models the tester; :func:`rank_truncated` scores
+candidates only on the observed prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..faults.model import Fault
+from ..sim.responses import PASS, ResponseTable, Signature
+
+
+@dataclass(frozen=True)
+class TruncatedLog:
+    """What the tester reported.
+
+    ``responses[j]`` is the signature of test ``j`` for ``j < cutoff``;
+    tests at or past ``cutoff`` were not observed.  ``cutoff`` equals the
+    number of tests when the log is complete.
+    """
+
+    responses: Tuple[Signature, ...]
+    cutoff: int
+
+    @property
+    def observed_failures(self) -> int:
+        return sum(1 for sig in self.responses if sig != PASS)
+
+
+def truncate_log(
+    observed: Sequence[Signature], max_failures: int
+) -> TruncatedLog:
+    """Keep the response stream up to (and including) the N-th failure."""
+    if max_failures < 1:
+        raise ValueError("a useful log records at least one failure")
+    kept: List[Signature] = []
+    failures = 0
+    for sig in observed:
+        kept.append(tuple(sig))
+        if tuple(sig) != PASS:
+            failures += 1
+            if failures >= max_failures:
+                break
+    return TruncatedLog(tuple(kept), len(kept))
+
+
+@dataclass(frozen=True)
+class TruncatedScore:
+    """Agreement of one candidate with the observed prefix."""
+
+    matching_tests: int
+    mispredicted: int  # candidate fails where the chip passed (observed region)
+    missed: int  # chip failed where the candidate passes (observed region)
+
+    @property
+    def consistent(self) -> bool:
+        return self.mispredicted == 0 and self.missed == 0
+
+
+def score_truncated(
+    table: ResponseTable, fault_index: int, log: TruncatedLog
+) -> TruncatedScore:
+    """Compare one candidate against the observed prefix only."""
+    matching = mispredicted = missed = 0
+    for j in range(log.cutoff):
+        observed = log.responses[j]
+        predicted = table.signature(fault_index, j)
+        if predicted == observed:
+            matching += 1
+        elif observed == PASS:
+            mispredicted += 1
+        elif predicted == PASS:
+            missed += 1
+    return TruncatedScore(matching, mispredicted, missed)
+
+
+def rank_truncated(
+    table: ResponseTable,
+    log: TruncatedLog,
+    limit: int = 10,
+) -> List[Tuple[Fault, TruncatedScore]]:
+    """Best candidates on the prefix: consistent first, then by agreement."""
+    scored = [
+        (table.faults[i], score_truncated(table, i, log))
+        for i in range(table.n_faults)
+    ]
+    scored.sort(
+        key=lambda item: (
+            item[1].consistent,
+            item[1].matching_tests,
+            -item[1].mispredicted - item[1].missed,
+        ),
+        reverse=True,
+    )
+    return scored[:limit]
+
+
+def exact_prefix_candidates(
+    table: ResponseTable, log: TruncatedLog
+) -> List[int]:
+    """Faults whose stored rows match the observed prefix exactly.
+
+    With a complete log this equals the full dictionary's exact-candidate
+    set; shorter logs can only grow it — quantifying what truncation
+    costs in resolution.
+    """
+    candidates = []
+    for i in range(table.n_faults):
+        if all(
+            table.signature(i, j) == log.responses[j] for j in range(log.cutoff)
+        ):
+            candidates.append(i)
+    return candidates

@@ -1,0 +1,130 @@
+"""Two-stage diagnosis: dictionary screening + dynamic refinement.
+
+The paper positions small dictionaries as the first stage of two-phase
+flows (its refs [8], [12], [14]): a cheap one-bit-per-test dictionary
+narrows the suspects, then targeted fault simulation of just those
+suspects — comparing *full* responses — finishes the job.  This module
+implements that flow, which is where the same/different dictionary's
+higher first-stage resolution pays off directly: fewer suspects to
+re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.patterns import TestSet
+from ..sim.responses import Signature
+from ..dictionaries.base import FaultDictionary
+
+
+@dataclass
+class TwoStageDiagnosis:
+    """Outcome of a two-stage run."""
+
+    #: Faults surviving the dictionary screen (stage 1).
+    screened: List[Fault]
+    #: Faults whose full simulated response matches the observation exactly
+    #: (stage 2); empty for non-modelled defects.
+    confirmed: List[Fault]
+    #: Faults simulated in stage 2 (the dynamic effort actually spent).
+    simulated: int
+
+    @property
+    def screen_size(self) -> int:
+        return len(self.screened)
+
+
+class TwoStageDiagnoser:
+    """Dictionary pre-screen followed by full-response fault simulation."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        tests: TestSet,
+        dictionary: FaultDictionary,
+    ) -> None:
+        self.netlist = netlist
+        self.tests = tests
+        self.dictionary = dictionary
+        self._simulator = FaultSimulator(netlist, tests)
+        self._output_index = {net: o for o, net in enumerate(netlist.outputs)}
+
+    def _full_response(self, fault: Fault) -> Tuple[Signature, ...]:
+        per_test = {}
+        diffs = self._simulator.output_diffs(fault)
+        for net in self.netlist.outputs:
+            word = diffs.get(net)
+            if not word:
+                continue
+            o = self._output_index[net]
+            for j in iter_bits(word):
+                per_test.setdefault(j, []).append(o)
+        return tuple(
+            tuple(per_test.get(j, ())) for j in range(len(self.tests))
+        )
+
+    def diagnose(self, observed: Sequence[Signature]) -> TwoStageDiagnosis:
+        """Run both stages on an observed response.
+
+        Stage 1 keeps the faults whose dictionary row matches the encoded
+        observation.  Stage 2 fault-simulates only those and keeps exact
+        full-response matches.  When the screen comes back empty (a
+        non-modelled defect changed even the dictionary-visible behaviour),
+        stage 2 falls back to the dictionary's nearest matches.
+        """
+        faults = self.dictionary.table.faults
+        screened = [
+            faults[index]
+            for index in self.dictionary.exact_candidates(observed)
+        ]
+        fallback = False
+        if not screened:
+            fallback = True
+            ranked = self.dictionary.ranked_candidates(observed, limit=10)
+            screened = [faults[candidate.fault_index] for candidate in ranked]
+
+        observed_row = tuple(tuple(s) for s in observed)
+        confirmed = []
+        for fault in screened:
+            if self._full_response(fault) == observed_row:
+                confirmed.append(fault)
+        if fallback:
+            # Nearest matches cannot be exact (the screen already failed);
+            # report them as suspects without confirmation.
+            return TwoStageDiagnosis(screened, [], len(screened))
+        return TwoStageDiagnosis(screened, confirmed, len(screened))
+
+
+def screening_cost_comparison(
+    netlist: Netlist,
+    tests: TestSet,
+    dictionaries: Sequence[FaultDictionary],
+    sample: int = 25,
+    seed: int = 0,
+) -> "dict[str, float]":
+    """Mean stage-2 simulation effort per dictionary over sampled defects.
+
+    This is the quantity two-phase flows care about: how many candidate
+    faults the first stage leaves for dynamic simulation.
+    """
+    import random
+
+    from .engine import observe_fault
+
+    rng = random.Random(seed)
+    table = dictionaries[0].table
+    indices = list(range(table.n_faults))
+    rng.shuffle(indices)
+    chosen = indices[: min(sample, len(indices))]
+    costs = {d.kind: 0 for d in dictionaries}
+    for index in chosen:
+        observed = observe_fault(netlist, tests, table.faults[index])
+        for dictionary in dictionaries:
+            stage = TwoStageDiagnoser(netlist, tests, dictionary)
+            costs[dictionary.kind] += stage.diagnose(observed).simulated
+    return {kind: total / len(chosen) for kind, total in costs.items()}

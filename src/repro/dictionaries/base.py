@@ -1,0 +1,130 @@
+"""Shared dictionary framework: the size model and the common interface.
+
+Sizes follow Section 2 of the paper exactly, for ``k`` tests, ``n`` faults
+and ``m`` outputs:
+
+* full dictionary: ``k * n * m`` bits,
+* pass/fail dictionary: ``k * n`` bits,
+* same/different dictionary: ``k * (n + m)`` bits (the ``k * m`` extra
+  bits store one baseline output vector per test).
+
+The fault-free response (``k * m`` bits) is needed by every scheme and is
+not charged to any of them, again following the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..faults.model import Fault
+from ..sim.responses import ResponseTable, Signature
+from .resolution import indistinguished_pairs, total_pairs
+
+
+@dataclass(frozen=True)
+class DictionarySizes:
+    """Bit sizes of the three dictionary organisations for one experiment."""
+
+    n_faults: int
+    n_tests: int
+    n_outputs: int
+
+    @property
+    def full(self) -> int:
+        return self.n_tests * self.n_faults * self.n_outputs
+
+    @property
+    def pass_fail(self) -> int:
+        return self.n_tests * self.n_faults
+
+    @property
+    def same_different(self) -> int:
+        return self.n_tests * (self.n_faults + self.n_outputs)
+
+    @classmethod
+    def of(cls, table: ResponseTable) -> "DictionarySizes":
+        return cls(table.n_faults, table.n_tests, table.n_outputs)
+
+
+class FaultDictionary(abc.ABC):
+    """A precomputed cause-effect diagnosis structure.
+
+    Concrete dictionaries store per-fault *rows* in some encoding, can
+    encode an observed response into the same row space, and report their
+    diagnostic resolution as the number of fault pairs their rows leave
+    indistinguished.
+    """
+
+    def __init__(self, table: ResponseTable) -> None:
+        self.table = table
+        self.faults: Sequence[Fault] = table.faults
+
+    # -- identity ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def kind(self) -> str:
+        """Short scheme name ('full', 'pass/fail', 'same/different')."""
+
+    @property
+    @abc.abstractmethod
+    def size_bits(self) -> int:
+        """Storage size of this dictionary in bits (paper's size model)."""
+
+    # -- rows ------------------------------------------------------------
+    @abc.abstractmethod
+    def row(self, fault_index: int):
+        """The stored row of one fault (hashable)."""
+
+    @abc.abstractmethod
+    def encode_response(self, signatures: Sequence[Signature]):
+        """Encode an observed response (one signature per test) as a row."""
+
+    # -- resolution --------------------------------------------------------
+    def row_partition(self) -> List[List[int]]:
+        """Fault indices grouped by identical rows."""
+        groups: Dict[object, List[int]] = {}
+        for index in range(self.table.n_faults):
+            groups.setdefault(self.row(index), []).append(index)
+        return list(groups.values())
+
+    def indistinguished_pairs(self) -> int:
+        """Fault pairs this dictionary cannot tell apart (lower is better)."""
+        return indistinguished_pairs(self.row_partition())
+
+    def distinguished_pairs(self) -> int:
+        return total_pairs(self.table.n_faults) - self.indistinguished_pairs()
+
+    # -- diagnosis ---------------------------------------------------------
+    def exact_candidates(self, signatures: Sequence[Signature]) -> List[int]:
+        """Faults whose stored row matches the observed response exactly."""
+        observed = self.encode_response(signatures)
+        return [
+            index
+            for index in range(self.table.n_faults)
+            if self.row(index) == observed
+        ]
+
+    @abc.abstractmethod
+    def match_score(self, fault_index: int, signatures: Sequence[Signature]) -> int:
+        """Number of tests on which the stored row agrees with the response."""
+
+    def ranked_candidates(
+        self, signatures: Sequence[Signature], limit: int = 10
+    ) -> List["ScoredCandidate"]:
+        """Best-matching faults by per-test agreement, descending."""
+        scored = [
+            ScoredCandidate(index, self.match_score(index, signatures))
+            for index in range(self.table.n_faults)
+        ]
+        scored.sort(key=lambda c: (-c.score, c.fault_index))
+        return scored[:limit]
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """One ranked diagnosis candidate: fault index and its agreement score."""
+
+    fault_index: int
+    score: int

@@ -1,0 +1,162 @@
+"""Compressed dictionary organisations from the literature.
+
+The same/different dictionary competes against a whole family of schemes
+that trade resolution for bits (the paper's refs [2]-[4], [9]-[12]).
+Three classic representatives, implemented on the same
+:class:`~repro.sim.responses.ResponseTable` substrate so they slot into
+every comparison:
+
+* :class:`CountDictionary` — per (fault, test), the *number* of failing
+  outputs, ``ceil(log2(m+1))`` bits each.  More than pass/fail, much less
+  than full.
+* :class:`FirstFailDictionary` — per (fault, test), the index of the
+  first failing output (or "none"), ``ceil(log2(m+1))`` bits each.  The
+  "which pin failed first" record many testers keep.
+* :class:`DropOnDetectDictionary` — per fault, only the index of the
+  first *detecting test* and the output vector observed there (the
+  tester-log format behind Tulloss-style dictionaries and stop-on-first-
+  fail production flows): ``ceil(log2(k+1)) + m`` bits per fault.
+
+Every class reports its size with the same conventions as the paper's
+model (shared catalogue data excluded).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..sim.responses import PASS, ResponseTable, Signature
+from .base import FaultDictionary
+
+
+def _bits_for(values: int) -> int:
+    """Bits needed to store one of ``values`` distinct symbols."""
+    return max(1, math.ceil(math.log2(values))) if values > 1 else 1
+
+
+class CountDictionary(FaultDictionary):
+    """Stores the failing-output count of every (fault, test)."""
+
+    def __init__(self, table: ResponseTable) -> None:
+        super().__init__(table)
+        self._rows: List[Tuple[int, ...]] = [
+            tuple(
+                len(table.signature(i, j)) for j in range(table.n_tests)
+            )
+            for i in range(table.n_faults)
+        ]
+
+    @property
+    def kind(self) -> str:
+        return "count"
+
+    @property
+    def size_bits(self) -> int:
+        per_entry = _bits_for(self.table.n_outputs + 1)
+        return self.table.n_tests * self.table.n_faults * per_entry
+
+    def row(self, fault_index: int) -> Tuple[int, ...]:
+        return self._rows[fault_index]
+
+    def encode_response(self, signatures: Sequence[Signature]) -> Tuple[int, ...]:
+        if len(signatures) != self.table.n_tests:
+            raise ValueError("response length mismatch")
+        return tuple(len(tuple(s)) for s in signatures)
+
+    def match_score(self, fault_index: int, signatures: Sequence[Signature]) -> int:
+        observed = self.encode_response(signatures)
+        row = self._rows[fault_index]
+        return sum(1 for a, b in zip(row, observed) if a == b)
+
+
+class FirstFailDictionary(FaultDictionary):
+    """Stores the first failing output index of every (fault, test).
+
+    ``m`` encodes "no failing output" (the pass symbol).
+    """
+
+    def __init__(self, table: ResponseTable) -> None:
+        super().__init__(table)
+        none = table.n_outputs
+        self._rows: List[Tuple[int, ...]] = [
+            tuple(
+                (table.signature(i, j) or (none,))[0]
+                for j in range(table.n_tests)
+            )
+            for i in range(table.n_faults)
+        ]
+
+    @property
+    def kind(self) -> str:
+        return "first-fail"
+
+    @property
+    def size_bits(self) -> int:
+        per_entry = _bits_for(self.table.n_outputs + 1)
+        return self.table.n_tests * self.table.n_faults * per_entry
+
+    def row(self, fault_index: int) -> Tuple[int, ...]:
+        return self._rows[fault_index]
+
+    def encode_response(self, signatures: Sequence[Signature]) -> Tuple[int, ...]:
+        if len(signatures) != self.table.n_tests:
+            raise ValueError("response length mismatch")
+        none = self.table.n_outputs
+        return tuple((tuple(s) or (none,))[0] for s in signatures)
+
+    def match_score(self, fault_index: int, signatures: Sequence[Signature]) -> int:
+        observed = self.encode_response(signatures)
+        row = self._rows[fault_index]
+        return sum(1 for a, b in zip(row, observed) if a == b)
+
+
+class DropOnDetectDictionary(FaultDictionary):
+    """Stores only the first detecting test and its response per fault.
+
+    This is what a stop-on-first-fail tester log supports (Tulloss [2][3]):
+    the candidate faults for a failing chip are those whose recorded
+    (first-test, response) pair matches the chip's first failure.
+    """
+
+    def __init__(self, table: ResponseTable) -> None:
+        super().__init__(table)
+        none = table.n_tests
+        rows: List[Tuple[int, Signature]] = []
+        for i in range(table.n_faults):
+            word = table.detection_word(i)
+            if word == 0:
+                rows.append((none, PASS))
+            else:
+                first = (word & -word).bit_length() - 1
+                rows.append((first, table.signature(i, first)))
+        self._rows = rows
+
+    @property
+    def kind(self) -> str:
+        return "drop-on-detect"
+
+    @property
+    def size_bits(self) -> int:
+        per_fault = _bits_for(self.table.n_tests + 1) + self.table.n_outputs
+        return self.table.n_faults * per_fault
+
+    def row(self, fault_index: int) -> Tuple[int, Signature]:
+        return self._rows[fault_index]
+
+    def encode_response(self, signatures: Sequence[Signature]) -> Tuple[int, Signature]:
+        if len(signatures) != self.table.n_tests:
+            raise ValueError("response length mismatch")
+        for j, raw in enumerate(signatures):
+            sig = tuple(raw)
+            if sig != PASS:
+                return (j, sig)
+        return (self.table.n_tests, PASS)
+
+    def match_score(self, fault_index: int, signatures: Sequence[Signature]) -> int:
+        # All-or-nothing: either the first failure matches or it does not.
+        return (
+            self.table.n_tests
+            if self._rows[fault_index] == self.encode_response(signatures)
+            else 0
+        )

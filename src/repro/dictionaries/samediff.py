@@ -1,0 +1,470 @@
+"""The same/different fault dictionary (the paper's contribution).
+
+Like a pass/fail dictionary it stores one bit per (fault, test), but the
+bit compares the faulty response against a freely chosen *baseline* output
+vector ``z_bl,j`` instead of the fault-free response: ``b[i][j] = 0`` iff
+``z_i,j == z_bl,j``.  Baselines are chosen per test from the set ``Z_j`` of
+responses modelled faults can actually produce (any other choice makes the
+test useless for diagnosis).
+
+This module implements:
+
+* **Procedure 1** (:func:`select_baselines`): greedy per-test selection of
+  the candidate distinguishing the most target pairs, with the ``LOWER``
+  early-termination heuristic;
+* the **random-restart driver** (:func:`build_same_different`): Procedure 1
+  re-run over shuffled test orders until ``calls`` consecutive calls bring
+  no improvement (the paper's ``CALLS1``);
+* **Procedure 2** (:func:`replace_baselines`): a hill-climbing pass that
+  tries every alternative baseline for every test against the *global*
+  distinguished-pair count;
+* the paper's two remarks as working extensions: more than one baseline
+  per test (:func:`add_secondary_baselines`) and the mixed storage scheme
+  that keeps the fault-free vector where the baseline equals it
+  (:meth:`SameDifferentDictionary.mixed_size_bits`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.responses import PASS, ResponseTable, Signature
+from .base import FaultDictionary
+from .resolution import Partition, pairs_within, total_pairs
+
+
+class SameDifferentDictionary(FaultDictionary):
+    """A same/different dictionary for a fixed baseline assignment."""
+
+    def __init__(self, table: ResponseTable, baselines: Sequence[Signature]) -> None:
+        super().__init__(table)
+        if len(baselines) != table.n_tests:
+            raise ValueError(
+                f"{len(baselines)} baselines for {table.n_tests} tests"
+            )
+        self.baselines: Tuple[Signature, ...] = tuple(tuple(b) for b in baselines)
+        self._rows: List[int] = [
+            self._encode_row(index) for index in range(table.n_faults)
+        ]
+
+    def _encode_row(self, fault_index: int) -> int:
+        word = 0
+        for j, baseline in enumerate(self.baselines):
+            if self.table.signature(fault_index, j) != baseline:
+                word |= 1 << j
+        return word
+
+    @property
+    def kind(self) -> str:
+        return "same/different"
+
+    @property
+    def size_bits(self) -> int:
+        """``k * (n + m)``: the bit matrix plus one baseline vector per test."""
+        return self.table.n_tests * (self.table.n_faults + self.table.n_outputs)
+
+    def mixed_size_bits(self) -> int:
+        """Size under the paper's mixed storage remark.
+
+        Tests whose baseline *is* the fault-free vector reuse the stored
+        fault-free response instead of a private baseline vector, at the
+        cost of one flag bit per test.
+        """
+        stored = sum(1 for baseline in self.baselines if baseline != PASS)
+        return (
+            self.table.n_tests * (self.table.n_faults + 1)
+            + stored * self.table.n_outputs
+        )
+
+    def row(self, fault_index: int) -> int:
+        return self._rows[fault_index]
+
+    def encode_response(self, signatures: Sequence[Signature]) -> int:
+        if len(signatures) != self.table.n_tests:
+            raise ValueError(
+                f"response has {len(signatures)} tests, dictionary has {self.table.n_tests}"
+            )
+        word = 0
+        for j, sig in enumerate(signatures):
+            if tuple(sig) != self.baselines[j]:
+                word |= 1 << j
+        return word
+
+    def match_score(self, fault_index: int, signatures: Sequence[Signature]) -> int:
+        disagree = bin(self._rows[fault_index] ^ self.encode_response(signatures))
+        return self.table.n_tests - disagree.count("1")
+
+    def baseline_vector(self, test_index: int) -> str:
+        """The stored baseline output vector of one test, as a bit string."""
+        return self.table.signature_to_vector(self.baselines[test_index], test_index)
+
+
+@dataclass
+class BuildReport:
+    """Statistics of one same/different construction run."""
+
+    n_faults: int
+    #: Distinguished pairs after the best Procedure 1 run (paper's "s/d rand").
+    distinguished_procedure1: int = 0
+    #: Distinguished pairs after Procedure 2 (paper's "s/d repl").
+    distinguished_procedure2: int = 0
+    procedure1_calls: int = 0
+    procedure2_passes: int = 0
+    replacements: int = 0
+
+    @property
+    def indistinguished_procedure1(self) -> int:
+        return total_pairs(self.n_faults) - self.distinguished_procedure1
+
+    @property
+    def indistinguished_procedure2(self) -> int:
+        return total_pairs(self.n_faults) - self.distinguished_procedure2
+
+    @property
+    def procedure2_improved(self) -> bool:
+        return self.distinguished_procedure2 > self.distinguished_procedure1
+
+
+# ----------------------------------------------------------------------
+# Procedure 1
+# ----------------------------------------------------------------------
+def _candidate_distances(
+    table: ResponseTable, test_index: int, partition: Partition
+) -> List[Tuple[int, Signature, List[int]]]:
+    """(dist, signature, members) per candidate of ``Z_j``, in ``Z_j`` order.
+
+    ``dist(z)`` is the number of still-indistinguished pairs split by
+    ``z``: for each partition class ``c`` with ``a`` members responding
+    ``z``, the split separates ``a * (|c| - a)`` pairs.  The fault-free
+    candidate comes first, its member list given as the *detected* faults
+    (splitting on the complement is the same split).
+    """
+    classes = partition.classes
+    class_of = partition.class_of
+    groups = table.failing_groups(test_index)
+    signatures = table.failing_signatures(test_index)
+
+    detected_by_class: Dict[int, int] = {}
+    for group in groups:
+        for index in group:
+            cid = class_of[index]
+            detected_by_class[cid] = detected_by_class.get(cid, 0) + 1
+    pass_dist = sum(
+        count * (len(classes[cid]) - count)
+        for cid, count in detected_by_class.items()
+    )
+    detected = [index for group in groups for index in group]
+    candidates = [(pass_dist, PASS, detected)]
+
+    for signature, group in zip(signatures, groups):
+        counts: Dict[int, int] = {}
+        for index in group:
+            cid = class_of[index]
+            counts[cid] = counts.get(cid, 0) + 1
+        dist = sum(
+            count * (len(classes[cid]) - count) for cid, count in counts.items()
+        )
+        candidates.append((dist, signature, group))
+    return candidates
+
+
+def select_baselines(
+    table: ResponseTable,
+    order: Optional[Sequence[int]] = None,
+    lower: int = 10,
+    partition: Optional[Partition] = None,
+) -> Tuple[List[Signature], Partition, int]:
+    """Procedure 1: greedy baseline selection over one test order.
+
+    Returns the baselines (indexed by *test*, not by order position), the
+    final partition of fault indices, and the distinguished-pair count.
+    ``lower`` is the paper's ``LOWER`` constant: candidate evaluation for a
+    test stops after that many consecutive candidates fail to beat the
+    best ``dist`` seen so far.
+    """
+    if order is None:
+        order = range(table.n_tests)
+    if partition is None:
+        partition = Partition(range(table.n_faults))
+    baselines: List[Signature] = [PASS] * table.n_tests
+    distinguished = 0
+    for j in order:
+        best_dist = -1
+        best_signature: Signature = PASS
+        best_members: List[int] = []
+        consecutive_lower = 0
+        for dist, signature, members in _candidate_distances(table, j, partition):
+            if dist > best_dist:
+                best_dist = dist
+                best_signature = signature
+                best_members = members
+                consecutive_lower = 0
+            elif dist < best_dist:
+                consecutive_lower += 1
+                if consecutive_lower >= lower:
+                    break
+        baselines[j] = best_signature
+        if best_dist > 0:
+            distinguished += partition.split(best_members)
+    return baselines, partition, distinguished
+
+
+def build_same_different(
+    table: ResponseTable,
+    lower: int = 10,
+    calls: int = 100,
+    replace: bool = True,
+    seed: int = 0,
+) -> Tuple[SameDifferentDictionary, BuildReport]:
+    """The paper's full flow: restarted Procedure 1, then Procedure 2.
+
+    Procedure 1 runs first on the natural test order, then on random
+    shuffles, until ``calls`` consecutive runs fail to improve the
+    distinguished-pair count (``CALLS1``).  Restarts also stop early when
+    a run distinguishes every pair that remains distinguishable.  With
+    ``replace`` the best baselines then go through Procedure 2.
+    """
+    rng = random.Random(seed)
+    report = BuildReport(n_faults=table.n_faults)
+
+    best_baselines: Optional[List[Signature]] = None
+    best_distinguished = -1
+    ceiling = _full_dictionary_distinguished(table)
+    stale = 0
+    order = list(range(table.n_tests))
+    while stale < calls:
+        baselines, _, distinguished = select_baselines(table, order, lower)
+        report.procedure1_calls += 1
+        if distinguished > best_distinguished:
+            best_distinguished = distinguished
+            best_baselines = baselines
+            stale = 0
+        else:
+            stale += 1
+        if best_distinguished >= ceiling:
+            break  # nothing left that any dictionary could distinguish
+        rng.shuffle(order)
+    assert best_baselines is not None
+    report.distinguished_procedure1 = best_distinguished
+    report.distinguished_procedure2 = best_distinguished
+
+    if replace and best_distinguished < ceiling:
+        best_baselines, improved, passes, replacements = replace_baselines(
+            table, best_baselines
+        )
+        report.distinguished_procedure2 = improved
+        report.procedure2_passes = passes
+        report.replacements = replacements
+    return SameDifferentDictionary(table, best_baselines), report
+
+
+def _full_dictionary_distinguished(table: ResponseTable) -> int:
+    """Pairs distinguished by the full dictionary — the attainable ceiling."""
+    groups: Dict[tuple, int] = {}
+    for index in range(table.n_faults):
+        row = table.full_row(index)
+        groups[row] = groups.get(row, 0) + 1
+    return total_pairs(table.n_faults) - sum(
+        pairs_within(count) for count in groups.values()
+    )
+
+
+# ----------------------------------------------------------------------
+# Procedure 2
+# ----------------------------------------------------------------------
+def replace_baselines(
+    table: ResponseTable,
+    baselines: Sequence[Signature],
+    max_passes: int = 10,
+) -> Tuple[List[Signature], int, int, int]:
+    """Procedure 2: hill-climb individual baselines against the global count.
+
+    For every test ``j`` and every candidate ``z`` in ``Z_j``, the global
+    number of distinguished pairs with ``z_bl,j = z`` is evaluated exactly:
+    faults are grouped by their rows *excluding* test ``j`` (one mask
+    operation per fault), and within each such group by their response to
+    ``t_j``; the candidate determines how every group splits.  Replacements
+    are kept when they strictly increase the count; passes repeat until a
+    fixpoint or ``max_passes``.
+
+    Returns ``(baselines, distinguished, passes, replacements)``.
+    """
+    k = table.n_tests
+    n = table.n_faults
+    current: List[Signature] = [tuple(b) for b in baselines]
+    rows: List[int] = _rows_for(table, current)
+    replacements = 0
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improved = False
+        for j in range(k):
+            mask = ((1 << k) - 1) ^ (1 << j)
+            outside: Dict[int, List[int]] = {}
+            for index in range(n):
+                outside.setdefault(rows[index] & mask, []).append(index)
+            # Within each outside-class, count members per response to t_j.
+            class_sizes: List[int] = []
+            per_signature: Dict[Signature, List[Tuple[int, int]]] = {}
+            base_indist = 0
+            for cid, members in enumerate(outside.values()):
+                size = len(members)
+                class_sizes.append(size)
+                base_indist += pairs_within(size)
+                counts: Dict[Signature, int] = {}
+                for index in members:
+                    sig = table.signature(index, j)
+                    if sig != PASS:
+                        counts[sig] = counts.get(sig, 0) + 1
+                for sig, count in counts.items():
+                    per_signature.setdefault(sig, []).append((cid, count))
+                pass_count = size - sum(counts.values())
+                if pass_count:
+                    per_signature.setdefault(PASS, []).append((cid, pass_count))
+            best_sig = current[j]
+            best_indist = _indistinguished_with(
+                per_signature.get(best_sig, ()), class_sizes, base_indist
+            )
+            for sig in [PASS] + table.failing_signatures(j):
+                if sig == current[j]:
+                    continue
+                indist = _indistinguished_with(
+                    per_signature.get(sig, ()), class_sizes, base_indist
+                )
+                if indist < best_indist:
+                    best_indist = indist
+                    best_sig = sig
+            if best_sig != current[j]:
+                improved = True
+                replacements += 1
+                current[j] = best_sig
+                bit = 1 << j
+                for index in range(n):
+                    if table.signature(index, j) != best_sig:
+                        rows[index] |= bit
+                    else:
+                        rows[index] &= mask
+        if not improved:
+            break
+    distinguished = total_pairs(n) - _partition_indistinguished(rows)
+    return current, distinguished, passes, replacements
+
+
+def _rows_for(table: ResponseTable, baselines: Sequence[Signature]) -> List[int]:
+    rows = [0] * table.n_faults
+    for index in range(table.n_faults):
+        word = 0
+        for j, baseline in enumerate(baselines):
+            if table.signature(index, j) != baseline:
+                word |= 1 << j
+        rows[index] = word
+    return rows
+
+
+def _partition_indistinguished(rows: Sequence[int]) -> int:
+    groups: Dict[int, int] = {}
+    for row in rows:
+        groups[row] = groups.get(row, 0) + 1
+    return sum(pairs_within(count) for count in groups.values())
+
+
+def _indistinguished_with(
+    counts: Sequence[Tuple[int, int]], class_sizes: Sequence[int], base: int
+) -> int:
+    """Indistinguished pairs when classes split by a candidate's counts.
+
+    ``base`` is the indistinguished count with no split anywhere; a class
+    of size ``s`` with ``a`` members matching the candidate contributes
+    ``C(a,2) + C(s-a,2)`` instead of ``C(s,2)``.
+    """
+    indist = base
+    for cid, a in counts:
+        size = class_sizes[cid]
+        indist += pairs_within(a) + pairs_within(size - a) - pairs_within(size)
+    return indist
+
+
+# ----------------------------------------------------------------------
+# Extension: several baselines per test (Section 2 remark)
+# ----------------------------------------------------------------------
+@dataclass
+class MultiBaselineDictionary:
+    """A same/different dictionary with ``b_j >= 1`` baselines per test.
+
+    Each baseline of each test contributes one bit column (``n`` bits) and
+    one stored vector (``m`` bits), so the size is
+    ``sum_j b_j * (n + m)``.  Rows are tuples of per-test bit tuples.
+    """
+
+    table: ResponseTable
+    baselines: Tuple[Tuple[Signature, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.baselines) != self.table.n_tests:
+            raise ValueError("one baseline tuple required per test")
+        self._rows = [
+            tuple(
+                tuple(
+                    int(self.table.signature(i, j) != baseline)
+                    for baseline in self.baselines[j]
+                )
+                for j in range(self.table.n_tests)
+            )
+            for i in range(self.table.n_faults)
+        ]
+
+    @property
+    def size_bits(self) -> int:
+        n, m = self.table.n_faults, self.table.n_outputs
+        return sum(len(per_test) * (n + m) for per_test in self.baselines)
+
+    def row(self, fault_index: int):
+        return self._rows[fault_index]
+
+    def indistinguished_pairs(self) -> int:
+        groups: Dict[tuple, int] = {}
+        for row in self._rows:
+            groups[row] = groups.get(row, 0) + 1
+        return sum(pairs_within(count) for count in groups.values())
+
+
+def add_secondary_baselines(
+    table: ResponseTable,
+    dictionary: SameDifferentDictionary,
+    extra_per_test: int = 1,
+    lower: int = 10,
+) -> MultiBaselineDictionary:
+    """Greedily add up to ``extra_per_test`` more baselines to every test.
+
+    Starting from a single-baseline dictionary, each round walks the tests
+    in order and picks, per test, the candidate from ``Z_j`` that splits
+    the most currently indistinguished pairs (skipping candidates already
+    used by that test).  Tests where no candidate helps keep their
+    baseline count.
+    """
+    per_test: List[List[Signature]] = [[b] for b in dictionary.baselines]
+    partition = Partition.from_groups(dictionary.row_partition())
+    for _ in range(extra_per_test):
+        for j in range(table.n_tests):
+            used = set(per_test[j])
+            best = None
+            best_dist = 0
+            consecutive_lower = 0
+            for dist, signature, members in _candidate_distances(table, j, partition):
+                if signature in used:
+                    continue
+                if dist > best_dist:
+                    best_dist = dist
+                    best = (signature, members)
+                    consecutive_lower = 0
+                elif dist < best_dist:
+                    consecutive_lower += 1
+                    if consecutive_lower >= lower:
+                        break
+            if best is not None and best_dist > 0:
+                signature, members = best
+                per_test[j].append(signature)
+                partition.split(members)
+    return MultiBaselineDictionary(table, tuple(tuple(b) for b in per_test))

@@ -1,0 +1,48 @@
+"""Experiment harnesses reproducing the paper's tables and ablations."""
+
+from .ablations import (
+    calls_sweep,
+    lower_sweep,
+    mixed_storage_study,
+    multi_baseline_study,
+)
+from .example_tables import example_table, render_all
+from .pareto import (
+    ParetoPoint,
+    dominated_points,
+    render_frontier,
+    size_resolution_frontier,
+)
+from .reporting import format_table
+from .table6 import (
+    DEFAULT_CIRCUITS,
+    EXTENDED_CIRCUITS,
+    TEST_TYPES,
+    Table6Row,
+    render_table6,
+    response_table_for,
+    run_table6,
+    table6_row,
+)
+
+__all__ = [
+    "DEFAULT_CIRCUITS",
+    "EXTENDED_CIRCUITS",
+    "TEST_TYPES",
+    "ParetoPoint",
+    "Table6Row",
+    "calls_sweep",
+    "dominated_points",
+    "example_table",
+    "format_table",
+    "lower_sweep",
+    "render_frontier",
+    "size_resolution_frontier",
+    "mixed_storage_study",
+    "multi_baseline_study",
+    "render_all",
+    "render_table6",
+    "response_table_for",
+    "run_table6",
+    "table6_row",
+]

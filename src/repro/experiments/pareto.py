@@ -1,0 +1,80 @@
+"""Size-vs-resolution landscape of all dictionary organisations.
+
+Puts the same/different dictionary in context: for one (circuit, test
+set) cell, build every organisation the library implements and report
+(size in bits, indistinguished pairs).  The paper's core argument is that
+the same/different point sits almost on top of pass/fail in size while
+moving a long way toward full in resolution — this experiment draws the
+whole frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dictionaries import FullDictionary, PassFailDictionary, build_same_different
+from ..dictionaries.compressed import (
+    CountDictionary,
+    DropOnDetectDictionary,
+    FirstFailDictionary,
+)
+from .reporting import format_table
+from .table6 import response_table_for
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One dictionary organisation's coordinates."""
+
+    kind: str
+    size_bits: int
+    indistinguished: int
+
+
+def size_resolution_frontier(
+    circuit: str,
+    test_type: str = "diag",
+    seed: int = 0,
+    calls: int = 20,
+) -> List[ParetoPoint]:
+    """All organisations' (size, indistinguished) points, smallest first."""
+    _, table = response_table_for(circuit, test_type, seed)
+    samediff, _ = build_same_different(table, calls=calls, seed=seed)
+    dictionaries = [
+        DropOnDetectDictionary(table),
+        PassFailDictionary(table),
+        samediff,
+        CountDictionary(table),
+        FirstFailDictionary(table),
+        FullDictionary(table),
+    ]
+    points = [
+        ParetoPoint(d.kind, d.size_bits, d.indistinguished_pairs())
+        for d in dictionaries
+    ]
+    return sorted(points, key=lambda p: p.size_bits)
+
+
+def dominated_points(points: List[ParetoPoint]) -> List[ParetoPoint]:
+    """Points strictly dominated by another (bigger AND worse)."""
+    dominated = []
+    for p in points:
+        for q in points:
+            if (
+                q.size_bits <= p.size_bits
+                and q.indistinguished <= p.indistinguished
+                and (q.size_bits < p.size_bits or q.indistinguished < p.indistinguished)
+            ):
+                dominated.append(p)
+                break
+    return dominated
+
+
+def render_frontier(circuit: str, points: List[ParetoPoint]) -> str:
+    rows = [(p.kind, p.size_bits, p.indistinguished) for p in points]
+    return format_table(
+        ("organisation", "size (bits)", "indistinguished pairs"),
+        rows,
+        f"Size/resolution landscape — {circuit}",
+    )

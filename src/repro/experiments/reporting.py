@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Cells are stringified; numeric-looking cells are right-aligned, the
+    rest left-aligned.  ``None`` renders as '-' (the paper's omitted
+    entries).
+    """
+    def cell(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def align(value: str, width: int) -> str:
+        stripped = value.lstrip("-")
+        numeric = stripped.replace(".", "", 1).isdigit() if stripped else False
+        return value.rjust(width) if numeric or value == "-" else value.ljust(width)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(align(v, w) for v, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

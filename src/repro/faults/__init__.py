@@ -1,0 +1,35 @@
+"""Fault models: single stuck-at (with collapsing) and two-line bridges."""
+
+from .bridging import (
+    BridgingFault,
+    enumerate_bridges,
+    inject_bridge,
+    is_feedback_bridge,
+)
+from .collapse import collapse, equivalence_classes
+from .dominance import dominance_collapse
+from .model import Fault
+from .sites import all_faults, checkpoint_faults
+from .transition import (
+    TransitionFault,
+    TransitionFaultSimulator,
+    transition_faults,
+    transition_response_table,
+)
+
+__all__ = [
+    "BridgingFault",
+    "Fault",
+    "TransitionFault",
+    "TransitionFaultSimulator",
+    "all_faults",
+    "checkpoint_faults",
+    "collapse",
+    "dominance_collapse",
+    "enumerate_bridges",
+    "equivalence_classes",
+    "inject_bridge",
+    "is_feedback_bridge",
+    "transition_faults",
+    "transition_response_table",
+]

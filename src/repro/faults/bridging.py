@@ -1,0 +1,120 @@
+"""Two-line bridging fault model.
+
+A bridging defect shorts two nets; under the classic wired-logic model
+both shorted nets take the AND (wired-AND) or OR (wired-OR) of their
+driven values.  Bridging faults are the canonical *non-modelled* defect
+for stuck-at-dictionary diagnosis — the paper's reference [7] (Millman,
+McCluskey, Acken) diagnoses them with stuck-at dictionaries, which is
+exactly the experiment :mod:`repro.diagnosis.matching` supports.
+
+:func:`inject_bridge` rewrites a netlist so both nets carry the wired
+value; :func:`enumerate_bridges` samples feedback-free candidate bridges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class BridgingFault:
+    """A short between two nets with wired-AND or wired-OR behaviour."""
+
+    net_a: str
+    net_b: str
+    wired: str = "AND"  # "AND" or "OR"
+
+    def __post_init__(self) -> None:
+        if self.wired not in ("AND", "OR"):
+            raise ValueError(f"wired must be AND or OR, got {self.wired!r}")
+        if self.net_a == self.net_b:
+            raise ValueError("a bridge needs two distinct nets")
+
+    def __str__(self) -> str:
+        return f"bridge({self.net_a},{self.net_b})/{self.wired}"
+
+
+def is_feedback_bridge(netlist: Netlist, fault: BridgingFault) -> bool:
+    """True when one bridged net lies in the other's fan-out cone.
+
+    Feedback bridges can oscillate or latch; the wired-logic combinational
+    model only applies to non-feedback bridges.
+    """
+    return (
+        fault.net_b in netlist.output_cone(fault.net_a)
+        or fault.net_a in netlist.output_cone(fault.net_b)
+    )
+
+
+def inject_bridge(netlist: Netlist, fault: BridgingFault) -> Netlist:
+    """A copy of ``netlist`` with the bridge structurally present.
+
+    For a gate-driven net the driver is renamed to ``<net>__drv`` and the
+    net is re-driven by the wired function of both driver values.  For a
+    primary input the INPUT gate keeps its name (the circuit interface is
+    unchanged) and its consumers are redirected to a fresh
+    ``<net>__bridged`` wired gate instead.
+    """
+    for net in (fault.net_a, fault.net_b):
+        if net not in netlist.gates:
+            raise ValueError(f"unknown net {net!r}")
+        if netlist.gates[net].gate_type is GateType.DFF:
+            raise ValueError(f"cannot bridge flip-flop output {net!r} directly")
+    if is_feedback_bridge(netlist, fault):
+        raise ValueError(f"{fault} is a feedback bridge; not supported")
+    wired_type = GateType.AND if fault.wired == "AND" else GateType.OR
+    nets = (fault.net_a, fault.net_b)
+    is_pi = {net: netlist.gates[net].gate_type is GateType.INPUT for net in nets}
+    # The value each driver contributes to the short.
+    driver_value = {net: (net if is_pi[net] else f"{net}__drv") for net in nets}
+    # What consumers of each bridged net should now read.
+    consumer_value = {net: (f"{net}__bridged" if is_pi[net] else net) for net in nets}
+    wired_fanin = (driver_value[fault.net_a], driver_value[fault.net_b])
+
+    bridged = Netlist(f"{netlist.name}__{fault}")
+    for gate in netlist:
+        if gate.name in nets and not is_pi[gate.name]:
+            name = driver_value[gate.name]
+        else:
+            name = gate.name
+        inputs = tuple(
+            consumer_value.get(i, i) if i in nets else i for i in gate.inputs
+        )
+        bridged.add_gate(name, gate.gate_type, inputs)
+    for net in nets:
+        bridged.add_gate(consumer_value[net], wired_type, wired_fanin)
+    for out in netlist.outputs:
+        bridged.add_output(consumer_value.get(out, out))
+    bridged.validate()
+    return bridged
+
+
+def enumerate_bridges(
+    netlist: Netlist,
+    count: int,
+    seed: int = 0,
+    wired: Optional[str] = None,
+) -> List[BridgingFault]:
+    """Sample ``count`` random non-feedback bridges between logic nets."""
+    rng = random.Random(seed)
+    candidates = [
+        gate.name
+        for gate in netlist
+        if gate.gate_type not in (GateType.DFF,) and not gate.gate_type.is_constant
+    ]
+    bridges: List[BridgingFault] = []
+    attempts = 0
+    while len(bridges) < count and attempts < count * 50:
+        attempts += 1
+        net_a, net_b = rng.sample(candidates, 2)
+        kind = wired or rng.choice(("AND", "OR"))
+        fault = BridgingFault(net_a, net_b, kind)
+        if is_feedback_bridge(netlist, fault):
+            continue
+        bridges.append(fault)
+    return bridges

@@ -1,0 +1,107 @@
+"""Structural equivalence fault collapsing.
+
+Two faults are structurally equivalent when every test distinguishes both
+or neither of them from the fault-free circuit.  The classical gate-local
+rules are applied transitively with a union-find:
+
+* AND:  any input ``sa0``  ≡ output ``sa0``
+* NAND: any input ``sa0``  ≡ output ``sa1``
+* OR:   any input ``sa1``  ≡ output ``sa1``
+* NOR:  any input ``sa1``  ≡ output ``sa0``
+* BUF:  input ``saV`` ≡ output ``saV``;  NOT: input ``saV`` ≡ output ``sa(1-V)``
+
+The paper evaluates on "the set of collapsed single stuck-at faults", which
+is what :func:`collapse` produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuit.gates import CONTROLLED_OUTPUT, CONTROLLING_VALUE, GateType
+from ..circuit.netlist import Netlist
+from .model import Fault
+from .sites import all_faults
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Fault, Fault] = {}
+
+    def find(self, item: Fault) -> Fault:
+        parent = self._parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Deterministic representative: the smaller fault wins.
+            if root_b < root_a:
+                root_a, root_b = root_b, root_a
+            self._parent[root_b] = root_a
+
+
+def _input_fault(netlist: Netlist, net: str, sink: str, value: int) -> Fault:
+    """The fault object representing ``net`` stuck at ``value`` as seen by ``sink``.
+
+    For a multi-fan-out net that is the branch pin fault; for a single
+    fan-out net the branch coincides with the stem.
+    """
+    if len(netlist.fanout_map()[net]) > 1:
+        return Fault(net, value, input_of=sink)
+    return Fault(net, value)
+
+
+def equivalence_classes(netlist: Netlist, faults: Sequence[Fault] = None) -> Dict[Fault, List[Fault]]:
+    """Group ``faults`` (default: the full universe) into structural classes.
+
+    Returns a map from the class representative (its smallest member) to
+    the sorted list of all members.
+    """
+    if faults is None:
+        faults = all_faults(netlist)
+    uf = _UnionFind()
+    known = set(faults)
+    for fault in faults:
+        uf.find(fault)
+    # A gate-input fault is equivalent to the matching gate-output fault
+    # only when the input net is not directly observable: if the net is a
+    # primary output (e.g. a scan pseudo-PO), a fault on it is seen there
+    # while the gate-output fault is not.
+    observable = set(netlist.outputs)
+    for gate in netlist:
+        if gate.gate_type in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            control = CONTROLLING_VALUE[gate.gate_type]
+            output_fault = Fault(gate.name, CONTROLLED_OUTPUT[gate.gate_type])
+            for net in gate.inputs:
+                pin = _input_fault(netlist, net, gate.name, control)
+                if pin.is_stem and net in observable:
+                    continue
+                if pin in known and output_fault in known:
+                    uf.union(pin, output_fault)
+        elif gate.gate_type in (GateType.BUF, GateType.NOT):
+            invert = gate.gate_type is GateType.NOT
+            for value in (0, 1):
+                pin = _input_fault(netlist, gate.inputs[0], gate.name, value)
+                if pin.is_stem and gate.inputs[0] in observable:
+                    break
+                output_fault = Fault(gate.name, value ^ invert)
+                if pin in known and output_fault in known:
+                    uf.union(pin, output_fault)
+    classes: Dict[Fault, List[Fault]] = {}
+    for fault in faults:
+        classes.setdefault(uf.find(fault), []).append(fault)
+    return {root: sorted(members) for root, members in classes.items()}
+
+
+def collapse(netlist: Netlist, faults: Sequence[Fault] = None) -> List[Fault]:
+    """The collapsed fault list: one representative per equivalence class.
+
+    Representatives are sorted, so the result is deterministic and usable
+    as the canonical fault index order of dictionaries.
+    """
+    return sorted(equivalence_classes(netlist, faults))

@@ -1,0 +1,98 @@
+"""Dominance fault collapsing.
+
+Fault ``g`` *dominates* fault ``f`` when every test detecting ``f`` also
+detects ``g``; for test generation ``g`` is then redundant — target ``f``
+and ``g`` comes along for free.  The classical gate-local rules:
+
+* AND:  output ``sa1`` dominates each input ``sa1``
+* NAND: output ``sa0`` dominates each input ``sa1``
+* OR:   output ``sa0`` dominates each input ``sa0``
+* NOR:  output ``sa1`` dominates each input ``sa0``
+
+(detecting the input fault requires all side inputs non-controlling, under
+which the output fault produces the identical output effect).
+
+Two caveats:
+
+* the rules assume the input fault is observable only *through* the gate —
+  a stem fault on a net that is itself a primary output can be detected
+  without propagating through the gate, so it justifies nothing;
+* dominance preserves detection, **not** diagnostic information — a
+  dominance-collapsed list is for test generation only, never for
+  building dictionaries (dominated faults are still distinct diagnosis
+  candidates), which is why the dictionary experiments use equivalence
+  collapsing alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from .collapse import collapse, equivalence_classes
+from .model import Fault
+from .sites import all_faults
+
+_RULES: Dict[GateType, "tuple[int, int]"] = {
+    # gate type -> (dominated input stuck value, dominating output stuck value)
+    GateType.AND: (1, 1),
+    GateType.NAND: (1, 0),
+    GateType.OR: (0, 0),
+    GateType.NOR: (0, 1),
+}
+
+
+def _input_fault(netlist: Netlist, net: str, sink: str, value: int) -> Fault:
+    if len(netlist.fanout_map()[net]) > 1:
+        return Fault(net, value, input_of=sink)
+    return Fault(net, value)
+
+
+def dominance_collapse(netlist: Netlist, faults: Sequence[Fault] = None) -> List[Fault]:
+    """Equivalence + dominance collapsed fault list for test generation.
+
+    Starting from the equivalence-collapsed list, drops every *output*
+    fault dominated by some input fault of the same gate that is present
+    in the universe.  Dominance chains compose transitively along the
+    circuit, so a justification may itself have been dropped — its own
+    justification chain bottoms out at a retained fault.
+    """
+    if faults is None:
+        faults = collapse(netlist)
+    universe: Set[Fault] = set(faults)
+    observable = set(netlist.outputs)
+
+    # Map every fault of the full universe to its retained equivalence
+    # representative, so rule endpoints land on list members.
+    classes = equivalence_classes(netlist, all_faults(netlist))
+    representative: Dict[Fault, Fault] = {}
+    for root, members in classes.items():
+        for member in members:
+            representative[member] = root
+
+    dropped: Set[Fault] = set()
+    for gate in netlist:
+        rule = _RULES.get(gate.gate_type)
+        if rule is None:
+            continue
+        input_value, output_value = rule
+        output_rep = representative.get(Fault(gate.name, output_value))
+        if output_rep is None or output_rep not in universe or output_rep in dropped:
+            continue
+        if gate.name in observable:
+            # The output fault is observed directly at this PO for free
+            # whenever activated; dominance still holds, but dropping an
+            # observed fault buys nothing and complicates diagnosis reuse.
+            continue
+        for net in gate.inputs:
+            pin = _input_fault(netlist, net, gate.name, input_value)
+            if pin.is_stem and net in observable:
+                continue  # detectable without propagating through this gate
+            pin_rep = representative.get(pin)
+            if pin_rep is None or pin_rep == output_rep:
+                continue
+            if pin_rep in universe:
+                dropped.add(output_rep)
+                break
+    return sorted(f for f in universe if f not in dropped)

@@ -1,0 +1,52 @@
+"""Single stuck-at fault model.
+
+A fault is a (line, stuck value) pair.  Lines are either gate *outputs*
+(stem faults, ``Fault("n3", 1)``) or individual gate *input pins*
+(``Fault("n3", 0, input_of="n7")`` — the branch of net ``n3`` feeding gate
+``n7``).  Pin-level faults matter because a fan-out branch can be faulty
+independently of its stem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault.
+
+    Attributes:
+        line: the net the fault sits on.
+        stuck_at: 0 or 1.
+        input_of: when set, the fault is on the branch of ``line`` that
+            feeds gate ``input_of`` (a pin fault); when ``None`` it is on
+            the stem, affecting all of ``line``'s fan-out.
+    """
+
+    line: str
+    stuck_at: int
+    input_of: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise ValueError(f"stuck_at must be 0 or 1, got {self.stuck_at!r}")
+
+    @property
+    def is_stem(self) -> bool:
+        return self.input_of is None
+
+    @property
+    def sort_key(self):
+        """Deterministic total order; stem faults sort before pin faults."""
+        return (self.line, self.stuck_at, self.input_of is not None, self.input_of or "")
+
+    def __lt__(self, other: "Fault") -> bool:
+        if not isinstance(other, Fault):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+    def __str__(self) -> str:
+        location = self.line if self.is_stem else f"{self.line}->{self.input_of}"
+        return f"{location}/sa{self.stuck_at}"

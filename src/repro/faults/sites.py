@@ -1,0 +1,64 @@
+"""Enumeration of the stuck-at fault universe of a netlist.
+
+The *uncollapsed* universe contains, for every net, two stem faults
+(``sa0``/``sa1``) and, for every fan-out branch of a multi-fan-out net, two
+pin faults.  Single-fan-out nets get stem faults only (the stem and its one
+branch are the same line).  This matches the conventional fault universe
+used before equivalence collapsing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from .model import Fault
+
+
+def all_faults(netlist: Netlist) -> List[Fault]:
+    """The uncollapsed single stuck-at fault universe of ``netlist``.
+
+    Faults are enumerated on the combinational view: constant gates carry
+    no fault (their output cannot change meaningfully for sa-at the tied
+    value, and the other polarity is the tie fault itself), and DFF nets
+    are treated as ordinary nets (callers normally pass a full-scan
+    netlist, where DFFs have already become INPUTs).
+    """
+    fanout = netlist.fanout_map()
+    faults: List[Fault] = []
+    for gate in netlist:
+        if gate.gate_type.is_constant:
+            continue
+        for value in (0, 1):
+            faults.append(Fault(gate.name, value))
+        sinks = fanout[gate.name]
+        if len(sinks) > 1:
+            for sink in sinks:
+                for value in (0, 1):
+                    faults.append(Fault(gate.name, value, input_of=sink))
+    return faults
+
+
+def checkpoint_faults(netlist: Netlist) -> List[Fault]:
+    """Checkpoint fault set: faults on primary inputs and fan-out branches.
+
+    A classical structural dominance result: in a fan-out-free region every
+    fault is dominated by a fault at a checkpoint (PI or fan-out branch),
+    so a test set detecting all checkpoint faults detects all single
+    stuck-at faults.  Offered as a cheaper alternative universe.
+    """
+    fanout = netlist.fanout_map()
+    faults: List[Fault] = []
+    for gate in netlist:
+        if gate.gate_type.is_constant:
+            continue
+        sinks = fanout[gate.name]
+        if gate.gate_type is GateType.INPUT and len(sinks) <= 1:
+            for value in (0, 1):
+                faults.append(Fault(gate.name, value))
+        if len(sinks) > 1:
+            for sink in sinks:
+                for value in (0, 1):
+                    faults.append(Fault(gate.name, value, input_of=sink))
+    return faults

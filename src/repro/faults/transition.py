@@ -1,0 +1,146 @@
+"""Transition (gross-delay) fault model.
+
+A *slow-to-rise* fault on net ``n`` delays the 0→1 transition past the
+capture edge: under a two-pattern test (launch vector ``v1``, capture
+vector ``v2``) the net still shows its old value 0 when ``v2`` is
+captured.  Detection therefore requires
+
+1. a transition launched on the net (``n = 0`` under ``v1``, ``n = 1``
+   under ``v2`` in the fault-free circuit — the enhanced-scan model where
+   both vectors are arbitrary), and
+2. the residual value to be observable: ``v2`` detects the corresponding
+   stuck-at fault (``n`` stuck-at-0 for slow-to-rise).
+
+Slow-to-fall is symmetric.  This reduction to stuck-at detection under
+``v2`` is what lets the whole dictionary machinery — including the
+same/different construction — apply to a second fault model unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..circuit.netlist import Netlist
+from .model import Fault
+
+
+@dataclass(frozen=True)
+class TransitionFault:
+    """A slow-to-rise (``rising=True``) or slow-to-fall delay fault."""
+
+    line: str
+    rising: bool
+
+    @property
+    def initial_value(self) -> int:
+        """The value the net must hold under the launch vector."""
+        return 0 if self.rising else 1
+
+    @property
+    def residual_stuck_at(self) -> Fault:
+        """The stuck-at fault the capture vector must detect."""
+        return Fault(self.line, self.initial_value)
+
+    def __str__(self) -> str:
+        return f"{self.line}/{'str' if self.rising else 'stf'}"
+
+    @property
+    def sort_key(self):
+        return (self.line, self.rising)
+
+    def __lt__(self, other: "TransitionFault") -> bool:
+        if not isinstance(other, TransitionFault):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+
+def transition_faults(netlist: Netlist) -> List[TransitionFault]:
+    """Both transition faults on every non-constant net (stem faults)."""
+    faults: List[TransitionFault] = []
+    for gate in netlist:
+        if gate.gate_type.is_constant:
+            continue
+        faults.append(TransitionFault(gate.name, rising=True))
+        faults.append(TransitionFault(gate.name, rising=False))
+    return faults
+
+
+class TransitionFaultSimulator:
+    """Bit-parallel two-pattern transition fault simulation.
+
+    ``launch`` and ``capture`` are equal-length test sets; pair ``j``
+    consists of ``launch[j]`` followed by ``capture[j]``.
+    """
+
+    def __init__(self, netlist: Netlist, launch, capture) -> None:
+        from ..sim.faultsim import FaultSimulator
+        from ..sim.logicsim import simulate
+
+        if len(launch) != len(capture):
+            raise ValueError("launch and capture sets must pair up 1:1")
+        self.netlist = netlist
+        self.launch = launch
+        self.capture = capture
+        self._launch_values = simulate(netlist, launch)
+        self._capture_simulator = FaultSimulator(netlist, capture)
+        self.n_pairs = len(launch)
+        self._mask = (1 << self.n_pairs) - 1
+
+    def launch_word(self, fault: TransitionFault) -> int:
+        """Bit ``j`` set when pair ``j`` launches the required transition."""
+        v1 = self._launch_values[fault.line]
+        v2 = self._capture_simulator.good_values[fault.line]
+        if fault.rising:
+            return (self._mask ^ v1) & v2
+        return v1 & (self._mask ^ v2)
+
+    def output_diffs(self, fault: TransitionFault) -> Dict[str, int]:
+        """Per-output failing words, masked to pairs that launch."""
+        gate = self.launch_word(fault)
+        if not gate:
+            return {}
+        diffs = self._capture_simulator.output_diffs(fault.residual_stuck_at)
+        masked = {net: word & gate for net, word in diffs.items()}
+        return {net: word for net, word in masked.items() if word}
+
+    def detection_word(self, fault: TransitionFault) -> int:
+        word = 0
+        for diff in self.output_diffs(fault).values():
+            word |= diff
+        return word
+
+    def coverage(self, faults: Sequence[TransitionFault]) -> float:
+        if not faults:
+            return 1.0
+        detected = sum(1 for f in faults if self.detection_word(f))
+        return detected / len(faults)
+
+
+def transition_response_table(netlist: Netlist, launch, capture, faults):
+    """A :class:`~repro.sim.responses.ResponseTable` over transition faults.
+
+    "Tests" are vector pairs; signatures are the failing outputs observed
+    at capture.  Any dictionary organisation builds on the result.
+    """
+    from ..sim.faultsim import iter_bits
+    from ..sim.responses import ResponseTable
+
+    simulator = TransitionFaultSimulator(netlist, launch, capture)
+    output_index = {net: o for o, net in enumerate(netlist.outputs)}
+    failing = []
+    for fault in faults:
+        per_pair: Dict[int, List[int]] = {}
+        diffs = simulator.output_diffs(fault)
+        for net in netlist.outputs:
+            word = diffs.get(net)
+            if not word:
+                continue
+            for j in iter_bits(word):
+                per_pair.setdefault(j, []).append(output_index[net])
+        failing.append({j: tuple(sorted(v)) for j, v in per_pair.items()})
+    good = {
+        net: simulator._capture_simulator.good_values[net]
+        for net in netlist.outputs
+    }
+    return ResponseTable(netlist.outputs, faults, capture, failing, good)

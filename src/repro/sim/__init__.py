@@ -1,0 +1,55 @@
+"""Bit-parallel logic and fault simulation."""
+
+from .faultsim import FaultSimulator, iter_bits
+from .logicsim import (
+    SimulationError,
+    output_vectors,
+    output_words,
+    simulate,
+    simulate_single,
+    simulate_words,
+)
+from .patterns import TestSet
+from .responses import PASS, ResponseTable, Signature
+from .seqfaultsim import (
+    random_sequences,
+    sequential_detection_word,
+    sequential_output_diffs,
+    sequential_outputs,
+    sequential_response_table,
+)
+from .seqsim import SequentialSimulator, simulate_sequence
+from .xsim import (
+    UNKNOWN,
+    cube_conflicts,
+    determined_outputs,
+    merge_cubes,
+    simulate3,
+)
+
+__all__ = [
+    "FaultSimulator",
+    "PASS",
+    "ResponseTable",
+    "SequentialSimulator",
+    "Signature",
+    "SimulationError",
+    "TestSet",
+    "UNKNOWN",
+    "cube_conflicts",
+    "determined_outputs",
+    "merge_cubes",
+    "simulate3",
+    "simulate_sequence",
+    "iter_bits",
+    "output_vectors",
+    "output_words",
+    "random_sequences",
+    "sequential_detection_word",
+    "sequential_output_diffs",
+    "sequential_outputs",
+    "sequential_response_table",
+    "simulate",
+    "simulate_single",
+    "simulate_words",
+]

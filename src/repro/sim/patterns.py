@@ -1,0 +1,142 @@
+"""Test pattern containers.
+
+A :class:`TestSet` holds an ordered list of fully specified input vectors
+for a fixed, ordered tuple of input nets.  Internally each test is one
+integer whose bit ``i`` is the value of ``inputs[i]``; the bit-parallel
+simulators transpose this into one big integer *per input net* with one bit
+per pattern (:meth:`TestSet.input_words`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+class TestSet:
+    """An ordered set of fully specified test vectors."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, inputs: Sequence[str], tests: Iterable[int] = ()) -> None:
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError("duplicate input names")
+        self._tests: List[int] = []
+        for test in tests:
+            self.append(test)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, test: int) -> None:
+        """Append one test given as an integer over the input bits."""
+        if test < 0 or test >> len(self.inputs):
+            raise ValueError(f"test {test:#x} does not fit {len(self.inputs)} inputs")
+        self._tests.append(test)
+
+    def append_assignment(self, assignment: Dict[str, int]) -> None:
+        """Append one test given as a {net: 0/1} mapping over all inputs."""
+        missing = set(self.inputs) - set(assignment)
+        if missing:
+            raise ValueError(f"assignment missing inputs: {sorted(missing)}")
+        test = 0
+        for position, net in enumerate(self.inputs):
+            if assignment[net]:
+                test |= 1 << position
+        self._tests.append(test)
+
+    def append_string(self, bits: str) -> None:
+        """Append one test written as a '0'/'1' string, ``bits[i]`` for ``inputs[i]``."""
+        if len(bits) != len(self.inputs) or set(bits) - {"0", "1"}:
+            raise ValueError(f"bad test string {bits!r} for {len(self.inputs)} inputs")
+        self._tests.append(int(bits[::-1], 2) if bits else 0)
+
+    def extend(self, other: "TestSet") -> None:
+        if other.inputs != self.inputs:
+            raise ValueError("cannot extend with a test set over different inputs")
+        self._tests.extend(other._tests)
+
+    @classmethod
+    def random(cls, inputs: Sequence[str], count: int, seed: int = 0) -> "TestSet":
+        """``count`` uniform random tests, deterministic in ``seed``."""
+        rng = random.Random(seed)
+        width = len(inputs)
+        return cls(inputs, (rng.getrandbits(width) for _ in range(count)))
+
+    @classmethod
+    def exhaustive(cls, inputs: Sequence[str]) -> "TestSet":
+        """All ``2**len(inputs)`` vectors (for small circuits / ground truth)."""
+        width = len(inputs)
+        if width > 20:
+            raise ValueError(f"refusing exhaustive set for {width} inputs")
+        return cls(inputs, range(1 << width))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tests)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._tests)
+
+    def __getitem__(self, index: int) -> int:
+        return self._tests[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TestSet):
+            return NotImplemented
+        return self.inputs == other.inputs and self._tests == other._tests
+
+    def value(self, index: int, net: str) -> int:
+        """Value of input ``net`` in test ``index``."""
+        return (self._tests[index] >> self.inputs.index(net)) & 1
+
+    def as_string(self, index: int) -> str:
+        """Test ``index`` as a '0'/'1' string in input order."""
+        test = self._tests[index]
+        return "".join("1" if (test >> i) & 1 else "0" for i in range(len(self.inputs)))
+
+    def assignment(self, index: int) -> Dict[str, int]:
+        """Test ``index`` as a {net: value} mapping."""
+        test = self._tests[index]
+        return {net: (test >> i) & 1 for i, net in enumerate(self.inputs)}
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def input_words(self) -> Dict[str, int]:
+        """Transpose to one big integer per input net (bit ``p`` = pattern ``p``)."""
+        words = {net: 0 for net in self.inputs}
+        for pattern, test in enumerate(self._tests):
+            bit = 1 << pattern
+            remaining = test
+            while remaining:
+                lsb = remaining & -remaining
+                words[self.inputs[lsb.bit_length() - 1]] |= bit
+                remaining ^= lsb
+        return words
+
+    def deduplicated(self) -> "TestSet":
+        """Copy with repeated vectors removed (first occurrence kept)."""
+        seen = set()
+        unique = []
+        for test in self._tests:
+            if test not in seen:
+                seen.add(test)
+                unique.append(test)
+        return TestSet(self.inputs, unique)
+
+    def reordered(self, order: Sequence[int]) -> "TestSet":
+        """Copy with tests permuted by ``order`` (a permutation of indices)."""
+        if sorted(order) != list(range(len(self._tests))):
+            raise ValueError("order must be a permutation of test indices")
+        return TestSet(self.inputs, (self._tests[i] for i in order))
+
+    def subset(self, indices: Sequence[int]) -> "TestSet":
+        """Copy containing only the tests at ``indices``, in that order."""
+        return TestSet(self.inputs, (self._tests[i] for i in indices))
+
+    def __repr__(self) -> str:
+        return f"TestSet({len(self.inputs)} inputs, {len(self._tests)} tests)"

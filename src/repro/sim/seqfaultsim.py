@@ -1,0 +1,160 @@
+"""Sequential fault simulation and dictionaries over test sequences.
+
+For non-scan circuits a "test" is a sequence of input vectors and the
+response is observed at the primary outputs on every cycle.  This module
+simulates single stuck-at faults over such sequences (bit-parallel across
+sequences) and repackages the results as a standard
+:class:`~repro.sim.responses.ResponseTable` in which:
+
+* a *test* is a whole input sequence, and
+* an *output* is a (cycle, primary output) pair.
+
+Every dictionary organisation — including the same/different dictionary
+and its baseline-selection procedures — then applies to non-scan circuits
+unchanged, which is how the paper's scheme extends to sequential designs
+(cf. its reference [10] on sequential-circuit dictionaries).  A baseline
+"output vector" is correspondingly a whole per-cycle output stream, so
+the ``m`` of the size model becomes ``cycles × outputs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from ..faults.model import Fault
+from .patterns import TestSet
+from .responses import ResponseTable, Signature
+from .seqsim import SequentialSimulator
+
+#: One test sequence: per-cycle {input net: 0/1} assignments.
+Frames = Sequence[Dict[str, int]]
+
+
+def _pack_sequences(netlist: Netlist, sequences: Sequence[Frames]) -> List[Dict[str, int]]:
+    """Transpose scalar sequences into per-cycle bit-parallel input words."""
+    if not sequences:
+        return []
+    length = len(sequences[0])
+    for frames in sequences:
+        if len(frames) != length:
+            raise ValueError("all sequences must have the same length")
+    packed: List[Dict[str, int]] = []
+    for cycle in range(length):
+        words = {net: 0 for net in netlist.inputs}
+        for s, frames in enumerate(sequences):
+            frame = frames[cycle]
+            for net in netlist.inputs:
+                if frame[net]:
+                    words[net] |= 1 << s
+        packed.append(words)
+    return packed
+
+
+def sequential_outputs(
+    netlist: Netlist, sequences: Sequence[Frames]
+) -> List[Dict[str, int]]:
+    """Fault-free per-cycle output words (bit ``s`` = sequence ``s``)."""
+    simulator = SequentialSimulator(netlist, n_sequences=len(sequences))
+    return simulator.run(_pack_sequences(netlist, sequences))
+
+
+def sequential_output_diffs(
+    netlist: Netlist, sequences: Sequence[Frames], fault: Fault
+) -> List[Dict[str, int]]:
+    """Per-cycle, per-output difference words for one fault.
+
+    The faulty machine is the structurally injected copy, so the semantics
+    are exact for any fault the injector supports (stem, pin, PI).
+    """
+    from ..atpg.distinguish import injected_copy
+
+    good = sequential_outputs(netlist, sequences)
+    faulty_netlist = injected_copy(netlist, fault)
+    faulty = sequential_outputs(faulty_netlist, sequences)
+    diffs: List[Dict[str, int]] = []
+    for good_cycle, faulty_cycle in zip(good, faulty):
+        diffs.append(
+            {
+                net: good_cycle[net] ^ faulty_cycle[net]
+                for net in good_cycle
+                if good_cycle[net] != faulty_cycle[net]
+            }
+        )
+    return diffs
+
+
+def sequential_detection_word(
+    netlist: Netlist, sequences: Sequence[Frames], fault: Fault
+) -> int:
+    """Bit ``s`` set when sequence ``s`` detects the fault on any cycle."""
+    word = 0
+    for cycle in sequential_output_diffs(netlist, sequences, fault):
+        for diff in cycle.values():
+            word |= diff
+    return word
+
+
+def sequential_response_table(
+    netlist: Netlist,
+    sequences: Sequence[Frames],
+    faults: Sequence[Fault],
+) -> ResponseTable:
+    """A :class:`ResponseTable` over sequences (tests) x cycle-outputs.
+
+    The returned table plugs into every dictionary builder; its
+    ``outputs`` are named ``c<cycle>:<net>``.
+    """
+    if not sequences:
+        raise ValueError("need at least one test sequence")
+    length = len(sequences[0])
+    outputs: List[str] = [
+        f"c{cycle}:{net}" for cycle in range(length) for net in netlist.outputs
+    ]
+    position: Dict[Tuple[int, str], int] = {
+        (cycle, net): index
+        for index, (cycle, net) in enumerate(
+            (cycle, net) for cycle in range(length) for net in netlist.outputs
+        )
+    }
+    good = sequential_outputs(netlist, sequences)
+    good_words: Dict[str, int] = {
+        f"c{cycle}:{net}": good[cycle][net]
+        for cycle in range(length)
+        for net in netlist.outputs
+    }
+    failing: List[Dict[int, Signature]] = []
+    for fault in faults:
+        diffs = sequential_output_diffs(netlist, sequences, fault)
+        per_sequence: Dict[int, List[int]] = {}
+        for cycle, cycle_diffs in enumerate(diffs):
+            for net in netlist.outputs:
+                word = cycle_diffs.get(net, 0)
+                s = 0
+                while word:
+                    lsb = word & -word
+                    per_sequence.setdefault(lsb.bit_length() - 1, []).append(
+                        position[(cycle, net)]
+                    )
+                    word ^= lsb
+        failing.append(
+            {s: tuple(sorted(hits)) for s, hits in per_sequence.items()}
+        )
+    tests = TestSet(("sequence",), [0] * len(sequences))
+    return ResponseTable(outputs, faults, tests, failing, good_words)
+
+
+def random_sequences(
+    netlist: Netlist, count: int, length: int, seed: int = 0
+) -> List[List[Dict[str, int]]]:
+    """``count`` random input sequences of ``length`` cycles each."""
+    import random
+
+    rng = random.Random(seed)
+    return [
+        [
+            {net: rng.getrandbits(1) for net in netlist.inputs}
+            for _ in range(length)
+        ]
+        for _ in range(count)
+    ]

@@ -1,0 +1,106 @@
+"""Sequential (time-frame) simulation of non-scan circuits.
+
+The paper's circuits are scan designs, handled by the full-scan transform;
+this simulator covers the non-scan case: a test is a *sequence* of input
+vectors applied over consecutive clock cycles, flip-flops carry state from
+frame to frame, and the response is the per-cycle primary output vector.
+Still bit-parallel — many independent sequences simulate at once, one bit
+per sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.gates import EVALUATORS, GateType
+from ..circuit.netlist import Netlist
+from .logicsim import SimulationError
+
+
+class SequentialSimulator:
+    """Cycle-accurate simulation of a sequential netlist.
+
+    All sequences advance in lockstep; bit ``s`` of every word belongs to
+    sequence ``s``.  Unknown initial state is modelled by an explicit
+    reset value (default all-zero), matching a design with a global reset.
+    """
+
+    def __init__(self, netlist: Netlist, n_sequences: int = 1) -> None:
+        if netlist.is_combinational:
+            # Works fine, there is just no state to carry.
+            pass
+        self.netlist = netlist
+        self.n_sequences = n_sequences
+        self.mask = (1 << n_sequences) - 1
+        self._order = netlist.topological_order()
+        self.reset()
+
+    def reset(self, state: Optional[Dict[str, int]] = None) -> None:
+        """Reset flip-flop outputs (default: all zero)."""
+        self.state: Dict[str, int] = {
+            ff: 0 for ff in self.netlist.flip_flops
+        }
+        if state:
+            unknown = set(state) - set(self.state)
+            if unknown:
+                raise SimulationError(f"not flip-flops: {sorted(unknown)}")
+            for ff, value in state.items():
+                self.state[ff] = value & self.mask
+        self.cycle = 0
+
+    def step(self, input_words: Dict[str, int]) -> Dict[str, int]:
+        """Advance one clock cycle; returns the output words of this cycle.
+
+        ``input_words`` maps every primary input to its word (bit ``s`` =
+        value in sequence ``s``).
+        """
+        values: Dict[str, int] = {}
+        gates = self.netlist.gates
+        for net in self._order:
+            gate = gates[net]
+            if gate.gate_type is GateType.INPUT:
+                try:
+                    values[net] = input_words[net] & self.mask
+                except KeyError:
+                    raise SimulationError(f"no stimulus for input {net!r}")
+            elif gate.gate_type is GateType.DFF:
+                values[net] = self.state[net]
+            else:
+                fanin = [values[i] for i in gate.inputs]
+                values[net] = EVALUATORS[gate.gate_type](fanin, self.mask)
+        # Latch next state after the whole frame is evaluated.
+        for ff in self.state:
+            self.state[ff] = values[gates[ff].inputs[0]]
+        self.cycle += 1
+        self._last_values = values
+        return {net: values[net] for net in self.netlist.outputs}
+
+    def run(
+        self, sequence: Sequence[Dict[str, int]]
+    ) -> List[Dict[str, int]]:
+        """Apply a list of per-cycle input words; returns per-cycle outputs."""
+        return [self.step(frame) for frame in sequence]
+
+    def net_value(self, net: str) -> int:
+        """Word of any net after the most recent step."""
+        try:
+            return self._last_values[net]
+        except AttributeError:
+            raise SimulationError("no cycle simulated yet")
+
+
+def simulate_sequence(
+    netlist: Netlist, frames: Sequence[Dict[str, int]]
+) -> List[str]:
+    """Scalar convenience: one sequence of {input: 0/1} frames.
+
+    Returns the output vector string of every cycle, from reset state.
+    """
+    simulator = SequentialSimulator(netlist, n_sequences=1)
+    responses = []
+    for frame in frames:
+        outputs = simulator.step({net: value & 1 for net, value in frame.items()})
+        responses.append(
+            "".join(str(outputs[net] & 1) for net in netlist.outputs)
+        )
+    return responses

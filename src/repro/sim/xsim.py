@@ -1,0 +1,95 @@
+"""Three-valued (0/1/X) simulation with partially specified inputs.
+
+Useful for reasoning about incompletely specified test cubes: which nets
+are already determined, which outputs are guaranteed regardless of the
+unspecified inputs.  Sound and complete gate-by-gate in the usual
+three-valued sense: a net reported 0/1 holds for *every* completion of
+the X inputs; a net reported X genuinely depends on them (per-gate — the
+usual pessimism of 3-valued simulation applies across reconvergence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..atpg.values import X, evaluate3
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from .logicsim import SimulationError
+
+#: The don't-care input value.
+UNKNOWN = X
+
+
+def simulate3(netlist: Netlist, assignment: Dict[str, int]) -> Dict[str, int]:
+    """Three-valued simulation; unassigned inputs are X.
+
+    ``assignment`` maps primary inputs to 0/1 (others default to X).
+    Returns every net's value in {0, 1, X} (X == 2).
+    """
+    if not netlist.is_combinational:
+        raise SimulationError(
+            f"netlist {netlist.name!r} is sequential; apply full scan first"
+        )
+    unknown_inputs = set(assignment) - set(netlist.inputs)
+    if unknown_inputs:
+        raise SimulationError(f"not primary inputs: {sorted(unknown_inputs)}")
+    values: Dict[str, int] = {}
+    for net in netlist.topological_order():
+        gate = netlist.gates[net]
+        if gate.gate_type is GateType.INPUT:
+            value = assignment.get(net, X)
+            if value not in (0, 1, X):
+                raise SimulationError(f"bad value {value!r} for input {net!r}")
+            values[net] = value
+        else:
+            values[net] = evaluate3(
+                gate.gate_type, [values[i] for i in gate.inputs]
+            )
+    return values
+
+
+def determined_outputs(netlist: Netlist, assignment: Dict[str, int]) -> Dict[str, int]:
+    """The outputs guaranteed 0/1 for every completion of the test cube."""
+    values = simulate3(netlist, assignment)
+    return {
+        net: values[net] for net in netlist.outputs if values[net] != X
+    }
+
+
+def required_inputs(
+    netlist: Netlist,
+    target_net: str,
+    candidates: Optional[Iterable[str]] = None,
+) -> Dict[str, bool]:
+    """Which inputs can influence ``target_net`` at all (cone membership).
+
+    A quick structural screen used before more expensive reasoning:
+    inputs outside the cone can never change the net.
+    """
+    if target_net not in netlist.gates:
+        raise SimulationError(f"unknown net {target_net!r}")
+    cone = netlist.input_cone(target_net)
+    pool = list(candidates) if candidates is not None else netlist.inputs
+    return {net: net in cone for net in pool}
+
+
+def cube_conflicts(cube_a: Dict[str, int], cube_b: Dict[str, int]) -> bool:
+    """Do two test cubes clash on some specified input?"""
+    return any(
+        cube_a[net] != cube_b[net]
+        for net in set(cube_a) & set(cube_b)
+        if cube_a[net] != X and cube_b[net] != X
+    )
+
+
+def merge_cubes(cube_a: Dict[str, int], cube_b: Dict[str, int]) -> Optional[Dict[str, int]]:
+    """Merge two compatible cubes (static test compaction's core move)."""
+    merged = dict(cube_a)
+    for net, value in cube_b.items():
+        if value == X:
+            continue
+        if merged.get(net, X) not in (X, value):
+            return None
+        merged[net] = value
+    return merged

@@ -1,0 +1,92 @@
+"""Tests for the Tseitin CNF encoder (wide gates, constants, errors)."""
+
+import itertools
+
+import pytest
+
+from repro.atpg.cnf import CnfEncoder, solve_output_one
+from repro.circuit import GateType, from_gates
+from repro.sim import simulate_single
+
+
+def wide_gate_netlist(kind, width=4):
+    inputs = [f"i{k}" for k in range(width)]
+    return from_gates("wide", inputs, [("y", kind, inputs)], ["y"])
+
+
+class TestWideGates:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            GateType.AND,
+            GateType.NAND,
+            GateType.OR,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ],
+    )
+    def test_encoding_matches_simulation(self, kind):
+        """Every model of the CNF agrees with the simulator, exhaustively."""
+        netlist = wide_gate_netlist(kind)
+        for bits in itertools.product((0, 1), repeat=4):
+            assignment = {f"i{k}": bits[k] for k in range(4)}
+            encoder = CnfEncoder(netlist)
+            assumptions = [encoder.literal(net, value) for net, value in assignment.items()]
+            model = encoder.solver.solve(assumptions=assumptions)
+            assert model is not None
+            expected = simulate_single(netlist, assignment)["y"]
+            assert model[encoder.variable["y"]] == bool(expected), (kind, bits)
+
+
+class TestConstants:
+    def test_const_gates(self):
+        netlist = from_gates(
+            "k",
+            ["a"],
+            [
+                ("k0", GateType.CONST0, []),
+                ("k1", GateType.CONST1, []),
+                ("y", GateType.AND, ["a", "k1"]),
+                ("z", GateType.OR, ["a", "k0"]),
+            ],
+            ["y", "z"],
+        )
+        encoder = CnfEncoder(netlist)
+        model = encoder.solver.solve(assumptions=[encoder.literal("a", 1)])
+        assert model[encoder.variable["k0"]] is False
+        assert model[encoder.variable["k1"]] is True
+        assert model[encoder.variable["y"]] is True
+
+
+class TestErrors:
+    def test_dff_rejected(self, s27):
+        with pytest.raises(ValueError):
+            CnfEncoder(s27)
+
+    def test_shared_solver_variable_spaces_disjoint(self, c17):
+        from repro.atpg.sat import Solver
+
+        solver = Solver()
+        first = CnfEncoder(c17, solver)
+        second = CnfEncoder(c17, solver)
+        overlap = set(first.variable.values()) & set(second.variable.values())
+        assert not overlap
+        # Both copies are independently constrainable.
+        solver.add_clause([first.literal("22", 1)])
+        solver.add_clause([second.literal("22", 0)])
+        assert solver.solve() is not None
+
+
+class TestSolveOutputOne:
+    def test_every_c17_net_settable_or_proven(self, c17):
+        """c17 has no stuck nets: every net can be set to 1 somehow."""
+        for net in list(c17.gates):
+            if c17.gates[net].gate_type is GateType.INPUT:
+                continue
+            netlist = c17.copy()
+            if net not in netlist.outputs:
+                netlist.add_output(net)
+            vector = solve_output_one(netlist, net)
+            assert vector is not None, net
+            assert simulate_single(netlist, vector)[net] == 1

@@ -1,0 +1,80 @@
+"""Tests for detection test set generation and compaction."""
+
+import pytest
+
+from repro.atpg import compact_detection_tests, generate_detection_tests
+from repro.circuit import full_scan, generate_netlist
+from repro.faults import collapse
+from repro.sim import FaultSimulator, TestSet
+from tests.conftest import tiny_spec
+
+
+class TestGeneration:
+    def test_full_coverage_on_s27(self, s27_scan, s27_faults):
+        tests, report = generate_detection_tests(s27_scan, s27_faults, seed=0)
+        assert report.coverage == 1.0
+        assert report.fault_efficiency == 1.0
+        simulator = FaultSimulator(s27_scan, tests)
+        assert simulator.coverage(s27_faults) == 1.0
+
+    def test_c17(self, c17, c17_faults):
+        tests, report = generate_detection_tests(c17, c17_faults, seed=0)
+        assert report.coverage == 1.0
+        assert len(tests) <= 10  # c17 has a tiny complete test set
+
+    def test_classification_is_complete(self, c17, c17_faults):
+        _, report = generate_detection_tests(c17, c17_faults, seed=1)
+        classified = len(report.detected) + len(report.untestable) + len(report.aborted)
+        assert classified == len(c17_faults)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_random_circuit_efficiency(self, seed):
+        netlist, _ = full_scan(generate_netlist(tiny_spec(seed + 300, gates=30)))
+        faults = collapse(netlist)
+        tests, report = generate_detection_tests(netlist, faults, seed=seed)
+        # Small circuits should be fully classified (no aborts).
+        assert report.fault_efficiency == 1.0
+        simulator = FaultSimulator(netlist, tests)
+        for fault in report.detected:
+            assert simulator.detection_word(fault), str(fault)
+        exhaustive = FaultSimulator(netlist, TestSet.exhaustive(netlist.inputs))
+        for fault in report.untestable:
+            assert exhaustive.detection_word(fault) == 0, str(fault)
+
+    def test_deterministic(self, s27_scan, s27_faults):
+        a, _ = generate_detection_tests(s27_scan, s27_faults, seed=42)
+        b, _ = generate_detection_tests(s27_scan, s27_faults, seed=42)
+        assert a == b
+
+    def test_no_duplicate_tests(self, s27_scan, s27_faults):
+        tests, _ = generate_detection_tests(s27_scan, s27_faults, seed=3)
+        assert len(set(tests)) == len(tests)
+
+    def test_empty_fault_list(self, c17):
+        tests, report = generate_detection_tests(c17, [], seed=0)
+        assert len(tests) == 0
+        assert report.coverage == 1.0
+
+
+class TestCompaction:
+    def test_preserves_detection(self, s27_scan, s27_faults):
+        tests, report = generate_detection_tests(
+            s27_scan, s27_faults, seed=5, compact=False
+        )
+        padded = TestSet(s27_scan.inputs, list(tests) + list(tests))
+        compacted = compact_detection_tests(s27_scan, padded, report.detected)
+        assert len(compacted) <= len(tests)
+        simulator = FaultSimulator(s27_scan, compacted)
+        for fault in report.detected:
+            assert simulator.detection_word(fault), str(fault)
+
+    def test_empty_test_set(self, s27_scan):
+        empty = TestSet(s27_scan.inputs)
+        assert len(compact_detection_tests(s27_scan, empty, [])) == 0
+
+    def test_never_grows(self, c17, c17_faults):
+        tests = TestSet.random(c17.inputs, 40, seed=9)
+        simulator = FaultSimulator(c17, tests)
+        detected = simulator.detected_faults(c17_faults)
+        compacted = compact_detection_tests(c17, tests, detected)
+        assert len(compacted) <= len(tests)

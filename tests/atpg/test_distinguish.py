@@ -1,0 +1,110 @@
+"""Tests for fault injection, miters, and exact pair distinguishing."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import Distinguisher, Status, build_miter, inject_fault, injected_copy
+from repro.atpg.distinguish import MITER_OUTPUT
+from repro.circuit import GateType
+from repro.faults import Fault
+from repro.sim import FaultSimulator, ResponseTable, TestSet, output_words, simulate
+
+
+class TestInjectFault:
+    def test_stem_injection(self, c17):
+        copy = injected_copy(c17, Fault("10", 1))
+        assert copy.gates["10"].gate_type is GateType.CONST1
+        assert c17.gates["10"].gate_type is GateType.NAND
+
+    def test_pin_injection(self, c17):
+        copy = injected_copy(c17, Fault("3", 0, input_of="10"))
+        sink = copy.gates["10"]
+        assert "3" not in sink.inputs
+        stub = [net for net in sink.inputs if net != "1"][0]
+        assert copy.gates[stub].gate_type is GateType.CONST0
+        # The other branch (3 -> 11) is untouched.
+        assert "3" in copy.gates["11"].inputs
+
+    def test_pi_stem_preserves_interface(self, c17):
+        copy = injected_copy(c17, Fault("1", 1))
+        assert copy.inputs == c17.inputs
+        assert copy.outputs == c17.outputs
+        tests = TestSet.exhaustive(c17.inputs)
+        words = simulate(copy, tests)
+        stub = "1__stuck1"
+        assert words[stub] == (1 << len(tests)) - 1
+
+    def test_injection_semantics_match_fault_sim(self, c17):
+        """The structurally injected circuit equals the simulated faulty machine."""
+        tests = TestSet.exhaustive(c17.inputs)
+        simulator = FaultSimulator(c17, tests)
+        for fault in (Fault("16", 0), Fault("3", 1, input_of="11"), Fault("2", 0)):
+            diffs = simulator.output_diffs(fault)
+            good = output_words(c17, tests)
+            bad = output_words(injected_copy(c17, fault), tests)
+            for net in c17.outputs:
+                assert good[net] ^ bad[net] == diffs.get(net, 0)
+
+    def test_unknown_injection_rejected(self, c17):
+        with pytest.raises(ValueError):
+            injected_copy(c17, Fault("ghost", 0))
+        with pytest.raises(ValueError):
+            injected_copy(c17, Fault("3", 0, input_of="22"))
+
+
+class TestMiter:
+    def test_miter_output_semantics(self, c17):
+        fa, fb = Fault("10", 1), Fault("16", 0)
+        miter = build_miter(c17, fa, fb)
+        assert miter.outputs == [MITER_OUTPUT]
+        tests = TestSet.exhaustive(c17.inputs)
+        miter_word = output_words(miter, tests)[MITER_OUTPUT]
+        a_words = output_words(injected_copy(c17, fa), tests)
+        b_words = output_words(injected_copy(c17, fb), tests)
+        expected = 0
+        for net in c17.outputs:
+            expected |= a_words[net] ^ b_words[net]
+        assert miter_word == expected
+
+    def test_sequential_rejected(self, s27):
+        with pytest.raises(ValueError):
+            build_miter(s27, Fault("G10", 0), Fault("G11", 0))
+
+
+class TestDistinguisher:
+    def test_exact_on_c17(self, c17, c17_faults, c17_exhaustive_sim):
+        tests = TestSet.exhaustive(c17.inputs)
+        table = ResponseTable.build(c17, c17_faults, tests)
+        distinguisher = Distinguisher(c17, backtrack_limit=2000)
+        for a, b in itertools.combinations(range(len(c17_faults)), 2):
+            truth = table.full_row(a) != table.full_row(b)
+            outcome = distinguisher.distinguish(c17_faults[a], c17_faults[b])
+            assert outcome.status is not Status.ABORTED
+            assert outcome.distinguished == truth
+
+    def test_returned_vector_distinguishes(self, s27_scan, s27_faults):
+        distinguisher = Distinguisher(s27_scan, backtrack_limit=2000)
+        fa, fb = s27_faults[0], s27_faults[5]
+        outcome = distinguisher.distinguish(fa, fb)
+        if outcome.distinguished:
+            tests = TestSet(s27_scan.inputs)
+            tests.append_assignment(outcome.test)
+            table = ResponseTable.build(s27_scan, [fa, fb], tests)
+            assert table.signature(0, 0) != table.signature(1, 0)
+
+    def test_equivalent_pair_proven(self, s27_scan, s27_faults):
+        """Functionally equivalent pairs (same rows exhaustively) are proven so."""
+        tests = TestSet.exhaustive(s27_scan.inputs)
+        table = ResponseTable.build(s27_scan, s27_faults, tests)
+        rows = {}
+        equivalent = None
+        for i in range(len(s27_faults)):
+            row = table.full_row(i)
+            if row in rows:
+                equivalent = (s27_faults[rows[row]], s27_faults[i])
+                break
+            rows[row] = i
+        assert equivalent is not None, "fixture assumption: s27 has equivalent pairs"
+        outcome = Distinguisher(s27_scan, backtrack_limit=5000).distinguish(*equivalent)
+        assert outcome.proven_equivalent

@@ -1,0 +1,49 @@
+"""Tests for n-detection test set generation."""
+
+import pytest
+
+from repro.atpg import generate_detection_tests, generate_ndetect_tests
+from repro.sim import FaultSimulator
+
+
+@pytest.mark.parametrize("n", [2, 5, 10])
+def test_counts_reach_achievable_target_on_s27(s27_scan, s27_faults, n):
+    """Every fault reaches min(n, available distinct detecting vectors)."""
+    from repro.sim import TestSet
+
+    tests, report = generate_ndetect_tests(s27_scan, s27_faults, n=n, seed=1)
+    simulator = FaultSimulator(s27_scan, tests)
+    exhaustive = FaultSimulator(s27_scan, TestSet.exhaustive(s27_scan.inputs))
+    counts = simulator.detection_counts(report.detected)
+    available = exhaustive.detection_counts(report.detected)
+    shortfall = [
+        f for f, count in counts.items() if count < min(n, available[f])
+    ]
+    assert not shortfall, [str(f) for f in shortfall]
+
+
+def test_ndetect_superset_of_detection_quality(c17, c17_faults):
+    one, _ = generate_detection_tests(c17, c17_faults, seed=0)
+    ten, report = generate_ndetect_tests(c17, c17_faults, n=10, seed=0)
+    assert len(ten) > len(one)
+    simulator = FaultSimulator(c17, ten)
+    assert simulator.coverage(c17_faults) == 1.0
+
+
+def test_capped_by_function_support(c17, c17_faults):
+    """Asking for more detections than distinct vectors exist must terminate."""
+    tests, _ = generate_ndetect_tests(c17, c17_faults, n=40, seed=0)
+    assert len(tests) <= 32  # c17 has only 32 input vectors
+    assert len(set(tests)) == len(tests)
+
+
+def test_deterministic(s27_scan, s27_faults):
+    a, _ = generate_ndetect_tests(s27_scan, s27_faults, n=3, seed=7)
+    b, _ = generate_ndetect_tests(s27_scan, s27_faults, n=3, seed=7)
+    assert a == b
+
+
+def test_report_inherited_from_detection_phase(s27_scan, s27_faults):
+    _, report = generate_ndetect_tests(s27_scan, s27_faults, n=2, seed=1)
+    assert len(report.detected) == len(s27_faults)
+    assert not report.untestable

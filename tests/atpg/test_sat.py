@@ -1,0 +1,151 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.sat import BudgetExceeded, Solver
+
+
+def brute_force_sat(clauses, num_vars):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        model = {v + 1: bits[v] for v in range(num_vars)}
+        if all(
+            any(model[abs(l)] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return model
+    return None
+
+
+def check_model(clauses, model):
+    for clause in clauses:
+        assert any(model.get(abs(l), False) == (l > 0) for l in clause), clause
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve() == {}
+
+    def test_unit_clauses(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-2])
+        model = solver.solve()
+        assert model[1] is True
+        assert model[2] is False
+
+    def test_contradiction(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is None
+
+    def test_empty_clause(self):
+        solver = Solver()
+        solver.add_clause([])
+        assert solver.solve() is None
+
+    def test_tautology_ignored(self):
+        solver = Solver()
+        solver.add_clause([1, -1])
+        solver.add_clause([2])
+        assert solver.solve()[2] is True
+
+    def test_simple_implications(self):
+        # (x1 -> x2) & (x2 -> x3) & x1 forces x3.
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([1])
+        model = solver.solve()
+        assert model[3] is True
+
+    def test_requires_search(self):
+        # XOR chain: x1 ^ x2 = 1, x2 ^ x3 = 1, x1 = x3 forced equal.
+        clauses = [[1, 2], [-1, -2], [2, 3], [-2, -3]]
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        model = solver.solve()
+        check_model(clauses, model)
+        assert model[1] == model[3]
+
+
+class TestPigeonhole:
+    def pigeonhole(self, holes):
+        """PHP(holes+1, holes): unsatisfiable, needs real search."""
+        pigeons = holes + 1
+        var = lambda p, h: p * holes + h + 1
+        solver = Solver()
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        return solver
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_unsat(self, holes):
+        assert self.pigeonhole(holes).solve() is None
+
+    def test_satisfiable_variant(self):
+        # holes pigeons into holes holes: satisfiable.
+        holes = 3
+        var = lambda p, h: p * holes + h + 1
+        solver = Solver()
+        for p in range(holes):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(holes):
+                for p2 in range(p1 + 1, holes):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve() is not None
+
+
+class TestAssumptions:
+    def test_assumptions_restrict(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        model = solver.solve(assumptions=[-1])
+        assert model[2] is True
+        assert solver.solve(assumptions=[-1, -2]) is None
+
+    def test_conflicting_assumption(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[-1]) is None
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        solver = TestPigeonhole().pigeonhole(5)
+        with pytest.raises(BudgetExceeded):
+            solver.solve(max_conflicts=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    num_vars=st.integers(min_value=1, max_value=8),
+    num_clauses=st.integers(min_value=1, max_value=30),
+)
+def test_random_3sat_matches_brute_force(seed, num_vars, num_clauses):
+    """Property: the solver agrees with exhaustive enumeration."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    model = solver.solve()
+    reference = brute_force_sat(clauses, num_vars)
+    assert (model is None) == (reference is None)
+    if model is not None:
+        check_model(clauses, model)

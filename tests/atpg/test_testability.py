@@ -1,0 +1,85 @@
+"""Tests for SCOAP controllability/observability."""
+
+from repro.atpg import controllability, observability
+from repro.circuit import GateType, from_gates
+
+
+def chain_netlist():
+    return from_gates(
+        "chain",
+        inputs=["a", "b", "c"],
+        gates=[
+            ("g1", GateType.AND, ["a", "b"]),
+            ("g2", GateType.AND, ["g1", "c"]),
+        ],
+        outputs=["g2"],
+    )
+
+
+class TestControllability:
+    def test_sources_cost_one(self, c17):
+        measures = controllability(c17)
+        for net in c17.inputs:
+            assert measures[net] == (1, 1)
+
+    def test_and_chain(self):
+        measures = controllability(chain_netlist())
+        # g1: cc0 = 1+min(1,1)=2, cc1 = 1+1+1=3
+        assert measures["g1"] == (2, 3)
+        # g2: cc0 = 1+min(2,1)=2, cc1 = 1+3+1=5
+        assert measures["g2"] == (2, 5)
+
+    def test_nand_swaps_roles(self):
+        netlist = from_gates(
+            "nand", ["a", "b"], [("g", GateType.NAND, ["a", "b"])], ["g"]
+        )
+        cc0, cc1 = controllability(netlist)["g"]
+        assert cc0 == 3  # all inputs 1
+        assert cc1 == 2  # any input 0
+
+    def test_constants(self):
+        netlist = from_gates(
+            "k",
+            ["a"],
+            [("k1", GateType.CONST1, []), ("g", GateType.AND, ["a", "k1"])],
+            ["g"],
+        )
+        measures = controllability(netlist)
+        cc0, cc1 = measures["k1"]
+        assert cc1 == 0
+        assert cc0 >= 10**8  # unreachable
+
+    def test_xor_exact_two_input(self):
+        netlist = from_gates(
+            "x", ["a", "b"], [("g", GateType.XOR, ["a", "b"])], ["g"]
+        )
+        cc0, cc1 = controllability(netlist)["g"]
+        assert cc0 == 3  # equal inputs: 1+1+1
+        assert cc1 == 3  # one of each
+
+    def test_deeper_is_harder(self, c17):
+        measures = controllability(c17)
+        levels = c17.levelize()
+        # Some monotone trend: the deepest net is harder to set to at least
+        # one value than any primary input.
+        deepest = max(levels, key=levels.get)
+        assert max(measures[deepest]) > 1
+
+
+class TestObservability:
+    def test_outputs_cost_zero(self, c17):
+        measures = observability(c17)
+        for net in c17.outputs:
+            assert measures[net] == 0
+
+    def test_chain_observability(self):
+        measures = observability(chain_netlist())
+        assert measures["g2"] == 0
+        # g1 through g2: 0 + 1 + cc1(c)=1 -> 2
+        assert measures["g1"] == 2
+        # a through g1: obs(g1)=2 + 1 + cc1(b)=1 -> 4
+        assert measures["a"] == 4
+
+    def test_every_net_observable_in_c17(self, c17):
+        measures = observability(c17)
+        assert all(value < 10**8 for value in measures.values())

@@ -1,0 +1,90 @@
+"""Tests for three-valued logic."""
+
+import itertools
+
+import pytest
+
+from repro.atpg.values import ONE, X, ZERO, evaluate3, not3, to_symbol
+from repro.circuit import GateType
+from repro.circuit.gates import evaluate_gate
+
+_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestAgainstBinary:
+    @pytest.mark.parametrize("gate_type", _GATES)
+    def test_binary_inputs_match_binary_eval(self, gate_type):
+        for bits in itertools.product((0, 1), repeat=3):
+            expected = evaluate_gate(gate_type, list(bits), 1)
+            assert evaluate3(gate_type, list(bits)) == expected
+
+    def test_not_buf(self):
+        assert evaluate3(GateType.NOT, [ZERO]) == ONE
+        assert evaluate3(GateType.BUF, [ONE]) == ONE
+        assert evaluate3(GateType.NOT, [X]) == X
+
+    def test_constants(self):
+        assert evaluate3(GateType.CONST0, []) == ZERO
+        assert evaluate3(GateType.CONST1, []) == ONE
+
+
+class TestXPropagation:
+    @pytest.mark.parametrize("gate_type", _GATES)
+    def test_x_soundness(self, gate_type):
+        """Property: a known 3-valued output must hold for all X completions."""
+        for values in itertools.product((ZERO, ONE, X), repeat=2):
+            result = evaluate3(gate_type, list(values))
+            if result == X:
+                continue
+            completions = [
+                [v if v != X else choice[i] for i, v in enumerate(values)]
+                for choice in itertools.product((0, 1), repeat=2)
+            ]
+            outcomes = {evaluate_gate(gate_type, c, 1) for c in completions}
+            assert outcomes == {result}
+
+    @pytest.mark.parametrize("gate_type", _GATES)
+    def test_x_completeness(self, gate_type):
+        """Property: an X output means both completions are possible."""
+        for values in itertools.product((ZERO, ONE, X), repeat=2):
+            result = evaluate3(gate_type, list(values))
+            if result != X:
+                continue
+            completions = [
+                [v if v != X else choice[i] for i, v in enumerate(values)]
+                for choice in itertools.product((0, 1), repeat=2)
+            ]
+            outcomes = {evaluate_gate(gate_type, c, 1) for c in completions}
+            assert outcomes == {0, 1}
+
+    def test_controlling_value_dominates_x(self):
+        assert evaluate3(GateType.AND, [ZERO, X]) == ZERO
+        assert evaluate3(GateType.OR, [ONE, X]) == ONE
+        assert evaluate3(GateType.NAND, [ZERO, X]) == ONE
+        assert evaluate3(GateType.NOR, [ONE, X]) == ZERO
+        assert evaluate3(GateType.XOR, [ONE, X]) == X
+
+
+class TestHelpers:
+    def test_not3(self):
+        assert not3(ZERO) == ONE
+        assert not3(ONE) == ZERO
+        assert not3(X) == X
+
+    def test_symbols(self):
+        assert to_symbol(ONE, ONE) == "1"
+        assert to_symbol(ZERO, ZERO) == "0"
+        assert to_symbol(ONE, ZERO) == "D"
+        assert to_symbol(ZERO, ONE) == "D'"
+        assert to_symbol(X, ONE) == "X"
+
+    def test_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate3(GateType.DFF, [ONE])

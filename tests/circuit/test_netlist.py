@@ -1,0 +1,166 @@
+"""Tests for the Netlist data structure."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist, NetlistError, from_gates
+
+
+def small_netlist() -> Netlist:
+    return from_gates(
+        "small",
+        inputs=["a", "b", "c"],
+        gates=[
+            ("g1", GateType.AND, ["a", "b"]),
+            ("g2", GateType.NOT, ["c"]),
+            ("g3", GateType.OR, ["g1", "g2"]),
+        ],
+        outputs=["g3"],
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        netlist = small_netlist()
+        assert netlist.inputs == ["a", "b", "c"]
+        assert netlist.outputs == ["g3"]
+        assert netlist.num_gates == 3
+        assert len(netlist) == 6
+        assert "g1" in netlist
+        assert "nope" not in netlist
+
+    def test_double_drive_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="driven twice"):
+            netlist.add_input("a")
+
+    def test_double_output_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("a")
+        with pytest.raises(NetlistError, match="declared twice"):
+            netlist.add_output("a")
+
+    def test_bad_fanin_count(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="inputs"):
+            netlist.add_gate("g", GateType.AND, ["a"])
+        with pytest.raises(NetlistError, match="inputs"):
+            netlist.add_gate("g2", GateType.NOT, ["a", "a"])
+
+
+class TestValidation:
+    def test_undriven_net(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("g", GateType.NOT, ["ghost"])
+        netlist.add_output("g")
+        with pytest.raises(NetlistError, match="undriven"):
+            netlist.validate()
+
+    def test_missing_output(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("ghost")
+        with pytest.raises(NetlistError, match="not driven"):
+            netlist.validate()
+
+    def test_no_outputs(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="no primary outputs"):
+            netlist.validate()
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("x", GateType.AND, ["a", "y"])
+        netlist.add_gate("y", GateType.NOT, ["x"])
+        netlist.add_output("y")
+        with pytest.raises(NetlistError, match="cycle"):
+            netlist.validate()
+
+    def test_sequential_loop_through_dff_is_legal(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("q", GateType.DFF, ["d"])
+        netlist.add_gate("d", GateType.AND, ["a", "q"])
+        netlist.add_output("d")
+        netlist.validate()
+        assert not netlist.is_combinational
+
+
+class TestAnalysis:
+    def test_topological_order(self):
+        netlist = small_netlist()
+        order = netlist.topological_order()
+        position = {net: i for i, net in enumerate(order)}
+        for gate in netlist:
+            for fanin in gate.inputs:
+                assert position[fanin] < position[gate.name]
+
+    def test_levels(self):
+        netlist = small_netlist()
+        levels = netlist.levelize()
+        assert levels["a"] == 0
+        assert levels["g1"] == 1
+        assert levels["g3"] == 2
+        assert netlist.stats()["depth"] == 2
+
+    def test_fanout_map(self):
+        netlist = small_netlist()
+        fanout = netlist.fanout_map()
+        assert fanout["a"] == ("g1",)
+        assert fanout["g3"] == ()
+
+    def test_cones(self):
+        netlist = small_netlist()
+        assert netlist.output_cone("a") == {"a", "g1", "g3"}
+        assert netlist.input_cone("g3") == {"a", "b", "c", "g1", "g2", "g3"}
+        assert netlist.input_cone("g1") == {"a", "b", "g1"}
+
+    def test_output_cone_stops_at_dff(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("q", GateType.DFF, ["d"])
+        netlist.add_gate("d", GateType.AND, ["a", "q"])
+        netlist.add_output("d")
+        assert "q" not in netlist.output_cone("d")
+        assert "d" in netlist.output_cone("a")
+
+    def test_caches_invalidated_on_add(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("g", GateType.NOT, ["a"])
+        netlist.add_output("g")
+        assert len(netlist.topological_order()) == 2
+        netlist.add_gate("h", GateType.NOT, ["g"])
+        assert len(netlist.topological_order()) == 3
+
+
+class TestEditing:
+    def test_copy_is_independent(self):
+        netlist = small_netlist()
+        clone = netlist.copy("clone")
+        clone.add_gate("extra", GateType.NOT, ["g3"])
+        assert "extra" not in netlist
+        assert clone.name == "clone"
+        assert netlist.outputs == clone.outputs
+
+    def test_with_line_tied(self):
+        netlist = small_netlist()
+        tied = netlist.with_line_tied("g1", 1)
+        assert tied.gates["g1"].gate_type is GateType.CONST1
+        assert netlist.gates["g1"].gate_type is GateType.AND
+        tied.validate()
+
+    def test_with_line_tied_rejects_bad_args(self):
+        netlist = small_netlist()
+        with pytest.raises(NetlistError):
+            netlist.with_line_tied("ghost", 0)
+        with pytest.raises(ValueError):
+            netlist.with_line_tied("g1", 2)
+
+    def test_repr_mentions_counts(self):
+        assert "inputs=3" in repr(small_netlist())

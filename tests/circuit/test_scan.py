@@ -1,0 +1,57 @@
+"""Tests for the full-scan transformation."""
+
+import pytest
+
+from repro.circuit import GateType, full_scan, prepare_for_test
+from repro.sim import TestSet, simulate
+
+
+class TestFullScan:
+    def test_s27_becomes_combinational(self, s27):
+        scanned, info = full_scan(s27)
+        assert scanned.is_combinational
+        assert set(info.pseudo_inputs) == {"G5", "G6", "G7"}
+        assert len(info.pseudo_outputs) == 3
+        assert info.original_outputs == 1
+
+    def test_inputs_extended(self, s27):
+        scanned, info = full_scan(s27)
+        assert set(scanned.inputs) == set(s27.inputs) | set(info.pseudo_inputs)
+        # True POs come first, pseudo POs after.
+        assert scanned.outputs[: info.original_outputs] == s27.outputs
+
+    def test_pseudo_po_not_duplicated(self):
+        # A DFF whose D net is already a primary output must not be added twice.
+        from repro.circuit import Netlist
+
+        netlist = Netlist("dup")
+        netlist.add_input("a")
+        netlist.add_gate("d", GateType.NOT, ["a"])
+        netlist.add_gate("q", GateType.DFF, ["d"])
+        netlist.add_gate("y", GateType.AND, ["q", "a"])
+        netlist.add_output("d")
+        netlist.add_output("y")
+        scanned, info = full_scan(netlist)
+        assert scanned.outputs.count("d") == 1
+        assert info.pseudo_outputs == ("d",)
+
+    def test_combinational_logic_preserved(self, s27):
+        """The scan view computes the same next-state/output functions."""
+        scanned, info = full_scan(s27)
+        tests = TestSet.random(scanned.inputs, 32, seed=1)
+        values = simulate(scanned, tests)
+        # G17 = NOT(G11): holds on every pattern.
+        mask = (1 << 32) - 1
+        assert values["G17"] == mask ^ values["G11"]
+
+    def test_prepare_for_test_passthrough(self, c17):
+        prepared = prepare_for_test(c17)
+        assert prepared.is_combinational
+        assert sorted(prepared.gates) == sorted(c17.gates)
+        prepared.add_gate("scratch", GateType.NOT, ["22"])
+        assert "scratch" not in c17  # must be a copy
+
+    def test_prepare_for_test_scans_sequential(self, s27):
+        prepared = prepare_for_test(s27)
+        assert prepared.is_combinational
+        assert len(prepared.inputs) == 7

@@ -1,0 +1,195 @@
+"""Tests for netlist transforms: constant sweeping, pruning, decomposition."""
+
+import pytest
+
+from repro.circuit import GateType, from_gates, generate_netlist, full_scan
+from repro.circuit.transforms import (
+    decompose_to_two_input,
+    remove_dangling,
+    sweep_constants,
+)
+from repro.sim import TestSet, output_words
+from tests.conftest import tiny_spec
+
+
+def assert_equivalent(a, b, seed=0):
+    """Both netlists compute the same outputs on random vectors."""
+    assert list(a.inputs) == list(b.inputs)
+    assert list(a.outputs) == list(b.outputs)
+    tests = TestSet.random(a.inputs, 64, seed=seed)
+    assert output_words(a, tests) == output_words(b, tests)
+
+
+class TestSweepConstants:
+    def test_controlling_constant_kills_gate(self):
+        netlist = from_gates(
+            "k",
+            inputs=["a", "b"],
+            gates=[
+                ("k0", GateType.CONST0, []),
+                ("g", GateType.AND, ["a", "k0"]),
+                ("y", GateType.OR, ["g", "b"]),
+            ],
+            outputs=["y"],
+        )
+        swept = sweep_constants(netlist)
+        assert swept.gates["g"].gate_type is GateType.CONST0
+        assert swept.gates["y"].gate_type is GateType.BUF
+        assert_equivalent(netlist, swept)
+
+    def test_noncontrolling_constant_dropped_from_fanin(self):
+        netlist = from_gates(
+            "k",
+            inputs=["a", "b"],
+            gates=[
+                ("k1", GateType.CONST1, []),
+                ("y", GateType.AND, ["a", "k1", "b"]),
+            ],
+            outputs=["y"],
+        )
+        swept = sweep_constants(netlist)
+        assert swept.gates["y"].inputs == ("a", "b")
+        assert_equivalent(netlist, swept)
+
+    def test_nand_with_all_noncontrolling_constants(self):
+        netlist = from_gates(
+            "k",
+            inputs=["a"],
+            gates=[
+                ("k1", GateType.CONST1, []),
+                ("n", GateType.NAND, ["k1", "k1"]),
+                ("y", GateType.OR, ["a", "n"]),
+            ],
+            outputs=["y"],
+        )
+        swept = sweep_constants(netlist)
+        assert swept.gates["n"].gate_type is GateType.CONST0
+        assert_equivalent(netlist, swept)
+
+    def test_xor_parity_folding(self):
+        netlist = from_gates(
+            "x",
+            inputs=["a", "b"],
+            gates=[
+                ("k1", GateType.CONST1, []),
+                ("y", GateType.XOR, ["a", "k1", "b"]),
+            ],
+            outputs=["y"],
+        )
+        swept = sweep_constants(netlist)
+        assert swept.gates["y"].gate_type is GateType.XNOR
+        assert swept.gates["y"].inputs == ("a", "b")
+        assert_equivalent(netlist, swept)
+
+    def test_xor_single_survivor(self):
+        netlist = from_gates(
+            "x",
+            inputs=["a"],
+            gates=[
+                ("k1", GateType.CONST1, []),
+                ("y", GateType.XOR, ["a", "k1"]),
+            ],
+            outputs=["y"],
+        )
+        swept = sweep_constants(netlist)
+        assert swept.gates["y"].gate_type is GateType.NOT
+        assert_equivalent(netlist, swept)
+
+    def test_not_of_constant(self):
+        netlist = from_gates(
+            "n",
+            inputs=["a"],
+            gates=[
+                ("k0", GateType.CONST0, []),
+                ("i", GateType.NOT, ["k0"]),
+                ("y", GateType.AND, ["a", "i"]),
+            ],
+            outputs=["y"],
+        )
+        swept = sweep_constants(netlist)
+        assert swept.gates["i"].gate_type is GateType.CONST1
+        assert swept.gates["y"].gate_type is GateType.BUF
+        assert_equivalent(netlist, swept)
+
+    def test_no_constants_is_identity(self, c17):
+        swept = sweep_constants(c17)
+        assert_equivalent(c17, swept)
+        assert sorted(swept.gates) == sorted(c17.gates)
+
+
+class TestRemoveDangling:
+    def test_drops_unobservable_logic(self):
+        netlist = from_gates(
+            "d",
+            inputs=["a", "b"],
+            gates=[
+                ("used", GateType.AND, ["a", "b"]),
+                ("dead", GateType.OR, ["a", "b"]),
+                ("dead2", GateType.NOT, ["dead"]),
+            ],
+            outputs=["used"],
+        )
+        pruned = remove_dangling(netlist)
+        assert "dead" not in pruned
+        assert "dead2" not in pruned
+        assert_equivalent(netlist, pruned)
+
+    def test_keeps_flip_flop_cones(self, s27):
+        pruned = remove_dangling(s27)
+        assert sorted(pruned.gates) == sorted(s27.gates)
+
+    def test_keeps_interface_inputs(self):
+        netlist = from_gates(
+            "d",
+            inputs=["a", "unused"],
+            gates=[("y", GateType.BUF, ["a"])],
+            outputs=["y"],
+        )
+        pruned = remove_dangling(netlist)
+        assert "unused" in pruned.inputs
+
+
+class TestDecompose:
+    def test_wide_gates_become_two_input(self):
+        netlist = from_gates(
+            "w",
+            inputs=["a", "b", "c", "d", "e"],
+            gates=[("y", GateType.NAND, ["a", "b", "c", "d", "e"])],
+            outputs=["y"],
+        )
+        decomposed = decompose_to_two_input(netlist)
+        for gate in decomposed:
+            if gate.gate_type is not GateType.INPUT:
+                assert len(gate.inputs) <= 2
+        assert decomposed.gates["y"].gate_type is GateType.NAND
+        assert_equivalent(netlist, decomposed)
+
+    @pytest.mark.parametrize(
+        "kind", [GateType.AND, GateType.OR, GateType.XOR, GateType.NOR, GateType.XNOR]
+    )
+    def test_all_families(self, kind):
+        netlist = from_gates(
+            "w",
+            inputs=["a", "b", "c", "d"],
+            gates=[("y", kind, ["a", "b", "c", "d"])],
+            outputs=["y"],
+        )
+        decomposed = decompose_to_two_input(netlist)
+        assert_equivalent(netlist, decomposed)
+
+    def test_narrow_gates_untouched(self, c17):
+        decomposed = decompose_to_two_input(c17)
+        assert sorted(decomposed.gates) == sorted(c17.gates)
+
+    def test_random_circuits_equivalent(self):
+        for seed in range(3):
+            netlist, _ = full_scan(generate_netlist(tiny_spec(seed + 700, gates=30)))
+            assert_equivalent(netlist, decompose_to_two_input(netlist), seed=seed)
+
+    def test_composition_of_transforms(self):
+        for seed in range(2):
+            netlist, _ = full_scan(generate_netlist(tiny_spec(seed + 800, gates=30)))
+            transformed = decompose_to_two_input(
+                remove_dangling(sweep_constants(netlist))
+            )
+            assert_equivalent(netlist, transformed, seed=seed)

@@ -1,0 +1,101 @@
+"""Tests for structural Verilog I/O."""
+
+import pytest
+
+from repro.circuit import GateType, from_gates
+from repro.circuit import verilog
+from repro.circuit.verilog import VerilogParseError
+from repro.sim import TestSet, output_words
+
+
+SAMPLE = """
+// a comment
+module sample (a, b, clk_q, y);
+  input a, b;
+  output y;
+  wire n1, n2;
+  /* block
+     comment */
+  nand u1 (n1, a, b);
+  not  u2 (n2, n1);
+  dff  u3 (clk_q, n2);
+  and  u4 (y, clk_q, a);
+endmodule
+"""
+
+
+class TestParsing:
+    def test_parse_sample(self):
+        netlist = verilog.loads(SAMPLE)
+        assert netlist.name == "sample"
+        assert netlist.inputs == ["a", "b"]
+        assert netlist.outputs == ["y"]
+        assert netlist.gates["n1"].gate_type is GateType.NAND
+        assert netlist.gates["clk_q"].gate_type is GateType.DFF
+        assert netlist.flip_flops == ["clk_q"]
+
+    def test_instance_label_optional(self):
+        text = "module m (a, y);\ninput a;\noutput y;\nnot (y, a);\nendmodule\n"
+        netlist = verilog.loads(text)
+        assert netlist.gates["y"].gate_type is GateType.NOT
+
+    def test_no_module(self):
+        with pytest.raises(VerilogParseError, match="no module"):
+            verilog.loads("wire x;")
+
+    def test_single_port_instance_rejected(self):
+        text = "module m (a, y);\ninput a;\noutput y;\nbuf (y);\nendmodule\n"
+        with pytest.raises(VerilogParseError, match="output and inputs"):
+            verilog.loads(text)
+
+    def test_vector_nets_rejected(self):
+        text = "module m (a, y);\ninput [3:0] a;\noutput y;\nbuf (y, a);\nendmodule\n"
+        with pytest.raises(VerilogParseError, match="unsupported net name"):
+            verilog.loads(text)
+
+
+class TestRoundTrip:
+    def test_functional_identity_c17(self, c17):
+        again = verilog.loads(verilog.dumps(c17), "c17")
+        tests = TestSet.exhaustive(c17.inputs)
+        assert output_words(again, tests) == output_words(c17, tests)
+
+    def test_structural_identity_s27(self, s27):
+        again = verilog.loads(verilog.dumps(s27), "s27")
+        assert sorted(again.gates) == sorted(s27.gates)
+        for name, gate in s27.gates.items():
+            assert again.gates[name].gate_type is gate.gate_type
+            assert again.gates[name].inputs == gate.inputs
+        assert again.outputs == s27.outputs
+
+    def test_file_io(self, tmp_path, c17):
+        path = tmp_path / "c17.v"
+        verilog.dump(c17, path)
+        assert verilog.load(path).stats() == c17.stats()
+
+    def test_constants_not_serialisable(self):
+        netlist = from_gates(
+            "k",
+            inputs=["a"],
+            gates=[("k1", GateType.CONST1, []), ("y", GateType.AND, ["a", "k1"])],
+            outputs=["y"],
+        )
+        with pytest.raises(Exception, match="constant"):
+            verilog.dumps(netlist)
+
+    def test_identifier_sanitised(self):
+        netlist = from_gates(
+            "8weird name!", ["a"], [("y", GateType.BUF, ["a"])], ["y"]
+        )
+        text = verilog.dumps(netlist)
+        assert text.startswith("module m_8weird_name_")
+
+    def test_bench_to_verilog_bridge(self, s27):
+        """bench -> Netlist -> Verilog -> Netlist keeps behaviour (scan view)."""
+        from repro.circuit import full_scan
+        from repro.sim import simulate
+
+        scanned, _ = full_scan(s27)
+        again, _ = full_scan(verilog.loads(verilog.dumps(s27), "s27"))
+        tests = TestSet.random(scanned.inputs, 32, seed=1)
+        assert simulate(again, tests) == simulate(scanned, tests)

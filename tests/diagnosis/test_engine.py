@@ -1,0 +1,89 @@
+"""Tests for the cause-effect diagnosis engine."""
+
+import pytest
+
+from repro.atpg import injected_copy
+from repro.diagnosis import Diagnoser, observe_defect, observe_fault
+from repro.dictionaries import (
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from repro.sim import ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def setup(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 24, seed=8)
+    table = ResponseTable.build(s27_scan, s27_faults, tests)
+    return s27_scan, s27_faults, tests, table
+
+
+class TestObserve:
+    def test_observe_fault_matches_table(self, setup):
+        netlist, faults, tests, table = setup
+        for i in (0, 7, len(faults) - 1):
+            observed = observe_fault(netlist, tests, faults[i])
+            assert observed == [table.signature(i, j) for j in range(len(tests))]
+
+    def test_observe_defect_equals_observe_fault(self, setup):
+        netlist, faults, tests, _ = setup
+        fault = faults[3]
+        via_sim = observe_fault(netlist, tests, fault)
+        via_netlist = observe_defect(netlist, injected_copy(netlist, fault), tests)
+        assert via_sim == via_netlist
+
+    def test_interface_mismatch_rejected(self, setup, c17):
+        netlist, _, tests, _ = setup
+        with pytest.raises(ValueError, match="interface"):
+            observe_defect(netlist, c17, tests)
+
+
+class TestDiagnoser:
+    def test_full_dictionary_diagnoses_exactly(self, setup):
+        netlist, faults, tests, table = setup
+        diagnoser = Diagnoser(FullDictionary(table))
+        for i in range(0, len(faults), 5):
+            observed = observe_fault(netlist, tests, faults[i])
+            diagnosis = diagnoser.diagnose(observed)
+            assert faults[i] in diagnosis.exact
+            # Everything in the exact set shares the injected fault's row.
+            row = table.full_row(i)
+            for candidate in diagnosis.exact:
+                assert table.full_row(faults.index(candidate)) == row
+
+    def test_candidate_sets_ordered_by_resolution(self, setup):
+        """full exact-candidate sets are never larger than pass/fail's."""
+        netlist, faults, tests, table = setup
+        full = Diagnoser(FullDictionary(table))
+        passfail = Diagnoser(PassFailDictionary(table))
+        for i in range(0, len(faults), 3):
+            observed = observe_fault(netlist, tests, faults[i])
+            assert len(full.diagnose(observed).exact) <= len(
+                passfail.diagnose(observed).exact
+            )
+
+    def test_samediff_diagnoses_injected_faults(self, setup):
+        netlist, faults, tests, table = setup
+        dictionary, _ = build_same_different(table, calls=5, seed=1)
+        diagnoser = Diagnoser(dictionary)
+        for i in range(0, len(faults), 4):
+            observed = observe_fault(netlist, tests, faults[i])
+            diagnosis = diagnoser.diagnose(observed)
+            assert faults[i] in diagnosis.exact
+
+    def test_ranked_scores_bounded_by_tests(self, setup):
+        netlist, faults, tests, table = setup
+        diagnoser = Diagnoser(PassFailDictionary(table))
+        observed = observe_fault(netlist, tests, faults[0])
+        diagnosis = diagnoser.diagnose(observed, limit=5)
+        assert len(diagnosis.ranked) == 5
+        assert all(0 <= score <= len(tests) for _, score in diagnosis.ranked)
+        assert diagnosis.ranked[0][1] == len(tests)
+
+    def test_unique_property(self, setup):
+        _, _, _, table = setup
+        diagnosis_cls = Diagnoser(FullDictionary(table)).diagnose(
+            [table.signature(0, j) for j in range(table.n_tests)]
+        )
+        assert diagnosis_cls.is_unique == (diagnosis_cls.candidate_count == 1)

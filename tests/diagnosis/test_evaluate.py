@@ -1,0 +1,71 @@
+"""Tests for defect-injection evaluation campaigns."""
+
+import pytest
+
+from repro.diagnosis import double_fault_campaign, single_fault_campaign
+from repro.dictionaries import (
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from repro.sim import ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def setup(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 24, seed=12)
+    table = ResponseTable.build(s27_scan, s27_faults, tests)
+    samediff, _ = build_same_different(table, calls=5, seed=0)
+    dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+    return s27_scan, tests, dictionaries
+
+
+class TestSingleFaultCampaign:
+    def test_all_dictionaries_reported(self, setup):
+        netlist, tests, dictionaries = setup
+        results = single_fault_campaign(netlist, tests, dictionaries, sample=15, seed=1)
+        assert set(results) == {"full", "pass/fail", "same/different"}
+        for result in results.values():
+            assert result.injections == 15
+
+    def test_resolution_ordering(self, setup):
+        """Mean candidate-set size: full <= same/different <= pass/fail."""
+        netlist, tests, dictionaries = setup
+        results = single_fault_campaign(netlist, tests, dictionaries, sample=25, seed=2)
+        assert (
+            results["full"].mean_candidates
+            <= results["same/different"].mean_candidates
+            <= results["pass/fail"].mean_candidates
+        )
+
+    def test_modelled_fault_always_in_top10(self, setup):
+        netlist, tests, dictionaries = setup
+        results = single_fault_campaign(netlist, tests, dictionaries, sample=20, seed=3)
+        # The injected fault's own row matches perfectly, so the full
+        # dictionary must place it within the first ten candidates.
+        assert results["full"].top10_accuracy == 1.0
+
+    def test_metrics_well_formed(self, setup):
+        netlist, tests, dictionaries = setup
+        results = single_fault_campaign(netlist, tests, dictionaries, sample=10, seed=4)
+        for result in results.values():
+            assert 0.0 <= result.unique_fraction <= 1.0
+            assert 0.0 <= result.top1_accuracy <= result.top10_accuracy <= 1.0
+            assert result.mean_candidates >= 0.0
+
+
+class TestDoubleFaultCampaign:
+    def test_campaign_runs(self, setup):
+        netlist, tests, dictionaries = setup
+        results = double_fault_campaign(netlist, tests, dictionaries, sample=10, seed=5)
+        for result in results.values():
+            assert result.injections <= 10
+            assert result.injections > 0
+
+    def test_empty_result_metrics(self):
+        from repro.diagnosis.evaluate import CampaignResult
+
+        empty = CampaignResult("full")
+        assert empty.unique_fraction == 0.0
+        assert empty.mean_candidates == 0.0
+        assert empty.top1_accuracy == 0.0

@@ -1,0 +1,113 @@
+"""Tests for non-modelled-defect matching strategies."""
+
+import pytest
+
+from repro.atpg import injected_copy
+from repro.diagnosis import observe_defect, observe_fault
+from repro.diagnosis.matching import (
+    MatchScore,
+    Policy,
+    rank_candidates,
+    score_fault,
+    slat_candidates,
+)
+from repro.sim import ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def setup(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 24, seed=41)
+    table = ResponseTable.build(s27_scan, s27_faults, tests)
+    return s27_scan, tests, table
+
+
+class TestScoreFault:
+    def test_self_match_is_all_exact(self, setup, s27_faults):
+        netlist, tests, table = setup
+        for i in (0, 5, 11):
+            observed = observe_fault(netlist, tests, s27_faults[i])
+            score = score_fault(table, i, observed)
+            assert score.mispredicted_fail == 0
+            assert score.unexplained_fail == 0
+            assert score.subset_fail == score.superset_fail == 0
+            assert score.exact_fail + score.pass_agree == table.n_tests
+            assert score.slat_consistent or score.exact_fail == 0
+
+    def test_categories_partition_tests(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[3])
+        for i in range(table.n_faults):
+            score = score_fault(table, i, observed)
+            total = (
+                score.exact_fail
+                + score.subset_fail
+                + score.superset_fail
+                + score.overlap_fail
+                + score.unexplained_fail
+                + score.mispredicted_fail
+                + score.pass_agree
+            )
+            assert total == table.n_tests
+
+    def test_length_checked(self, setup):
+        _, _, table = setup
+        with pytest.raises(ValueError):
+            score_fault(table, 0, [()])
+
+    def test_subset_superset_detection(self):
+        """Hand-built: prediction {0} vs observation {0,1} is a subset."""
+        from repro.faults import Fault
+
+        faults = [Fault("f0", 0)]
+        tests = TestSet(("i",), [0])
+        table = ResponseTable(
+            ("z0", "z1"), faults, tests, [{0: (0,)}], {"z0": 0, "z1": 0}
+        )
+        score = score_fault(table, 0, [(0, 1)])
+        assert score.subset_fail == 1
+        score = score_fault(table, 0, [(1,)])
+        assert score.unexplained_fail == 1
+
+
+class TestRanking:
+    def test_injected_fault_ranks_first_exact(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[7])
+        for policy in Policy:
+            ranked = rank_candidates(table, observed, policy=policy, limit=3)
+            top_faults = [fault for fault, _ in ranked]
+            # The injected fault (or an equivalent) must top every policy.
+            top_score = score_fault(
+                table, s27_faults.index(top_faults[0]), observed
+            )
+            own_score = score_fault(table, 7, observed)
+            assert top_score.exact_fail >= own_score.exact_fail
+
+    def test_double_fault_slat(self, setup, s27_faults):
+        netlist, tests, table = setup
+        defective = injected_copy(
+            injected_copy(netlist, s27_faults[2]), s27_faults[16]
+        )
+        observed = observe_defect(netlist, defective, tests)
+        ranked = rank_candidates(table, observed, policy=Policy.INTERSECTION, limit=10)
+        assert len(ranked) == 10
+        scores = [score for _, score in ranked]
+        assert scores[0].explained_fail >= scores[-1].explained_fail
+
+    def test_limit_respected(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[0])
+        assert len(rank_candidates(table, observed, limit=4)) == 4
+
+
+class TestSlatCandidates:
+    def test_modelled_fault_is_slat_consistent(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[9])
+        candidates = slat_candidates(table, observed)
+        assert s27_faults[9] in candidates
+
+    def test_passing_chip_has_no_candidates(self, setup):
+        _, tests, table = setup
+        observed = [()] * table.n_tests
+        assert slat_candidates(table, observed) == []

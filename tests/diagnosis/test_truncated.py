@@ -1,0 +1,87 @@
+"""Tests for diagnosis from truncated tester logs."""
+
+import pytest
+
+from repro.diagnosis import observe_fault
+from repro.diagnosis.truncated import (
+    TruncatedLog,
+    exact_prefix_candidates,
+    rank_truncated,
+    score_truncated,
+    truncate_log,
+)
+from repro.sim import PASS, ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def setup(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 24, seed=61)
+    table = ResponseTable.build(s27_scan, s27_faults, tests)
+    return s27_scan, tests, table
+
+
+class TestTruncateLog:
+    def test_stops_after_nth_failure(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[0])
+        log = truncate_log(observed, max_failures=2)
+        assert log.observed_failures <= 2
+        if log.observed_failures == 2:
+            assert log.responses[-1] != PASS
+            assert log.cutoff <= len(observed)
+
+    def test_complete_log_when_failures_scarce(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[0])
+        log = truncate_log(observed, max_failures=10**6)
+        assert log.cutoff == len(observed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            truncate_log([], 0)
+
+
+class TestScoring:
+    def test_injected_fault_consistent_on_prefix(self, setup, s27_faults):
+        netlist, tests, table = setup
+        for i in (0, 6, 13):
+            observed = observe_fault(netlist, tests, s27_faults[i])
+            log = truncate_log(observed, max_failures=1)
+            score = score_truncated(table, i, log)
+            assert score.consistent
+            assert score.matching_tests == log.cutoff
+
+    def test_ranking_puts_injected_first(self, setup, s27_faults):
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[4])
+        log = truncate_log(observed, max_failures=2)
+        ranked = rank_truncated(table, log, limit=5)
+        top_scores = [score for _, score in ranked]
+        own = score_truncated(table, 4, log)
+        assert top_scores[0].consistent
+        assert top_scores[0].matching_tests >= own.matching_tests
+
+
+class TestResolutionLoss:
+    def test_shorter_logs_grow_candidate_sets(self, setup, s27_faults):
+        """Monotonicity: fewer observed failures, never fewer candidates."""
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[2])
+        sizes = []
+        for max_failures in (1, 2, 4, 10**6):
+            log = truncate_log(observed, max_failures)
+            sizes.append(len(exact_prefix_candidates(table, log)))
+        assert sizes == sorted(sizes, reverse=True)
+        assert 2 in set(
+            exact_prefix_candidates(table, truncate_log(observed, 10**6))
+        ) or sizes[-1] >= 1
+
+    def test_complete_log_matches_full_dictionary(self, setup, s27_faults):
+        from repro.dictionaries import FullDictionary
+
+        netlist, tests, table = setup
+        observed = observe_fault(netlist, tests, s27_faults[8])
+        log = truncate_log(observed, 10**6)
+        prefix = set(exact_prefix_candidates(table, log))
+        full = set(FullDictionary(table).exact_candidates(observed))
+        assert prefix == full

@@ -1,0 +1,79 @@
+"""Tests for two-stage (dictionary + dynamic) diagnosis."""
+
+import pytest
+
+from repro.diagnosis import (
+    TwoStageDiagnoser,
+    observe_fault,
+    screening_cost_comparison,
+)
+from repro.diagnosis.engine import observe_defect
+from repro.dictionaries import (
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+)
+from repro.sim import ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def setup(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 20, seed=33)
+    table = ResponseTable.build(s27_scan, s27_faults, tests)
+    samediff, _ = build_same_different(table, calls=5, seed=0)
+    return s27_scan, tests, table, samediff
+
+
+class TestTwoStage:
+    def test_modelled_fault_confirmed(self, setup, s27_faults):
+        netlist, tests, table, samediff = setup
+        stage = TwoStageDiagnoser(netlist, tests, samediff)
+        for i in range(0, len(s27_faults), 6):
+            observed = observe_fault(netlist, tests, s27_faults[i])
+            diagnosis = stage.diagnose(observed)
+            assert s27_faults[i] in diagnosis.screened
+            assert s27_faults[i] in diagnosis.confirmed
+            # Stage 2 simulated exactly the screened candidates.
+            assert diagnosis.simulated == diagnosis.screen_size
+
+    def test_confirmed_subset_of_screened(self, setup, s27_faults):
+        netlist, tests, table, samediff = setup
+        stage = TwoStageDiagnoser(netlist, tests, samediff)
+        observed = observe_fault(netlist, tests, s27_faults[4])
+        diagnosis = stage.diagnose(observed)
+        assert set(diagnosis.confirmed) <= set(diagnosis.screened)
+
+    def test_stage2_narrows_passfail_screen(self, setup, s27_faults):
+        """Pass/fail screens coarsely; the dynamic stage must tighten it."""
+        netlist, tests, table, _ = setup
+        stage = TwoStageDiagnoser(netlist, tests, PassFailDictionary(table))
+        narrowed = False
+        for i in range(0, len(s27_faults), 4):
+            observed = observe_fault(netlist, tests, s27_faults[i])
+            diagnosis = stage.diagnose(observed)
+            assert s27_faults[i] in diagnosis.confirmed
+            narrowed |= len(diagnosis.confirmed) < len(diagnosis.screened)
+        assert narrowed
+
+    def test_non_modelled_defect_falls_back(self, setup, s27_faults):
+        from repro.atpg import injected_copy
+
+        netlist, tests, table, samediff = setup
+        defective = injected_copy(
+            injected_copy(netlist, s27_faults[1]), s27_faults[9]
+        )
+        observed = observe_defect(netlist, defective, tests)
+        stage = TwoStageDiagnoser(netlist, tests, samediff)
+        diagnosis = stage.diagnose(observed)
+        # Either the screen matched something, or the ranked fallback kicked in.
+        assert diagnosis.screened
+
+
+class TestScreeningCosts:
+    def test_resolution_reduces_dynamic_effort(self, setup, s27_faults):
+        netlist, tests, table, samediff = setup
+        dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+        costs = screening_cost_comparison(netlist, tests, dictionaries, sample=15)
+        # Higher first-stage resolution => fewer candidates to re-simulate.
+        assert costs["full"] <= costs["same/different"] <= costs["pass/fail"]
+        assert all(cost >= 1.0 for cost in costs.values())

@@ -1,0 +1,75 @@
+"""Tests for the dictionary size model and shared interface."""
+
+import pytest
+
+from repro.dictionaries import (
+    DictionarySizes,
+    FullDictionary,
+    PassFailDictionary,
+)
+from repro.faults import collapse
+from repro.sim import ResponseTable, TestSet
+
+
+class TestSizes:
+    def test_paper_formulae(self):
+        sizes = DictionarySizes(n_faults=100, n_tests=20, n_outputs=7)
+        assert sizes.full == 20 * 100 * 7
+        assert sizes.pass_fail == 20 * 100
+        assert sizes.same_different == 20 * (100 + 7)
+
+    def test_sd_overhead_is_k_times_m(self):
+        sizes = DictionarySizes(50, 10, 3)
+        assert sizes.same_different - sizes.pass_fail == 10 * 3
+
+    def test_of_table(self, c17, c17_faults):
+        table = ResponseTable.build(c17, c17_faults, TestSet.exhaustive(c17.inputs))
+        sizes = DictionarySizes.of(table)
+        assert sizes.n_faults == len(c17_faults)
+        assert sizes.n_tests == 32
+        assert sizes.n_outputs == 2
+
+
+@pytest.fixture(scope="module")
+def table(c17, c17_faults):
+    return ResponseTable.build(c17, c17_faults, TestSet.exhaustive(c17.inputs))
+
+
+class TestSharedInterface:
+    def test_size_matches_model(self, table):
+        sizes = DictionarySizes.of(table)
+        assert FullDictionary(table).size_bits == sizes.full
+        assert PassFailDictionary(table).size_bits == sizes.pass_fail
+
+    def test_distinguished_complement(self, table):
+        from repro.dictionaries import total_pairs
+
+        dictionary = PassFailDictionary(table)
+        assert (
+            dictionary.distinguished_pairs() + dictionary.indistinguished_pairs()
+            == total_pairs(table.n_faults)
+        )
+
+    def test_row_partition_covers(self, table):
+        partition = FullDictionary(table).row_partition()
+        flat = sorted(i for members in partition for i in members)
+        assert flat == list(range(table.n_faults))
+
+    def test_encode_length_checked(self, table):
+        for dictionary in (FullDictionary(table), PassFailDictionary(table)):
+            with pytest.raises(ValueError):
+                dictionary.encode_response([()])
+
+    def test_exact_candidates_find_own_row(self, table):
+        for dictionary in (FullDictionary(table), PassFailDictionary(table)):
+            observed = [table.signature(3, j) for j in range(table.n_tests)]
+            candidates = dictionary.exact_candidates(observed)
+            assert 3 in candidates
+
+    def test_ranked_candidates_sorted(self, table):
+        dictionary = FullDictionary(table)
+        observed = [table.signature(0, j) for j in range(table.n_tests)]
+        ranked = dictionary.ranked_candidates(observed, limit=5)
+        scores = [c.score for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert ranked[0].score == table.n_tests  # the fault itself matches fully

@@ -1,0 +1,111 @@
+"""Tests for the compressed comparator dictionary organisations."""
+
+import itertools
+
+import pytest
+
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from repro.dictionaries.compressed import (
+    CountDictionary,
+    DropOnDetectDictionary,
+    FirstFailDictionary,
+)
+from repro.sim import PASS, ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def table(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 20, seed=51)
+    return ResponseTable.build(s27_scan, s27_faults, tests)
+
+
+ALL = (CountDictionary, FirstFailDictionary, DropOnDetectDictionary)
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_indistinguished_matches_brute(self, cls, table):
+        dictionary = cls(table)
+        brute = sum(
+            1
+            for a, b in itertools.combinations(range(table.n_faults), 2)
+            if dictionary.row(a) == dictionary.row(b)
+        )
+        assert dictionary.indistinguished_pairs() == brute
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_encode_of_own_row(self, cls, table):
+        dictionary = cls(table)
+        for i in range(0, table.n_faults, 5):
+            observed = [table.signature(i, j) for j in range(table.n_tests)]
+            assert dictionary.encode_response(observed) == dictionary.row(i)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_length_validation(self, cls, table):
+        with pytest.raises(ValueError):
+            cls(table).encode_response([()])
+
+
+class TestResolutionOrdering:
+    def test_hierarchy(self, table):
+        """pass/fail ⊑ count/first-fail ⊑ full; drop-on-detect is weakest."""
+        full = FullDictionary(table).indistinguished_pairs()
+        passfail = PassFailDictionary(table).indistinguished_pairs()
+        count = CountDictionary(table).indistinguished_pairs()
+        first = FirstFailDictionary(table).indistinguished_pairs()
+        drop = DropOnDetectDictionary(table).indistinguished_pairs()
+        assert full <= count <= passfail
+        assert full <= first <= passfail
+        assert drop >= passfail  # it throws away almost everything
+
+    def test_count_refines_passfail(self, table):
+        """count == 0 exactly on passing tests, so counts refine detection."""
+        count = CountDictionary(table)
+        passfail = PassFailDictionary(table)
+        for a, b in itertools.combinations(range(table.n_faults), 2):
+            if count.row(a) == count.row(b):
+                assert passfail.row(a) == passfail.row(b)
+
+
+class TestSizes:
+    def test_count_and_firstfail_size(self, table):
+        import math
+
+        per_entry = max(1, math.ceil(math.log2(table.n_outputs + 1)))
+        expected = table.n_tests * table.n_faults * per_entry
+        assert CountDictionary(table).size_bits == expected
+        assert FirstFailDictionary(table).size_bits == expected
+
+    def test_drop_on_detect_smallest(self, table):
+        drop = DropOnDetectDictionary(table)
+        assert drop.size_bits < PassFailDictionary(table).size_bits
+
+    def test_ordering(self, table):
+        assert (
+            DropOnDetectDictionary(table).size_bits
+            < PassFailDictionary(table).size_bits
+            < CountDictionary(table).size_bits
+            <= FullDictionary(table).size_bits
+        )
+
+
+class TestDropOnDetect:
+    def test_undetected_fault_row(self, s27_scan, s27_faults):
+        # Build a table with an empty test set slice where some faults pass.
+        tests = TestSet.random(s27_scan.inputs, 2, seed=52)
+        table = ResponseTable.build(s27_scan, s27_faults, tests)
+        drop = DropOnDetectDictionary(table)
+        for i in range(table.n_faults):
+            first, sig = drop.row(i)
+            if table.detection_word(i) == 0:
+                assert first == table.n_tests and sig == PASS
+            else:
+                assert table.signature(i, first) == sig
+                assert all(
+                    table.signature(i, j) == PASS for j in range(first)
+                )
+
+    def test_match_score_all_or_nothing(self, table):
+        drop = DropOnDetectDictionary(table)
+        observed = [table.signature(0, j) for j in range(table.n_tests)]
+        assert drop.match_score(0, observed) == table.n_tests

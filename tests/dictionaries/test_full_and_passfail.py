@@ -1,0 +1,78 @@
+"""Tests for the full and pass/fail dictionaries."""
+
+import itertools
+
+import pytest
+
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from repro.sim import PASS, ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def table(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 24, seed=4)
+    return ResponseTable.build(s27_scan, s27_faults, tests)
+
+
+class TestFullDictionary:
+    def test_rows_are_signature_tuples(self, table):
+        dictionary = FullDictionary(table)
+        for i in range(table.n_faults):
+            assert dictionary.row(i) == table.full_row(i)
+
+    def test_highest_resolution(self, table):
+        """No dictionary can beat the full dictionary on the same tests."""
+        full = FullDictionary(table)
+        passfail = PassFailDictionary(table)
+        assert full.indistinguished_pairs() <= passfail.indistinguished_pairs()
+
+    def test_indistinguished_matches_brute_force(self, table):
+        dictionary = FullDictionary(table)
+        brute = sum(
+            1
+            for a, b in itertools.combinations(range(table.n_faults), 2)
+            if dictionary.row(a) == dictionary.row(b)
+        )
+        assert dictionary.indistinguished_pairs() == brute
+
+    def test_match_score_counts_tests(self, table):
+        dictionary = FullDictionary(table)
+        observed = list(table.full_row(0))
+        assert dictionary.match_score(0, observed) == table.n_tests
+        # Perturb one test's response.
+        observed[0] = (0, 1, 2) if observed[0] == PASS else PASS
+        assert dictionary.match_score(0, observed) == table.n_tests - 1
+
+
+class TestPassFailDictionary:
+    def test_rows_are_detection_words(self, table):
+        dictionary = PassFailDictionary(table)
+        for i in range(table.n_faults):
+            assert dictionary.row(i) == table.detection_word(i)
+
+    def test_indistinguished_matches_brute_force(self, table):
+        dictionary = PassFailDictionary(table)
+        brute = sum(
+            1
+            for a, b in itertools.combinations(range(table.n_faults), 2)
+            if dictionary.row(a) == dictionary.row(b)
+        )
+        assert dictionary.indistinguished_pairs() == brute
+
+    def test_encode_response_drops_vector_detail(self, table):
+        dictionary = PassFailDictionary(table)
+        observed = [table.signature(2, j) for j in range(table.n_tests)]
+        assert dictionary.encode_response(observed) == dictionary.row(2)
+
+    def test_match_score_hamming(self, table):
+        dictionary = PassFailDictionary(table)
+        observed = [table.signature(1, j) for j in range(table.n_tests)]
+        assert dictionary.match_score(1, observed) == table.n_tests
+
+    def test_pass_fail_loses_information(self, table):
+        """Faults detected by the same tests but with different output sets
+        collapse in pass/fail, stay apart in full."""
+        full = FullDictionary(table)
+        passfail = PassFailDictionary(table)
+        merged = passfail.indistinguished_pairs() - full.indistinguished_pairs()
+        assert merged >= 0

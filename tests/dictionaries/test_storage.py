@@ -1,0 +1,97 @@
+"""Tests for bit-packed dictionary serialization."""
+
+import pytest
+
+from repro.dictionaries import (
+    FullDictionary,
+    PackedDictionary,
+    PassFailDictionary,
+    build_same_different,
+    pack_full,
+    pack_passfail,
+    pack_samediff,
+    unpack_full,
+    unpack_passfail,
+    unpack_samediff,
+)
+from repro.sim import ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def table(s27_scan, s27_faults):
+    tests = TestSet.random(s27_scan.inputs, 14, seed=21)
+    return ResponseTable.build(s27_scan, s27_faults, tests)
+
+
+class TestPayloadSizes:
+    """The payload bit counts must equal the paper's size model exactly."""
+
+    def test_passfail(self, table):
+        packed = pack_passfail(PassFailDictionary(table))
+        assert packed.payload_bits == table.n_tests * table.n_faults
+
+    def test_samediff(self, table):
+        dictionary, _ = build_same_different(table, calls=3, seed=0)
+        packed = pack_samediff(dictionary)
+        assert packed.payload_bits == table.n_tests * (
+            table.n_faults + table.n_outputs
+        )
+
+    def test_full(self, table):
+        packed = pack_full(FullDictionary(table))
+        assert packed.payload_bits == (
+            table.n_tests * table.n_faults * table.n_outputs
+        )
+
+    def test_byte_length(self, table):
+        packed = pack_passfail(PassFailDictionary(table))
+        assert len(packed.payload) == (packed.payload_bits + 7) // 8
+
+
+class TestRoundTrip:
+    def test_passfail(self, table):
+        original = PassFailDictionary(table)
+        restored = unpack_passfail(pack_passfail(original), table)
+        for i in range(table.n_faults):
+            assert restored.row(i) == original.row(i)
+
+    def test_samediff(self, table):
+        original, _ = build_same_different(table, calls=3, seed=0)
+        restored = unpack_samediff(pack_samediff(original), table)
+        assert restored.baselines == original.baselines
+        for i in range(table.n_faults):
+            assert restored.row(i) == original.row(i)
+
+    def test_full(self, table):
+        original = FullDictionary(table)
+        restored = unpack_full(pack_full(original), table)
+        assert restored.indistinguished_pairs() == original.indistinguished_pairs()
+
+    def test_json_roundtrip(self, table):
+        packed = pack_passfail(PassFailDictionary(table))
+        again = PackedDictionary.from_json(packed.to_json())
+        assert again == packed
+
+
+class TestValidation:
+    def test_kind_mismatch(self, table):
+        packed = pack_passfail(PassFailDictionary(table))
+        with pytest.raises(ValueError, match="same/different"):
+            unpack_samediff(packed, table)
+        with pytest.raises(ValueError, match="full"):
+            unpack_full(packed, table)
+
+    def test_corrupted_payload_detected(self, table):
+        packed = pack_passfail(PassFailDictionary(table))
+        corrupted = bytearray(packed.payload)
+        corrupted[0] ^= 0xFF
+        bad = PackedDictionary(
+            packed.kind,
+            packed.n_faults,
+            packed.n_tests,
+            packed.n_outputs,
+            bytes(corrupted),
+            packed.payload_bits,
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            unpack_passfail(bad, table)

@@ -1,0 +1,84 @@
+"""Tests for dictionary test selection."""
+
+import pytest
+
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from repro.dictionaries.testselect import (
+    select_tests_preserving_detection,
+    select_tests_preserving_resolution,
+)
+from repro.sim import ResponseTable, TestSet
+from tests.dictionaries.test_samediff import random_table
+
+
+@pytest.fixture(scope="module")
+def table(s27_scan, s27_faults):
+    # Deliberately redundant test set: plenty to prune.
+    tests = TestSet.random(s27_scan.inputs, 40, seed=17)
+    return ResponseTable.build(s27_scan, s27_faults, tests)
+
+
+class TestDetectionSelection:
+    def test_detection_preserved(self, table):
+        chosen = select_tests_preserving_detection(table)
+        sub = table.subset(chosen)
+        for i in range(table.n_faults):
+            assert (table.detection_word(i) != 0) == (sub.detection_word(i) != 0)
+
+    def test_strictly_smaller_on_redundant_set(self, table):
+        chosen = select_tests_preserving_detection(table)
+        assert len(chosen) < table.n_tests
+
+    def test_sorted_and_unique(self, table):
+        chosen = select_tests_preserving_detection(table)
+        assert chosen == sorted(set(chosen))
+
+    def test_empty_table(self):
+        table = random_table(3, 4, 2, seed=1)
+        chosen = select_tests_preserving_detection(table)
+        sub = table.subset(chosen)
+        for i in range(table.n_faults):
+            assert (table.detection_word(i) != 0) == (sub.detection_word(i) != 0)
+
+
+class TestResolutionSelection:
+    def test_full_resolution_preserved(self, table):
+        chosen = select_tests_preserving_resolution(table)
+        sub = table.subset(chosen)
+        assert (
+            FullDictionary(sub).indistinguished_pairs()
+            == FullDictionary(table).indistinguished_pairs()
+        )
+
+    def test_detection_preserved_too(self, table):
+        chosen = select_tests_preserving_resolution(table)
+        sub = table.subset(chosen)
+        for i in range(table.n_faults):
+            assert (table.detection_word(i) != 0) == (sub.detection_word(i) != 0)
+
+    def test_prunes_redundant_tests(self, table):
+        chosen = select_tests_preserving_resolution(table)
+        assert len(chosen) < table.n_tests
+
+    def test_needs_at_least_detection_count(self, table):
+        resolution = select_tests_preserving_resolution(table)
+        detection = select_tests_preserving_detection(table)
+        # Resolution is the stronger property: never cheaper than detection.
+        assert len(resolution) >= len(detection) - 1  # greedy slack of one
+
+    def test_random_tables(self):
+        for seed in range(5):
+            table = random_table(12, 10, 3, seed=seed + 70)
+            chosen = select_tests_preserving_resolution(table)
+            sub = table.subset(chosen)
+            assert (
+                FullDictionary(sub).indistinguished_pairs()
+                == FullDictionary(table).indistinguished_pairs()
+            )
+
+    def test_dictionary_size_shrinks_proportionally(self, table):
+        chosen = select_tests_preserving_resolution(table)
+        sub = table.subset(chosen)
+        full = PassFailDictionary(table)
+        small = PassFailDictionary(sub)
+        assert small.size_bits == full.size_bits * len(chosen) // table.n_tests

@@ -1,0 +1,51 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments import (
+    calls_sweep,
+    lower_sweep,
+    mixed_storage_study,
+    multi_baseline_study,
+)
+
+
+class TestLowerSweep:
+    def test_sweep_runs(self):
+        points = lower_sweep("p208", "diag", lowers=(1, 10, 10**9))
+        assert [p.lower for p in points] == [1, 10, 10**9]
+        assert all(p.distinguished > 0 for p in points)
+        assert all(p.seconds >= 0 for p in points)
+
+    def test_cutoff_loses_little(self):
+        """The paper's observation: LOWER=10 nearly matches the full scan."""
+        points = {p.lower: p.distinguished for p in lower_sweep(
+            "p208", "diag", lowers=(10, 10**9)
+        )}
+        assert points[10] >= 0.98 * points[10**9]
+
+
+class TestCallsSweep:
+    def test_monotone_in_restart_budget(self):
+        points = calls_sweep("p208", "diag", calls_values=(1, 5, 20))
+        values = [p.distinguished_procedure1 for p in points]
+        assert values == sorted(values)
+        assert points[-1].procedure1_calls >= points[0].procedure1_calls
+
+
+class TestMultiBaseline:
+    def test_resolution_improves_with_baselines(self):
+        points = multi_baseline_study("p208", "diag", max_extra=1, calls=5)
+        assert points[0].baselines_per_test == 1
+        assert points[1].baselines_per_test == 2
+        assert points[1].indistinguished <= points[0].indistinguished
+        assert points[1].size_bits > points[0].size_bits
+
+
+class TestMixedStorage:
+    def test_accounting(self):
+        result = mixed_storage_study("p208", "diag", calls=5)
+        assert result.plain_size_bits > 0
+        assert 0 <= result.fault_free_baselines <= result.n_tests
+        # Mixed never costs more than plain plus the per-test flag bits.
+        assert result.mixed_size_bits <= result.plain_size_bits + result.n_tests

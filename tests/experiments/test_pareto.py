@@ -1,0 +1,75 @@
+"""Tests for the size/resolution landscape experiment."""
+
+import pytest
+
+from repro.experiments.pareto import (
+    ParetoPoint,
+    dominated_points,
+    render_frontier,
+    size_resolution_frontier,
+)
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return size_resolution_frontier("p208", "diag", calls=5)
+
+
+class TestFrontier:
+    def test_all_organisations_present(self, frontier):
+        kinds = {p.kind for p in frontier}
+        assert kinds == {
+            "drop-on-detect",
+            "pass/fail",
+            "same/different",
+            "count",
+            "first-fail",
+            "full",
+        }
+
+    def test_sorted_by_size(self, frontier):
+        sizes = [p.size_bits for p in frontier]
+        assert sizes == sorted(sizes)
+
+    def test_paper_headline_holds(self, frontier):
+        """same/different: barely bigger than pass/fail, strictly better."""
+        by_kind = {p.kind: p for p in frontier}
+        sd = by_kind["same/different"]
+        pf = by_kind["pass/fail"]
+        full = by_kind["full"]
+        assert sd.size_bits < pf.size_bits * 1.1
+        assert sd.indistinguished <= pf.indistinguished
+        assert sd.indistinguished >= full.indistinguished
+
+    def test_same_different_not_dominated(self, frontier):
+        """The paper's point: s/d is on the Pareto frontier."""
+        assert ParetoPoint(
+            "same/different",
+            next(p.size_bits for p in frontier if p.kind == "same/different"),
+            next(p.indistinguished for p in frontier if p.kind == "same/different"),
+        ) not in dominated_points(frontier)
+
+    def test_full_has_best_resolution(self, frontier):
+        best = min(p.indistinguished for p in frontier)
+        by_kind = {p.kind: p for p in frontier}
+        assert by_kind["full"].indistinguished == best
+
+
+class TestDominance:
+    def test_dominated_points_logic(self):
+        points = [
+            ParetoPoint("a", 10, 5),
+            ParetoPoint("b", 20, 5),   # bigger, same resolution: dominated
+            ParetoPoint("c", 5, 10),
+            ParetoPoint("d", 30, 1),
+        ]
+        dominated = dominated_points(points)
+        assert ParetoPoint("b", 20, 5) in dominated
+        assert ParetoPoint("a", 10, 5) not in dominated
+        assert ParetoPoint("d", 30, 1) not in dominated
+
+
+def test_render(frontier):
+    text = render_frontier("p208", frontier)
+    assert "same/different" in text
+    assert "p208" in text

@@ -1,0 +1,55 @@
+"""Tests for text-table rendering."""
+
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(("name", "value"), [("alpha", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("-")
+        # Numeric column right-aligned: both rows end at the same column.
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+        assert len(lines[2]) <= len(lines[3]) + 1
+
+    def test_none_renders_dash(self):
+        text = format_table(("a",), [(None,)])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_title(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.123456,)])
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(("h",), [("a-very-long-cell",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("a-very-long-cell")
+
+    def test_negative_numbers_right_aligned(self):
+        text = format_table(("v",), [(-5,), (100,)])
+        lines = text.splitlines()
+        assert lines[-2].endswith("-5")
+        assert lines[-1].endswith("100")
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestScalingStudy:
+    def test_runs_on_small_circuits(self):
+        from repro.experiments.scaling import scaling_study
+
+        points = scaling_study(circuits=("p208",), tests_per_circuit=32)
+        assert len(points) == 1
+        point = points[0]
+        assert point.faults > 0
+        assert point.build_table_seconds >= 0
+        assert point.procedure1_seconds >= 0

@@ -1,0 +1,68 @@
+"""Tests for the Table 6 harness (structure + invariants, small budget)."""
+
+import pytest
+
+from repro.experiments import render_table6, table6_row
+from repro.experiments.table6 import prepared_experiment, response_table_for
+
+
+@pytest.fixture(scope="module")
+def diag_row():
+    return table6_row("p208", "diag", calls=5)
+
+
+@pytest.fixture(scope="module")
+def ndet_row():
+    return table6_row("p208", "10det", calls=5)
+
+
+class TestRowInvariants:
+    def test_size_relationships(self, diag_row):
+        sizes = diag_row.sizes
+        assert sizes.pass_fail < sizes.same_different < sizes.full
+        assert sizes.same_different - sizes.pass_fail == (
+            diag_row.n_tests * diag_row.n_outputs
+        )
+
+    def test_resolution_ordering(self, diag_row, ndet_row):
+        for row in (diag_row, ndet_row):
+            assert row.indist_full <= row.indist_sd_replace
+            assert row.indist_sd_replace <= row.indist_sd_random
+            assert row.indist_sd_random <= row.indist_passfail
+
+    def test_ndet_has_more_tests(self, diag_row, ndet_row):
+        assert ndet_row.n_tests > diag_row.n_tests
+
+    def test_replace_column_omitted_without_improvement(self, diag_row):
+        if diag_row.indist_sd_replace == diag_row.indist_sd_random:
+            assert diag_row.sd_replace_or_none is None
+        else:
+            assert diag_row.sd_replace_or_none == diag_row.indist_sd_replace
+
+    def test_fault_counts_positive(self, diag_row):
+        assert diag_row.n_faults > 100
+        assert diag_row.n_outputs == 9  # 1 PO + 8 scan cells
+
+
+class TestHarnessPlumbing:
+    def test_unknown_test_type(self):
+        with pytest.raises(ValueError, match="unknown test type"):
+            prepared_experiment("p208", "nope")
+
+    def test_prepared_experiment_cached(self):
+        first = prepared_experiment("p208", "diag")
+        second = prepared_experiment("p208", "diag")
+        assert first is second
+
+    def test_response_table_uses_detected_faults_only(self):
+        netlist, table = response_table_for("p208", "diag")
+        for i in range(table.n_faults):
+            assert table.detection_word(i) != 0
+
+    def test_render(self, diag_row, ndet_row):
+        text = render_table6([diag_row, ndet_row])
+        assert "p208" in text
+        assert "diag" in text and "10det" in text
+        assert "ind s/d rand" in text
+        # Two data rows plus title, header and rule.
+        assert len(text.splitlines()) == 5

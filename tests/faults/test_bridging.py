@@ -1,0 +1,118 @@
+"""Tests for the bridging fault model."""
+
+import pytest
+
+from repro.circuit import GateType, from_gates
+from repro.faults.bridging import (
+    BridgingFault,
+    enumerate_bridges,
+    inject_bridge,
+    is_feedback_bridge,
+)
+from repro.sim import TestSet, output_vectors, simulate
+
+
+def plain_netlist():
+    return from_gates(
+        "br",
+        inputs=["a", "b", "c"],
+        gates=[
+            ("x", GateType.AND, ["a", "b"]),
+            ("y", GateType.OR, ["b", "c"]),
+            ("o1", GateType.XOR, ["x", "y"]),
+            ("o2", GateType.NAND, ["x", "c"]),
+        ],
+        outputs=["o1", "o2"],
+    )
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BridgingFault("a", "a")
+        with pytest.raises(ValueError):
+            BridgingFault("a", "b", wired="XOR")
+
+    def test_str(self):
+        assert str(BridgingFault("x", "y", "OR")) == "bridge(x,y)/OR"
+
+    def test_feedback_detection(self):
+        netlist = plain_netlist()
+        assert is_feedback_bridge(netlist, BridgingFault("x", "o1"))
+        assert not is_feedback_bridge(netlist, BridgingFault("x", "y"))
+
+
+class TestInjection:
+    def test_wired_and_semantics(self):
+        """Exhaustive: both bridged nets carry AND(driver_a, driver_b)."""
+        netlist = plain_netlist()
+        bridged = inject_bridge(netlist, BridgingFault("x", "y", "AND"))
+        tests = TestSet.exhaustive(netlist.inputs)
+        words = simulate(bridged, tests)
+        expected = words["x__drv"] & words["y__drv"]
+        assert words["x"] == expected
+        assert words["y"] == expected
+
+    def test_wired_or_semantics(self):
+        netlist = plain_netlist()
+        bridged = inject_bridge(netlist, BridgingFault("x", "y", "OR"))
+        tests = TestSet.exhaustive(netlist.inputs)
+        words = simulate(bridged, tests)
+        expected = words["x__drv"] | words["y__drv"]
+        assert words["x"] == expected
+        assert words["y"] == expected
+
+    def test_driver_values_unchanged(self):
+        netlist = plain_netlist()
+        bridged = inject_bridge(netlist, BridgingFault("x", "y", "AND"))
+        tests = TestSet.exhaustive(netlist.inputs)
+        good = simulate(netlist, tests)
+        bad = simulate(bridged, tests)
+        assert bad["x__drv"] == good["x"]
+        assert bad["y__drv"] == good["y"]
+
+    def test_interface_preserved_for_logic_bridges(self):
+        netlist = plain_netlist()
+        bridged = inject_bridge(netlist, BridgingFault("x", "y", "AND"))
+        assert bridged.inputs == netlist.inputs
+        assert bridged.outputs == netlist.outputs
+
+    def test_pi_bridge(self):
+        """Bridging a PI redirects its consumers but keeps the interface."""
+        netlist = plain_netlist()
+        bridged = inject_bridge(netlist, BridgingFault("a", "y", "OR"))
+        assert bridged.inputs == netlist.inputs
+        tests = TestSet.exhaustive(netlist.inputs)
+        words = simulate(bridged, tests)
+        assert words["a__bridged"] == words["a"] | words["y__drv"]
+        # x now reads the bridged value of a.
+        assert words["x"] == words["a__bridged"] & words["b"]
+
+    def test_feedback_rejected(self):
+        with pytest.raises(ValueError, match="feedback"):
+            inject_bridge(plain_netlist(), BridgingFault("x", "o2"))
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(ValueError, match="unknown net"):
+            inject_bridge(plain_netlist(), BridgingFault("x", "nope"))
+
+    def test_bridge_changes_behaviour(self, c17):
+        bridged = inject_bridge(c17, BridgingFault("10", "19", "AND"))
+        tests = TestSet.exhaustive(c17.inputs)
+        assert output_vectors(bridged, tests) != output_vectors(c17, tests)
+
+
+class TestEnumeration:
+    def test_sampled_bridges_valid(self, c17):
+        bridges = enumerate_bridges(c17, count=10, seed=1)
+        assert len(bridges) == 10
+        for fault in bridges:
+            assert not is_feedback_bridge(c17, fault)
+            inject_bridge(c17, fault).validate()
+
+    def test_wired_filter(self, c17):
+        bridges = enumerate_bridges(c17, count=5, seed=2, wired="OR")
+        assert all(f.wired == "OR" for f in bridges)
+
+    def test_deterministic(self, c17):
+        assert enumerate_bridges(c17, 5, seed=3) == enumerate_bridges(c17, 5, seed=3)

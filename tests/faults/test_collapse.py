@@ -1,0 +1,80 @@
+"""Tests for structural equivalence collapsing.
+
+The behavioural check is the important one: any two faults placed in the
+same equivalence class must have identical detection words under an
+exhaustive test set (that is the definition of fault equivalence).
+"""
+
+import pytest
+
+from repro.circuit import GateType, from_gates, full_scan, generate_netlist
+from repro.faults import all_faults, collapse, equivalence_classes
+from repro.sim import FaultSimulator, TestSet
+from tests.conftest import tiny_spec
+
+
+class TestC17:
+    def test_collapsed_count(self, c17):
+        # The well-known result for c17 with input-branch faults: 22 classes.
+        assert len(collapse(c17)) == 22
+
+    def test_classes_cover_universe(self, c17):
+        classes = equivalence_classes(c17)
+        members = [fault for group in classes.values() for fault in group]
+        assert sorted(members) == sorted(all_faults(c17))
+
+    def test_representative_is_smallest_member(self, c17):
+        for representative, members in equivalence_classes(c17).items():
+            assert representative == min(members)
+
+    def test_nand_rule(self, c17):
+        # Input sa0 of a NAND is equivalent to its output sa1.
+        classes = equivalence_classes(c17)
+        for representative, members in classes.items():
+            lines = {(f.line, f.stuck_at, f.input_of) for f in members}
+            if ("10", 1, None) in lines:  # 10 = NAND(1, 3)
+                assert ("1", 0, None) in lines  # single-fanout input 1
+
+
+def _behavioural_check(netlist, classes):
+    simulator = FaultSimulator(netlist, TestSet.exhaustive(netlist.inputs))
+    for members in classes.values():
+        words = {simulator.detection_word(fault) for fault in members}
+        assert len(words) == 1, f"class {sorted(map(str, members))} not equivalent"
+
+
+class TestBehaviouralEquivalence:
+    def test_c17(self, c17):
+        _behavioural_check(c17, equivalence_classes(c17))
+
+    def test_s27_scan(self, s27_scan):
+        _behavioural_check(s27_scan, equivalence_classes(s27_scan))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_small_random_circuits(self, seed):
+        netlist = generate_netlist(tiny_spec(seed + 100, gates=20))
+        scanned, _ = full_scan(netlist)
+        _behavioural_check(scanned, equivalence_classes(scanned))
+
+
+class TestEdgeCases:
+    def test_not_chain_collapses(self):
+        netlist = from_gates(
+            "chain",
+            inputs=["a"],
+            gates=[("b", GateType.NOT, ["a"]), ("c", GateType.NOT, ["b"])],
+            outputs=["c"],
+        )
+        # a/sa0 == b/sa1 == c/sa0 and a/sa1 == b/sa0 == c/sa1: 2 classes.
+        assert len(collapse(netlist)) == 2
+
+    def test_explicit_fault_subset(self, c17):
+        from repro.faults import Fault
+
+        subset = [Fault("1", 0), Fault("10", 1), Fault("1", 1)]
+        classes = equivalence_classes(c17, subset)
+        # 1/sa0 and 10/sa1 merge (NAND rule); 1/sa1 stays alone.
+        assert len(classes) == 2
+
+    def test_collapse_deterministic(self, s27_scan):
+        assert collapse(s27_scan) == collapse(s27_scan)

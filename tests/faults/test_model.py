@@ -1,0 +1,43 @@
+"""Tests for the Fault value type."""
+
+import pytest
+
+from repro.faults import Fault
+
+
+class TestFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fault("n1", 2)
+
+    def test_stem_vs_pin(self):
+        stem = Fault("n1", 0)
+        pin = Fault("n1", 0, input_of="g3")
+        assert stem.is_stem
+        assert not pin.is_stem
+        assert stem != pin
+
+    def test_str(self):
+        assert str(Fault("n1", 1)) == "n1/sa1"
+        assert str(Fault("n1", 0, input_of="g3")) == "n1->g3/sa0"
+
+    def test_hashable_and_equal(self):
+        assert Fault("a", 0) == Fault("a", 0)
+        assert len({Fault("a", 0), Fault("a", 0), Fault("a", 1)}) == 2
+
+    def test_ordering_total_and_deterministic(self):
+        faults = [
+            Fault("b", 1),
+            Fault("a", 0, input_of="z"),
+            Fault("a", 1),
+            Fault("a", 0),
+        ]
+        ordered = sorted(faults)
+        assert ordered[0] == Fault("a", 0)
+        # Stem faults sort before pin faults on the same line/value.
+        assert ordered.index(Fault("a", 0)) < ordered.index(Fault("a", 0, input_of="z"))
+        assert sorted(faults) == sorted(reversed(faults))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Fault("a", 0).stuck_at = 1

@@ -1,0 +1,66 @@
+"""Tests for fault universe enumeration."""
+
+from repro.circuit import GateType, Netlist, from_gates
+from repro.faults import Fault, all_faults, checkpoint_faults
+
+
+class TestAllFaults:
+    def test_c17_universe_size(self, c17):
+        # c17: 11 nets, two of which (3 and 11, 16) have fan-out 2, plus
+        # branch faults.  Classic count: 22 stem + 12 branch = 34.
+        faults = all_faults(c17)
+        assert len(faults) == 34
+        assert len(set(faults)) == 34
+
+    def test_single_fanout_nets_have_no_pin_faults(self, c17):
+        faults = all_faults(c17)
+        fanout = c17.fanout_map()
+        for fault in faults:
+            if not fault.is_stem:
+                assert len(fanout[fault.line]) > 1
+
+    def test_both_polarities_everywhere(self, c17):
+        faults = set(all_faults(c17))
+        for fault in list(faults):
+            flipped = Fault(fault.line, 1 - fault.stuck_at, fault.input_of)
+            assert flipped in faults
+
+    def test_constants_carry_no_faults(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("k", GateType.CONST0, [])
+        netlist.add_gate("y", GateType.OR, ["a", "k"])
+        netlist.add_output("y")
+        lines = {f.line for f in all_faults(netlist)}
+        assert "k" not in lines
+
+
+class TestCheckpointFaults:
+    def test_checkpoints_subset_of_universe(self, c17):
+        universe = set(all_faults(c17))
+        checkpoints = checkpoint_faults(c17)
+        assert set(checkpoints) <= universe
+
+    def test_c17_checkpoints(self, c17):
+        # Checkpoints: PIs with single fan-out + all fan-out branches.
+        checkpoints = checkpoint_faults(c17)
+        branch_lines = {(f.line, f.input_of) for f in checkpoints if not f.is_stem}
+        assert ("3", "10") in branch_lines
+        assert ("3", "11") in branch_lines
+
+    def test_fanout_pi_contributes_branches_not_stem(self):
+        netlist = from_gates(
+            "fan",
+            inputs=["a"],
+            gates=[
+                ("x", GateType.NOT, ["a"]),
+                ("y", GateType.BUF, ["a"]),
+                ("z", GateType.AND, ["x", "y"]),
+            ],
+            outputs=["z"],
+        )
+        checkpoints = checkpoint_faults(netlist)
+        stems = [f for f in checkpoints if f.is_stem and f.line == "a"]
+        branches = [f for f in checkpoints if not f.is_stem and f.line == "a"]
+        assert not stems
+        assert len(branches) == 4  # 2 branches x 2 polarities

@@ -1,0 +1,141 @@
+"""Tests for the transition fault model and two-pattern ATPG.
+
+Ground truth: exhaustive enumeration of all (launch, capture) pairs on
+c17 (32 x 32 = 1024 pairs, simulated bit-parallel).
+"""
+
+import pytest
+
+from repro.atpg import Status
+from repro.atpg.transition_atpg import TransitionAtpg, generate_transition_tests
+from repro.faults.transition import (
+    TransitionFault,
+    TransitionFaultSimulator,
+    transition_faults,
+    transition_response_table,
+)
+from repro.sim import TestSet
+
+
+@pytest.fixture(scope="module")
+def c17_all_pairs(c17):
+    """All 1024 two-pattern tests for c17 as paired TestSets."""
+    launch = TestSet(c17.inputs)
+    capture = TestSet(c17.inputs)
+    for v1 in range(32):
+        for v2 in range(32):
+            launch.append(v1)
+            capture.append(v2)
+    return launch, capture
+
+
+class TestModel:
+    def test_fault_list(self, c17):
+        faults = transition_faults(c17)
+        assert len(faults) == 2 * len(c17.gates)
+        assert TransitionFault("10", rising=True) in faults
+
+    def test_residual_stuck_at(self):
+        assert TransitionFault("n", True).residual_stuck_at.stuck_at == 0
+        assert TransitionFault("n", False).residual_stuck_at.stuck_at == 1
+
+    def test_str(self):
+        assert str(TransitionFault("n", True)) == "n/str"
+        assert str(TransitionFault("n", False)) == "n/stf"
+
+    def test_ordering(self, c17):
+        faults = transition_faults(c17)
+        assert sorted(faults) == sorted(faults, key=lambda f: f.sort_key)
+
+
+class TestSimulator:
+    def test_launch_semantics(self, c17, c17_all_pairs):
+        launch, capture = c17_all_pairs
+        simulator = TransitionFaultSimulator(c17, launch, capture)
+        fault = TransitionFault("10", rising=True)
+        word = simulator.launch_word(fault)
+        from repro.sim import simulate
+
+        v1 = simulate(c17, launch)["10"]
+        v2 = simulate(c17, capture)["10"]
+        for j in range(len(launch)):
+            expected = (not (v1 >> j) & 1) and ((v2 >> j) & 1)
+            assert bool((word >> j) & 1) == bool(expected)
+
+    def test_detection_needs_launch_and_capture(self, c17, c17_all_pairs):
+        """Detected pairs are exactly launch-word AND stuck-at detection."""
+        from repro.sim import FaultSimulator
+
+        launch, capture = c17_all_pairs
+        simulator = TransitionFaultSimulator(c17, launch, capture)
+        stuck_sim = FaultSimulator(c17, capture)
+        for fault in transition_faults(c17):
+            expected = simulator.launch_word(fault) & stuck_sim.detection_word(
+                fault.residual_stuck_at
+            )
+            assert simulator.detection_word(fault) == expected
+
+    def test_pairing_validated(self, c17):
+        with pytest.raises(ValueError, match="pair up"):
+            TransitionFaultSimulator(
+                c17,
+                TestSet.random(c17.inputs, 3, seed=0),
+                TestSet.random(c17.inputs, 4, seed=0),
+            )
+
+
+class TestAtpg:
+    def test_against_exhaustive(self, c17, c17_all_pairs):
+        launch, capture = c17_all_pairs
+        exhaustive = TransitionFaultSimulator(c17, launch, capture)
+        engine = TransitionAtpg(c17)
+        for fault in transition_faults(c17):
+            truth = exhaustive.detection_word(fault) != 0
+            result = engine.generate(fault)
+            assert result.status is not Status.ABORTED
+            assert result.detected == truth, str(fault)
+            if result.detected:
+                pair_launch = TestSet(c17.inputs)
+                pair_launch.append_assignment(result.launch)
+                pair_capture = TestSet(c17.inputs)
+                pair_capture.append_assignment(result.capture)
+                check = TransitionFaultSimulator(c17, pair_launch, pair_capture)
+                assert check.detection_word(fault) == 1, str(fault)
+
+    def test_driver_classifies_everything(self, s27_scan):
+        faults = transition_faults(s27_scan)
+        launch, capture, report = generate_transition_tests(
+            s27_scan, faults, seed=1, random_pairs=32
+        )
+        assert len(launch) == len(capture)
+        assert not report["aborted"]
+        total = len(report["detected"]) + len(report["untestable"])
+        assert total == len(faults)
+        simulator = TransitionFaultSimulator(s27_scan, launch, capture)
+        for fault in report["detected"]:
+            assert simulator.detection_word(fault), str(fault)
+
+
+class TestTransitionDictionaries:
+    def test_same_different_applies(self, s27_scan):
+        """The s/d construction is fault-model agnostic."""
+        from repro.dictionaries import (
+            FullDictionary,
+            PassFailDictionary,
+            build_same_different,
+        )
+
+        faults = transition_faults(s27_scan)
+        launch, capture, report = generate_transition_tests(
+            s27_scan, faults, seed=2, random_pairs=32
+        )
+        detected = report["detected"]
+        table = transition_response_table(s27_scan, launch, capture, detected)
+        full = FullDictionary(table)
+        passfail = PassFailDictionary(table)
+        samediff, _ = build_same_different(table, calls=10, seed=0)
+        assert (
+            full.indistinguished_pairs()
+            <= samediff.indistinguished_pairs()
+            <= passfail.indistinguished_pairs()
+        )

@@ -1,0 +1,101 @@
+"""Tests for bit-parallel fault simulation.
+
+The decisive check compares the event-driven cone simulation against the
+brute-force alternative: structurally inject the fault and re-simulate the
+whole circuit.
+"""
+
+import pytest
+
+from repro.atpg import injected_copy
+from repro.circuit import generate_netlist, full_scan
+from repro.faults import Fault, all_faults, collapse
+from repro.sim import FaultSimulator, TestSet, iter_bits, output_words
+from tests.conftest import tiny_spec
+
+
+def brute_force_diffs(netlist, tests, fault):
+    """Reference: per-output XOR between good and structurally-faulty circuits."""
+    good = output_words(netlist, tests)
+    bad = output_words(injected_copy(netlist, fault), tests)
+    return {
+        net: good[net] ^ bad[net] for net in good if good[net] != bad[net]
+    }
+
+
+class TestAgainstBruteForce:
+    def test_c17_all_faults(self, c17):
+        tests = TestSet.exhaustive(c17.inputs)
+        simulator = FaultSimulator(c17, tests)
+        for fault in all_faults(c17):
+            assert simulator.output_diffs(fault) == brute_force_diffs(c17, tests, fault)
+
+    def test_s27_all_faults(self, s27_scan):
+        tests = TestSet.random(s27_scan.inputs, 48, seed=2)
+        simulator = FaultSimulator(s27_scan, tests)
+        for fault in all_faults(s27_scan):
+            assert simulator.output_diffs(fault) == brute_force_diffs(
+                s27_scan, tests, fault
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuits(self, seed):
+        netlist, _ = full_scan(generate_netlist(tiny_spec(seed + 50, gates=25)))
+        tests = TestSet.random(netlist.inputs, 32, seed=seed)
+        simulator = FaultSimulator(netlist, tests)
+        for fault in all_faults(netlist):
+            assert simulator.output_diffs(fault) == brute_force_diffs(
+                netlist, tests, fault
+            )
+
+
+class TestDerivedQueries:
+    def test_detection_word_is_or_of_diffs(self, c17):
+        tests = TestSet.exhaustive(c17.inputs)
+        simulator = FaultSimulator(c17, tests)
+        fault = Fault("10", 1)
+        word = 0
+        for diff in simulator.output_diffs(fault).values():
+            word |= diff
+        assert simulator.detection_word(fault) == word
+        assert word  # c17 has no undetectable fault
+
+    def test_detects_single_pattern(self, c17):
+        tests = TestSet.exhaustive(c17.inputs)
+        simulator = FaultSimulator(c17, tests)
+        fault = Fault("10", 1)
+        word = simulator.detection_word(fault)
+        for j in range(len(tests)):
+            assert simulator.detects(j, fault) == bool((word >> j) & 1)
+
+    def test_coverage_and_counts(self, c17, c17_faults):
+        tests = TestSet.exhaustive(c17.inputs)
+        simulator = FaultSimulator(c17, tests)
+        assert simulator.coverage(c17_faults) == 1.0
+        counts = simulator.detection_counts(c17_faults)
+        assert all(count > 0 for count in counts.values())
+        assert simulator.coverage([]) == 1.0
+
+    def test_empty_test_set_detects_nothing(self, c17, c17_faults):
+        simulator = FaultSimulator(c17, TestSet(c17.inputs))
+        assert simulator.detected_faults(c17_faults) == []
+
+
+class TestErrors:
+    def test_sequential_rejected(self, s27):
+        with pytest.raises(Exception, match="sequential"):
+            FaultSimulator(s27, TestSet.random(s27.inputs, 2, seed=0))
+
+    def test_unknown_fault_line(self, c17):
+        simulator = FaultSimulator(c17, TestSet.exhaustive(c17.inputs))
+        with pytest.raises(ValueError, match="unknown net"):
+            simulator.output_diffs(Fault("ghost", 0))
+        with pytest.raises(ValueError, match="unknown pin"):
+            simulator.output_diffs(Fault("3", 0, input_of="ghost"))
+
+
+def test_iter_bits():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b1011)) == [0, 1, 3]
+    big = (1 << 200) | 1
+    assert list(iter_bits(big)) == [0, 200]

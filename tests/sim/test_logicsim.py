@@ -1,0 +1,86 @@
+"""Tests for bit-parallel fault-free simulation."""
+
+import pytest
+
+from repro.circuit import GateType, from_gates
+from repro.sim import (
+    SimulationError,
+    TestSet,
+    output_vectors,
+    output_words,
+    simulate,
+    simulate_single,
+)
+
+
+def c17_reference(a, b, c, d, e):
+    """Direct NAND-level model of c17: inputs (1, 2, 3, 6, 7)."""
+    n10 = 1 - (a & c)
+    n11 = 1 - (c & d)
+    n16 = 1 - (b & n11)
+    n19 = 1 - (n11 & e)
+    return (1 - (n10 & n16), 1 - (n16 & n19))
+
+
+class TestC17GroundTruth:
+    def test_exhaustive_against_reference(self, c17):
+        tests = TestSet.exhaustive(c17.inputs)
+        vectors = output_vectors(c17, tests)
+        for j in range(len(tests)):
+            a, b, c, d, e = (tests.value(j, net) for net in ("1", "2", "3", "6", "7"))
+            expected = c17_reference(a, b, c, d, e)
+            assert vectors[j] == f"{expected[0]}{expected[1]}"
+
+
+class TestScalarVsParallel:
+    def test_single_matches_parallel(self, s27_scan):
+        tests = TestSet.random(s27_scan.inputs, 16, seed=3)
+        words = simulate(s27_scan, tests)
+        for j in range(len(tests)):
+            scalar = simulate_single(s27_scan, tests.assignment(j))
+            for net, word in words.items():
+                assert scalar[net] == (word >> j) & 1
+
+    def test_tiny_circuits(self, tiny_circuits):
+        for netlist in tiny_circuits:
+            tests = TestSet.random(netlist.inputs, 8, seed=11)
+            words = simulate(netlist, tests)
+            scalar = simulate_single(netlist, tests.assignment(5))
+            for net, word in words.items():
+                assert scalar[net] == (word >> 5) & 1
+
+
+class TestErrors:
+    def test_sequential_rejected(self, s27):
+        tests = TestSet.random(s27.inputs, 4, seed=0)
+        with pytest.raises(SimulationError, match="sequential"):
+            simulate(s27, tests)
+
+    def test_missing_input_stimulus(self, c17):
+        tests = TestSet(["1", "2"], [0])
+        with pytest.raises(SimulationError, match="lacks inputs"):
+            simulate(c17, tests)
+
+
+class TestConstGates:
+    def test_constants_simulate(self):
+        netlist = from_gates(
+            "const",
+            inputs=["a"],
+            gates=[
+                ("k0", GateType.CONST0, []),
+                ("k1", GateType.CONST1, []),
+                ("y", GateType.OR, ["a", "k0"]),
+                ("z", GateType.AND, ["a", "k1"]),
+            ],
+            outputs=["y", "z"],
+        )
+        tests = TestSet(["a"], [0, 1])
+        words = output_words(netlist, tests)
+        assert words["y"] == 0b10
+        assert words["z"] == 0b10
+
+    def test_empty_test_set(self, c17):
+        tests = TestSet(c17.inputs)
+        words = simulate(c17, tests)
+        assert all(word == 0 for word in words.values())

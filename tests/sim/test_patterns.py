@@ -1,0 +1,116 @@
+"""Tests for the TestSet container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import TestSet
+
+
+class TestConstruction:
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TestSet(["a", "a"])
+
+    def test_append_range_checked(self):
+        tests = TestSet(["a", "b"])
+        tests.append(3)
+        with pytest.raises(ValueError):
+            tests.append(4)
+        with pytest.raises(ValueError):
+            tests.append(-1)
+
+    def test_append_assignment(self):
+        tests = TestSet(["a", "b", "c"])
+        tests.append_assignment({"a": 1, "b": 0, "c": 1})
+        assert tests[0] == 0b101
+        with pytest.raises(ValueError, match="missing"):
+            tests.append_assignment({"a": 1})
+
+    def test_append_string(self):
+        tests = TestSet(["a", "b", "c"])
+        tests.append_string("101")
+        assert tests.value(0, "a") == 1
+        assert tests.value(0, "b") == 0
+        assert tests.value(0, "c") == 1
+        with pytest.raises(ValueError):
+            tests.append_string("10")
+        with pytest.raises(ValueError):
+            tests.append_string("1x1")
+
+    def test_string_roundtrip(self):
+        tests = TestSet(["a", "b", "c", "d"])
+        tests.append_string("0110")
+        assert tests.as_string(0) == "0110"
+
+    def test_extend_requires_same_inputs(self):
+        a = TestSet(["x"], [0, 1])
+        b = TestSet(["y"], [1])
+        with pytest.raises(ValueError):
+            a.extend(b)
+        c = TestSet(["x"], [1])
+        a.extend(c)
+        assert len(a) == 3
+
+
+class TestFactories:
+    def test_random_deterministic(self):
+        a = TestSet.random(["a", "b", "c"], 10, seed=5)
+        b = TestSet.random(["a", "b", "c"], 10, seed=5)
+        assert a == b
+        assert a != TestSet.random(["a", "b", "c"], 10, seed=6)
+
+    def test_exhaustive(self):
+        tests = TestSet.exhaustive(["a", "b"])
+        assert list(tests) == [0, 1, 2, 3]
+
+    def test_exhaustive_refuses_wide(self):
+        with pytest.raises(ValueError):
+            TestSet.exhaustive([f"i{k}" for k in range(21)])
+
+
+class TestTransforms:
+    def test_deduplicated_keeps_first(self):
+        tests = TestSet(["a", "b"], [1, 2, 1, 3, 2])
+        assert list(tests.deduplicated()) == [1, 2, 3]
+
+    def test_reordered(self):
+        tests = TestSet(["a", "b"], [0, 1, 2])
+        assert list(tests.reordered([2, 0, 1])) == [2, 0, 1]
+        with pytest.raises(ValueError):
+            tests.reordered([0, 0, 1])
+
+    def test_subset(self):
+        tests = TestSet(["a", "b"], [0, 1, 2, 3])
+        assert list(tests.subset([3, 1])) == [3, 1]
+
+    def test_assignment_view(self):
+        tests = TestSet(["a", "b"], [0b10])
+        assert tests.assignment(0) == {"a": 0, "b": 1}
+
+
+@given(
+    vectors=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=30)
+)
+def test_input_words_transpose_property(vectors):
+    """Property: input_words is the exact transpose of the test list."""
+    inputs = [f"i{k}" for k in range(8)]
+    tests = TestSet(inputs, vectors)
+    words = tests.input_words()
+    for j, vector in enumerate(vectors):
+        for position, net in enumerate(inputs):
+            assert ((words[net] >> j) & 1) == ((vector >> position) & 1)
+
+
+@given(
+    vectors=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=20)
+)
+def test_string_views_consistent(vectors):
+    """Property: as_string/assignment/value agree for every test."""
+    inputs = [f"i{k}" for k in range(6)]
+    tests = TestSet(inputs, vectors)
+    for j in range(len(tests)):
+        text = tests.as_string(j)
+        assignment = tests.assignment(j)
+        for position, net in enumerate(inputs):
+            assert int(text[position]) == assignment[net] == tests.value(j, net)

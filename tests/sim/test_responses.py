@@ -1,0 +1,106 @@
+"""Tests for the ResponseTable (z_i,j signature capture)."""
+
+import pytest
+
+from repro.faults import collapse
+from repro.sim import PASS, FaultSimulator, ResponseTable, TestSet
+
+
+@pytest.fixture(scope="module")
+def c17_table(c17, c17_faults):
+    tests = TestSet.exhaustive(c17.inputs)
+    return ResponseTable.build(c17, c17_faults, tests)
+
+
+class TestSignatures:
+    def test_dimensions(self, c17_table, c17_faults):
+        assert c17_table.n_faults == len(c17_faults)
+        assert c17_table.n_tests == 32
+        assert c17_table.n_outputs == 2
+
+    def test_signature_matches_detection(self, c17, c17_table, c17_faults):
+        simulator = FaultSimulator(c17, c17_table.tests)
+        for i, fault in enumerate(c17_faults):
+            word = simulator.detection_word(fault)
+            for j in range(c17_table.n_tests):
+                detected = bool((word >> j) & 1)
+                assert (c17_table.signature(i, j) != PASS) == detected
+                assert c17_table.detects(j, i) == detected
+
+    def test_detection_word_equivalence(self, c17, c17_table, c17_faults):
+        simulator = FaultSimulator(c17, c17_table.tests)
+        for i, fault in enumerate(c17_faults):
+            assert c17_table.detection_word(i) == simulator.detection_word(fault)
+
+    def test_full_row_length(self, c17_table):
+        row = c17_table.full_row(0)
+        assert len(row) == c17_table.n_tests
+
+
+class TestVectors:
+    def test_good_vector_matches_simulation(self, c17, c17_table):
+        from repro.sim import output_vectors
+
+        vectors = output_vectors(c17, c17_table.tests)
+        for j in range(c17_table.n_tests):
+            assert c17_table.good_vector(j) == vectors[j]
+
+    def test_response_vector_flips_failing_outputs(self, c17_table):
+        for i in range(c17_table.n_faults):
+            for j in range(c17_table.n_tests):
+                good = c17_table.good_vector(j)
+                faulty = c17_table.response_vector(i, j)
+                flips = {o for o in range(len(good)) if good[o] != faulty[o]}
+                assert tuple(sorted(flips)) == c17_table.signature(i, j)
+
+    def test_signature_to_vector_inverse(self, c17_table):
+        for j in range(0, c17_table.n_tests, 7):
+            for sig in c17_table.candidate_signatures(j):
+                vector = c17_table.signature_to_vector(sig, j)
+                good = c17_table.good_vector(j)
+                recovered = tuple(
+                    o for o in range(len(good)) if vector[o] != good[o]
+                )
+                assert recovered == sig
+
+
+class TestGrouping:
+    def test_groups_partition_detected(self, c17_table):
+        for j in range(c17_table.n_tests):
+            groups = c17_table.failing_groups(j)
+            flat = [i for group in groups for i in group]
+            assert sorted(flat) == sorted(c17_table.detected_indices(j))
+            assert len(set(flat)) == len(flat)
+
+    def test_group_members_share_signature(self, c17_table):
+        for j in range(c17_table.n_tests):
+            for sig, group in zip(
+                c17_table.failing_signatures(j), c17_table.failing_groups(j)
+            ):
+                assert sig != PASS
+                for i in group:
+                    assert c17_table.signature(i, j) == sig
+
+    def test_candidates_start_with_pass(self, c17_table):
+        for j in range(c17_table.n_tests):
+            candidates = c17_table.candidate_signatures(j)
+            assert candidates[0] == PASS
+            assert len(candidates) == len(set(candidates))
+
+
+class TestSubset:
+    def test_subset_consistency(self, c17, c17_faults, c17_table):
+        chosen = [3, 17, 0, 31]
+        sub = c17_table.subset(chosen)
+        assert sub.n_tests == 4
+        for i in range(sub.n_faults):
+            for new_j, old_j in enumerate(chosen):
+                assert sub.signature(i, new_j) == c17_table.signature(i, old_j)
+                assert sub.good_vector(new_j) == c17_table.good_vector(old_j)
+
+    def test_subset_matches_rebuild(self, c17, c17_faults, c17_table):
+        chosen = [1, 2, 8]
+        sub = c17_table.subset(chosen)
+        rebuilt = ResponseTable.build(c17, c17_faults, c17_table.tests.subset(chosen))
+        for i in range(sub.n_faults):
+            assert sub.full_row(i) == rebuilt.full_row(i)

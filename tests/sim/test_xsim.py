@@ -1,0 +1,99 @@
+"""Tests for three-valued simulation and test-cube utilities."""
+
+import itertools
+
+import pytest
+
+from repro.sim.logicsim import SimulationError, simulate_single
+from repro.sim.xsim import (
+    UNKNOWN,
+    cube_conflicts,
+    determined_outputs,
+    merge_cubes,
+    required_inputs,
+    simulate3,
+)
+
+
+class TestSimulate3:
+    def test_fully_specified_matches_binary(self, c17):
+        for vector in range(0, 32, 5):
+            assignment = {
+                net: (vector >> i) & 1 for i, net in enumerate(c17.inputs)
+            }
+            three = simulate3(c17, assignment)
+            binary = simulate_single(c17, assignment)
+            assert all(three[net] == binary[net] for net in c17.gates)
+
+    def test_soundness_of_determined_values(self, c17):
+        """Property: a 0/1 result holds for every completion of the X inputs."""
+        partial = {"1": 0, "3": 1}  # leave 2, 6, 7 unknown
+        three = simulate3(c17, partial)
+        free = [net for net in c17.inputs if net not in partial]
+        for completion in itertools.product((0, 1), repeat=len(free)):
+            full = dict(partial)
+            full.update(dict(zip(free, completion)))
+            binary = simulate_single(c17, full)
+            for net, value in three.items():
+                if value != UNKNOWN:
+                    assert binary[net] == value, net
+
+    def test_empty_assignment_all_x_inputs(self, c17):
+        three = simulate3(c17, {})
+        assert all(three[net] == UNKNOWN for net in c17.inputs)
+
+    def test_controlling_value_determines_output(self, c17):
+        # Input 1 = 0 forces NAND gate 10 to 1 regardless of input 3.
+        three = simulate3(c17, {"1": 0})
+        assert three["10"] == 1
+
+    def test_rejects_non_inputs(self, c17):
+        with pytest.raises(SimulationError, match="not primary inputs"):
+            simulate3(c17, {"10": 1})
+
+    def test_rejects_bad_values(self, c17):
+        with pytest.raises(SimulationError, match="bad value"):
+            simulate3(c17, {"1": 7})
+
+    def test_sequential_rejected(self, s27):
+        with pytest.raises(SimulationError, match="sequential"):
+            simulate3(s27, {})
+
+
+class TestDeterminedOutputs:
+    def test_subset_of_outputs(self, c17):
+        determined = determined_outputs(c17, {"1": 0, "2": 0})
+        assert set(determined) <= set(c17.outputs)
+        for net, value in determined.items():
+            assert value in (0, 1)
+
+    def test_full_assignment_determines_everything(self, c17):
+        assignment = {net: 1 for net in c17.inputs}
+        assert set(determined_outputs(c17, assignment)) == set(c17.outputs)
+
+
+class TestRequiredInputs:
+    def test_cone_membership(self, c17):
+        required = required_inputs(c17, "10")
+        assert required["1"] and required["3"]
+        assert not required["7"]
+
+    def test_unknown_net(self, c17):
+        with pytest.raises(SimulationError):
+            required_inputs(c17, "ghost")
+
+
+class TestCubes:
+    def test_conflicts(self):
+        assert cube_conflicts({"a": 1}, {"a": 0})
+        assert not cube_conflicts({"a": 1}, {"a": 1, "b": 0})
+        assert not cube_conflicts({"a": UNKNOWN}, {"a": 0})
+
+    def test_merge(self):
+        merged = merge_cubes({"a": 1, "b": UNKNOWN}, {"b": 0, "c": 1})
+        assert merged == {"a": 1, "b": 0, "c": 1}
+        assert merge_cubes({"a": 1}, {"a": 0}) is None
+
+    def test_merge_with_x_passthrough(self):
+        merged = merge_cubes({"a": 0}, {"a": UNKNOWN, "b": UNKNOWN})
+        assert merged == {"a": 0}

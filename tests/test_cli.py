@@ -1,0 +1,91 @@
+"""Tests for the repro-fd command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_fault, main
+from repro.faults import Fault
+
+
+class TestFaultParsing:
+    def test_stem(self):
+        assert _parse_fault("n3/sa1") == Fault("n3", 1)
+
+    def test_pin(self):
+        assert _parse_fault("n3->n7/sa0") == Fault("n3", 0, input_of="n7")
+
+    def test_rejects_garbage(self):
+        import argparse
+
+        for bad in ("n3", "n3/sa2", "/sa1", "n3/sax"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_fault(bad)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out and "p9234" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "collapsed faults" in out
+        assert "flip_flops" in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "bl  01  10" in out
+
+    def test_atpg_writes_vectors(self, capsys, tmp_path):
+        path = tmp_path / "vectors.txt"
+        assert main(["atpg", "s27", "--ttype", "diag", "--output", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        assert all(set(line) <= {"0", "1"} for line in lines)
+        assert len(set(map(len, lines))) == 1  # constant width
+
+    def test_diagnose_default_fault(self, capsys):
+        assert main(["diagnose", "s27", "--calls", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "injected:" in out
+        assert "same/different" in out
+
+    def test_diagnose_named_fault(self, capsys):
+        assert main(["diagnose", "s27", "--fault", "G11/sa0", "--calls", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "G11/sa0" in out
+
+    def test_diagnose_unknown_fault(self, capsys):
+        assert main(["diagnose", "s27", "--fault", "zz/sa0", "--calls", "2"]) == 1
+
+    def test_table6(self, capsys):
+        assert main(["table6", "p208", "--calls", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ind s/d rand" in out
+        assert "p208" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestConvert:
+    def test_bench_to_verilog_and_back(self, tmp_path):
+        from repro.circuit import bench, load_circuit
+
+        source = tmp_path / "s27.bench"
+        bench.dump(load_circuit("s27"), source)
+        verilog_path = tmp_path / "s27.v"
+        assert main(["convert", str(source), str(verilog_path)]) == 0
+        back = tmp_path / "back.bench"
+        assert main(["convert", str(verilog_path), str(back)]) == 0
+        again = bench.load(back)
+        assert again.stats() == load_circuit("s27").stats()
+
+    def test_unsupported_extension(self, tmp_path, capsys):
+        src = tmp_path / "x.edif"
+        src.write_text("")
+        assert main(["convert", str(src), str(tmp_path / "y.bench")]) == 1
