@@ -1,0 +1,56 @@
+"""Overhead bound for the always-on instrumentation.
+
+The acceptance contract of the observability layer: with no exporters
+attached (the default no-op tracer and the plain in-memory registry),
+``build_same_different`` must stay within 5% of its un-instrumented wall
+time.  The un-instrumented reference is the same code under a
+:class:`~repro.obs.NullRegistry`, whose instruments discard everything —
+the only difference between the two runs is the registry flush work the
+instrumentation adds.
+
+Runs are interleaved and the per-mode minimum is compared, which washes
+out machine noise far better than single-shot timing.
+"""
+
+import time
+
+from repro.dictionaries import build_same_different
+from repro.experiments.table6 import response_table_for
+from repro.obs import disabled, scoped_registry
+
+ROUNDS = 5
+CALLS = 20
+TOLERANCE = 1.05
+
+
+def _build_seconds(table):
+    start = time.perf_counter()
+    build_same_different(table, calls=CALLS, seed=0)
+    return time.perf_counter() - start
+
+
+def test_instrumentation_overhead_is_bounded():
+    _, table = response_table_for("p208", "diag", 0)
+    # Warm-up outside the measurement: first-touch costs (caches) hit
+    # whichever mode runs first otherwise.
+    _build_seconds(table)
+
+    instrumented = []
+    plain = []
+    for _ in range(ROUNDS):
+        with scoped_registry():
+            instrumented.append(_build_seconds(table))
+        with disabled():
+            plain.append(_build_seconds(table))
+
+    best_instrumented = min(instrumented)
+    best_plain = min(plain)
+    ratio = best_instrumented / best_plain
+    print(
+        f"\nobs overhead: instrumented {best_instrumented:.4f}s "
+        f"vs plain {best_plain:.4f}s (ratio {ratio:.3f})"
+    )
+    assert ratio <= TOLERANCE, (
+        f"instrumentation overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (TOLERANCE - 1):.0f}%"
+    )

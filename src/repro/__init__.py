@@ -51,6 +51,14 @@ from .dictionaries import (
 )
 from .diagnosis import Diagnoser, observe_defect, observe_fault
 from .experiments import render_table6, run_table6, table6_row
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    get_default_registry,
+    scoped_registry,
+    scoped_tracer,
+    trace_span,
+)
 
 __version__ = "1.0.0"
 
@@ -63,12 +71,14 @@ __all__ = [
     "FullDictionary",
     "GateType",
     "GeneratorSpec",
+    "MetricsRegistry",
     "Netlist",
     "PassFailDictionary",
     "Podem",
     "ResponseTable",
     "SameDifferentDictionary",
     "TestSet",
+    "Tracer",
     "all_faults",
     "available_circuits",
     "build_same_different",
@@ -79,12 +89,16 @@ __all__ = [
     "generate_diagnostic_tests",
     "generate_ndetect_tests",
     "generate_netlist",
+    "get_default_registry",
     "load_circuit",
     "observe_defect",
     "observe_fault",
     "prepare_for_test",
     "render_table6",
     "run_table6",
+    "scoped_registry",
+    "scoped_tracer",
     "simulate",
     "table6_row",
+    "trace_span",
 ]

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Set
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry, trace_span
 from ..sim.faultsim import FaultSimulator
 from ..sim.patterns import TestSet
 from .compact import compact_detection_tests
@@ -61,56 +62,65 @@ def generate_detection_tests(
     undetected: Set[int] = set(range(len(faults)))
     report = GenerationReport()
 
+    registry = get_default_registry()
+
     # --- random phase -------------------------------------------------
     stale = 0
-    while undetected and stale < max_stale_batches:
-        batch = TestSet.random(netlist.inputs, random_batch, seed=rng.getrandbits(32))
-        simulator = FaultSimulator(netlist, batch)
-        useful: Dict[int, List[int]] = {}
-        for index in sorted(undetected):
-            word = simulator.detection_word(faults[index])
-            if word:
-                first = (word & -word).bit_length() - 1
-                useful.setdefault(first, []).append(index)
-        if not useful:
-            stale += 1
-            continue
-        stale = 0
-        for pattern in sorted(useful):
-            tests.append(batch[pattern])
-            for index in useful[pattern]:
-                undetected.discard(index)
-                report.detected.append(faults[index])
+    with trace_span("atpg.detect.random_phase", faults=len(faults)):
+        while undetected and stale < max_stale_batches:
+            batch = TestSet.random(
+                netlist.inputs, random_batch, seed=rng.getrandbits(32)
+            )
+            simulator = FaultSimulator(netlist, batch)
+            useful: Dict[int, List[int]] = {}
+            for index in sorted(undetected):
+                word = simulator.detection_word(faults[index])
+                if word:
+                    first = (word & -word).bit_length() - 1
+                    useful.setdefault(first, []).append(index)
+            if not useful:
+                stale += 1
+                continue
+            stale = 0
+            for pattern in sorted(useful):
+                tests.append(batch[pattern])
+                registry.counter("atpg.detect.random_tests").inc()
+                for index in useful[pattern]:
+                    undetected.discard(index)
+                    report.detected.append(faults[index])
 
     # --- deterministic phase -------------------------------------------
     engine = Podem(netlist, backtrack_limit=backtrack_limit, rng=rng)
-    pending = sorted(undetected)
-    position = 0
-    while position < len(pending):
-        index = pending[position]
-        position += 1
-        if index not in undetected:
-            continue
-        result = engine.generate(faults[index])
-        if result.status is Status.UNTESTABLE:
-            undetected.discard(index)
-            report.untestable.append(faults[index])
-            continue
-        if result.status is Status.ABORTED:
-            undetected.discard(index)
-            report.aborted.append(faults[index])
-            continue
-        vector = engine.fill(result, rng)
-        single = TestSet(netlist.inputs)
-        single.append_assignment(vector)
-        tests.append(single[0])
-        # Fortuitous detection: the new test often catches other faults.
-        simulator = FaultSimulator(netlist, single)
-        for other in list(undetected):
-            if simulator.detection_word(faults[other]):
-                undetected.discard(other)
-                report.detected.append(faults[other])
+    with trace_span("atpg.detect.podem_phase", targets=len(undetected)):
+        pending = sorted(undetected)
+        position = 0
+        while position < len(pending):
+            index = pending[position]
+            position += 1
+            if index not in undetected:
+                continue
+            result = engine.generate(faults[index])
+            if result.status is Status.UNTESTABLE:
+                undetected.discard(index)
+                report.untestable.append(faults[index])
+                continue
+            if result.status is Status.ABORTED:
+                undetected.discard(index)
+                report.aborted.append(faults[index])
+                continue
+            vector = engine.fill(result, rng)
+            single = TestSet(netlist.inputs)
+            single.append_assignment(vector)
+            tests.append(single[0])
+            registry.counter("atpg.detect.podem_tests").inc()
+            # Fortuitous detection: the new test often catches other faults.
+            simulator = FaultSimulator(netlist, single)
+            for other in list(undetected):
+                if simulator.detection_word(faults[other]):
+                    undetected.discard(other)
+                    report.detected.append(faults[other])
 
     if compact and len(tests):
-        tests = compact_detection_tests(netlist, tests, report.detected)
+        with trace_span("atpg.detect.compaction", tests=len(tests)):
+            tests = compact_detection_tests(netlist, tests, report.detected)
     return tests.deduplicated(), report

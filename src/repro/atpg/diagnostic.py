@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry, trace_span
 from ..sim.patterns import TestSet
 from ..sim.responses import ResponseTable
 from .detect import GenerationReport, generate_detection_tests
@@ -125,29 +126,32 @@ def generate_diagnostic_tests(
 
     # --- random splitting phase -----------------------------------------
     stale = 0
-    while stale < max_stale_batches and any(len(c) > 1 for c in partition):
-        batch = TestSet.random(netlist.inputs, random_batch, seed=rng.getrandbits(32))
-        table = ResponseTable.build(netlist, targets, batch)
-        progressed = False
-        for j in range(len(batch)):
-            refined: List[List[int]] = []
-            split_here = False
-            for members in partition:
-                if len(members) == 1:
-                    refined.append(members)
-                    continue
-                groups: Dict[tuple, List[int]] = {}
-                for index in members:
-                    groups.setdefault(table.signature(index, j), []).append(index)
-                if len(groups) > 1:
-                    split_here = True
-                refined.extend(groups.values())
-            if split_here:
-                tests.append(batch[j])
-                report.random_tests += 1
-                partition = refined
-                progressed = True
-        stale = 0 if progressed else stale + 1
+    with trace_span("atpg.diagnostic.random_phase", targets=len(targets)):
+        while stale < max_stale_batches and any(len(c) > 1 for c in partition):
+            batch = TestSet.random(
+                netlist.inputs, random_batch, seed=rng.getrandbits(32)
+            )
+            table = ResponseTable.build(netlist, targets, batch)
+            progressed = False
+            for j in range(len(batch)):
+                refined: List[List[int]] = []
+                split_here = False
+                for members in partition:
+                    if len(members) == 1:
+                        refined.append(members)
+                        continue
+                    groups: Dict[tuple, List[int]] = {}
+                    for index in members:
+                        groups.setdefault(table.signature(index, j), []).append(index)
+                    if len(groups) > 1:
+                        split_here = True
+                    refined.extend(groups.values())
+                if split_here:
+                    tests.append(batch[j])
+                    report.random_tests += 1
+                    partition = refined
+                    progressed = True
+            stale = 0 if progressed else stale + 1
 
     # --- exact miter phase -----------------------------------------------
     if engine == "sat":
@@ -163,32 +167,42 @@ def generate_diagnostic_tests(
     settled: Set[FrozenSet[int]] = set()
     work = [members for members in partition if len(members) > 1]
     singletons = [members for members in partition if len(members) == 1]
-    while work:
-        members = work.pop()
-        open_pair = None
-        for left, right in zip(members, members[1:]):
-            if frozenset((left, right)) not in settled:
-                open_pair = (left, right)
-                break
-        if open_pair is None:
-            singletons.append(members)  # fully settled class
-            continue
-        left, right = open_pair
-        outcome = distinguisher.distinguish(targets[left], targets[right])
-        if outcome.distinguished:
-            single = TestSet(netlist.inputs)
-            single.append_assignment(outcome.test)
-            tests.append(single[0])
-            report.miter_tests += 1
-            refined = _split_by_new_test(netlist, targets, work + [members], single[0])
-            work = [c for c in refined if len(c) > 1]
-            singletons.extend(c for c in refined if len(c) == 1)
-        else:
-            settled.add(frozenset((left, right)))
-            record = (targets[left], targets[right])
-            if outcome.status is Status.UNTESTABLE:
-                report.equivalent_pairs.append(record)
+    with trace_span("atpg.diagnostic.miter_phase", classes=len(work)):
+        while work:
+            members = work.pop()
+            open_pair = None
+            for left, right in zip(members, members[1:]):
+                if frozenset((left, right)) not in settled:
+                    open_pair = (left, right)
+                    break
+            if open_pair is None:
+                singletons.append(members)  # fully settled class
+                continue
+            left, right = open_pair
+            outcome = distinguisher.distinguish(targets[left], targets[right])
+            if outcome.distinguished:
+                single = TestSet(netlist.inputs)
+                single.append_assignment(outcome.test)
+                tests.append(single[0])
+                report.miter_tests += 1
+                refined = _split_by_new_test(
+                    netlist, targets, work + [members], single[0]
+                )
+                work = [c for c in refined if len(c) > 1]
+                singletons.extend(c for c in refined if len(c) == 1)
             else:
-                report.aborted_pairs.append(record)
-            work.append(members)
+                settled.add(frozenset((left, right)))
+                record = (targets[left], targets[right])
+                if outcome.status is Status.UNTESTABLE:
+                    report.equivalent_pairs.append(record)
+                else:
+                    report.aborted_pairs.append(record)
+                work.append(members)
+    registry = get_default_registry()
+    registry.counter("atpg.diagnostic.random_tests").inc(report.random_tests)
+    registry.counter("atpg.diagnostic.miter_tests").inc(report.miter_tests)
+    registry.counter("atpg.diagnostic.equivalent_pairs").inc(
+        len(report.equivalent_pairs)
+    )
+    registry.counter("atpg.diagnostic.aborted_pairs").inc(len(report.aborted_pairs))
     return tests.deduplicated(), report

@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Set
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry, trace_span
 from ..sim.faultsim import FaultSimulator, iter_bits
 from ..sim.patterns import TestSet
 from .detect import GenerationReport, generate_detection_tests
@@ -54,33 +55,38 @@ def generate_ndetect_tests(
     below: Set[int] = {i for i in testable if counts[i] < n}
 
     # --- random top-up --------------------------------------------------
+    registry = get_default_registry()
     stale = 0
     seen = set(tests)
-    while below and stale < max_stale_batches:
-        batch = TestSet.random(netlist.inputs, random_batch, seed=rng.getrandbits(32))
-        simulator = FaultSimulator(netlist, batch)
-        keep: List[int] = []
-        credited: Dict[int, List[int]] = {}
-        for index in sorted(below):
-            for j in iter_bits(simulator.detection_word(faults[index])):
-                credited.setdefault(j, []).append(index)
-        progressed = False
-        for j in sorted(credited):
-            if batch[j] in seen:
-                continue
-            helped = [i for i in credited[j] if counts[i] < n]
-            if not helped:
-                continue
-            keep.append(j)
-            seen.add(batch[j])
-            progressed = True
-            for i in credited[j]:
-                counts[i] += 1
-                if counts[i] >= n:
-                    below.discard(i)
-        for j in keep:
-            tests.append(batch[j])
-        stale = 0 if progressed else stale + 1
+    with trace_span("atpg.ndetect.random_topup", below=len(below)):
+        while below and stale < max_stale_batches:
+            batch = TestSet.random(
+                netlist.inputs, random_batch, seed=rng.getrandbits(32)
+            )
+            simulator = FaultSimulator(netlist, batch)
+            keep: List[int] = []
+            credited: Dict[int, List[int]] = {}
+            for index in sorted(below):
+                for j in iter_bits(simulator.detection_word(faults[index])):
+                    credited.setdefault(j, []).append(index)
+            progressed = False
+            for j in sorted(credited):
+                if batch[j] in seen:
+                    continue
+                helped = [i for i in credited[j] if counts[i] < n]
+                if not helped:
+                    continue
+                keep.append(j)
+                seen.add(batch[j])
+                progressed = True
+                for i in credited[j]:
+                    counts[i] += 1
+                    if counts[i] >= n:
+                        below.discard(i)
+            for j in keep:
+                tests.append(batch[j])
+                registry.counter("atpg.ndetect.random_topup_tests").inc()
+            stale = 0 if progressed else stale + 1
 
     # --- deterministic top-up --------------------------------------------
     # Each randomized PODEM call pins only the necessary inputs; filling
@@ -89,42 +95,44 @@ def generate_ndetect_tests(
     # vectors get saturated.
     engine = Podem(netlist, backtrack_limit=backtrack_limit, rng=rng)
     fills_per_call = 8
-    for index in sorted(below):
-        attempts = 0
-        while counts[index] < n and attempts < podem_attempts:
-            attempts += 1
-            result = engine.generate(faults[index], randomize=True)
-            if result.status is not Status.DETECTED:
-                break
-            batch = TestSet(netlist.inputs)
-            for _ in range(fills_per_call):
-                batch.append_assignment(engine.fill(result, rng))
-            batch = batch.deduplicated()
-            simulator = FaultSimulator(netlist, batch)
-            target_word = simulator.detection_word(faults[index])
-            fresh = [j for j in iter_bits(target_word) if batch[j] not in seen]
-            added = []
-            for j in fresh:
-                if counts[index] >= n:
+    with trace_span("atpg.ndetect.podem_topup", below=len(below)):
+        for index in sorted(below):
+            attempts = 0
+            while counts[index] < n and attempts < podem_attempts:
+                attempts += 1
+                result = engine.generate(faults[index], randomize=True)
+                if result.status is not Status.DETECTED:
                     break
-                seen.add(batch[j])
-                tests.append(batch[j])
-                counts[index] += 1
-                added.append(j)
-            if added:
-                attempts = 0
-                # Credit the new vectors to every other fault still short.
-                for other in list(below):
-                    if other == index:
-                        continue
-                    word = simulator.detection_word(faults[other])
-                    gained = sum(1 for j in added if (word >> j) & 1)
-                    if gained:
-                        counts[other] += gained
-                        if counts[other] >= n:
-                            below.discard(other)
-        if counts[index] >= n:
-            below.discard(index)
+                batch = TestSet(netlist.inputs)
+                for _ in range(fills_per_call):
+                    batch.append_assignment(engine.fill(result, rng))
+                batch = batch.deduplicated()
+                simulator = FaultSimulator(netlist, batch)
+                target_word = simulator.detection_word(faults[index])
+                fresh = [j for j in iter_bits(target_word) if batch[j] not in seen]
+                added = []
+                for j in fresh:
+                    if counts[index] >= n:
+                        break
+                    seen.add(batch[j])
+                    tests.append(batch[j])
+                    counts[index] += 1
+                    added.append(j)
+                if added:
+                    attempts = 0
+                    registry.counter("atpg.ndetect.podem_topup_tests").inc(len(added))
+                    # Credit the new vectors to every other fault still short.
+                    for other in list(below):
+                        if other == index:
+                            continue
+                        word = simulator.detection_word(faults[other])
+                        gained = sum(1 for j in added if (word >> j) & 1)
+                        if gained:
+                            counts[other] += gained
+                            if counts[other] >= n:
+                                below.discard(other)
+            if counts[index] >= n:
+                below.discard(index)
     return tests.deduplicated(), report
 
 

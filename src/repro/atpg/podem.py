@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..circuit.gates import GateType
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry
 from .testability import controllability
 from .values import ONE, X, ZERO, evaluate3, not3
 
@@ -95,6 +96,14 @@ class Podem:
     # ------------------------------------------------------------------
     def generate(self, fault: Fault, randomize: bool = False) -> PodemResult:
         """Search for a test for ``fault``; complete within the backtrack limit."""
+        result = self._generate(fault, randomize)
+        registry = get_default_registry()
+        registry.counter("atpg.podem.calls").inc()
+        registry.counter("atpg.podem.backtracks").inc(result.backtracks)
+        registry.counter(f"atpg.podem.{result.status.value}").inc()
+        return result
+
+    def _generate(self, fault: Fault, randomize: bool) -> PodemResult:
         site, pin_sink = self._fault_site(fault)
         cone = self._cone_positions(site if pin_sink is None else pin_sink)
 

@@ -31,6 +31,8 @@ class Solver:
         self._activity: Dict[int, float] = {}
         self._activity_inc = 1.0
         self._unsat = False
+        #: Conflicts of the most recent :meth:`solve` call (observability).
+        self.conflicts = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -196,6 +198,7 @@ class Solver:
         when unsatisfiable, and raises :class:`BudgetExceeded` when
         ``max_conflicts`` runs out before a decision is reached.
         """
+        self.conflicts = 0
         if self._unsat:
             return None
         self._qhead = 0
@@ -226,6 +229,7 @@ class Solver:
             conflict = self._propagate()
             if conflict is not None:
                 conflicts += 1
+                self.conflicts = conflicts
                 if max_conflicts is not None and conflicts > max_conflicts:
                     raise BudgetExceeded(conflicts)
                 if len(self._trail_lim) <= assumption_levels:

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry, trace_span
 from .cnf import CnfEncoder
 from .distinguish import (
     MITER_OUTPUT,
@@ -43,14 +44,22 @@ class SatAtpg:
         self.rng = rng or random.Random(0)
 
     def _solve_miter(self, miter: Netlist) -> "tuple[Status, Optional[Dict[str, int]]]":
+        registry = get_default_registry()
+        registry.counter("atpg.sat.calls").inc()
         encoder = CnfEncoder(miter)
         encoder.solver.add_clause([encoder.literal(MITER_OUTPUT, 1)])
-        try:
-            model = encoder.solver.solve(max_conflicts=self.max_conflicts)
-        except BudgetExceeded:
-            return Status.ABORTED, None
+        with trace_span("atpg.sat.solve", variables=encoder.solver.num_vars):
+            try:
+                model = encoder.solver.solve(max_conflicts=self.max_conflicts)
+            except BudgetExceeded as budget:
+                registry.counter("atpg.sat.conflicts").inc(budget.conflicts)
+                registry.counter("atpg.sat.aborts").inc()
+                return Status.ABORTED, None
+        registry.counter("atpg.sat.conflicts").inc(encoder.solver.conflicts)
         if model is None:
+            registry.counter("atpg.sat.unsat").inc()
             return Status.UNTESTABLE, None
+        registry.counter("atpg.sat.sat").inc()
         return Status.DETECTED, encoder.extract_inputs(model)
 
     def generate(self, fault: Fault) -> PodemResult:

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 from .circuit import available_circuits, load_circuit, prepare_for_test
 from .diagnosis import Diagnoser, observe_fault
@@ -25,10 +27,23 @@ from .dictionaries import (
     build_same_different,
 )
 from .faults import Fault, collapse
-from .experiments import render_table6, table6_row
+from .experiments import render_table6, run_table6
 from .experiments.example_tables import render_all
-from .experiments.reporting import format_table
+from .experiments.reporting import (
+    ReportPrinter,
+    format_table,
+    render_build_instrumentation,
+)
 from .experiments.table6 import prepared_experiment, response_table_for
+from .obs import (
+    MetricsRegistry,
+    NullProgress,
+    ProgressReporter,
+    StderrProgress,
+    Tracer,
+    scoped_registry,
+    scoped_tracer,
+)
 
 
 def _parse_fault(text: str) -> Fault:
@@ -40,6 +55,65 @@ def _parse_fault(text: str) -> Fault:
         )
     line, arrow, sink = location.partition("->")
     return Fault(line, int(polarity), input_of=sink if arrow else None)
+
+
+@dataclass
+class ObsSession:
+    """The per-command observability bundle the instrumented commands use."""
+
+    registry: MetricsRegistry
+    tracer: Optional[Tracer]
+    progress: ProgressReporter
+    out: ReportPrinter
+
+
+@contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[ObsSession]:
+    """Install a fresh registry/tracer for one command; export on the way out.
+
+    ``--metrics-out -`` claims stdout for the JSON snapshot, which moves
+    all human-readable report text to stderr (see
+    :class:`~repro.experiments.reporting.ReportPrinter`).
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace", None)
+    out = ReportPrinter(machine_stdout=metrics_out == "-")
+    progress: ProgressReporter = (
+        StderrProgress() if getattr(args, "progress", False) else NullProgress()
+    )
+    with scoped_registry() as registry:
+        tracer: Optional[Tracer] = None
+        if trace_out:
+            with scoped_tracer() as tracer:
+                yield ObsSession(registry, tracer, progress, out)
+            tracer.export_jsonl(trace_out)
+        else:
+            yield ObsSession(registry, None, progress, out)
+    if metrics_out == "-":
+        print(registry.to_json())
+    elif metrics_out:
+        with open(metrics_out, "w") as handle:
+            handle.write(registry.to_json() + "\n")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a metrics JSON snapshot to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a span trace to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report progress on stderr while running",
+    )
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -65,21 +139,25 @@ def cmd_example(args: argparse.Namespace) -> int:
 
 
 def cmd_atpg(args: argparse.Namespace) -> int:
-    netlist, tests = prepared_experiment(args.circuit, args.ttype, args.seed)
-    faults = collapse(netlist)
-    from .sim import FaultSimulator
+    with _observability(args) as session:
+        session.progress.report("atpg", 0, 2, circuit=args.circuit, ttype=args.ttype)
+        netlist, tests = prepared_experiment(args.circuit, args.ttype, args.seed)
+        session.progress.report("atpg", 1, 2, tests=len(tests))
+        faults = collapse(netlist)
+        from .sim import FaultSimulator
 
-    simulator = FaultSimulator(netlist, tests)
-    detected = sum(1 for f in faults if simulator.detection_word(f))
-    print(
-        f"{args.circuit} {args.ttype}: {len(tests)} tests, "
-        f"{detected}/{len(faults)} collapsed faults detected"
-    )
-    if args.output:
-        with open(args.output, "w") as handle:
-            for j in range(len(tests)):
-                handle.write(tests.as_string(j) + "\n")
-        print(f"wrote {len(tests)} vectors to {args.output}")
+        simulator = FaultSimulator(netlist, tests)
+        detected = sum(1 for f in faults if simulator.detection_word(f))
+        session.progress.report("atpg", 2, 2, detected=detected)
+        session.out.emit(
+            f"{args.circuit} {args.ttype}: {len(tests)} tests, "
+            f"{detected}/{len(faults)} collapsed faults detected"
+        )
+        if args.output:
+            with open(args.output, "w") as handle:
+                for j in range(len(tests)):
+                    handle.write(tests.as_string(j) + "\n")
+            session.out.emit(f"wrote {len(tests)} vectors to {args.output}")
     return 0
 
 
@@ -105,38 +183,50 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 
 def cmd_table6(args: argparse.Namespace) -> int:
-    rows = []
-    for circuit in args.circuits:
-        for ttype in ("diag", "10det"):
-            rows.append(
-                table6_row(circuit, ttype, seed=args.seed, calls=args.calls)
-            )
-    print(render_table6(rows))
+    circuits = list(args.circuits) + list(args.circuit or ())
+    if not circuits:
+        print("table6: no circuits given", file=sys.stderr)
+        return 1
+    with _observability(args) as session:
+        rows = run_table6(
+            circuits, seed=args.seed, calls=args.calls, progress=session.progress
+        )
+        session.out.emit(render_table6(rows))
+        session.out.emit("")
+        session.out.emit(render_build_instrumentation(rows))
     return 0
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
-    netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
-    samediff, _ = build_same_different(table, calls=args.calls, seed=args.seed)
-    dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
-    if args.fault is not None:
-        victim = args.fault
-        if victim not in table.faults:
-            print(f"fault {victim} is not in the dictionary fault list", file=sys.stderr)
-            return 1
-    else:
-        victim = table.faults[args.seed % table.n_faults]
-    observed = observe_fault(netlist, table.tests, victim)
-    print(f"injected: {victim}\n")
-    for dictionary in dictionaries:
-        diagnosis = Diagnoser(dictionary).diagnose(observed, limit=5)
-        exact = ", ".join(str(f) for f in diagnosis.exact[:8]) or "(none)"
-        print(f"[{dictionary.kind:^14}] {len(diagnosis.exact)} exact: {exact}")
-    sizes = DictionarySizes.of(table)
-    print(
-        f"\nsizes: full={sizes.full} p/f={sizes.pass_fail} "
-        f"s/d={sizes.same_different} bits"
-    )
+    with _observability(args) as session:
+        netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
+        samediff, _ = build_same_different(
+            table, calls=args.calls, seed=args.seed, progress=session.progress
+        )
+        dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+        if args.fault is not None:
+            victim = args.fault
+            if victim not in table.faults:
+                print(
+                    f"fault {victim} is not in the dictionary fault list",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            victim = table.faults[args.seed % table.n_faults]
+        observed = observe_fault(netlist, table.tests, victim)
+        session.out.emit(f"injected: {victim}\n")
+        for dictionary in dictionaries:
+            diagnosis = Diagnoser(dictionary).diagnose(observed, limit=5)
+            exact = ", ".join(str(f) for f in diagnosis.exact[:8]) or "(none)"
+            session.out.emit(
+                f"[{dictionary.kind:^14}] {len(diagnosis.exact)} exact: {exact}"
+            )
+        sizes = DictionarySizes.of(table)
+        session.out.emit(
+            f"\nsizes: full={sizes.full} p/f={sizes.pass_fail} "
+            f"s/d={sizes.same_different} bits"
+        )
     return 0
 
 
@@ -161,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--ttype", choices=("diag", "10det"), default="diag")
     atpg.add_argument("--seed", type=int, default=0)
     atpg.add_argument("--output", help="write vectors to this file")
+    _add_obs_flags(atpg)
     atpg.set_defaults(func=cmd_atpg)
 
     convert = sub.add_parser(
@@ -171,9 +262,16 @@ def build_parser() -> argparse.ArgumentParser:
     convert.set_defaults(func=cmd_convert)
 
     table6 = sub.add_parser("table6", help="reproduce Table 6 rows")
-    table6.add_argument("circuits", nargs="+")
+    table6.add_argument("circuits", nargs="*")
+    table6.add_argument(
+        "--circuit",
+        action="append",
+        metavar="NAME",
+        help="add one circuit (may repeat; alternative to positionals)",
+    )
     table6.add_argument("--seed", type=int, default=0)
     table6.add_argument("--calls", type=int, default=100, help="CALLS1")
+    _add_obs_flags(table6)
     table6.set_defaults(func=cmd_table6)
 
     diagnose = sub.add_parser("diagnose", help="diagnose an injected fault")
@@ -182,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--fault", type=_parse_fault, default=None)
     diagnose.add_argument("--seed", type=int, default=0)
     diagnose.add_argument("--calls", type=int, default=20)
+    _add_obs_flags(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
     return parser
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry, trace_span
 from ..sim.faultsim import FaultSimulator, iter_bits
 from ..sim.logicsim import output_words
 from ..sim.patterns import TestSet
@@ -48,14 +49,20 @@ class Diagnoser:
     def diagnose(self, observed: Sequence[Signature], limit: int = 10) -> Diagnosis:
         """Candidates for an observed response (one signature per test)."""
         faults = self.dictionary.table.faults
-        exact = [
-            faults[index]
-            for index in self.dictionary.exact_candidates(observed)
-        ]
-        ranked = [
-            (faults[candidate.fault_index], candidate.score)
-            for candidate in self.dictionary.ranked_candidates(observed, limit)
-        ]
+        with trace_span("diagnosis.lookup", kind=self.dictionary.kind):
+            exact = [
+                faults[index]
+                for index in self.dictionary.exact_candidates(observed)
+            ]
+            ranked = [
+                (faults[candidate.fault_index], candidate.score)
+                for candidate in self.dictionary.ranked_candidates(observed, limit)
+            ]
+        registry = get_default_registry()
+        registry.counter("diagnosis.lookups").inc()
+        # Both the exact scan and the ranking score every stored row.
+        registry.counter("diagnosis.candidates_scored").inc(2 * len(faults))
+        registry.counter("diagnosis.exact_matches").inc(len(exact))
         return Diagnosis(exact, ranked)
 
 

@@ -27,9 +27,10 @@ This module implements:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import NullProgress, ProgressReporter, get_default_registry, trace_span
 from ..sim.responses import PASS, ResponseTable, Signature
 from .base import FaultDictionary
 from .resolution import Partition, pairs_within, total_pairs
@@ -113,6 +114,18 @@ class BuildReport:
     procedure1_calls: int = 0
     procedure2_passes: int = 0
     replacements: int = 0
+    #: Wall-clock seconds of the restart loop (all Procedure 1 calls).
+    procedure1_seconds: float = 0.0
+    #: Wall-clock seconds of Procedure 2 (0.0 when it did not run).
+    procedure2_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """All fields plus the derived counts, for JSON export."""
+        data = asdict(self)
+        data["indistinguished_procedure1"] = self.indistinguished_procedure1
+        data["indistinguished_procedure2"] = self.indistinguished_procedure2
+        data["procedure2_improved"] = self.procedure2_improved
+        return data
 
     @property
     def indistinguished_procedure1(self) -> int:
@@ -190,12 +203,15 @@ def select_baselines(
         partition = Partition(range(table.n_faults))
     baselines: List[Signature] = [PASS] * table.n_tests
     distinguished = 0
+    evaluated = 0
+    cutoffs = 0
     for j in order:
         best_dist = -1
         best_signature: Signature = PASS
         best_members: List[int] = []
         consecutive_lower = 0
         for dist, signature, members in _candidate_distances(table, j, partition):
+            evaluated += 1
             if dist > best_dist:
                 best_dist = dist
                 best_signature = signature
@@ -204,10 +220,17 @@ def select_baselines(
             elif dist < best_dist:
                 consecutive_lower += 1
                 if consecutive_lower >= lower:
+                    cutoffs += 1
                     break
         baselines[j] = best_signature
         if best_dist > 0:
             distinguished += partition.split(best_members)
+    # One flush per call: the inner loop only touches local integers.
+    registry = get_default_registry()
+    registry.counter("procedure1.calls").inc()
+    registry.counter("procedure1.candidates_evaluated").inc(evaluated)
+    registry.counter("procedure1.lower_cutoffs").inc(cutoffs)
+    registry.counter("procedure1.pairs_distinguished").inc(distinguished)
     return baselines, partition, distinguished
 
 
@@ -217,6 +240,7 @@ def build_same_different(
     calls: int = 100,
     replace: bool = True,
     seed: int = 0,
+    progress: Optional[ProgressReporter] = None,
 ) -> Tuple[SameDifferentDictionary, BuildReport]:
     """The paper's full flow: restarted Procedure 1, then Procedure 2.
 
@@ -225,8 +249,14 @@ def build_same_different(
     distinguished-pair count (``CALLS1``).  Restarts also stop early when
     a run distinguishes every pair that remains distinguishable.  With
     ``replace`` the best baselines then go through Procedure 2.
+
+    ``progress`` receives one event per restart (stage
+    ``"build.procedure1"``, with the stale streak and current best) and
+    one around Procedure 2.
     """
     rng = random.Random(seed)
+    registry = get_default_registry()
+    progress = progress if progress is not None else NullProgress()
     report = BuildReport(n_faults=table.n_faults)
 
     best_baselines: Optional[List[Signature]] = None
@@ -234,29 +264,46 @@ def build_same_different(
     ceiling = _full_dictionary_distinguished(table)
     stale = 0
     order = list(range(table.n_tests))
-    while stale < calls:
-        baselines, _, distinguished = select_baselines(table, order, lower)
-        report.procedure1_calls += 1
-        if distinguished > best_distinguished:
-            best_distinguished = distinguished
-            best_baselines = baselines
-            stale = 0
-        else:
-            stale += 1
-        if best_distinguished >= ceiling:
-            break  # nothing left that any dictionary could distinguish
-        rng.shuffle(order)
+    with registry.timer("build.procedure1_seconds").time() as phase1:
+        with trace_span("build.procedure1", calls=calls, lower=lower):
+            while stale < calls:
+                with trace_span("procedure1.call", restart=report.procedure1_calls):
+                    baselines, _, distinguished = select_baselines(table, order, lower)
+                report.procedure1_calls += 1
+                if distinguished > best_distinguished:
+                    best_distinguished = distinguished
+                    best_baselines = baselines
+                    stale = 0
+                else:
+                    stale += 1
+                progress.report(
+                    "build.procedure1",
+                    report.procedure1_calls,
+                    stale=stale,
+                    best=best_distinguished,
+                )
+                if best_distinguished >= ceiling:
+                    registry.counter("build.ceiling_early_exits").inc()
+                    break  # nothing left that any dictionary could distinguish
+                rng.shuffle(order)
     assert best_baselines is not None
+    report.procedure1_seconds = phase1.elapsed
     report.distinguished_procedure1 = best_distinguished
     report.distinguished_procedure2 = best_distinguished
+    registry.counter("build.restarts").inc(report.procedure1_calls)
+    registry.gauge("build.stale_streak").set(stale)
 
     if replace and best_distinguished < ceiling:
-        best_baselines, improved, passes, replacements = replace_baselines(
-            table, best_baselines
-        )
+        with registry.timer("build.procedure2_seconds").time() as phase2:
+            with trace_span("build.procedure2"):
+                best_baselines, improved, passes, replacements = replace_baselines(
+                    table, best_baselines
+                )
+        report.procedure2_seconds = phase2.elapsed
         report.distinguished_procedure2 = improved
         report.procedure2_passes = passes
         report.replacements = replacements
+        progress.report("build.procedure2", passes, replacements=replacements)
     return SameDifferentDictionary(table, best_baselines), report
 
 
@@ -297,6 +344,7 @@ def replace_baselines(
     rows: List[int] = _rows_for(table, current)
     replacements = 0
     passes = 0
+    attempts = 0
     for _ in range(max_passes):
         passes += 1
         improved = False
@@ -330,6 +378,7 @@ def replace_baselines(
             for sig in [PASS] + table.failing_signatures(j):
                 if sig == current[j]:
                     continue
+                attempts += 1
                 indist = _indistinguished_with(
                     per_signature.get(sig, ()), class_sizes, base_indist
                 )
@@ -349,6 +398,10 @@ def replace_baselines(
         if not improved:
             break
     distinguished = total_pairs(n) - _partition_indistinguished(rows)
+    registry = get_default_registry()
+    registry.counter("procedure2.passes").inc(passes)
+    registry.counter("procedure2.attempts").inc(attempts)
+    registry.counter("procedure2.replacements").inc(replacements)
     return current, distinguished, passes, replacements
 
 

@@ -13,7 +13,13 @@ from .pareto import (
     render_frontier,
     size_resolution_frontier,
 )
-from .reporting import format_table
+from .reporting import (
+    ReportPrinter,
+    format_table,
+    render_build_instrumentation,
+    render_metrics,
+)
+from .scaling import ScalingPoint, scaling_study
 from .table6 import (
     DEFAULT_CIRCUITS,
     EXTENDED_CIRCUITS,
@@ -30,6 +36,8 @@ __all__ = [
     "EXTENDED_CIRCUITS",
     "TEST_TYPES",
     "ParetoPoint",
+    "ReportPrinter",
+    "ScalingPoint",
     "Table6Row",
     "calls_sweep",
     "dominated_points",
@@ -41,7 +49,10 @@ __all__ = [
     "mixed_storage_study",
     "multi_baseline_study",
     "render_all",
+    "render_build_instrumentation",
+    "render_metrics",
     "render_table6",
+    "scaling_study",
     "response_table_for",
     "run_table6",
     "table6_row",

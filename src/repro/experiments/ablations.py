@@ -13,7 +13,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -22,6 +21,7 @@ from ..dictionaries import (
     build_same_different,
     select_baselines,
 )
+from ..obs import get_default_registry
 from ..sim.responses import PASS
 from .table6 import response_table_for
 
@@ -45,13 +45,12 @@ def lower_sweep(
     exhaustive reference.
     """
     _, table = response_table_for(circuit, test_type, seed)
+    timer = get_default_registry().timer("ablations.lower_sweep_seconds")
     points = []
     for lower in lowers:
-        start = time.perf_counter()
-        _, _, distinguished = select_baselines(table, lower=lower)
-        points.append(
-            LowerPoint(lower, distinguished, time.perf_counter() - start)
-        )
+        with timer.time() as stopwatch:
+            _, _, distinguished = select_baselines(table, lower=lower)
+        points.append(LowerPoint(lower, distinguished, stopwatch.elapsed))
     return points
 
 

@@ -9,11 +9,11 @@ partition-refinement formulation).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..dictionaries import replace_baselines, select_baselines
+from ..obs import get_default_registry
 from ..faults.collapse import collapse
 from ..sim.faultsim import FaultSimulator
 from ..sim.patterns import TestSet
@@ -41,6 +41,7 @@ def scaling_study(
     seed: int = 0,
 ) -> List[ScalingPoint]:
     """Cost of each pipeline stage per circuit, with a fixed random test set."""
+    registry = get_default_registry()
     points: List[ScalingPoint] = []
     for name in circuits:
         netlist = prepare_for_test(load_circuit(name))
@@ -49,17 +50,14 @@ def scaling_study(
         simulator = FaultSimulator(netlist, tests)
         detected = [f for f in faults if simulator.detection_word(f)]
 
-        start = time.perf_counter()
-        table = ResponseTable.build(netlist, detected, tests)
-        build_seconds = time.perf_counter() - start
+        with registry.timer("scaling.build_table_seconds").time() as build:
+            table = ResponseTable.build(netlist, detected, tests)
 
-        start = time.perf_counter()
-        baselines, _, _ = select_baselines(table)
-        procedure1_seconds = time.perf_counter() - start
+        with registry.timer("scaling.procedure1_seconds").time() as procedure1:
+            baselines, _, _ = select_baselines(table)
 
-        start = time.perf_counter()
-        replace_baselines(table, baselines, max_passes=1)
-        procedure2_seconds = time.perf_counter() - start
+        with registry.timer("scaling.procedure2_seconds").time() as procedure2:
+            replace_baselines(table, baselines, max_passes=1)
 
         points.append(
             ScalingPoint(
@@ -67,9 +65,9 @@ def scaling_study(
                 gates=netlist.num_gates,
                 faults=len(detected),
                 tests=tests_per_circuit,
-                build_table_seconds=build_seconds,
-                procedure1_seconds=procedure1_seconds,
-                procedure2_seconds=procedure2_seconds,
+                build_table_seconds=build.elapsed,
+                procedure1_seconds=procedure1.elapsed,
+                procedure2_seconds=procedure2.elapsed,
             )
         )
     return points

@@ -34,6 +34,7 @@ from ..dictionaries import (
     build_same_different,
 )
 from ..faults.collapse import collapse
+from ..obs import NullProgress, ProgressReporter, trace_span
 from ..sim.faultsim import FaultSimulator
 from ..sim.patterns import TestSet
 from ..sim.responses import ResponseTable
@@ -130,12 +131,17 @@ def table6_row(
     seed: int = 0,
     lower: int = 10,
     calls: int = 100,
+    progress: Optional[ProgressReporter] = None,
 ) -> Table6Row:
     """Compute one row of Table 6 (``LOWER`` and ``CALLS1`` as in the paper)."""
-    _, table = response_table_for(circuit, test_type, seed)
-    full = FullDictionary(table)
-    passfail = PassFailDictionary(table)
-    _, build = build_same_different(table, lower=lower, calls=calls, seed=seed)
+    with trace_span("table6.row", circuit=circuit, ttype=test_type):
+        with trace_span("table6.prepare"):
+            _, table = response_table_for(circuit, test_type, seed)
+        full = FullDictionary(table)
+        passfail = PassFailDictionary(table)
+        _, build = build_same_different(
+            table, lower=lower, calls=calls, seed=seed, progress=progress
+        )
     return Table6Row(
         circuit=circuit,
         test_type=test_type,
@@ -156,13 +162,24 @@ def run_table6(
     seed: int = 0,
     lower: int = 10,
     calls: int = 100,
+    progress: Optional[ProgressReporter] = None,
 ) -> List[Table6Row]:
     """All requested rows, circuit-major / test-type-minor like the paper."""
-    return [
-        table6_row(circuit, test_type, seed=seed, lower=lower, calls=calls)
-        for circuit in circuits
-        for test_type in test_types
-    ]
+    progress = progress if progress is not None else NullProgress()
+    cells = [(c, t) for c in circuits for t in test_types]
+    rows = []
+    for done, (circuit, test_type) in enumerate(cells):
+        progress.report(
+            "table6", done, len(cells), circuit=circuit, ttype=test_type
+        )
+        rows.append(
+            table6_row(
+                circuit, test_type, seed=seed, lower=lower, calls=calls,
+                progress=progress,
+            )
+        )
+    progress.report("table6", len(cells), len(cells))
+    return rows
 
 
 def render_table6(rows: Sequence[Table6Row]) -> str:

@@ -1,0 +1,62 @@
+"""Observability: metrics registry, span tracing and progress reporting.
+
+The measurement substrate of the repo — see ``docs/observability.md`` for
+the metric name catalog and span taxonomy.  Everything here is
+dependency-free and safe to leave on: the default tracer is a no-op, the
+default registry costs a handful of dict operations per pipeline call,
+and tests isolate themselves with :func:`scoped_registry`.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+    Stopwatch,
+    Timer,
+    disabled,
+    get_default_registry,
+    scoped_registry,
+    set_default_registry,
+)
+from .progress import (
+    CallbackProgress,
+    NullProgress,
+    ProgressReporter,
+    StderrProgress,
+)
+from .tracing import (
+    NullTracer,
+    Tracer,
+    get_default_tracer,
+    load_jsonl,
+    scoped_tracer,
+    set_default_tracer,
+    trace_span,
+    validate_nesting,
+)
+
+__all__ = [
+    "CallbackProgress",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NullProgress",
+    "NullRegistry",
+    "NullTracer",
+    "ProgressReporter",
+    "StderrProgress",
+    "Stopwatch",
+    "Timer",
+    "Tracer",
+    "disabled",
+    "get_default_registry",
+    "get_default_tracer",
+    "load_jsonl",
+    "scoped_registry",
+    "scoped_tracer",
+    "set_default_registry",
+    "set_default_tracer",
+    "trace_span",
+    "validate_nesting",
+]

@@ -1,0 +1,98 @@
+"""Progress reporting with throttled emission.
+
+Long-running stages (the restart driver, the Table 6 sweep) report
+``(stage, done, total, **info)`` events through a
+:class:`ProgressReporter`.  Reporters decide presentation:
+
+* :class:`NullProgress` — the silent default;
+* :class:`CallbackProgress` — forwards every event to a callable
+  (embedders, tests);
+* :class:`StderrProgress` — human-readable lines on stderr, throttled to
+  one emission per ``min_interval`` seconds so tight loops do not flood
+  the terminal.  Terminal events (``done == total``) always emit.
+
+Stdout is deliberately never used: report text and ``--metrics-out -``
+JSON own stdout (see :mod:`repro.experiments.reporting`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, Protocol, TextIO
+
+
+class ProgressReporter(Protocol):
+    """The event sink protocol every long-running stage accepts."""
+
+    def report(
+        self, stage: str, done: int, total: Optional[int] = None, **info: object
+    ) -> None:
+        """One progress event; ``total`` is None for open-ended stages."""
+
+
+class NullProgress:
+    """Discards every event (the default for library callers)."""
+
+    def report(
+        self, stage: str, done: int, total: Optional[int] = None, **info: object
+    ) -> None:
+        pass
+
+
+class CallbackProgress:
+    """Forwards every event, unthrottled, to one callable."""
+
+    def __init__(self, callback: Callable[..., None]) -> None:
+        self._callback = callback
+
+    def report(
+        self, stage: str, done: int, total: Optional[int] = None, **info: object
+    ) -> None:
+        self._callback(stage, done, total, **info)
+
+
+class StderrProgress:
+    """Writes throttled one-line progress updates to a text stream.
+
+    ``clock`` is injectable for deterministic throttling tests; it must
+    be monotonic.  The first event of a stage and any terminal event
+    (``done == total``) bypass the throttle.
+    """
+
+    def __init__(
+        self,
+        min_interval: float = 0.2,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.min_interval = min_interval
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._last_emit: Optional[float] = None
+        self._last_stage: Optional[str] = None
+        self.emitted = 0
+
+    def report(
+        self, stage: str, done: int, total: Optional[int] = None, **info: object
+    ) -> None:
+        now = self._clock()
+        terminal = total is not None and done >= total
+        fresh_stage = stage != self._last_stage
+        throttled = (
+            not terminal
+            and not fresh_stage
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        )
+        if throttled:
+            return
+        self._last_emit = now
+        self._last_stage = stage
+        self.emitted += 1
+        progress = f"{done}/{total}" if total is not None else str(done)
+        extras = " ".join(f"{key}={value}" for key, value in info.items())
+        line = f"[{stage}] {progress}"
+        if extras:
+            line += " " + extras
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,148 @@
+"""Span-based tracing: a nested timing tree exportable as JSONL.
+
+A span is one timed region of the pipeline, opened with::
+
+    with trace_span("procedure1.call", test=j):
+        ...
+
+Spans nest lexically (the tracer keeps an explicit stack), so every
+finished span record carries its parent's id and its interval is
+contained in the parent's.  The default tracer is a :class:`NullTracer`
+whose ``span`` hands back one shared no-op context manager — tracing
+costs nothing until a recording :class:`Tracer` is installed (the CLI
+does this for ``--trace``).
+
+Record format (one JSON object per line in the JSONL export)::
+
+    {"name": ..., "id": n, "parent": n|null, "start": s, "end": s,
+     "duration": s, "attrs": {...}}
+
+``start``/``end`` are ``time.perf_counter()`` seconds relative to the
+tracer's creation, so intervals compare exactly within one trace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Tracer:
+    """Records finished spans as flat dicts linked by parent ids."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        self._stack: List[int] = []
+        self.records: List[Dict[str, object]] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start = time.perf_counter() - self._epoch
+        try:
+            yield
+        finally:
+            end = time.perf_counter() - self._epoch
+            self._stack.pop()
+            self.records.append(
+                {
+                    "name": name,
+                    "id": span_id,
+                    "parent": parent,
+                    "start": start,
+                    "end": end,
+                    "duration": end - start,
+                    "attrs": attrs,
+                }
+            )
+
+    def to_jsonl(self) -> str:
+        """All finished spans, one JSON object per line, in finish order."""
+        return "\n".join(json.dumps(record) for record in self.records)
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+
+
+def load_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace back into span records (the round-trip)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def validate_nesting(records: List[Dict[str, object]]) -> None:
+    """Assert every child interval lies within its parent's interval."""
+    by_id = {record["id"]: record for record in records}
+    for record in records:
+        parent_id = record["parent"]
+        if parent_id is None:
+            continue
+        parent = by_id[parent_id]
+        if record["start"] < parent["start"] or record["end"] > parent["end"]:
+            raise ValueError(
+                f"span {record['name']!r} ({record['start']}, {record['end']}) "
+                f"escapes parent {parent['name']!r} "
+                f"({parent['start']}, {parent['end']})"
+            )
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: ``span`` is one shared no-op."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null = _NULL_SPAN
+
+    def span(self, name: str, **attrs: object):
+        return self._null
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+_default_tracer: Tracer = NullTracer()
+
+
+def get_default_tracer() -> Tracer:
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process default; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def scoped_tracer(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Temporarily install a tracer (a recording one by default)."""
+    installed = tracer if tracer is not None else Tracer()
+    previous = set_default_tracer(installed)
+    try:
+        yield installed
+    finally:
+        set_default_tracer(previous)
+
+
+def trace_span(name: str, **attrs: object):
+    """Open a span on the process-default tracer (no-op unless recording)."""
+    return _default_tracer.span(name, **attrs)

@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 from ..circuit.gates import EVALUATORS, GateType
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
+from ..obs import get_default_registry
 from .logicsim import SimulationError, simulate
 from .patterns import TestSet
 
@@ -94,11 +95,17 @@ class FaultSimulator:
         Bit ``p`` of ``result[o]`` is set when output ``o`` differs from the
         fault-free value under pattern ``p`` in the presence of ``fault``.
         """
+        registry = get_default_registry()
+        registry.counter("faultsim.faults_simulated").inc()
+        registry.counter("faultsim.patterns_applied").inc(self.num_patterns)
         origin, faulty_word = self._activation(fault)
         good = self.good_values
         initial_diff = faulty_word ^ good[origin]
         diffs: Dict[str, int] = {}
         if not initial_diff:
+            # The fault never activates under these patterns: its effect is
+            # dropped at the origin before any propagation work happens.
+            registry.counter("faultsim.dropped_faults").inc()
             return diffs
         faulty: Dict[str, int] = {origin: faulty_word}
         changed: Set[str] = {origin}

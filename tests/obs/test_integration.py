@@ -1,0 +1,134 @@
+"""Integration: the instrumented pipeline fills the registry as documented."""
+
+import json
+
+from repro import load_circuit, prepare_for_test
+from repro.cli import main
+from repro.dictionaries import build_same_different
+from repro.faults import collapse
+from repro.obs import CallbackProgress, load_jsonl, scoped_registry, validate_nesting
+from repro.sim import ResponseTable, TestSet
+
+
+def small_table():
+    netlist = prepare_for_test(load_circuit("c17"))
+    faults = collapse(netlist)
+    tests = TestSet.random(netlist.inputs, 16, seed=7)
+    return ResponseTable.build(netlist, faults, tests)
+
+
+class TestBuildCounters:
+    def test_build_same_different_emits_expected_counters(self):
+        with scoped_registry() as registry:
+            table = small_table()
+            _, report = build_same_different(table, calls=3, seed=0)
+        counters = registry.snapshot()["counters"]
+        assert counters["procedure1.calls"] == report.procedure1_calls
+        assert counters["build.restarts"] == report.procedure1_calls
+        assert counters["procedure1.candidates_evaluated"] > 0
+        assert counters["procedure1.pairs_distinguished"] > 0
+        assert "procedure1.lower_cutoffs" in counters
+        # The response capture runs inside the scope too.
+        assert counters["faultsim.faults_simulated"] == table.n_faults
+        timers = registry.snapshot()["timers"]
+        assert timers["build.procedure1_seconds"]["count"] == 1
+
+    def test_build_report_carries_phase_seconds_and_as_dict(self):
+        with scoped_registry():
+            table = small_table()
+            _, report = build_same_different(table, calls=2, seed=1)
+        assert report.procedure1_seconds > 0
+        data = report.as_dict()
+        assert data["procedure1_calls"] == report.procedure1_calls
+        assert data["procedure1_seconds"] == report.procedure1_seconds
+        assert data["indistinguished_procedure2"] == report.indistinguished_procedure2
+        json.dumps(data)  # JSON-serialisable end to end
+
+    def test_progress_callback_sees_every_restart(self):
+        events = []
+        with scoped_registry():
+            table = small_table()
+            _, report = build_same_different(
+                table,
+                calls=3,
+                seed=0,
+                progress=CallbackProgress(
+                    lambda stage, done, total, **info: events.append((stage, done))
+                ),
+            )
+        restarts = [e for e in events if e[0] == "build.procedure1"]
+        assert len(restarts) == report.procedure1_calls
+
+
+class TestCliObservability:
+    def test_table6_metrics_and_trace_files(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "table6",
+                    "--circuit",
+                    "p208",
+                    "--calls",
+                    "2",
+                    "--metrics-out",
+                    str(metrics_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(metrics_path.read_text())
+        for name in (
+            "procedure1.calls",
+            "procedure1.lower_cutoffs",
+            "procedure2.replacements",
+            "faultsim.faults_simulated",
+        ):
+            assert name in snapshot["counters"], name
+        records = load_jsonl(trace_path.read_text())
+        assert records
+        validate_nesting(records)
+        names = {record["name"] for record in records}
+        assert "table6.row" in names
+        assert "procedure1.call" in names
+        out = capsys.readouterr().out
+        assert "Build instrumentation" in out
+
+    def test_metrics_to_stdout_moves_report_to_stderr(self, capsys):
+        assert (
+            main(["table6", "p208", "--calls", "2", "--metrics-out", "-"]) == 0
+        )
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is pure JSON
+        assert "Table 6" in captured.err
+
+    def test_table6_requires_a_circuit(self, capsys):
+        assert main(["table6"]) == 1
+
+    def test_diagnose_with_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "diagnose",
+                    "s27",
+                    "--calls",
+                    "2",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["diagnosis.lookups"] == 3  # one per dictionary
+        assert "injected:" in capsys.readouterr().out
+
+    def test_atpg_with_progress(self, capsys):
+        assert main(["atpg", "s27", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[atpg]" in captured.err
+        assert "tests," in captured.out

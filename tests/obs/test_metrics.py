@@ -1,0 +1,135 @@
+"""Tests for the metrics registry: instruments, aggregation, scoping."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    disabled,
+    get_default_registry,
+    scoped_registry,
+    set_default_registry,
+)
+from repro.obs.metrics import MAX_TIMER_SAMPLES
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_create_or_get_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestTimer:
+    def test_summary_on_known_data(self):
+        timer = MetricsRegistry().timer("t")
+        for sample in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]:
+            timer.record(sample)
+        summary = timer.summary()
+        assert summary["count"] == 10
+        assert summary["total"] == pytest.approx(5.5)
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(1.0)
+        # Nearest-rank: p50 of 10 samples is the 5th, p95 the 10th.
+        assert summary["p50"] == pytest.approx(0.5)
+        assert summary["p95"] == pytest.approx(1.0)
+
+    def test_percentiles_single_sample(self):
+        timer = MetricsRegistry().timer("t")
+        timer.record(2.0)
+        assert timer.percentile(50) == pytest.approx(2.0)
+        assert timer.percentile(95) == pytest.approx(2.0)
+
+    def test_empty_timer(self):
+        timer = MetricsRegistry().timer("t")
+        assert timer.percentile(50) is None
+        assert timer.summary()["count"] == 0
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        timer = MetricsRegistry().timer("t")
+        for _ in range(MAX_TIMER_SAMPLES + 100):
+            timer.record(1.0)
+        assert timer.count == MAX_TIMER_SAMPLES + 100
+        assert timer.total == pytest.approx(MAX_TIMER_SAMPLES + 100)
+        assert len(timer._samples) == MAX_TIMER_SAMPLES
+
+    def test_stopwatch_records_and_exposes_elapsed(self):
+        timer = MetricsRegistry().timer("t")
+        with timer.time() as stopwatch:
+            pass
+        assert stopwatch.elapsed >= 0
+        assert timer.count == 1
+        assert timer.total == pytest.approx(stopwatch.elapsed)
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("a.calls").inc(3)
+        registry.gauge("a.level").set(7)
+        registry.timer("a.seconds").record(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a.calls": 3}
+        assert snapshot["gauges"] == {"a.level": 7}
+        assert snapshot["timers"]["a.seconds"]["count"] == 1
+        parsed = json.loads(registry.to_json())
+        assert parsed == json.loads(json.dumps(snapshot))
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestScoping:
+    def test_scoped_registry_isolates_and_restores(self):
+        before = get_default_registry()
+        with scoped_registry() as inner:
+            assert get_default_registry() is inner
+            get_default_registry().counter("scoped").inc()
+        assert get_default_registry() is before
+        assert "scoped" not in before.counters
+
+    def test_scoped_registry_restores_on_exception(self):
+        before = get_default_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert get_default_registry() is before
+
+    def test_set_default_registry_returns_previous(self):
+        before = get_default_registry()
+        replacement = MetricsRegistry()
+        assert set_default_registry(replacement) is before
+        assert set_default_registry(before) is replacement
+
+    def test_disabled_discards_everything(self):
+        with disabled() as registry:
+            assert isinstance(registry, NullRegistry)
+            registry.counter("x").inc(10)
+            registry.gauge("g").set(1)
+            registry.timer("t").record(1.0)
+            assert registry.snapshot() == {
+                "counters": {},
+                "gauges": {},
+                "timers": {},
+            }

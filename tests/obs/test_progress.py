@@ -1,0 +1,81 @@
+"""Tests for progress reporting and its throttling."""
+
+import io
+
+from repro.obs import CallbackProgress, NullProgress, StderrProgress
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCallbackProgress:
+    def test_forwards_every_event(self):
+        events = []
+        reporter = CallbackProgress(
+            lambda stage, done, total, **info: events.append(
+                (stage, done, total, info)
+            )
+        )
+        reporter.report("stage", 1, 10, extra="yes")
+        reporter.report("stage", 2)
+        assert events == [
+            ("stage", 1, 10, {"extra": "yes"}),
+            ("stage", 2, None, {}),
+        ]
+
+
+class TestNullProgress:
+    def test_swallows_events(self):
+        NullProgress().report("stage", 1, 2, anything="goes")
+
+
+class TestStderrProgressThrottling:
+    def make(self, min_interval=1.0):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = StderrProgress(
+            min_interval=min_interval, stream=stream, clock=clock
+        )
+        return reporter, clock, stream
+
+    def test_first_event_always_emits(self):
+        reporter, _, stream = self.make()
+        reporter.report("build", 1)
+        assert stream.getvalue() == "[build] 1\n"
+
+    def test_events_within_interval_are_dropped(self):
+        reporter, clock, stream = self.make(min_interval=1.0)
+        for done in range(1, 6):
+            reporter.report("build", done)
+            clock.advance(0.1)
+        assert reporter.emitted == 1
+        clock.advance(1.0)
+        reporter.report("build", 6)
+        assert reporter.emitted == 2
+        assert stream.getvalue() == "[build] 1\n[build] 6\n"
+
+    def test_terminal_event_bypasses_throttle(self):
+        reporter, _, stream = self.make(min_interval=100.0)
+        reporter.report("build", 1, 3)
+        reporter.report("build", 2, 3)  # throttled
+        reporter.report("build", 3, 3)  # terminal: emitted anyway
+        assert stream.getvalue() == "[build] 1/3\n[build] 3/3\n"
+
+    def test_stage_change_bypasses_throttle(self):
+        reporter, _, _ = self.make(min_interval=100.0)
+        reporter.report("one", 1)
+        reporter.report("two", 1)
+        assert reporter.emitted == 2
+
+    def test_info_rendered_as_key_value(self):
+        reporter, _, stream = self.make()
+        reporter.report("build", 2, 4, stale=1, best=99)
+        assert stream.getvalue() == "[build] 2/4 stale=1 best=99\n"

@@ -1,0 +1,86 @@
+"""Tests for span tracing: nesting, JSONL round-trip, defaults."""
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    get_default_tracer,
+    load_jsonl,
+    scoped_tracer,
+    trace_span,
+    validate_nesting,
+)
+
+
+class TestSpans:
+    def test_nesting_parent_ids_and_intervals(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", test=3):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {record["name"]: record for record in tracer.records}
+        outer, inner, sibling = (
+            by_name["outer"], by_name["inner"], by_name["sibling"],
+        )
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert sibling["parent"] == outer["id"]
+        assert inner["attrs"] == {"test": 3}
+        # Children finish before the parent, so they appear first.
+        assert [r["name"] for r in tracer.records] == ["inner", "sibling", "outer"]
+        validate_nesting(tracer.records)
+        assert outer["start"] <= inner["start"] <= inner["end"] <= outer["end"]
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                raise ValueError("boom")
+        assert [r["name"] for r in tracer.records] == ["outer"]
+        with tracer.span("after"):
+            pass
+        assert tracer.records[-1]["parent"] is None  # stack was unwound
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", key="value"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        records = load_jsonl(path.read_text())
+        assert records == tracer.records
+        validate_nesting(records)
+
+    def test_empty_export(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        Tracer().export_jsonl(str(path))
+        assert path.read_text() == ""
+        assert load_jsonl("") == []
+
+    def test_validate_nesting_rejects_escaping_child(self):
+        records = [
+            {"name": "child", "id": 1, "parent": 0, "start": 0.0, "end": 5.0},
+            {"name": "parent", "id": 0, "parent": None, "start": 1.0, "end": 4.0},
+        ]
+        with pytest.raises(ValueError, match="escapes parent"):
+            validate_nesting(records)
+
+
+class TestDefaults:
+    def test_default_is_null_and_records_nothing(self):
+        tracer = get_default_tracer()
+        assert isinstance(tracer, NullTracer)
+        with trace_span("anything", x=1):
+            pass
+        assert tracer.records == []
+
+    def test_scoped_tracer_captures_trace_span(self):
+        with scoped_tracer() as tracer:
+            with trace_span("captured"):
+                pass
+        assert [r["name"] for r in tracer.records] == ["captured"]
+        assert isinstance(get_default_tracer(), NullTracer)
