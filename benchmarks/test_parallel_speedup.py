@@ -1,0 +1,78 @@
+"""Speedup benchmark for the parallel restart engine.
+
+Times the restarted Procedure 1 loop of the largest circuit in the
+sweep (``p526`` by default, ``p9234`` with ``REPRO_FULL_SWEEP=1``)
+serially and with ``jobs=4``, proving along the way that both runs
+produce identical baselines and counts — the speedup claim is only
+meaningful because the result is bit-for-bit the same.
+
+The ≥2× assertion needs hardware that can actually run 4 workers:
+it is enforced only when ``os.cpu_count() >= 4`` and the bench is not
+in quick mode.  ``REPRO_BENCH_QUICK=1`` (the CI setting) shrinks the
+restart budget and reports the measured ratio without failing on it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.dictionaries import build_same_different
+from repro.experiments.table6 import response_table_for
+from repro.obs import scoped_registry
+
+from benchmarks.conftest import sweep_circuits
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+JOBS = 4
+#: Stale budget: large enough that the restart loop, not test
+#: generation, is what gets timed.
+CALLS = 60 if QUICK else 400
+
+
+@pytest.fixture(scope="module")
+def largest_table():
+    circuit = sweep_circuits()[-1]
+    _, table = response_table_for(circuit, "diag", 0)
+    return circuit, table
+
+
+def _timed_build(table, jobs):
+    start = time.perf_counter()
+    with scoped_registry():
+        dictionary, report = build_same_different(
+            table, calls=CALLS, seed=0, replace=False, jobs=jobs
+        )
+    return time.perf_counter() - start, dictionary, report
+
+
+def test_parallel_speedup(largest_table):
+    circuit, table = largest_table
+    serial_seconds, serial_dict, serial_report = _timed_build(table, jobs=1)
+    parallel_seconds, parallel_dict, parallel_report = _timed_build(
+        table, jobs=JOBS
+    )
+
+    # The differential half of the claim: identical output, always.
+    assert parallel_dict.baselines == serial_dict.baselines
+    assert (
+        parallel_report.distinguished_procedure1
+        == serial_report.distinguished_procedure1
+    )
+    assert parallel_report.procedure1_calls == serial_report.procedure1_calls
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(
+        f"\n[parallel-speedup] {circuit}: serial={serial_seconds:.2f}s "
+        f"jobs={JOBS}={parallel_seconds:.2f}s speedup={speedup:.2f}x "
+        f"(calls={CALLS}, restarts={serial_report.procedure1_calls}, "
+        f"cpus={os.cpu_count()})"
+    )
+
+    if not QUICK and (os.cpu_count() or 1) >= JOBS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {JOBS} workers on "
+            f"{os.cpu_count()} CPUs, measured {speedup:.2f}x"
+        )

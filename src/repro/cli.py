@@ -96,6 +96,17 @@ def _observability(args: argparse.Namespace) -> Iterator[ObsSession]:
             handle.write(registry.to_json() + "\n")
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for Procedure 1 restarts (1 = serial; "
+        "results are identical for any value, see docs/parallelism.md)",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -189,7 +200,8 @@ def cmd_table6(args: argparse.Namespace) -> int:
         return 1
     with _observability(args) as session:
         rows = run_table6(
-            circuits, seed=args.seed, calls=args.calls, progress=session.progress
+            circuits, seed=args.seed, calls=args.calls, progress=session.progress,
+            jobs=args.jobs,
         )
         session.out.emit(render_table6(rows))
         session.out.emit("")
@@ -201,7 +213,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     with _observability(args) as session:
         netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
         samediff, _ = build_same_different(
-            table, calls=args.calls, seed=args.seed, progress=session.progress
+            table, calls=args.calls, seed=args.seed, progress=session.progress,
+            jobs=args.jobs,
         )
         dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
         if args.fault is not None:
@@ -271,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table6.add_argument("--seed", type=int, default=0)
     table6.add_argument("--calls", type=int, default=100, help="CALLS1")
+    _add_jobs_flag(table6)
     _add_obs_flags(table6)
     table6.set_defaults(func=cmd_table6)
 
@@ -280,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--fault", type=_parse_fault, default=None)
     diagnose.add_argument("--seed", type=int, default=0)
     diagnose.add_argument("--calls", type=int, default=20)
+    _add_jobs_flag(diagnose)
     _add_obs_flags(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
     return parser

@@ -14,7 +14,10 @@ This module implements:
   early-termination heuristic;
 * the **random-restart driver** (:func:`build_same_different`): Procedure 1
   re-run over shuffled test orders until ``calls`` consecutive calls bring
-  no improvement (the paper's ``CALLS1``);
+  no improvement (the paper's ``CALLS1``); restarts derive their test
+  orders from per-restart seed streams (:mod:`repro.parallel.seeds`) and
+  can fan out over worker processes with ``jobs > 1``, byte-identically
+  to the serial path;
 * **Procedure 2** (:func:`replace_baselines`): a hill-climbing pass that
   tries every alternative baseline for every test against the *global*
   distinguished-pair count;
@@ -26,7 +29,6 @@ This module implements:
 
 from __future__ import annotations
 
-import random
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -111,6 +113,10 @@ class BuildReport:
     distinguished_procedure1: int = 0
     #: Distinguished pairs after Procedure 2 (paper's "s/d repl").
     distinguished_procedure2: int = 0
+    #: Logical Procedure 1 restarts folded into the result — identical for
+    #: serial and parallel builds of the same seed (speculative restarts a
+    #: parallel schedule computed and discarded are *not* counted here;
+    #: see the ``parallel.*`` metrics).
     procedure1_calls: int = 0
     procedure2_passes: int = 0
     replacements: int = 0
@@ -118,6 +124,10 @@ class BuildReport:
     procedure1_seconds: float = 0.0
     #: Wall-clock seconds of Procedure 2 (0.0 when it did not run).
     procedure2_seconds: float = 0.0
+    #: Worker processes the restart loop ran on (1 = serial).
+    jobs: int = 1
+    #: Speculative batches a parallel schedule submitted (0 when serial).
+    batches: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """All fields plus the derived counts, for JSON export."""
@@ -241,6 +251,7 @@ def build_same_different(
     replace: bool = True,
     seed: int = 0,
     progress: Optional[ProgressReporter] = None,
+    jobs: int = 1,
 ) -> Tuple[SameDifferentDictionary, BuildReport]:
     """The paper's full flow: restarted Procedure 1, then Procedure 2.
 
@@ -250,48 +261,75 @@ def build_same_different(
     a run distinguishes every pair that remains distinguishable.  With
     ``replace`` the best baselines then go through Procedure 2.
 
-    ``progress`` receives one event per restart (stage
+    ``jobs > 1`` evaluates restarts on that many worker processes via
+    :class:`~repro.parallel.scheduler.RestartScheduler`; every restart's
+    test order is derived from a per-restart seed stream, so any ``jobs``
+    value yields byte-identical baselines and counts for the same
+    ``seed``.  The result additionally never falls below the pass/fail
+    dictionary: the restart fold is seeded with the all-PASS assignment.
+
+    Degenerate tables (``n_tests == 0`` or ``n_faults < 2``) have nothing
+    to select or distinguish; they return an all-PASS dictionary without
+    running any restart.
+
+    ``progress`` receives one event per folded restart (stage
     ``"build.procedure1"``, with the stale streak and current best) and
     one around Procedure 2.
     """
-    rng = random.Random(seed)
+    # Imported here, not at module level: repro.parallel's worker imports
+    # this module, and a top-level import back would cycle.
+    from ..parallel.scheduler import RestartFold, RestartScheduler
+    from ..parallel.seeds import restart_order
+
+    if calls < 1:
+        raise ValueError(f"calls (CALLS1) must be >= 1, got {calls}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     registry = get_default_registry()
     progress = progress if progress is not None else NullProgress()
-    report = BuildReport(n_faults=table.n_faults)
+    report = BuildReport(n_faults=table.n_faults, jobs=jobs)
 
-    best_baselines: Optional[List[Signature]] = None
-    best_distinguished = -1
+    if table.n_tests == 0 or table.n_faults < 2:
+        # No test to pick a baseline for, or no pair to distinguish.
+        return SameDifferentDictionary(table, [PASS] * table.n_tests), report
+
     ceiling = _full_dictionary_distinguished(table)
-    stale = 0
-    order = list(range(table.n_tests))
+    floor_baselines: List[Signature] = [PASS] * table.n_tests
+    floor_distinguished = total_pairs(table.n_faults) - _partition_indistinguished(
+        _rows_for(table, floor_baselines)
+    )
+    fold = RestartFold(
+        calls=calls,
+        ceiling=ceiling,
+        baselines=floor_baselines,
+        distinguished=floor_distinguished,
+        progress=progress,
+    )
     with registry.timer("build.procedure1_seconds").time() as phase1:
-        with trace_span("build.procedure1", calls=calls, lower=lower):
-            while stale < calls:
-                with trace_span("procedure1.call", restart=report.procedure1_calls):
-                    baselines, _, distinguished = select_baselines(table, order, lower)
-                report.procedure1_calls += 1
-                if distinguished > best_distinguished:
-                    best_distinguished = distinguished
-                    best_baselines = baselines
-                    stale = 0
-                else:
-                    stale += 1
-                progress.report(
-                    "build.procedure1",
-                    report.procedure1_calls,
-                    stale=stale,
-                    best=best_distinguished,
-                )
-                if best_distinguished >= ceiling:
-                    registry.counter("build.ceiling_early_exits").inc()
-                    break  # nothing left that any dictionary could distinguish
-                rng.shuffle(order)
-    assert best_baselines is not None
+        with trace_span("build.procedure1", calls=calls, lower=lower, jobs=jobs):
+            if jobs > 1:
+                outcome = RestartScheduler(
+                    table, lower=lower, seed=seed, jobs=jobs
+                ).run(fold)
+                report.batches = outcome.batches
+            else:
+                restart = 0
+                while not fold.done:
+                    order = restart_order(seed, restart, table.n_tests)
+                    with trace_span("procedure1.call", restart=restart):
+                        baselines, _, distinguished = select_baselines(
+                            table, order, lower
+                        )
+                    fold.consume(distinguished, baselines)
+                    restart += 1
+    best_baselines = fold.best_baselines
+    best_distinguished = fold.best_distinguished
+    report.procedure1_calls = fold.calls_made
     report.procedure1_seconds = phase1.elapsed
     report.distinguished_procedure1 = best_distinguished
     report.distinguished_procedure2 = best_distinguished
     registry.counter("build.restarts").inc(report.procedure1_calls)
-    registry.gauge("build.stale_streak").set(stale)
+    registry.gauge("build.stale_streak").set(fold.stale)
 
     if replace and best_distinguished < ceiling:
         with registry.timer("build.procedure2_seconds").time() as phase2:

@@ -105,6 +105,7 @@ def render_build_instrumentation(rows: Sequence[object]) -> str:
     headers = (
         "circuit",
         "Ttype",
+        "jobs",
         "P1 calls",
         "P1 s",
         "P2 passes",
@@ -115,6 +116,7 @@ def render_build_instrumentation(rows: Sequence[object]) -> str:
         (
             row.circuit,
             row.test_type,
+            row.build.jobs,
             row.build.procedure1_calls,
             row.build.procedure1_seconds,
             row.build.procedure2_passes,

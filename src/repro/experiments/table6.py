@@ -132,15 +132,21 @@ def table6_row(
     lower: int = 10,
     calls: int = 100,
     progress: Optional[ProgressReporter] = None,
+    jobs: int = 1,
 ) -> Table6Row:
-    """Compute one row of Table 6 (``LOWER`` and ``CALLS1`` as in the paper)."""
+    """Compute one row of Table 6 (``LOWER`` and ``CALLS1`` as in the paper).
+
+    ``jobs > 1`` parallelises the Procedure 1 restarts; the row's numbers
+    are identical for every ``jobs`` value (see ``docs/parallelism.md``).
+    """
     with trace_span("table6.row", circuit=circuit, ttype=test_type):
         with trace_span("table6.prepare"):
             _, table = response_table_for(circuit, test_type, seed)
         full = FullDictionary(table)
         passfail = PassFailDictionary(table)
         _, build = build_same_different(
-            table, lower=lower, calls=calls, seed=seed, progress=progress
+            table, lower=lower, calls=calls, seed=seed, progress=progress,
+            jobs=jobs,
         )
     return Table6Row(
         circuit=circuit,
@@ -163,6 +169,7 @@ def run_table6(
     lower: int = 10,
     calls: int = 100,
     progress: Optional[ProgressReporter] = None,
+    jobs: int = 1,
 ) -> List[Table6Row]:
     """All requested rows, circuit-major / test-type-minor like the paper."""
     progress = progress if progress is not None else NullProgress()
@@ -175,7 +182,7 @@ def run_table6(
         rows.append(
             table6_row(
                 circuit, test_type, seed=seed, lower=lower, calls=calls,
-                progress=progress,
+                progress=progress, jobs=jobs,
             )
         )
     progress.report("table6", len(cells), len(cells))

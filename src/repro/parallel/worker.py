@@ -1,0 +1,70 @@
+"""The process-pool worker side of the restart engine.
+
+Each worker process receives the :class:`~repro.sim.responses.ResponseTable`
+once (through the pool initializer, not per task), then evaluates restarts
+identified only by ``(seed, restart_index)``: the test order is re-derived
+locally from the seed stream, so a task costs two integers on the wire.
+
+Workers run Procedure 1 under a private scoped metrics registry and ship
+its :meth:`~repro.obs.MetricsRegistry.dump` back with the result; the
+scheduler merges those dumps into the parent registry so ``procedure1.*``
+counters stay accurate under parallelism.  Spans are *not* captured —
+worker processes trace into their own (null by default) tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dictionaries.samediff import select_baselines
+from ..obs import scoped_registry
+from ..sim.responses import ResponseTable, Signature
+from .seeds import restart_order
+
+
+@dataclass
+class RestartResult:
+    """One restart's outcome, as shipped from worker to scheduler."""
+
+    restart: int
+    distinguished: int
+    baselines: List[Signature]
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+# Per-worker-process state installed by the pool initializer.  A module
+# global (not a closure) because the submitted callable must be picklable
+# by qualified name.
+_WORKER_STATE: Optional[Tuple[ResponseTable, int]] = None
+
+
+def init_worker(table: ResponseTable, lower: int) -> None:
+    """Pool initializer: pin the shared response table in this process."""
+    global _WORKER_STATE
+    _WORKER_STATE = (table, lower)
+
+
+def run_restart(seed: int, restart: int) -> RestartResult:
+    """Evaluate one Procedure 1 restart against the pinned table."""
+    if _WORKER_STATE is None:
+        raise RuntimeError("worker used before init_worker installed a table")
+    table, lower = _WORKER_STATE
+    order = restart_order(seed, restart, table.n_tests)
+    with scoped_registry() as registry:
+        baselines, _, distinguished = select_baselines(table, order, lower)
+        metrics = registry.dump()
+    return RestartResult(restart, distinguished, baselines, metrics)
+
+
+def run_restart_inline(
+    table: ResponseTable, seed: int, restart: int, lower: int
+) -> Tuple[List[Signature], int]:
+    """The same evaluation, in-process (the serial path and tests use it).
+
+    Unlike :func:`run_restart` it writes straight into the ambient
+    registry — in-process there is no merge boundary to cross.
+    """
+    order = restart_order(seed, restart, table.n_tests)
+    baselines, _, distinguished = select_baselines(table, order, lower)
+    return baselines, distinguished

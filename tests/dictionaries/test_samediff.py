@@ -17,27 +17,8 @@ from repro.dictionaries import (
     total_pairs,
 )
 from repro.experiments.example_tables import example_table
-from repro.faults import Fault
 from repro.sim import PASS, ResponseTable, TestSet
-
-
-def random_table(n_faults, n_tests, n_outputs, seed):
-    """A random synthetic ResponseTable (no circuit involved)."""
-    rng = random.Random(seed)
-    faults = [Fault(f"f{i}", 0) for i in range(n_faults)]
-    tests = TestSet(("i0",), [0] * n_tests)
-    failing = []
-    for _ in range(n_faults):
-        row = {}
-        for j in range(n_tests):
-            if rng.random() < 0.5:
-                outputs = tuple(
-                    sorted(rng.sample(range(n_outputs), rng.randint(1, n_outputs)))
-                )
-                row[j] = outputs
-        failing.append(row)
-    good = {f"z{o}": rng.getrandbits(n_tests) for o in range(n_outputs)}
-    return ResponseTable(tuple(f"z{o}" for o in range(n_outputs)), faults, tests, failing, good)
+from tests.util import random_table
 
 
 def brute_indistinguished(dictionary):

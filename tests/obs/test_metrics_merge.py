@@ -1,0 +1,99 @@
+"""Unit tests for the registry merge API (worker → parent aggregation)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullRegistry
+from repro.obs.metrics import MAX_TIMER_SAMPLES
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.counter("b").inc(7)
+    registry.gauge("g").set(2.5)
+    registry.timer("t").record(0.5)
+    registry.timer("t").record(1.5)
+    return registry
+
+
+class TestDump:
+    def test_dump_is_picklable_plain_data(self):
+        dump = populated_registry().dump()
+        assert pickle.loads(pickle.dumps(dump)) == dump
+        assert dump["counters"] == {"a": 3, "b": 7}
+        assert dump["timers"]["t"]["samples"] == [0.5, 1.5]
+
+    def test_merge_into_fresh_registry_reconstructs(self):
+        source = populated_registry()
+        target = MetricsRegistry()
+        target.merge_dump(source.dump())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestMerge:
+    def test_counters_add(self):
+        target = populated_registry()
+        target.merge(populated_registry())
+        assert target.counter("a").value == 6
+        assert target.counter("b").value == 14
+
+    def test_gauges_last_writer_wins(self):
+        target = MetricsRegistry()
+        target.gauge("g").set(1.0)
+        other = MetricsRegistry()
+        other.gauge("g").set(9.0)
+        target.merge(other)
+        assert target.gauge("g").value == 9.0
+
+    def test_timers_aggregate_exactly(self):
+        target = populated_registry()
+        other = MetricsRegistry()
+        other.timer("t").record(0.1)
+        other.timer("t").record(3.0)
+        target.merge(other)
+        timer = target.timer("t")
+        assert timer.count == 4
+        assert timer.total == pytest.approx(5.1)
+        assert timer.min == pytest.approx(0.1)
+        assert timer.max == pytest.approx(3.0)
+        assert timer.percentile(95) == pytest.approx(3.0)
+
+    def test_merge_creates_missing_instruments(self):
+        target = MetricsRegistry()
+        other = MetricsRegistry()
+        other.counter("fresh").inc(5)
+        other.timer("new_timer").record(1.0)
+        target.merge(other)
+        assert target.counter("fresh").value == 5
+        assert target.timer("new_timer").count == 1
+
+    def test_merge_empty_timer_keeps_bounds_unset(self):
+        target = MetricsRegistry()
+        other = MetricsRegistry()
+        other.timer("t")  # created, never recorded
+        target.merge(other)
+        assert target.timer("t").min is None
+        assert target.timer("t").max is None
+
+    def test_sample_cap_respected_across_merges(self):
+        target = MetricsRegistry()
+        for _ in range(MAX_TIMER_SAMPLES):
+            target.timer("t").record(1.0)
+        other = MetricsRegistry()
+        other.timer("t").record(2.0)
+        target.merge(other)
+        timer = target.timer("t")
+        assert len(timer._samples) == MAX_TIMER_SAMPLES
+        assert timer.count == MAX_TIMER_SAMPLES + 1  # aggregates stay exact
+        assert timer.max == pytest.approx(2.0)
+
+    def test_null_registry_discards_merges(self):
+        null = NullRegistry()
+        null.merge(populated_registry())
+        assert null.dump() == {"counters": {}, "gauges": {}, "timers": {}}
+        assert null.counter("a").value == 0
+        assert null.timer("t").count == 0

@@ -1,0 +1,80 @@
+"""Differential tests: parallel builds are byte-identical to serial ones.
+
+The contract under test is the strongest one the engine makes: for a
+fixed ``seed``, ``build_same_different(..., jobs=N)`` returns the same
+baselines, the same distinguished-pair counts, and the same logical
+restart count for every ``N`` — the schedule may speculate and discard,
+but the fold must be indistinguishable from the serial loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionaries import build_same_different
+from repro.obs import scoped_registry
+from repro.sim import ResponseTable, TestSet
+from tests.util import random_table
+
+
+def _circuit_table(netlist, n_tests, seed):
+    tests = TestSet.random(netlist.inputs, n_tests, seed=seed)
+    from repro.faults import collapse
+
+    return ResponseTable.build(netlist, collapse(netlist), tests)
+
+
+@pytest.fixture(scope="module")
+def circuit_tables(tiny_circuits):
+    """Response tables of three small circuits plus a synthetic table."""
+    tables = [
+        _circuit_table(tiny_circuits[0], 14, seed=1),
+        _circuit_table(tiny_circuits[1], 12, seed=2),
+        _circuit_table(tiny_circuits[2], 16, seed=3),
+    ]
+    tables.append(random_table(24, 12, 3, seed=7, density=0.3))
+    return tables
+
+
+def _build(table, seed, jobs, calls=6):
+    with scoped_registry():
+        return build_same_different(table, calls=calls, seed=seed, jobs=jobs)
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_identical_baselines_and_counts(self, circuit_tables, jobs):
+        for index, table in enumerate(circuit_tables):
+            serial_dict, serial = _build(table, seed=index, jobs=1)
+            par_dict, par = _build(table, seed=index, jobs=jobs)
+            assert par_dict.baselines == serial_dict.baselines
+            assert par.distinguished_procedure1 == serial.distinguished_procedure1
+            assert par.distinguished_procedure2 == serial.distinguished_procedure2
+            assert par.procedure1_calls == serial.procedure1_calls
+            assert par.replacements == serial.replacements
+            # Same baselines imply the same encoded rows bit for bit.
+            for i in range(table.n_faults):
+                assert par_dict.row(i) == serial_dict.row(i)
+
+    def test_distinct_seeds_remain_distinct(self, circuit_tables):
+        """The parallel path must not collapse different seeds' streams."""
+        table = circuit_tables[3]
+        _, a = _build(table, seed=0, jobs=2)
+        _, b = _build(table, seed=1, jobs=2)
+        # Counts may coincide, but the restart trajectories must be the
+        # per-seed serial ones.
+        _, sa = _build(table, seed=0, jobs=1)
+        _, sb = _build(table, seed=1, jobs=1)
+        assert a.procedure1_calls == sa.procedure1_calls
+        assert b.procedure1_calls == sb.procedure1_calls
+
+    def test_parallel_metrics_cover_serial_work(self, circuit_tables):
+        """Merged worker counters count at least the logical restarts."""
+        table = circuit_tables[0]
+        with scoped_registry() as registry:
+            _, report = build_same_different(table, calls=4, seed=0, jobs=2)
+        assert registry.counter("procedure1.calls").value >= report.procedure1_calls
+        assert registry.counter("parallel.batches").value == report.batches
+        speculative = registry.counter("parallel.speculative_restarts").value
+        executed = registry.counter("procedure1.calls").value
+        assert executed == report.procedure1_calls + speculative

@@ -1,0 +1,62 @@
+"""Property tests for the resolution chain and jobs-invariance.
+
+The chain ``passfail <= s/d(P1) <= s/d(P2) <= full`` is an implementation
+invariant (the restart fold is seeded with the all-PASS assignment and
+Procedure 2 only keeps strict improvements), so it must hold for *any*
+response table — hypothesis hunts for one where it does not.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dictionaries import (
+    FullDictionary,
+    PassFailDictionary,
+    build_same_different,
+    total_pairs,
+)
+from repro.obs import scoped_registry
+from tests.util import random_table
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_faults=st.integers(min_value=2, max_value=14),
+    n_tests=st.integers(min_value=1, max_value=7),
+    density=st.sampled_from([0.2, 0.5, 0.8]),
+)
+def test_resolution_chain(seed, n_faults, n_tests, density):
+    table = random_table(n_faults, n_tests, 2, seed=seed, density=density)
+    passfail = PassFailDictionary(table).distinguished_pairs()
+    full = total_pairs(n_faults) - FullDictionary(table).indistinguished_pairs()
+    with scoped_registry():
+        dictionary, report = build_same_different(table, calls=3, seed=seed)
+    assert passfail <= report.distinguished_procedure1
+    assert report.distinguished_procedure1 <= report.distinguished_procedure2
+    assert report.distinguished_procedure2 <= full
+    # The reported Procedure 2 count is the dictionary actually returned.
+    assert dictionary.indistinguished_pairs() == report.indistinguished_procedure2
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**4),
+    n_faults=st.integers(min_value=4, max_value=16),
+    n_tests=st.integers(min_value=2, max_value=8),
+    jobs=st.sampled_from([2, 3, 4]),
+)
+def test_procedure2_never_regresses_under_jobs(seed, n_faults, n_tests, jobs):
+    """Any jobs value reproduces the serial Procedure 2 result exactly."""
+    table = random_table(n_faults, n_tests, 3, seed=seed, density=0.4)
+    with scoped_registry():
+        _, serial = build_same_different(table, calls=3, seed=seed, jobs=1)
+    with scoped_registry():
+        _, parallel = build_same_different(table, calls=3, seed=seed, jobs=jobs)
+    assert parallel.distinguished_procedure2 == serial.distinguished_procedure2
+    assert parallel.distinguished_procedure1 == serial.distinguished_procedure1
+    assert (
+        parallel.distinguished_procedure2 >= parallel.distinguished_procedure1
+    )

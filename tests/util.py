@@ -1,0 +1,33 @@
+"""Shared test helpers (importable as ``tests.util``)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults import Fault
+from repro.sim import ResponseTable, TestSet
+
+
+def random_table(n_faults, n_tests, n_outputs, seed, density=0.5):
+    """A random synthetic ResponseTable (no circuit involved).
+
+    ``density`` is the probability that a (fault, test) pair fails at
+    all; failing pairs get a uniform non-empty output signature.
+    """
+    rng = random.Random(seed)
+    faults = [Fault(f"f{i}", 0) for i in range(n_faults)]
+    tests = TestSet(("i0",), [0] * n_tests)
+    failing = []
+    for _ in range(n_faults):
+        row = {}
+        for j in range(n_tests):
+            if rng.random() < density:
+                outputs = tuple(
+                    sorted(rng.sample(range(n_outputs), rng.randint(1, n_outputs)))
+                )
+                row[j] = outputs
+        failing.append(row)
+    good = {f"z{o}": rng.getrandbits(n_tests) for o in range(n_outputs)}
+    return ResponseTable(
+        tuple(f"z{o}" for o in range(n_outputs)), faults, tests, failing, good
+    )
