@@ -7,6 +7,7 @@ best dist(z) appears among the first few candidates of Z_j.
 
 import pytest
 
+from repro.api import DictionaryConfig
 from repro.dictionaries import select_baselines
 from repro.experiments.table6 import response_table_for
 
@@ -18,7 +19,7 @@ def test_lower_cutoff(benchmark, lower):
     _, table = response_table_for("p208", "diag", seed=0)
 
     def run():
-        return select_baselines(table, lower=lower)
+        return select_baselines(table, config=DictionaryConfig(lower=lower))
 
     _, _, distinguished = benchmark(run)
     benchmark.extra_info.update(
@@ -28,6 +29,8 @@ def test_lower_cutoff(benchmark, lower):
 
 def test_lower_cutoff_costs_little_resolution():
     _, table = response_table_for("p208", "diag", seed=0)
-    _, _, with_cutoff = select_baselines(table, lower=10)
-    _, _, exhaustive = select_baselines(table, lower=10**9)
+    _, _, with_cutoff = select_baselines(table, config=DictionaryConfig(lower=10))
+    _, _, exhaustive = select_baselines(
+        table, config=DictionaryConfig(lower=10**9)
+    )
     assert with_cutoff >= 0.98 * exhaustive

@@ -1,6 +1,6 @@
 """Ablation bench E10: mixed fault-free/baseline storage (Section 2 remark)."""
 
-from repro.dictionaries import build_same_different
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 
@@ -8,7 +8,7 @@ def test_mixed_storage_accounting(benchmark):
     _, table = response_table_for("p208", "diag", seed=0)
 
     def run():
-        dictionary, _ = build_same_different(table, calls=20, seed=0)
+        dictionary, _ = build_sd(table, calls=20, seed=0)
         return dictionary
 
     dictionary = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -2,14 +2,15 @@
 
 import pytest
 
-from repro.dictionaries import add_secondary_baselines, build_same_different
+from repro.dictionaries import add_secondary_baselines
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 
 @pytest.mark.parametrize("extra", (1, 2))
 def test_secondary_baselines(benchmark, extra):
     _, table = response_table_for("p208", "diag", seed=0)
-    single, _ = build_same_different(table, calls=20, seed=0)
+    single, _ = build_sd(table, calls=20, seed=0)
 
     def run():
         return add_secondary_baselines(table, single, extra_per_test=extra)

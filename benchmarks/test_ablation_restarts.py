@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dictionaries import build_same_different
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 BUDGETS = (1, 5, 20, 100)
@@ -13,7 +13,7 @@ def test_restart_budget(benchmark, calls):
     _, table = response_table_for("p208", "diag", seed=0)
 
     def run():
-        return build_same_different(table, calls=calls, replace=False, seed=0)
+        return build_sd(table, calls=calls, replace=False, seed=0)
 
     _, report = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info.update(
@@ -28,7 +28,7 @@ def test_restart_budget(benchmark, calls):
 def test_restarts_monotone():
     _, table = response_table_for("p208", "diag", seed=0)
     results = [
-        build_same_different(table, calls=calls, replace=False, seed=0)[1]
+        build_sd(table, calls=calls, replace=False, seed=0)[1]
         for calls in BUDGETS
     ]
     values = [r.distinguished_procedure1 for r in results]

@@ -14,8 +14,8 @@ from repro.dictionaries import (
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
-    build_same_different,
 )
+from benchmarks.util import build_sd
 from repro.experiments.table6 import prepared_experiment
 from repro.faults import collapse
 from repro.sim import FaultSimulator, ResponseTable
@@ -33,7 +33,7 @@ def test_compacted_dictionary(benchmark, width):
         simulator = FaultSimulator(compacted, tests)
         detected = [f for f in faults if simulator.detection_word(f)]
         table = ResponseTable.build(compacted, detected, tests)
-        samediff, _ = build_same_different(table, calls=20, seed=0)
+        samediff, _ = build_sd(table, calls=20, seed=0)
         return table, samediff
 
     table, samediff = benchmark.pedantic(build, rounds=1, iterations=1)

@@ -8,14 +8,15 @@ numbers in Table 6.
 import pytest
 
 from repro.diagnosis import single_fault_campaign
-from repro.dictionaries import FullDictionary, PassFailDictionary, build_same_different
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 
 @pytest.fixture(scope="module")
 def setup():
     netlist, table = response_table_for("p208", "diag", seed=0)
-    samediff, _ = build_same_different(table, calls=20, seed=0)
+    samediff, _ = build_sd(table, calls=20, seed=0)
     dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
     return netlist, table, dictionaries
 

@@ -1,0 +1,126 @@
+"""Speedup benchmark for the packed kernel backend.
+
+Times the candidate-scoring inner loop of Procedure 1 — the part the
+packed backend exists to accelerate — on the 10-detect cells of the
+sweep, naive vs packed, proving along the way that both backends return
+bit-identical :class:`Procedure1Run` results.  Scoring time is taken
+from the ``timings`` hook both backends expose: each accumulates the
+wall-clock of its dist(z) computation under ``timings["scoring"]``, so
+the comparison excludes the (shared) selection/cutoff bookkeeping and
+the packed backend's one-off interning cost, which is reported
+separately via the ``kernel.pack_seconds`` / ``kernel.tables_packed``
+metrics.
+
+Rounds are interleaved (naive, packed, naive, packed, …) and the
+per-backend minimum is kept, so background CPU drift hits both sides
+alike.  Full mode sweeps the first five circuits of the default sweep
+(all of them with ``REPRO_FULL_SWEEP=1``) and asserts a geometric-mean
+speedup of ≥3× with every circuit ≥1.5×; ``REPRO_BENCH_QUICK=1`` (the
+CI setting) times only p208 and asserts ≥1.5×.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.experiments.table6 import DEFAULT_CIRCUITS, response_table_for
+from repro.kernels import get_backend
+from repro.kernels.interning import intern_response_table
+from repro.obs import scoped_registry
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+ROUNDS = 2 if QUICK else 3
+LOWER = 10
+#: Per-circuit floor and sweep-wide geometric-mean floor (full mode).
+MIN_EACH = 1.5
+MIN_GEOMEAN = 3.0
+
+
+def _bench_circuits():
+    if QUICK:
+        return ["p208"]
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        return list(DEFAULT_CIRCUITS)
+    return list(DEFAULT_CIRCUITS)[:5]
+
+
+@pytest.fixture(scope="module", params=_bench_circuits())
+def tenDetect_table(request):
+    _, table = response_table_for(request.param, "10det", 0)
+    return request.param, table
+
+
+def _run_tuple(run):
+    return (run.baselines, run.distinguished, run.evaluated, run.cutoffs,
+            run.winners)
+
+
+def _scoring_seconds(backend, table):
+    timings = {}
+    run = backend.procedure1(table, range(table.n_tests), LOWER, timings)
+    return timings["scoring"], run
+
+
+def test_kernel_scoring_speedup(tenDetect_table):
+    circuit, table = tenDetect_table
+    naive = get_backend("naive")
+    packed = get_backend("packed")
+
+    # Pay (and measure) the packed backend's interning overhead outside
+    # the timed rounds; it is a per-table one-off, not a scoring cost.
+    with scoped_registry() as registry:
+        intern_response_table(table)
+        table.interned  # materialise the cache used by the timed runs
+        snapshot = registry.snapshot()
+    pack_seconds = snapshot["timers"]["kernel.pack_seconds"]["total"]
+    tables_packed = snapshot["counters"]["kernel.tables_packed"]
+
+    naive_best = math.inf
+    packed_best = math.inf
+    for _ in range(ROUNDS):
+        naive_seconds, naive_run = _scoring_seconds(naive, table)
+        packed_seconds, packed_run = _scoring_seconds(packed, table)
+        # The differential half of the claim: identical output, always.
+        assert _run_tuple(packed_run) == _run_tuple(naive_run)
+        naive_best = min(naive_best, naive_seconds)
+        packed_best = min(packed_best, packed_seconds)
+
+    ratio = naive_best / packed_best if packed_best else math.inf
+    _RATIOS[circuit] = ratio
+    print(
+        f"\n[kernel-speedup] {circuit} 10det: naive={naive_best * 1e3:.1f}ms "
+        f"packed={packed_best * 1e3:.1f}ms speedup={ratio:.2f}x "
+        f"(pack={pack_seconds * 1e3:.1f}ms tables_packed={tables_packed}, "
+        f"faults={table.n_faults}, tests={table.n_tests})"
+    )
+
+    floor = MIN_EACH
+    assert ratio >= floor, (
+        f"{circuit}: packed scoring only {ratio:.2f}x faster than naive "
+        f"(floor {floor}x)"
+    )
+
+
+#: circuit -> measured ratio, filled per-param and summarised at the end.
+_RATIOS = {}
+
+
+def test_kernel_speedup_geomean():
+    """Full mode only: the sweep-wide claim of the kernel layer is ≥3×."""
+    if QUICK:
+        pytest.skip("quick mode times a single circuit; no geomean to assert")
+    assert _RATIOS, "per-circuit bench must run first"
+    geomean = math.exp(
+        sum(math.log(r) for r in _RATIOS.values()) / len(_RATIOS)
+    )
+    print(
+        f"\n[kernel-speedup] geomean over {len(_RATIOS)} circuits: "
+        f"{geomean:.2f}x "
+        + " ".join(f"{c}={r:.2f}x" for c, r in sorted(_RATIOS.items()))
+    )
+    assert geomean >= MIN_GEOMEAN, (
+        f"geomean speedup {geomean:.2f}x below the {MIN_GEOMEAN}x floor"
+    )

@@ -2,7 +2,7 @@
 
 The acceptance contract of the observability layer: with no exporters
 attached (the default no-op tracer and the plain in-memory registry),
-``build_same_different`` must stay within 5% of its un-instrumented wall
+the same/different build must stay within 5% of its un-instrumented wall
 time.  The un-instrumented reference is the same code under a
 :class:`~repro.obs.NullRegistry`, whose instruments discard everything —
 the only difference between the two runs is the registry flush work the
@@ -14,7 +14,7 @@ out machine noise far better than single-shot timing.
 
 import time
 
-from repro.dictionaries import build_same_different
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 from repro.obs import disabled, scoped_registry
 
@@ -25,7 +25,7 @@ TOLERANCE = 1.05
 
 def _build_seconds(table):
     start = time.perf_counter()
-    build_same_different(table, calls=CALLS, seed=0)
+    build_sd(table, calls=CALLS, seed=0)
     return time.perf_counter() - start
 
 

@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from repro.dictionaries import build_same_different
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 from repro.obs import scoped_registry
 
@@ -42,7 +42,7 @@ def largest_table():
 def _timed_build(table, jobs):
     start = time.perf_counter()
     with scoped_registry():
-        dictionary, report = build_same_different(
+        dictionary, report = build_sd(
             table, calls=CALLS, seed=0, replace=False, jobs=jobs
         )
     return time.perf_counter() - start, dictionary, report

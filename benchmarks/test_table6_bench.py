@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dictionaries import FullDictionary, PassFailDictionary, build_same_different
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from benchmarks.util import build_sd
 from repro.experiments import render_table6
 from repro.experiments.table6 import Table6Row, response_table_for
 from benchmarks.conftest import sweep_circuits
@@ -28,7 +29,7 @@ def test_table6_cell(benchmark, table6_rows, circuit, test_type):
     _, table = response_table_for(circuit, test_type, seed=0)
 
     def build():
-        return build_same_different(table, lower=10, calls=100, seed=0)
+        return build_sd(table, lower=10, calls=100, seed=0)
 
     _, report = benchmark.pedantic(build, rounds=1, iterations=1)
 

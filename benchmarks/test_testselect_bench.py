@@ -13,10 +13,10 @@ import pytest
 from repro.dictionaries import (
     FullDictionary,
     PassFailDictionary,
-    build_same_different,
     select_tests_preserving_detection,
     select_tests_preserving_resolution,
 )
+from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 
@@ -45,7 +45,7 @@ def test_select_resolution(benchmark, table):
         FullDictionary(sub).indistinguished_pairs()
         == FullDictionary(table).indistinguished_pairs()
     )
-    samediff, _ = build_same_different(sub, calls=20, seed=0)
+    samediff, _ = build_sd(sub, calls=20, seed=0)
     benchmark.extra_info.update(
         {
             "tests_before": table.n_tests,

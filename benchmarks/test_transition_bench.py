@@ -10,8 +10,8 @@ from repro.dictionaries import (
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
-    build_same_different,
 )
+from benchmarks.util import build_sd
 from repro.experiments.table6 import prepared_experiment
 from repro.faults.transition import transition_faults, transition_response_table
 from repro.atpg.transition_atpg import generate_transition_tests
@@ -28,7 +28,7 @@ def test_transition_dictionary(benchmark):
         table = transition_response_table(
             netlist, launch, capture, report["detected"]
         )
-        samediff, _ = build_same_different(table, calls=20, seed=0)
+        samediff, _ = build_sd(table, calls=20, seed=0)
         return table, samediff, report
 
     table, samediff, report = benchmark.pedantic(build, rounds=1, iterations=1)

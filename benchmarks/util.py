@@ -1,0 +1,22 @@
+"""Shared benchmark helpers (importable as ``benchmarks.util``)."""
+
+from __future__ import annotations
+
+from repro.api import DictionaryConfig, build
+
+
+def build_sd(table, *, calls=100, lower=10, seed=0, replace=True, jobs=1,
+             backend=None):
+    """Same/different build through :func:`repro.api.build`.
+
+    Returns ``(dictionary, report)`` like the legacy entry point, keeping
+    the benches on the public facade.
+    """
+    built = build(
+        table,
+        config=DictionaryConfig(
+            seed=seed, calls1=calls, lower=lower, jobs=jobs,
+            procedure2=replace, backend=backend,
+        ),
+    )
+    return built.dictionary, built.report

@@ -12,10 +12,11 @@ Usage::
 
 from repro import (
     Distinguisher,
+    DictionaryConfig,
     Fault,
     Podem,
     ResponseTable,
-    build_same_different,
+    build,
     collapse,
     generate_detection_tests,
     prepare_for_test,
@@ -66,7 +67,7 @@ def main() -> None:
         print(f"  distinguishing vector ({', '.join(scan.inputs)}): {vector}")
 
     table = ResponseTable.build(scan, report.detected, tests)
-    samediff, _ = build_same_different(table, seed=1)
+    samediff = build(table, config=DictionaryConfig(seed=1)).dictionary
     print(
         f"same/different dictionary: {samediff.size_bits} bits, "
         f"{samediff.indistinguished_pairs()} indistinguished pairs "

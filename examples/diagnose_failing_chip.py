@@ -16,10 +16,11 @@ import sys
 
 from repro import (
     Diagnoser,
+    DictionaryConfig,
     FullDictionary,
     PassFailDictionary,
     ResponseTable,
-    build_same_different,
+    build,
     collapse,
     generate_detection_tests,
     load_circuit,
@@ -56,7 +57,9 @@ def main() -> None:
     )
 
     table = ResponseTable.build(netlist, detected, tests)
-    samediff, _ = build_same_different(table, calls=20, seed=seed)
+    samediff = build(
+        table, config=DictionaryConfig(seed=seed, calls1=20)
+    ).dictionary
     dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
 
     victim = detected[seed % len(detected)]

@@ -12,11 +12,12 @@ Usage::
 """
 
 from repro import (
+    DictionaryConfig,
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
     ResponseTable,
-    build_same_different,
+    build,
     collapse,
     generate_diagnostic_tests,
     load_circuit,
@@ -47,7 +48,8 @@ def main() -> None:
     table = ResponseTable.build(netlist, faults, tests)
     full = FullDictionary(table)
     passfail = PassFailDictionary(table)
-    samediff, build = build_same_different(table, seed=0)
+    built = build(table, config=DictionaryConfig(seed=0))
+    samediff, build_report = built.dictionary, built.report
 
     sizes = DictionarySizes.of(table)
     print()
@@ -68,8 +70,8 @@ def main() -> None:
     )
     print()
     print(
-        f"Procedure 1 ran {build.procedure1_calls} times; "
-        f"Procedure 2 replaced {build.replacements} baselines."
+        f"Procedure 1 ran {build_report.procedure1_calls} times; "
+        f"Procedure 2 replaced {build_report.replacements} baselines."
     )
     print("baseline output vectors (one per test):")
     for j in range(min(5, table.n_tests)):

@@ -10,10 +10,16 @@ Usage::
     python examples/reproduce_table6.py p208 p298       # chosen circuits
     REPRO_FULL_SWEEP=1 python examples/reproduce_table6.py   # + big proxies
     REPRO_JOBS=4 python examples/reproduce_table6.py    # parallel restarts
+    REPRO_BACKEND=naive python examples/reproduce_table6.py  # reference kernels
 
 Expect a few minutes for the default sweep (test generation dominates).
 ``REPRO_JOBS`` fans the Procedure 1 restarts out over worker processes;
 the numbers are identical to the serial run (docs/parallelism.md).
+``REPRO_BACKEND`` picks the kernel backend (``packed``, the default, or
+the pure-Python ``naive`` reference); every backend produces the same
+table bit for bit (docs/kernels.md).  Each row is built through
+:func:`repro.api.build` with a ``DictionaryConfig`` — see that module for
+the programmatic entry point.
 """
 
 import os

@@ -14,7 +14,14 @@ Usage::
 
 import sys
 
-from repro import FullDictionary, PassFailDictionary, build_same_different, collapse, load_circuit
+from repro import (
+    DictionaryConfig,
+    FullDictionary,
+    PassFailDictionary,
+    build,
+    collapse,
+    load_circuit,
+)
 from repro.sim import random_sequences, sequential_response_table
 from repro.experiments.reporting import format_table
 
@@ -42,7 +49,8 @@ def main() -> None:
 
     full = FullDictionary(table)
     passfail = PassFailDictionary(table)
-    samediff, report = build_same_different(table, calls=20, seed=0)
+    built = build(table, config=DictionaryConfig(seed=0, calls1=20))
+    samediff, report = built.dictionary, built.report
 
     print()
     print(

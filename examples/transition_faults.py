@@ -14,11 +14,11 @@ Usage::
 import sys
 
 from repro.atpg.transition_atpg import generate_transition_tests
+from repro.api import DictionaryConfig, build
 from repro.dictionaries import (
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
-    build_same_different,
 )
 from repro.experiments.reporting import format_table
 from repro.faults.transition import transition_faults, transition_response_table
@@ -43,7 +43,8 @@ def main() -> None:
     sizes = DictionarySizes.of(table)
     full = FullDictionary(table)
     passfail = PassFailDictionary(table)
-    samediff, build = build_same_different(table, calls=20, seed=0)
+    built = build(table, config=DictionaryConfig(seed=0, calls1=20))
+    samediff, build_report = built.dictionary, built.report
     print()
     print(
         format_table(
@@ -57,8 +58,8 @@ def main() -> None:
         )
     )
     print(
-        f"\nProcedure 1 ran {build.procedure1_calls}x, Procedure 2 replaced "
-        f"{build.replacements} baselines — the construction is fault-model agnostic."
+        f"\nProcedure 1 ran {build_report.procedure1_calls}x, Procedure 2 replaced "
+        f"{build_report.replacements} baselines — the construction is fault-model agnostic."
     )
 
 

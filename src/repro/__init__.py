@@ -8,21 +8,23 @@ dictionary organisations (full, pass/fail, same/different with Procedures
 1 and 2), a cause-effect diagnosis engine and the Table 6 experiment
 harness.
 
-Quickstart::
+Quickstart (the public construction surface is :mod:`repro.api`)::
 
     from repro import load_circuit, prepare_for_test, collapse
-    from repro import generate_diagnostic_tests, ResponseTable
-    from repro import PassFailDictionary, build_same_different
+    from repro import generate_diagnostic_tests
+    from repro import DictionaryConfig, build
 
     netlist = prepare_for_test(load_circuit("s27"))
     faults = collapse(netlist)
     tests, _ = generate_diagnostic_tests(netlist, faults)
-    table = ResponseTable.build(netlist, faults, tests)
-    samediff, report = build_same_different(table)
-    print(samediff.indistinguished_pairs(),
-          PassFailDictionary(table).indistinguished_pairs())
+    built = build(netlist=netlist, faults=faults, tests=tests,
+                  config=DictionaryConfig(calls1=100))
+    passfail = build(table=built.table, kind="pass-fail")
+    print(built.dictionary.indistinguished_pairs(),
+          passfail.dictionary.indistinguished_pairs())
 """
 
+from .api import BuiltDictionary, DictionaryConfig, build
 from .circuit import (
     GateType,
     GeneratorSpec,
@@ -63,7 +65,9 @@ from .obs import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuiltDictionary",
     "Diagnoser",
+    "DictionaryConfig",
     "DictionarySizes",
     "Distinguisher",
     "Fault",
@@ -81,6 +85,7 @@ __all__ = [
     "Tracer",
     "all_faults",
     "available_circuits",
+    "build",
     "build_same_different",
     "checkpoint_faults",
     "collapse",

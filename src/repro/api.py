@@ -1,0 +1,105 @@
+"""The public build facade: one entry point for every dictionary kind.
+
+Three PRs of growth left the construction surface scattered across
+``build_same_different`` / ``select_baselines`` / ``replace_baselines``,
+each with its own loose kwargs.  This module is the one documented way in:
+
+>>> from repro.api import DictionaryConfig, build
+>>> built = build(table, kind="same-different",
+...               config=DictionaryConfig(calls1=100, jobs=4))
+>>> built.dictionary.indistinguished_pairs(), built.report.procedure1_calls
+
+``build`` accepts either a prepared
+:class:`~repro.sim.responses.ResponseTable` or the raw
+``netlist + faults + tests`` triple (it fault-simulates for you), and the
+:class:`DictionaryConfig` carries every tuning knob — including which
+kernel backend (:mod:`repro.kernels`) runs the inner loops.  The legacy
+entry points remain as thin delegates that emit ``DeprecationWarning`` on
+the old loose-kwarg shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .dictionaries.base import FaultDictionary
+from .dictionaries.full import FullDictionary
+from .dictionaries.passfail import PassFailDictionary
+from .dictionaries.samediff import BuildReport, _build_impl
+from .obs import ProgressReporter
+from .sim.responses import ResponseTable
+
+#: Dictionary kinds :func:`build` understands.
+KINDS = ("same-different", "pass-fail", "full")
+
+
+@dataclass(frozen=True)
+class DictionaryConfig:
+    """Every tuning knob of a dictionary build, in one frozen value.
+
+    Defaults reproduce the paper's settings: ``CALLS1 = 100`` restarts,
+    ``LOWER = 10``, Procedure 2 enabled, serial execution.  ``backend``
+    selects the kernel backend by name (``None`` = the process default,
+    i.e. ``$REPRO_BACKEND`` or ``packed``).
+    """
+
+    seed: int = 0
+    calls1: int = 100
+    lower: int = 10
+    jobs: int = 1
+    procedure2: bool = True
+    backend: Optional[str] = None
+
+
+@dataclass
+class BuiltDictionary:
+    """What :func:`build` hands back: the dictionary plus its provenance."""
+
+    dictionary: FaultDictionary
+    table: ResponseTable
+    kind: str
+    config: DictionaryConfig
+    #: Construction statistics; ``None`` for the kinds that have no
+    #: construction procedure (pass-fail, full).
+    report: Optional[BuildReport] = None
+
+
+def build(
+    table: Optional[ResponseTable] = None,
+    *,
+    netlist=None,
+    faults: Optional[Sequence] = None,
+    tests=None,
+    kind: str = "same-different",
+    config: Optional[DictionaryConfig] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> BuiltDictionary:
+    """Build a fault dictionary of the requested ``kind``.
+
+    Pass either a prepared ``table`` or the ``netlist``/``faults``/``tests``
+    triple (the response table is then fault-simulated here).  ``kind`` is
+    one of ``"same-different"`` (the paper's Procedures 1/2 with random
+    restarts), ``"pass-fail"``, or ``"full"``.  All tuning lives in
+    ``config``; ``progress`` receives per-restart events for the
+    same-different build.
+    """
+    if table is None:
+        if netlist is None or faults is None or tests is None:
+            raise ValueError(
+                "build() needs either table= or all of netlist=, faults=, tests="
+            )
+        table = ResponseTable.build(netlist, faults, tests)
+    elif netlist is not None or faults is not None or tests is not None:
+        raise ValueError(
+            "build() takes either table= or netlist=/faults=/tests=, not both"
+        )
+    config = config if config is not None else DictionaryConfig()
+    if kind == "same-different":
+        dictionary, report = _build_impl(table, config, progress)
+        return BuiltDictionary(dictionary, table, kind, config, report)
+    if kind == "pass-fail":
+        return BuiltDictionary(PassFailDictionary(table), table, kind, config)
+    if kind == "full":
+        return BuiltDictionary(FullDictionary(table), table, kind, config)
+    raise ValueError(f"unknown dictionary kind {kind!r} (expected one of {KINDS})")

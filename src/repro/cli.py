@@ -18,14 +18,15 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from .api import DictionaryConfig, build as build_dictionary
 from .circuit import available_circuits, load_circuit, prepare_for_test
 from .diagnosis import Diagnoser, observe_fault
 from .dictionaries import (
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
-    build_same_different,
 )
+from .kernels import available_backends
 from .faults import Fault, collapse
 from .experiments import render_table6, run_table6
 from .experiments.example_tables import render_all
@@ -104,6 +105,17 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for Procedure 1 restarts (1 = serial; "
         "results are identical for any value, see docs/parallelism.md)",
+    )
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="kernel backend for the inner loops (default: $REPRO_BACKEND "
+        "or 'packed'; results are identical for any choice, see "
+        "docs/kernels.md)",
     )
 
 
@@ -201,7 +213,7 @@ def cmd_table6(args: argparse.Namespace) -> int:
     with _observability(args) as session:
         rows = run_table6(
             circuits, seed=args.seed, calls=args.calls, progress=session.progress,
-            jobs=args.jobs,
+            jobs=args.jobs, backend=args.backend,
         )
         session.out.emit(render_table6(rows))
         session.out.emit("")
@@ -212,10 +224,15 @@ def cmd_table6(args: argparse.Namespace) -> int:
 def cmd_diagnose(args: argparse.Namespace) -> int:
     with _observability(args) as session:
         netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
-        samediff, _ = build_same_different(
-            table, calls=args.calls, seed=args.seed, progress=session.progress,
-            jobs=args.jobs,
+        built = build_dictionary(
+            table,
+            config=DictionaryConfig(
+                seed=args.seed, calls1=args.calls, jobs=args.jobs,
+                backend=args.backend,
+            ),
+            progress=session.progress,
         )
+        samediff = built.dictionary
         dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
         if args.fault is not None:
             victim = args.fault
@@ -285,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     table6.add_argument("--seed", type=int, default=0)
     table6.add_argument("--calls", type=int, default=100, help="CALLS1")
     _add_jobs_flag(table6)
+    _add_backend_flag(table6)
     _add_obs_flags(table6)
     table6.set_defaults(func=cmd_table6)
 
@@ -295,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--seed", type=int, default=0)
     diagnose.add_argument("--calls", type=int, default=20)
     _add_jobs_flag(diagnose)
+    _add_backend_flag(diagnose)
     _add_obs_flags(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
     return parser

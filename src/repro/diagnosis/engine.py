@@ -60,8 +60,9 @@ class Diagnoser:
             ]
         registry = get_default_registry()
         registry.counter("diagnosis.lookups").inc()
-        # Both the exact scan and the ranking score every stored row.
-        registry.counter("diagnosis.candidates_scored").inc(2 * len(faults))
+        # The exact match is one hash lookup against the dictionary's row
+        # index; only the ranking still scores every stored row.
+        registry.counter("diagnosis.candidates_scored").inc(len(faults))
         registry.counter("diagnosis.exact_matches").inc(len(exact))
         return Diagnosis(exact, ranked)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..faults.model import Fault
 from ..sim.responses import ResponseTable, Signature
@@ -60,6 +60,7 @@ class FaultDictionary(abc.ABC):
     def __init__(self, table: ResponseTable) -> None:
         self.table = table
         self.faults: Sequence[Fault] = table.faults
+        self._row_index: Optional[Dict[object, List[int]]] = None
 
     # -- identity ------------------------------------------------------
     @property
@@ -82,12 +83,23 @@ class FaultDictionary(abc.ABC):
         """Encode an observed response (one signature per test) as a row."""
 
     # -- resolution --------------------------------------------------------
+    def _rows_by_value(self) -> Dict[object, List[int]]:
+        """Fault indices keyed by stored row, built once and cached.
+
+        Rows are immutable after construction, so the index doubles as the
+        row partition (insertion order = first-seen order) and as the
+        exact-match lookup table for diagnosis.
+        """
+        if self._row_index is None:
+            index: Dict[object, List[int]] = {}
+            for i in range(self.table.n_faults):
+                index.setdefault(self.row(i), []).append(i)
+            self._row_index = index
+        return self._row_index
+
     def row_partition(self) -> List[List[int]]:
         """Fault indices grouped by identical rows."""
-        groups: Dict[object, List[int]] = {}
-        for index in range(self.table.n_faults):
-            groups.setdefault(self.row(index), []).append(index)
-        return list(groups.values())
+        return [list(members) for members in self._rows_by_value().values()]
 
     def indistinguished_pairs(self) -> int:
         """Fault pairs this dictionary cannot tell apart (lower is better)."""
@@ -98,13 +110,13 @@ class FaultDictionary(abc.ABC):
 
     # -- diagnosis ---------------------------------------------------------
     def exact_candidates(self, signatures: Sequence[Signature]) -> List[int]:
-        """Faults whose stored row matches the observed response exactly."""
+        """Faults whose stored row matches the observed response exactly.
+
+        One hash lookup against the cached row index instead of a linear
+        scan over every stored row.
+        """
         observed = self.encode_response(signatures)
-        return [
-            index
-            for index in range(self.table.n_faults)
-            if self.row(index) == observed
-        ]
+        return list(self._rows_by_value().get(observed, ()))
 
     @abc.abstractmethod
     def match_score(self, fault_index: int, signatures: Sequence[Signature]) -> int:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from ..kernels import get_backend
 from ..sim.responses import ResponseTable, Signature
 from .base import FaultDictionary
 
@@ -29,6 +30,9 @@ class FullDictionary(FaultDictionary):
     @property
     def size_bits(self) -> int:
         return self.table.n_tests * self.table.n_faults * self.table.n_outputs
+
+    def indistinguished_pairs(self) -> int:
+        return get_backend().full_indistinguished(self.table)
 
     def row(self, fault_index: int) -> Tuple[Signature, ...]:
         return self._rows[fault_index]

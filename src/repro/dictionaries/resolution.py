@@ -28,6 +28,23 @@ def total_pairs(n_faults: int) -> int:
     return pairs_within(n_faults)
 
 
+def indistinguished_after_split(
+    counts: Sequence[tuple], class_sizes: Sequence[int], base: int
+) -> int:
+    """Indistinguished pairs when classes split by a candidate's counts.
+
+    ``base`` is the indistinguished count with no split anywhere; a class
+    of size ``s`` with ``a`` members matching the candidate contributes
+    ``C(a,2) + C(s-a,2)`` instead of ``C(s,2)``.  ``counts`` lists
+    ``(class_id, a)`` pairs for the classes the candidate touches.
+    """
+    indist = base
+    for cid, a in counts:
+        size = class_sizes[cid]
+        indist += pairs_within(a) + pairs_within(size - a) - pairs_within(size)
+    return indist
+
+
 def partition_by_key(indices: Sequence[int], key) -> List[List[int]]:
     """Group ``indices`` by ``key(index)``, preserving first-seen order."""
     groups: Dict[Hashable, List[int]] = {}

@@ -25,17 +25,35 @@ This module implements:
   per test (:func:`add_secondary_baselines`) and the mixed storage scheme
   that keeps the fault-free vector where the baseline equals it
   (:meth:`SameDifferentDictionary.mixed_size_bits`).
+
+The inner loops are delegated to a pluggable kernel backend
+(:mod:`repro.kernels`): ``naive`` is the reference code kept in this
+module, ``packed`` the interned-column fast path.  Both are bit-identical;
+the backend only changes how long a build takes.
+
+The loose-kwarg shapes of :func:`build_same_different`,
+:func:`select_baselines` and :func:`replace_baselines` are deprecated in
+favour of :func:`repro.api.build` with a
+:class:`~repro.api.DictionaryConfig`; they warn but keep working.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..kernels import Procedure1Run, get_backend
 from ..obs import NullProgress, ProgressReporter, get_default_registry, trace_span
 from ..sim.responses import PASS, ResponseTable, Signature
 from .base import FaultDictionary
-from .resolution import Partition, pairs_within, total_pairs
+from .resolution import (
+    Partition,
+    indistinguished_after_split,
+    pairs_within,
+    total_pairs,
+)
 
 
 class SameDifferentDictionary(FaultDictionary):
@@ -129,12 +147,23 @@ class BuildReport:
     #: Speculative batches a parallel schedule submitted (0 when serial).
     batches: int = 0
 
-    def as_dict(self) -> Dict[str, object]:
-        """All fields plus the derived counts, for JSON export."""
+    def as_dict(self, schema: int = 2) -> Dict[str, object]:
+        """All fields plus the derived counts, for JSON export.
+
+        ``schema=2`` (the default) carries a ``"schema": 2`` marker so
+        ``--metrics-out`` consumers can detect the layout; ``schema=1``
+        reproduces the pre-kernel shape exactly (same keys, no marker).
+        """
+        if schema not in (1, 2):
+            raise ValueError(
+                f"unknown BuildReport schema {schema!r} (supported: 1, 2)"
+            )
         data = asdict(self)
         data["indistinguished_procedure1"] = self.indistinguished_procedure1
         data["indistinguished_procedure2"] = self.indistinguished_procedure2
         data["procedure2_improved"] = self.procedure2_improved
+        if schema == 2:
+            data["schema"] = 2
         return data
 
     @property
@@ -151,6 +180,26 @@ class BuildReport:
 
 
 # ----------------------------------------------------------------------
+# deprecation plumbing for the loose-kwarg entry points
+# ----------------------------------------------------------------------
+def _warn_loose_kwargs(func_name: str, names: Sequence[str]) -> None:
+    warnings.warn(
+        f"passing {', '.join(names)} to {func_name} directly is deprecated; "
+        "use repro.api.build with a DictionaryConfig (or pass config=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reject_config_conflict(func_name: str, names: Sequence[str]) -> None:
+    raise ValueError(
+        f"{func_name}: pass {', '.join(names)} through the DictionaryConfig, "
+        "not alongside config="
+    )
+
+
+# ----------------------------------------------------------------------
 # Procedure 1
 # ----------------------------------------------------------------------
 def _candidate_distances(
@@ -163,6 +212,9 @@ def _candidate_distances(
     ``z``, the split separates ``a * (|c| - a)`` pairs.  The fault-free
     candidate comes first, its member list given as the *detected* faults
     (splitting on the complement is the same split).
+
+    This is the ``naive`` reference scoring; the ``packed`` backend
+    reproduces it from interned columns (see :mod:`repro.kernels`).
     """
     classes = partition.classes
     class_of = partition.class_of
@@ -193,37 +245,63 @@ def _candidate_distances(
     return candidates
 
 
-def select_baselines(
-    table: ResponseTable,
-    order: Optional[Sequence[int]] = None,
-    lower: int = 10,
-    partition: Optional[Partition] = None,
-) -> Tuple[List[Signature], Partition, int]:
-    """Procedure 1: greedy baseline selection over one test order.
+def _candidate_members(
+    table: ResponseTable, test_index: int, candidate_index: int
+) -> List[int]:
+    """Member list of candidate ``candidate_index`` of ``Z_j`` (0 = fault-free)."""
+    if candidate_index == 0:
+        return table.detected_indices(test_index)
+    return table.failing_groups(test_index)[candidate_index - 1]
 
-    Returns the baselines (indexed by *test*, not by order position), the
-    final partition of fault indices, and the distinguished-pair count.
-    ``lower`` is the paper's ``LOWER`` constant: candidate evaluation for a
-    test stops after that many consecutive candidates fail to beat the
-    best ``dist`` seen so far.
+
+def _replay_partition(
+    table: ResponseTable, winners: Sequence[Tuple[int, int]]
+) -> Partition:
+    """Rebuild the Procedure 1 partition from recorded (test, candidate) wins.
+
+    Splitting on the same member lists in the same order reproduces the
+    reference partition exactly — including class order — so backends
+    whose internal partition bookkeeping differs (the packed kernel) can
+    still hand callers the canonical object.
     """
-    if order is None:
-        order = range(table.n_tests)
-    if partition is None:
-        partition = Partition(range(table.n_faults))
+    partition = Partition(range(table.n_faults))
+    for test_index, candidate_index in winners:
+        partition.split(_candidate_members(table, test_index, candidate_index))
+    return partition
+
+
+def _select_into_partition(
+    table: ResponseTable,
+    order: Sequence[int],
+    lower: int,
+    partition: Partition,
+    timings: Optional[Dict[str, float]] = None,
+) -> Procedure1Run:
+    """The reference Procedure 1 loop, refining ``partition`` in place."""
     baselines: List[Signature] = [PASS] * table.n_tests
     distinguished = 0
     evaluated = 0
     cutoffs = 0
+    winners: List[Tuple[int, int]] = []
     for j in order:
+        if timings is not None:
+            t0 = time.perf_counter()
+            candidates = _candidate_distances(table, j, partition)
+            timings["scoring"] = timings.get("scoring", 0.0) + (
+                time.perf_counter() - t0
+            )
+        else:
+            candidates = _candidate_distances(table, j, partition)
         best_dist = -1
+        best_index = 0
         best_signature: Signature = PASS
         best_members: List[int] = []
         consecutive_lower = 0
-        for dist, signature, members in _candidate_distances(table, j, partition):
+        for index, (dist, signature, members) in enumerate(candidates):
             evaluated += 1
             if dist > best_dist:
                 best_dist = dist
+                best_index = index
                 best_signature = signature
                 best_members = members
                 consecutive_lower = 0
@@ -234,32 +312,138 @@ def select_baselines(
                     break
         baselines[j] = best_signature
         if best_dist > 0:
+            winners.append((j, best_index))
             distinguished += partition.split(best_members)
-    # One flush per call: the inner loop only touches local integers.
+    return Procedure1Run(
+        baselines, distinguished, evaluated, cutoffs, winners, partition
+    )
+
+
+def _flush_procedure1(run: Procedure1Run) -> None:
+    """One metrics flush per Procedure 1 call, identical for every backend."""
     registry = get_default_registry()
     registry.counter("procedure1.calls").inc()
-    registry.counter("procedure1.candidates_evaluated").inc(evaluated)
-    registry.counter("procedure1.lower_cutoffs").inc(cutoffs)
-    registry.counter("procedure1.pairs_distinguished").inc(distinguished)
-    return baselines, partition, distinguished
+    registry.counter("procedure1.candidates_evaluated").inc(run.evaluated)
+    registry.counter("procedure1.lower_cutoffs").inc(run.cutoffs)
+    registry.counter("procedure1.pairs_distinguished").inc(run.distinguished)
+
+
+def _procedure1_call(
+    table: ResponseTable, order: Sequence[int], lower: int, backend
+) -> Procedure1Run:
+    """One restart on the hot path: backend kernel plus the metrics flush.
+
+    The partition is *not* materialised here — the restart fold only
+    consumes ``(distinguished, baselines)``.  Callers that need the
+    partition replay ``run.winners`` (see :func:`select_baselines`).
+    """
+    run = backend.procedure1(table, order, lower)
+    _flush_procedure1(run)
+    return run
+
+
+def select_baselines(
+    table: ResponseTable,
+    order: Optional[Sequence[int]] = None,
+    lower: Optional[int] = None,
+    partition: Optional[Partition] = None,
+    *,
+    config=None,
+) -> Tuple[List[Signature], Partition, int]:
+    """Procedure 1: greedy baseline selection over one test order.
+
+    Returns the baselines (indexed by *test*, not by order position), the
+    final partition of fault indices, and the distinguished-pair count.
+    ``lower`` is the paper's ``LOWER`` constant: candidate evaluation for a
+    test stops after that many consecutive candidates fail to beat the
+    best ``dist`` seen so far.
+
+    .. deprecated:: passing ``lower`` directly.  Use ``config=`` with a
+       :class:`~repro.api.DictionaryConfig` (or :func:`repro.api.build`);
+       the loose kwarg emits a :class:`DeprecationWarning`.
+    """
+    if lower is not None:
+        if config is not None:
+            _reject_config_conflict("select_baselines", ["lower"])
+        _warn_loose_kwargs("select_baselines", ["lower"])
+    resolved_lower = (
+        lower
+        if lower is not None
+        else (config.lower if config is not None else 10)
+    )
+    backend = get_backend(config.backend if config is not None else None)
+    if order is None:
+        order = range(table.n_tests)
+    if partition is not None:
+        # A caller-seeded partition must be refined in place; only the
+        # reference loop has those semantics.
+        run = _select_into_partition(table, order, resolved_lower, partition)
+    else:
+        run = backend.procedure1(table, order, resolved_lower)
+        if run.partition is None:
+            run.partition = _replay_partition(table, run.winners)
+    _flush_procedure1(run)
+    return run.baselines, run.partition, run.distinguished
 
 
 def build_same_different(
     table: ResponseTable,
-    lower: int = 10,
-    calls: int = 100,
-    replace: bool = True,
-    seed: int = 0,
+    lower: Optional[int] = None,
+    calls: Optional[int] = None,
+    replace: Optional[bool] = None,
+    seed: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config=None,
 ) -> Tuple[SameDifferentDictionary, BuildReport]:
     """The paper's full flow: restarted Procedure 1, then Procedure 2.
 
+    Thin delegate of the :func:`repro.api.build` facade.  The loose tuning
+    kwargs (``lower``, ``calls``, ``replace``, ``seed``, ``jobs``) are
+    deprecated — pass a :class:`~repro.api.DictionaryConfig` via
+    ``config=`` (or call :func:`repro.api.build` directly); the old shape
+    still works but emits a :class:`DeprecationWarning`.
+
+    See :func:`_build_impl` for the construction semantics.
+    """
+    loose = (
+        ("lower", lower),
+        ("calls", calls),
+        ("replace", replace),
+        ("seed", seed),
+        ("jobs", jobs),
+    )
+    passed = [name for name, value in loose if value is not None]
+    if passed:
+        if config is not None:
+            _reject_config_conflict("build_same_different", passed)
+        _warn_loose_kwargs("build_same_different", passed)
+    if config is None:
+        from ..api import DictionaryConfig
+
+        config = DictionaryConfig(
+            seed=seed if seed is not None else 0,
+            calls1=calls if calls is not None else 100,
+            lower=lower if lower is not None else 10,
+            jobs=jobs if jobs is not None else 1,
+            procedure2=replace if replace is not None else True,
+        )
+    return _build_impl(table, config, progress)
+
+
+def _build_impl(
+    table: ResponseTable,
+    config,
+    progress: Optional[ProgressReporter] = None,
+) -> Tuple[SameDifferentDictionary, BuildReport]:
+    """The construction engine behind :func:`repro.api.build`.
+
     Procedure 1 runs first on the natural test order, then on random
-    shuffles, until ``calls`` consecutive runs fail to improve the
+    shuffles, until ``calls1`` consecutive runs fail to improve the
     distinguished-pair count (``CALLS1``).  Restarts also stop early when
     a run distinguishes every pair that remains distinguishable.  With
-    ``replace`` the best baselines then go through Procedure 2.
+    ``procedure2`` the best baselines then go through Procedure 2.
 
     ``jobs > 1`` evaluates restarts on that many worker processes via
     :class:`~repro.parallel.scheduler.RestartScheduler`; every restart's
@@ -281,10 +465,15 @@ def build_same_different(
     from ..parallel.scheduler import RestartFold, RestartScheduler
     from ..parallel.seeds import restart_order
 
+    calls = config.calls1
+    jobs = config.jobs
+    lower = config.lower
+    seed = config.seed
     if calls < 1:
         raise ValueError(f"calls (CALLS1) must be >= 1, got {calls}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    backend = get_backend(config.backend)
     registry = get_default_registry()
     progress = progress if progress is not None else NullProgress()
     report = BuildReport(n_faults=table.n_faults, jobs=jobs)
@@ -293,10 +482,17 @@ def build_same_different(
         # No test to pick a baseline for, or no pair to distinguish.
         return SameDifferentDictionary(table, [PASS] * table.n_tests), report
 
-    ceiling = _full_dictionary_distinguished(table)
+    if backend.name == "packed":
+        # Materialise the packed view now: outside the per-phase timers,
+        # and before a parallel build pickles the table to its workers —
+        # the interned columns ship with it instead of being re-derived
+        # in every worker process.
+        table.interned
+
+    ceiling = total_pairs(table.n_faults) - backend.full_indistinguished(table)
     floor_baselines: List[Signature] = [PASS] * table.n_tests
-    floor_distinguished = total_pairs(table.n_faults) - _partition_indistinguished(
-        _rows_for(table, floor_baselines)
+    floor_distinguished = total_pairs(table.n_faults) - backend.indistinguished_for(
+        table, floor_baselines
     )
     fold = RestartFold(
         calls=calls,
@@ -309,7 +505,7 @@ def build_same_different(
         with trace_span("build.procedure1", calls=calls, lower=lower, jobs=jobs):
             if jobs > 1:
                 outcome = RestartScheduler(
-                    table, lower=lower, seed=seed, jobs=jobs
+                    table, lower=lower, seed=seed, jobs=jobs, backend=backend.name
                 ).run(fold)
                 report.batches = outcome.batches
             else:
@@ -317,10 +513,8 @@ def build_same_different(
                 while not fold.done:
                     order = restart_order(seed, restart, table.n_tests)
                     with trace_span("procedure1.call", restart=restart):
-                        baselines, _, distinguished = select_baselines(
-                            table, order, lower
-                        )
-                    fold.consume(distinguished, baselines)
+                        run = _procedure1_call(table, order, lower, backend)
+                    fold.consume(run.distinguished, run.baselines)
                     restart += 1
     best_baselines = fold.best_baselines
     best_distinguished = fold.best_distinguished
@@ -331,11 +525,11 @@ def build_same_different(
     registry.counter("build.restarts").inc(report.procedure1_calls)
     registry.gauge("build.stale_streak").set(fold.stale)
 
-    if replace and best_distinguished < ceiling:
+    if config.procedure2 and best_distinguished < ceiling:
         with registry.timer("build.procedure2_seconds").time() as phase2:
             with trace_span("build.procedure2"):
-                best_baselines, improved, passes, replacements = replace_baselines(
-                    table, best_baselines
+                best_baselines, improved, passes, replacements = _replace_with(
+                    backend, table, best_baselines, 10
                 )
         report.procedure2_seconds = phase2.elapsed
         report.distinguished_procedure2 = improved
@@ -362,9 +556,47 @@ def _full_dictionary_distinguished(table: ResponseTable) -> int:
 def replace_baselines(
     table: ResponseTable,
     baselines: Sequence[Signature],
-    max_passes: int = 10,
+    max_passes: Optional[int] = None,
+    *,
+    config=None,
 ) -> Tuple[List[Signature], int, int, int]:
     """Procedure 2: hill-climb individual baselines against the global count.
+
+    Returns ``(baselines, distinguished, passes, replacements)``.  See
+    :func:`_replace_naive` for the exact semantics.
+
+    .. deprecated:: passing ``max_passes`` without ``config=``.  Use
+       :func:`repro.api.build` (which runs Procedure 2 as part of the
+       flow) or pass a :class:`~repro.api.DictionaryConfig` alongside;
+       the bare loose kwarg emits a :class:`DeprecationWarning`.
+    """
+    if max_passes is not None and config is None:
+        _warn_loose_kwargs("replace_baselines", ["max_passes"])
+    backend = get_backend(config.backend if config is not None else None)
+    resolved = max_passes if max_passes is not None else 10
+    return _replace_with(backend, table, baselines, resolved)
+
+
+def _replace_with(
+    backend, table: ResponseTable, baselines: Sequence[Signature], max_passes: int
+) -> Tuple[List[Signature], int, int, int]:
+    """Run a backend's Procedure 2 kernel and flush its metrics."""
+    current, distinguished, passes, replacements, attempts = backend.replace(
+        table, baselines, max_passes
+    )
+    registry = get_default_registry()
+    registry.counter("procedure2.passes").inc(passes)
+    registry.counter("procedure2.attempts").inc(attempts)
+    registry.counter("procedure2.replacements").inc(replacements)
+    return current, distinguished, passes, replacements
+
+
+def _replace_naive(
+    table: ResponseTable,
+    baselines: Sequence[Signature],
+    max_passes: int,
+) -> Tuple[List[Signature], int, int, int, int]:
+    """The reference Procedure 2 hill-climb (metrics-free kernel).
 
     For every test ``j`` and every candidate ``z`` in ``Z_j``, the global
     number of distinguished pairs with ``z_bl,j = z`` is evaluated exactly:
@@ -374,7 +606,7 @@ def replace_baselines(
     are kept when they strictly increase the count; passes repeat until a
     fixpoint or ``max_passes``.
 
-    Returns ``(baselines, distinguished, passes, replacements)``.
+    Returns ``(baselines, distinguished, passes, replacements, attempts)``.
     """
     k = table.n_tests
     n = table.n_faults
@@ -410,14 +642,14 @@ def replace_baselines(
                 if pass_count:
                     per_signature.setdefault(PASS, []).append((cid, pass_count))
             best_sig = current[j]
-            best_indist = _indistinguished_with(
+            best_indist = indistinguished_after_split(
                 per_signature.get(best_sig, ()), class_sizes, base_indist
             )
             for sig in [PASS] + table.failing_signatures(j):
                 if sig == current[j]:
                     continue
                 attempts += 1
-                indist = _indistinguished_with(
+                indist = indistinguished_after_split(
                     per_signature.get(sig, ()), class_sizes, base_indist
                 )
                 if indist < best_indist:
@@ -436,11 +668,7 @@ def replace_baselines(
         if not improved:
             break
     distinguished = total_pairs(n) - _partition_indistinguished(rows)
-    registry = get_default_registry()
-    registry.counter("procedure2.passes").inc(passes)
-    registry.counter("procedure2.attempts").inc(attempts)
-    registry.counter("procedure2.replacements").inc(replacements)
-    return current, distinguished, passes, replacements
+    return current, distinguished, passes, replacements, attempts
 
 
 def _rows_for(table: ResponseTable, baselines: Sequence[Signature]) -> List[int]:
@@ -461,20 +689,9 @@ def _partition_indistinguished(rows: Sequence[int]) -> int:
     return sum(pairs_within(count) for count in groups.values())
 
 
-def _indistinguished_with(
-    counts: Sequence[Tuple[int, int]], class_sizes: Sequence[int], base: int
-) -> int:
-    """Indistinguished pairs when classes split by a candidate's counts.
-
-    ``base`` is the indistinguished count with no split anywhere; a class
-    of size ``s`` with ``a`` members matching the candidate contributes
-    ``C(a,2) + C(s-a,2)`` instead of ``C(s,2)``.
-    """
-    indist = base
-    for cid, a in counts:
-        size = class_sizes[cid]
-        indist += pairs_within(a) + pairs_within(size - a) - pairs_within(size)
-    return indist
+#: Backwards-compatible alias; the implementation moved to
+#: :func:`repro.dictionaries.resolution.indistinguished_after_split`.
+_indistinguished_with = indistinguished_after_split
 
 
 # ----------------------------------------------------------------------
@@ -485,8 +702,10 @@ class MultiBaselineDictionary:
     """A same/different dictionary with ``b_j >= 1`` baselines per test.
 
     Each baseline of each test contributes one bit column (``n`` bits) and
-    one stored vector (``m`` bits), so the size is
-    ``sum_j b_j * (n + m)``.  Rows are tuples of per-test bit tuples.
+    one stored vector (``m`` bits) — secondary baselines are charged
+    exactly like the first one, so the size generalises the paper's
+    ``k * (n + m)`` to ``sum_j b_j * (n + m)``.  Rows are tuples of
+    per-test bit tuples.
     """
 
     table: ResponseTable
@@ -510,6 +729,24 @@ class MultiBaselineDictionary:
     def size_bits(self) -> int:
         n, m = self.table.n_faults, self.table.n_outputs
         return sum(len(per_test) * (n + m) for per_test in self.baselines)
+
+    def mixed_size_bits(self) -> int:
+        """Size under the mixed storage remark, generalised to ``b_j >= 1``.
+
+        Every baseline column still costs ``n`` bits plus one flag bit,
+        but only baselines that differ from the fault-free response store
+        a private ``m``-bit vector — PASS baselines (primary *or*
+        secondary) reuse the fault-free response.
+        """
+        n, m = self.table.n_faults, self.table.n_outputs
+        columns = sum(len(per_test) for per_test in self.baselines)
+        stored = sum(
+            1
+            for per_test in self.baselines
+            for baseline in per_test
+            if baseline != PASS
+        )
+        return columns * (n + 1) + stored * m
 
     def row(self, fault_index: int):
         return self._rows[fault_index]
@@ -535,6 +772,7 @@ def add_secondary_baselines(
     used by that test).  Tests where no candidate helps keep their
     baseline count.
     """
+    backend = get_backend()
     per_test: List[List[Signature]] = [[b] for b in dictionary.baselines]
     partition = Partition.from_groups(dictionary.row_partition())
     for _ in range(extra_per_test):
@@ -543,7 +781,9 @@ def add_secondary_baselines(
             best = None
             best_dist = 0
             consecutive_lower = 0
-            for dist, signature, members in _candidate_distances(table, j, partition):
+            for dist, signature, members in backend.candidate_distances(
+                table, j, partition
+            ):
                 if signature in used:
                     continue
                 if dist > best_dist:

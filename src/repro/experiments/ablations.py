@@ -16,11 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from ..dictionaries import (
-    add_secondary_baselines,
-    build_same_different,
-    select_baselines,
-)
+from ..api import DictionaryConfig, build as build_dictionary
+from ..dictionaries import add_secondary_baselines, select_baselines
 from ..obs import get_default_registry
 from ..sim.responses import PASS
 from .table6 import response_table_for
@@ -49,7 +46,9 @@ def lower_sweep(
     points = []
     for lower in lowers:
         with timer.time() as stopwatch:
-            _, _, distinguished = select_baselines(table, lower=lower)
+            _, _, distinguished = select_baselines(
+                table, config=DictionaryConfig(lower=lower)
+            )
         points.append(LowerPoint(lower, distinguished, stopwatch.elapsed))
     return points
 
@@ -71,9 +70,10 @@ def calls_sweep(
     _, table = response_table_for(circuit, test_type, seed)
     points = []
     for calls in calls_values:
-        _, report = build_same_different(
-            table, calls=calls, replace=False, seed=seed
-        )
+        report = build_dictionary(
+            table,
+            config=DictionaryConfig(seed=seed, calls1=calls, procedure2=False),
+        ).report
         points.append(
             CallsPoint(calls, report.distinguished_procedure1, report.procedure1_calls)
         )
@@ -96,7 +96,9 @@ def multi_baseline_study(
 ) -> List[MultiBaselinePoint]:
     """Resolution/size trade-off of 1, 2, … baselines per test."""
     _, table = response_table_for(circuit, test_type, seed)
-    dictionary, _ = build_same_different(table, calls=calls, seed=seed)
+    dictionary = build_dictionary(
+        table, config=DictionaryConfig(seed=seed, calls1=calls)
+    ).dictionary
     points = [
         MultiBaselinePoint(1, dictionary.size_bits, dictionary.indistinguished_pairs())
     ]
@@ -123,7 +125,9 @@ def mixed_storage_study(
 ) -> MixedStorageResult:
     """How much the mixed (fault-free where possible) storage remark saves."""
     _, table = response_table_for(circuit, test_type, seed)
-    dictionary, _ = build_same_different(table, calls=calls, seed=seed)
+    dictionary = build_dictionary(
+        table, config=DictionaryConfig(seed=seed, calls1=calls)
+    ).dictionary
     fault_free = sum(1 for b in dictionary.baselines if b == PASS)
     return MixedStorageResult(
         plain_size_bits=dictionary.size_bits,

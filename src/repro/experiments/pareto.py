@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..dictionaries import FullDictionary, PassFailDictionary, build_same_different
+from ..api import DictionaryConfig, build as build_dictionary
+from ..dictionaries import FullDictionary, PassFailDictionary
 from ..dictionaries.compressed import (
     CountDictionary,
     DropOnDetectDictionary,
@@ -40,7 +41,9 @@ def size_resolution_frontier(
 ) -> List[ParetoPoint]:
     """All organisations' (size, indistinguished) points, smallest first."""
     _, table = response_table_for(circuit, test_type, seed)
-    samediff, _ = build_same_different(table, calls=calls, seed=seed)
+    samediff = build_dictionary(
+        table, config=DictionaryConfig(seed=seed, calls1=calls)
+    ).dictionary
     dictionaries = [
         DropOnDetectDictionary(table),
         PassFailDictionary(table),

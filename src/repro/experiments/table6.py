@@ -26,12 +26,12 @@ from ..atpg.ndetect import generate_ndetect_tests
 from ..circuit.library import load_circuit
 from ..circuit.netlist import Netlist
 from ..circuit.scan import prepare_for_test
+from ..api import DictionaryConfig, build as build_dictionary
 from ..dictionaries import (
     BuildReport,
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
-    build_same_different,
 )
 from ..faults.collapse import collapse
 from ..obs import NullProgress, ProgressReporter, trace_span
@@ -133,21 +133,27 @@ def table6_row(
     calls: int = 100,
     progress: Optional[ProgressReporter] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> Table6Row:
     """Compute one row of Table 6 (``LOWER`` and ``CALLS1`` as in the paper).
 
     ``jobs > 1`` parallelises the Procedure 1 restarts; the row's numbers
-    are identical for every ``jobs`` value (see ``docs/parallelism.md``).
+    are identical for every ``jobs`` value (see ``docs/parallelism.md``)
+    and for every kernel ``backend`` (see ``docs/kernels.md``).
     """
     with trace_span("table6.row", circuit=circuit, ttype=test_type):
         with trace_span("table6.prepare"):
             _, table = response_table_for(circuit, test_type, seed)
         full = FullDictionary(table)
         passfail = PassFailDictionary(table)
-        _, build = build_same_different(
-            table, lower=lower, calls=calls, seed=seed, progress=progress,
-            jobs=jobs,
+        built = build_dictionary(
+            table,
+            config=DictionaryConfig(
+                seed=seed, calls1=calls, lower=lower, jobs=jobs, backend=backend
+            ),
+            progress=progress,
         )
+        build = built.report
     return Table6Row(
         circuit=circuit,
         test_type=test_type,
@@ -170,6 +176,7 @@ def run_table6(
     calls: int = 100,
     progress: Optional[ProgressReporter] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> List[Table6Row]:
     """All requested rows, circuit-major / test-type-minor like the paper."""
     progress = progress if progress is not None else NullProgress()
@@ -182,7 +189,7 @@ def run_table6(
         rows.append(
             table6_row(
                 circuit, test_type, seed=seed, lower=lower, calls=calls,
-                progress=progress, jobs=jobs,
+                progress=progress, jobs=jobs, backend=backend,
             )
         )
     progress.report("table6", len(cells), len(cells))

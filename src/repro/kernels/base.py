@@ -1,0 +1,153 @@
+"""The kernel backend protocol and registry.
+
+A *kernel backend* bundles the pair-counting primitives the dictionary
+procedures spend their time in: ``dist(z)`` candidate scoring for
+Procedure 1, the Procedure 2 hill-climb, and the indistinguished-pair
+counts of the pass/fail, same/different and full organisations.  Two
+implementations ship with the repo:
+
+* ``naive`` — the original pure-Python reference paths in
+  :mod:`repro.dictionaries.samediff`; trivially correct, used as the
+  differential oracle.
+* ``packed`` — interned integer signature ids over precomputed columns
+  (:mod:`repro.kernels.interning`) with class-major scoring and
+  detection-word skipping (:mod:`repro.kernels.packed`).
+
+Backends must be *byte-identical*: same baselines, same counts, same
+metrics, for every input.  ``REPRO_BACKEND`` selects the process-wide
+default; see ``docs/kernels.md`` for the layout and for how to register
+a third backend.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..sim.responses import ResponseTable, Signature
+
+#: Environment variable holding the default backend name.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Name used when neither an explicit name nor the environment chooses.
+DEFAULT_BACKEND = "packed"
+
+
+@dataclass
+class Procedure1Run:
+    """Outcome of one Procedure 1 call, backend-neutral.
+
+    ``winners`` records, per test that split anything, ``(test_index,
+    candidate_index)`` of the selected baseline (candidate 0 is the
+    fault-free response) — enough to replay the splits into a
+    :class:`~repro.dictionaries.resolution.Partition` when a caller needs
+    the final partition, without paying for it on the restart hot path.
+    ``partition`` is pre-materialised by backends that build one anyway
+    (the naive path); ``None`` otherwise.
+    """
+
+    baselines: List[Signature]
+    distinguished: int
+    evaluated: int
+    cutoffs: int
+    winners: List[Tuple[int, int]] = field(default_factory=list)
+    partition: Optional[object] = None
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The primitive operations a dictionary-construction backend provides.
+
+    All methods must return values identical to the ``naive`` reference
+    backend for the same inputs — backends trade time, never results.
+    """
+
+    name: str
+
+    def procedure1(
+        self,
+        table: ResponseTable,
+        order: Sequence[int],
+        lower: int,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Procedure1Run:
+        """Greedy per-test baseline selection over one test order.
+
+        ``timings``, when a dict is passed, accumulates the seconds spent
+        in the candidate-scoring loop under key ``"scoring"`` (bench
+        instrumentation; pass ``None`` in production).
+        """
+        ...
+
+    def candidate_distances(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[Tuple[int, Signature, List[int]]]:
+        """``(dist, signature, members)`` per candidate of ``Z_j``, eagerly."""
+        ...
+
+    def indistinguished_for(
+        self, table: ResponseTable, baselines: Sequence[Signature]
+    ) -> int:
+        """Indistinguished pairs of the same/different rows under ``baselines``."""
+        ...
+
+    def passfail_indistinguished(self, table: ResponseTable) -> int:
+        """Indistinguished pairs of the pass/fail dictionary."""
+        ...
+
+    def full_indistinguished(self, table: ResponseTable) -> int:
+        """Indistinguished pairs of the full dictionary."""
+        ...
+
+    def replace(
+        self,
+        table: ResponseTable,
+        baselines: Sequence[Signature],
+        max_passes: int,
+    ) -> Tuple[List[Signature], int, int, int, int]:
+        """Procedure 2 hill-climb.
+
+        Returns ``(baselines, distinguished, passes, replacements,
+        attempts)``.
+        """
+        ...
+
+
+_REGISTRY: Dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (last registration wins)."""
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def default_backend_name() -> str:
+    """The process-wide default: ``$REPRO_BACKEND`` or ``packed``."""
+    return os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend instance by name (default: :func:`default_backend_name`).
+
+    Instances are cached per name — backends are stateless between calls.
+    """
+    resolved = name or default_backend_name()
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        try:
+            factory = _REGISTRY[resolved]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel backend {resolved!r}; "
+                f"available: {', '.join(available_backends())}"
+            ) from None
+        instance = _INSTANCES[resolved] = factory()
+    return instance

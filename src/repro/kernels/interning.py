@@ -1,0 +1,76 @@
+"""Column interning: the packed representation of a response table.
+
+A :class:`~repro.sim.responses.ResponseTable` stores per-fault sparse
+signature dicts — ideal for construction, terrible for the inner loops,
+which compare tuple signatures one pair at a time.  Interning replaces
+every signature with a small integer id *per test column*:
+
+* ``cols[j][i]`` is the id of fault ``i``'s response under test ``j``;
+  id ``0`` is always the fault-free response, ids ``1..`` enumerate the
+  distinct failing signatures in the order
+  :meth:`~repro.sim.responses.ResponseTable.failing_signatures` reports
+  them (first-fault order), so candidate index == signature id.
+* ``sigs[j]`` maps ids back to signatures (``sigs[j][0] is PASS``).
+* ``det_words[i]`` packs fault ``i``'s pass/fail row into one int (bit
+  ``j`` set when test ``j`` detects it) — the uint64-style word layer the
+  packed kernels popcount and mask against.
+
+Everything is plain lists/dicts/ints, so an interned table pickles with
+its :class:`ResponseTable` and ships to restart worker processes as-is.
+Interning time lands in the ``kernel.pack_seconds`` timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..obs import get_default_registry
+from ..sim.responses import PASS, ResponseTable, Signature
+
+
+@dataclass
+class InternedTable:
+    """The packed-column view of one response table."""
+
+    n_faults: int
+    n_tests: int
+    #: Per test: signature id per fault (0 = fault-free).
+    cols: List[List[int]]
+    #: Per test: id -> signature (index 0 is PASS), i.e. the candidate set Z_j.
+    sigs: List[List[Signature]]
+    #: Per test: signature -> id (includes PASS -> 0).
+    sig_ids: List[Dict[Signature, int]]
+    #: Per fault: detection word (bit j = detected by test j).
+    det_words: List[int]
+
+    def n_candidates(self, test_index: int) -> int:
+        """``|Z_j|``: the fault-free response plus the distinct failing ones."""
+        return len(self.sigs[test_index])
+
+
+def intern_response_table(table: ResponseTable) -> InternedTable:
+    """Intern every column of ``table`` (see the module docstring)."""
+    registry = get_default_registry()
+    with registry.timer("kernel.pack_seconds").time():
+        n = table.n_faults
+        cols: List[List[int]] = []
+        sigs: List[List[Signature]] = []
+        sig_ids: List[Dict[Signature, int]] = []
+        det_words = [0] * n
+        for j in range(table.n_tests):
+            failing = table.failing_signatures(j)
+            groups = table.failing_groups(j)
+            col = [0] * n
+            bit = 1 << j
+            for sid, group in enumerate(groups, 1):
+                for i in group:
+                    col[i] = sid
+                    det_words[i] |= bit
+            cols.append(col)
+            sigs.append([PASS] + list(failing))
+            sig_ids.append(
+                {sig: sid for sid, sig in enumerate([PASS] + list(failing))}
+            )
+        registry.counter("kernel.tables_packed").inc()
+    return InternedTable(n, table.n_tests, cols, sigs, sig_ids, det_words)

@@ -1,0 +1,81 @@
+"""The naive reference backend: the original pure-Python paths.
+
+This backend delegates to (or re-expresses) the signature-at-a-time code
+in :mod:`repro.dictionaries.samediff` that predates the kernel layer.  It
+exists as the differential oracle for ``packed`` and as the simplest
+possible statement of the procedures' semantics — every other backend
+must match it bit for bit.
+
+The imports of ``samediff`` internals happen inside method bodies:
+``samediff`` itself imports the kernel registry at module level, and a
+top-level import back would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.responses import ResponseTable, Signature
+from .base import Procedure1Run
+
+
+class NaiveBackend:
+    """Reference implementations (see the module docstring)."""
+
+    name = "naive"
+
+    def procedure1(
+        self,
+        table: ResponseTable,
+        order: Sequence[int],
+        lower: int,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Procedure1Run:
+        from ..dictionaries.resolution import Partition
+        from ..dictionaries.samediff import _select_into_partition
+
+        return _select_into_partition(
+            table, order, lower, Partition(range(table.n_faults)), timings
+        )
+
+    def candidate_distances(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[Tuple[int, Signature, List[int]]]:
+        from ..dictionaries.samediff import _candidate_distances
+
+        return _candidate_distances(table, test_index, partition)
+
+    def indistinguished_for(
+        self, table: ResponseTable, baselines: Sequence[Signature]
+    ) -> int:
+        from ..dictionaries.samediff import _partition_indistinguished, _rows_for
+
+        return _partition_indistinguished(_rows_for(table, baselines))
+
+    def passfail_indistinguished(self, table: ResponseTable) -> int:
+        from ..dictionaries.resolution import pairs_within
+
+        groups: Dict[int, int] = {}
+        for index in range(table.n_faults):
+            word = table.detection_word(index)
+            groups[word] = groups.get(word, 0) + 1
+        return sum(pairs_within(count) for count in groups.values())
+
+    def full_indistinguished(self, table: ResponseTable) -> int:
+        from ..dictionaries.resolution import pairs_within
+
+        groups: Dict[tuple, int] = {}
+        for index in range(table.n_faults):
+            row = table.full_row(index)
+            groups[row] = groups.get(row, 0) + 1
+        return sum(pairs_within(count) for count in groups.values())
+
+    def replace(
+        self,
+        table: ResponseTable,
+        baselines: Sequence[Signature],
+        max_passes: int,
+    ) -> Tuple[List[Signature], int, int, int, int]:
+        from ..dictionaries.samediff import _replace_naive
+
+        return _replace_naive(table, baselines, max_passes)

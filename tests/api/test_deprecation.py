@@ -1,0 +1,95 @@
+"""The legacy loose-kwarg entry points must warn (and only then).
+
+The repo-wide pytest filter turns this specific warning into an error, so
+any first-party caller that regresses to the old shapes fails loudly;
+these tests assert the warning itself via ``pytest.warns`` (which still
+works under an error filter).
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import DictionaryConfig
+from repro.dictionaries import (
+    build_same_different,
+    replace_baselines,
+    select_baselines,
+)
+from tests.util import random_table
+
+
+@pytest.fixture()
+def table():
+    return random_table(10, 5, 2, seed=11)
+
+
+class TestWarnsOnLooseKwargs:
+    def test_build_same_different_calls(self, table):
+        with pytest.warns(DeprecationWarning, match="repro.api.build"):
+            build_same_different(table, calls=2)
+
+    def test_build_same_different_every_loose_kwarg(self, table):
+        for kwargs in (
+            {"lower": 5},
+            {"calls": 2},
+            {"replace": False},
+            {"seed": 3},
+            {"jobs": 1},
+        ):
+            with pytest.warns(DeprecationWarning, match="repro.api.build"):
+                build_same_different(table, **kwargs)
+
+    def test_select_baselines_lower(self, table):
+        with pytest.warns(DeprecationWarning, match="repro.api.build"):
+            select_baselines(table, lower=5)
+
+    def test_replace_baselines_max_passes(self, table):
+        baselines, _, _ = select_baselines(table)
+        with pytest.warns(DeprecationWarning, match="repro.api.build"):
+            replace_baselines(table, baselines, max_passes=1)
+
+    def test_warning_names_the_kwargs(self, table):
+        with pytest.warns(DeprecationWarning, match="calls, seed"):
+            build_same_different(table, calls=2, seed=1)
+
+
+class TestSilentModernShapes:
+    def _assert_no_deprecation(self, fn):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn()
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+    def test_bare_calls_do_not_warn(self, table):
+        self._assert_no_deprecation(lambda: build_same_different(table))
+        self._assert_no_deprecation(lambda: select_baselines(table))
+        baselines, _, _ = select_baselines(table)
+        self._assert_no_deprecation(lambda: replace_baselines(table, baselines))
+
+    def test_config_shapes_do_not_warn(self, table):
+        config = DictionaryConfig(calls1=2)
+        self._assert_no_deprecation(
+            lambda: build_same_different(table, config=config)
+        )
+        self._assert_no_deprecation(
+            lambda: select_baselines(table, config=DictionaryConfig(lower=5))
+        )
+        baselines, _, _ = select_baselines(table)
+        # max_passes is positional tuning for Procedure 2 experiments;
+        # paired with an explicit config it is the sanctioned spelling.
+        self._assert_no_deprecation(
+            lambda: replace_baselines(
+                table, baselines, max_passes=1, config=DictionaryConfig()
+            )
+        )
+
+
+class TestConfigConflicts:
+    def test_build_same_different_conflict(self, table):
+        with pytest.raises(ValueError, match="DictionaryConfig"):
+            build_same_different(table, calls=2, config=DictionaryConfig())
+
+    def test_select_baselines_conflict(self, table):
+        with pytest.raises(ValueError, match="DictionaryConfig"):
+            select_baselines(table, lower=5, config=DictionaryConfig())

@@ -1,0 +1,109 @@
+"""Tests for the ``repro.api.build`` facade."""
+
+import pytest
+
+from repro.api import KINDS, BuiltDictionary, DictionaryConfig, build
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from repro.sim import ResponseTable, TestSet
+from tests.util import random_table
+
+
+class TestInputForms:
+    def test_table_form(self):
+        table = random_table(8, 5, 2, seed=1)
+        built = build(table, config=DictionaryConfig(calls1=2))
+        assert isinstance(built, BuiltDictionary)
+        assert built.table is table
+        assert built.kind == "same-different"
+        assert built.report is not None
+        assert built.dictionary.indistinguished_pairs() == (
+            built.report.indistinguished_procedure2
+        )
+
+    def test_netlist_triple_form(self, s27_scan, s27_faults):
+        tests = TestSet.random(s27_scan.inputs, 10, seed=4)
+        built = build(
+            netlist=s27_scan,
+            faults=s27_faults,
+            tests=tests,
+            config=DictionaryConfig(calls1=2),
+        )
+        # The triple form fault-simulates internally; the result must be
+        # identical to pre-building the table.
+        table = ResponseTable.build(s27_scan, s27_faults, tests)
+        direct = build(table, config=DictionaryConfig(calls1=2))
+        assert built.dictionary.baselines == direct.dictionary.baselines
+        assert built.table.n_faults == table.n_faults
+
+    def test_neither_form_rejected(self):
+        with pytest.raises(ValueError, match="either table="):
+            build()
+
+    def test_both_forms_rejected(self, s27_scan, s27_faults):
+        table = random_table(4, 3, 2, seed=2)
+        with pytest.raises(ValueError, match="not both"):
+            build(table, netlist=s27_scan)
+
+    def test_partial_triple_rejected(self, s27_scan):
+        with pytest.raises(ValueError):
+            build(netlist=s27_scan)
+
+
+class TestKinds:
+    def test_kinds_tuple_is_the_contract(self):
+        assert KINDS == ("same-different", "pass-fail", "full")
+
+    def test_pass_fail(self):
+        table = random_table(8, 5, 2, seed=3)
+        built = build(table, kind="pass-fail")
+        assert isinstance(built.dictionary, PassFailDictionary)
+        assert built.report is None
+        assert built.config == DictionaryConfig()
+
+    def test_full(self):
+        table = random_table(8, 5, 2, seed=3)
+        built = build(table, kind="full")
+        assert isinstance(built.dictionary, FullDictionary)
+        assert built.report is None
+
+    def test_unknown_kind_rejected(self):
+        table = random_table(4, 3, 2, seed=5)
+        with pytest.raises(ValueError, match="unknown dictionary kind"):
+            build(table, kind="fuzzy")
+
+    def test_resolution_chain_across_kinds(self):
+        table = random_table(12, 6, 2, seed=6)
+        by_kind = {
+            kind: build(table, kind=kind, config=DictionaryConfig(calls1=3))
+            for kind in KINDS
+        }
+        assert (
+            by_kind["full"].dictionary.indistinguished_pairs()
+            <= by_kind["same-different"].dictionary.indistinguished_pairs()
+            <= by_kind["pass-fail"].dictionary.indistinguished_pairs()
+        )
+
+
+class TestConfig:
+    def test_config_is_frozen(self):
+        config = DictionaryConfig()
+        with pytest.raises(Exception):
+            config.calls1 = 7
+
+    def test_defaults_are_the_papers(self):
+        config = DictionaryConfig()
+        assert (config.seed, config.calls1, config.lower) == (0, 100, 10)
+        assert (config.jobs, config.procedure2, config.backend) == (1, True, None)
+
+    def test_backend_selection_flows_through(self):
+        table = random_table(10, 5, 2, seed=7)
+        a = build(table, config=DictionaryConfig(calls1=2, backend="naive"))
+        b = build(table, config=DictionaryConfig(calls1=2, backend="packed"))
+        assert a.dictionary.baselines == b.dictionary.baselines
+
+    def test_invalid_calls_and_jobs_rejected(self):
+        table = random_table(6, 4, 2, seed=8)
+        with pytest.raises(ValueError, match="CALLS1"):
+            build(table, config=DictionaryConfig(calls1=0))
+        with pytest.raises(ValueError, match="jobs"):
+            build(table, config=DictionaryConfig(jobs=0))

@@ -1,0 +1,76 @@
+"""Schema-versioned ``as_dict`` exports of the two report types."""
+
+import json
+
+import pytest
+
+from repro.diagnosis.evaluate import CampaignResult
+from repro.dictionaries import BuildReport
+
+
+class TestBuildReportSchemas:
+    def _report(self):
+        return BuildReport(
+            n_faults=5,
+            distinguished_procedure1=7,
+            distinguished_procedure2=9,
+            procedure1_calls=3,
+            replacements=1,
+        )
+
+    def test_schema_2_is_the_default_and_marked(self):
+        data = self._report().as_dict()
+        assert data["schema"] == 2
+        assert data == self._report().as_dict(schema=2)
+
+    def test_schema_1_shim_is_marker_free(self):
+        report = self._report()
+        legacy = report.as_dict(schema=1)
+        assert "schema" not in legacy
+        modern = report.as_dict(schema=2)
+        assert legacy == {k: v for k, v in modern.items() if k != "schema"}
+
+    def test_derived_counts_present_in_both(self):
+        for schema in (1, 2):
+            data = self._report().as_dict(schema=schema)
+            assert data["indistinguished_procedure1"] == 10 - 7
+            assert data["indistinguished_procedure2"] == 10 - 9
+            assert data["procedure2_improved"] is True
+            json.dumps(data)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            self._report().as_dict(schema=3)
+        with pytest.raises(ValueError, match="schema"):
+            self._report().as_dict(schema=0)
+
+
+class TestCampaignResultSchemas:
+    def _result(self):
+        result = CampaignResult("full")
+        result.injections = 4
+        result.unique = 2
+        result.candidate_sizes = [1, 1, 2, 3]
+        result.hits_at_1 = 3
+        result.hits_at_10 = 4
+        return result
+
+    def test_schema_2_marked_and_normalised_keys(self):
+        data = self._result().as_dict()
+        assert data["schema"] == 2
+        assert data["unique_fraction"] == 0.5
+        assert data["mean_candidates"] == 1.75
+        assert data["top1_accuracy"] == 0.75
+        assert data["top10_accuracy"] == 1.0
+        json.dumps(data)
+
+    def test_schema_1_shim(self):
+        result = self._result()
+        legacy = result.as_dict(schema=1)
+        assert "schema" not in legacy
+        modern = result.as_dict(schema=2)
+        assert legacy == {k: v for k, v in modern.items() if k != "schema"}
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            self._result().as_dict(schema=9)

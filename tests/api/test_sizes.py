@@ -1,0 +1,96 @@
+"""Hand-computed size accounting on the paper's worked example.
+
+The example of Tables 1-3 has ``n = 4`` faults, ``k = 2`` tests and
+``m = 2`` outputs, so every size below is small enough to check by hand:
+
+* plain same/different: ``k * (n + m) = 2 * 6 = 12`` bits;
+* mixed storage: ``k * (n + 1)`` column+flag bits plus ``m`` bits per
+  baseline that differs from the fault-free response;
+* multi-baseline: every baseline column (primary or secondary) costs
+  ``n + m`` bits, generalising to ``sum_j b_j * (n + m)``.
+"""
+
+from repro.dictionaries import (
+    MultiBaselineDictionary,
+    SameDifferentDictionary,
+    add_secondary_baselines,
+    select_baselines,
+)
+from repro.experiments.example_tables import example_table
+from repro.sim import PASS
+
+
+class TestSameDifferentSizes:
+    def test_plain_size_is_paper_formula(self):
+        table = example_table()
+        baselines, _, _ = select_baselines(table)
+        dictionary = SameDifferentDictionary(table, baselines)
+        assert dictionary.size_bits == 2 * (4 + 2) == 12
+
+    def test_mixed_size_with_two_stored_baselines(self):
+        table = example_table()
+        baselines, _, _ = select_baselines(table)
+        # Procedure 1 picks 01 for t0 and 10 for t1 — neither fault-free.
+        assert all(b != PASS for b in baselines)
+        dictionary = SameDifferentDictionary(table, baselines)
+        # 2 columns * (4 + 1 flag) + 2 stored vectors * 2 outputs.
+        assert dictionary.mixed_size_bits() == 2 * 5 + 2 * 2 == 14
+
+    def test_mixed_size_all_fault_free(self):
+        table = example_table()
+        dictionary = SameDifferentDictionary(table, [PASS, PASS])
+        # No stored vectors at all: 2 * (4 + 1) bits.
+        assert dictionary.mixed_size_bits() == 10
+        assert dictionary.size_bits == 12
+
+
+class TestMultiBaselineSizes:
+    def test_single_baseline_matches_plain_dictionary(self):
+        table = example_table()
+        baselines, _, _ = select_baselines(table)
+        multi = MultiBaselineDictionary(
+            table, tuple((b,) for b in baselines)
+        )
+        assert multi.size_bits == 12
+
+    def test_secondary_baselines_charged_like_the_first(self):
+        table = example_table()
+        # Explicit two-baselines-per-test construction: 2 baselines *
+        # 2 tests * (4 + 2) bits, secondaries charged exactly like primaries.
+        multi = MultiBaselineDictionary(
+            table, (((1,), (0,)), ((1,), (0,)))
+        )
+        assert multi.size_bits == 2 * 2 * (4 + 2) == 24
+
+    def test_no_secondary_added_when_resolution_is_perfect(self):
+        table = example_table()
+        baselines, _, _ = select_baselines(table)
+        single = SameDifferentDictionary(table, baselines)
+        assert single.indistinguished_pairs() == 0
+        multi = add_secondary_baselines(table, single, extra_per_test=1)
+        # Nothing left to split, so no test grows a second baseline and
+        # the size stays at the single-baseline 12 bits.
+        assert tuple(len(per_test) for per_test in multi.baselines) == (1, 1)
+        assert multi.size_bits == 12
+
+    def test_mixed_size_counts_only_non_pass_columns(self):
+        table = example_table()
+        multi = MultiBaselineDictionary(
+            table, (((1,), PASS), ((1,), (0,)))
+        )
+        # 4 columns * (4 + 1 flag) + 3 stored vectors * 2 outputs.
+        assert multi.size_bits == 24
+        assert multi.mixed_size_bits() == 4 * 5 + 3 * 2 == 26
+
+    def test_indistinguished_matches_brute_force(self):
+        table = example_table()
+        baselines, _, _ = select_baselines(table)
+        single = SameDifferentDictionary(table, baselines)
+        multi = add_secondary_baselines(table, single, extra_per_test=1)
+        brute = sum(
+            1
+            for a in range(4)
+            for b in range(a + 1, 4)
+            if multi.row(a) == multi.row(b)
+        )
+        assert multi.indistinguished_pairs() == brute == 0

@@ -4,11 +4,8 @@ import pytest
 
 from repro.atpg import injected_copy
 from repro.diagnosis import Diagnoser, observe_defect, observe_fault
-from repro.dictionaries import (
-    FullDictionary,
-    PassFailDictionary,
-    build_same_different,
-)
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from tests.util import build_sd
 from repro.sim import ResponseTable, TestSet
 
 
@@ -65,7 +62,7 @@ class TestDiagnoser:
 
     def test_samediff_diagnoses_injected_faults(self, setup):
         netlist, faults, tests, table = setup
-        dictionary, _ = build_same_different(table, calls=5, seed=1)
+        dictionary, _ = build_sd(table, calls=5, seed=1)
         diagnoser = Diagnoser(dictionary)
         for i in range(0, len(faults), 4):
             observed = observe_fault(netlist, tests, faults[i])

@@ -3,11 +3,8 @@
 import pytest
 
 from repro.diagnosis import double_fault_campaign, single_fault_campaign
-from repro.dictionaries import (
-    FullDictionary,
-    PassFailDictionary,
-    build_same_different,
-)
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from tests.util import build_sd
 from repro.sim import ResponseTable, TestSet
 
 
@@ -15,7 +12,7 @@ from repro.sim import ResponseTable, TestSet
 def setup(s27_scan, s27_faults):
     tests = TestSet.random(s27_scan.inputs, 24, seed=12)
     table = ResponseTable.build(s27_scan, s27_faults, tests)
-    samediff, _ = build_same_different(table, calls=5, seed=0)
+    samediff, _ = build_sd(table, calls=5, seed=0)
     dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
     return s27_scan, tests, dictionaries
 

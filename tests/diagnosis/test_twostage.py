@@ -8,11 +8,8 @@ from repro.diagnosis import (
     screening_cost_comparison,
 )
 from repro.diagnosis.engine import observe_defect
-from repro.dictionaries import (
-    FullDictionary,
-    PassFailDictionary,
-    build_same_different,
-)
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from tests.util import build_sd
 from repro.sim import ResponseTable, TestSet
 
 
@@ -20,7 +17,7 @@ from repro.sim import ResponseTable, TestSet
 def setup(s27_scan, s27_faults):
     tests = TestSet.random(s27_scan.inputs, 20, seed=33)
     table = ResponseTable.build(s27_scan, s27_faults, tests)
-    samediff, _ = build_same_different(table, calls=5, seed=0)
+    samediff, _ = build_sd(table, calls=5, seed=0)
     return s27_scan, tests, table, samediff
 
 

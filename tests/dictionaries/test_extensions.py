@@ -2,26 +2,23 @@
 
 import pytest
 
-from repro.dictionaries import (
-    MultiBaselineDictionary,
-    add_secondary_baselines,
-    build_same_different,
-)
+from repro.dictionaries import MultiBaselineDictionary, add_secondary_baselines
 from repro.sim import PASS, ResponseTable, TestSet
 from tests.dictionaries.test_samediff import brute_indistinguished, random_table
+from tests.util import build_sd
 
 
 class TestMultiBaseline:
     def test_extra_baselines_never_hurt(self):
         for seed in range(4):
             table = random_table(20, 6, 3, seed=seed + 40)
-            single, _ = build_same_different(table, calls=2, seed=seed)
+            single, _ = build_sd(table, calls=2, seed=seed)
             multi = add_secondary_baselines(table, single, extra_per_test=1)
             assert multi.indistinguished_pairs() <= single.indistinguished_pairs()
 
     def test_size_accounting(self):
         table = random_table(10, 4, 2, seed=1)
-        single, _ = build_same_different(table, calls=1)
+        single, _ = build_sd(table, calls=1)
         multi = add_secondary_baselines(table, single, extra_per_test=1)
         n, m = table.n_faults, table.n_outputs
         expected = sum(len(per_test) * (n + m) for per_test in multi.baselines)
@@ -30,7 +27,7 @@ class TestMultiBaseline:
 
     def test_rows_match_definition(self):
         table = random_table(10, 4, 2, seed=2)
-        single, _ = build_same_different(table, calls=1)
+        single, _ = build_sd(table, calls=1)
         multi = add_secondary_baselines(table, single, extra_per_test=1)
         for i in range(table.n_faults):
             row = multi.row(i)
@@ -41,7 +38,7 @@ class TestMultiBaseline:
 
     def test_indistinguished_count_exact(self):
         table = random_table(14, 5, 3, seed=3)
-        single, _ = build_same_different(table, calls=1)
+        single, _ = build_sd(table, calls=1)
         multi = add_secondary_baselines(table, single, extra_per_test=2)
         brute = sum(
             1
@@ -61,7 +58,7 @@ class TestMixedStorage:
     def test_saves_when_fault_free_baselines_exist(self, s27_scan, s27_faults):
         tests = TestSet.random(s27_scan.inputs, 16, seed=6)
         table = ResponseTable.build(s27_scan, s27_faults, tests)
-        dictionary, _ = build_same_different(table, calls=3, seed=0)
+        dictionary, _ = build_sd(table, calls=3, seed=0)
         fault_free = sum(1 for b in dictionary.baselines if b == PASS)
         saving = dictionary.size_bits - dictionary.mixed_size_bits()
         assert saving == fault_free * table.n_outputs - table.n_tests

@@ -7,18 +7,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import DictionaryConfig
 from repro.dictionaries import (
     FullDictionary,
     PassFailDictionary,
     SameDifferentDictionary,
-    build_same_different,
     replace_baselines,
     select_baselines,
     total_pairs,
 )
 from repro.experiments.example_tables import example_table
 from repro.sim import PASS, ResponseTable, TestSet
-from tests.util import random_table
+from tests.util import build_sd, random_table
 
 
 def brute_indistinguished(dictionary):
@@ -41,14 +41,14 @@ class TestPaperExample:
 
     def test_dictionary_distinguishes_everything(self):
         table = example_table()
-        dictionary, report = build_same_different(table, calls=3)
+        dictionary, report = build_sd(table, calls=3)
         assert dictionary.indistinguished_pairs() == 0
         assert report.distinguished_procedure1 == 6
         assert not report.procedure2_improved
 
     def test_sd_beats_passfail_at_similar_size(self):
         table = example_table()
-        dictionary, _ = build_same_different(table, calls=3)
+        dictionary, _ = build_sd(table, calls=3)
         passfail = PassFailDictionary(table)
         assert dictionary.indistinguished_pairs() < passfail.indistinguished_pairs()
         assert dictionary.size_bits == passfail.size_bits + table.n_tests * 2
@@ -80,14 +80,14 @@ class TestDictionaryMechanics:
 
     def test_encode_response_roundtrip(self):
         table = random_table(8, 5, 2, seed=3)
-        dictionary, _ = build_same_different(table, calls=2)
+        dictionary, _ = build_sd(table, calls=2)
         for i in range(table.n_faults):
             observed = [table.signature(i, j) for j in range(table.n_tests)]
             assert dictionary.encode_response(observed) == dictionary.row(i)
 
     def test_mixed_size_accounting(self):
         table = random_table(12, 8, 3, seed=4)
-        dictionary, _ = build_same_different(table, calls=2)
+        dictionary, _ = build_sd(table, calls=2)
         stored = sum(1 for b in dictionary.baselines if b != PASS)
         expected = table.n_tests * (table.n_faults + 1) + stored * table.n_outputs
         assert dictionary.mixed_size_bits() == expected
@@ -114,8 +114,10 @@ class TestProcedure1:
 
     def test_lower_infinite_scans_all_candidates(self):
         table = random_table(20, 6, 3, seed=9)
-        _, _, with_cutoff = select_baselines(table, lower=10**9)
-        _, _, default = select_baselines(table, lower=10)
+        _, _, with_cutoff = select_baselines(
+            table, config=DictionaryConfig(lower=10**9)
+        )
+        _, _, default = select_baselines(table, config=DictionaryConfig(lower=10))
         # The exhaustive scan can only be at least as good per greedy step.
         assert with_cutoff >= 0 and default >= 0
 
@@ -142,14 +144,14 @@ class TestProcedure1:
 class TestRestartDriver:
     def test_more_calls_never_worse(self):
         table = random_table(20, 10, 3, seed=17)
-        _, report1 = build_same_different(table, calls=1, replace=False, seed=5)
-        _, report2 = build_same_different(table, calls=20, replace=False, seed=5)
+        _, report1 = build_sd(table, calls=1, replace=False, seed=5)
+        _, report2 = build_sd(table, calls=20, replace=False, seed=5)
         assert report2.distinguished_procedure1 >= report1.distinguished_procedure1
 
     def test_stops_at_full_ceiling(self, s27_scan, s27_faults):
         tests = TestSet.random(s27_scan.inputs, 30, seed=2)
         table = ResponseTable.build(s27_scan, s27_faults, tests)
-        dictionary, report = build_same_different(table, calls=100, seed=0)
+        dictionary, report = build_sd(table, calls=100, seed=0)
         full = FullDictionary(table)
         if dictionary.indistinguished_pairs() == full.indistinguished_pairs():
             # Early stop must have kicked in well below the call budget.
@@ -157,8 +159,8 @@ class TestRestartDriver:
 
     def test_deterministic(self):
         table = random_table(15, 8, 3, seed=23)
-        a, ra = build_same_different(table, calls=5, seed=3)
-        b, rb = build_same_different(table, calls=5, seed=3)
+        a, ra = build_sd(table, calls=5, seed=3)
+        b, rb = build_sd(table, calls=5, seed=3)
         assert a.baselines == b.baselines
         assert ra.distinguished_procedure2 == rb.distinguished_procedure2
 
@@ -230,7 +232,7 @@ def _run_replace(table, baselines):
 def test_property_counts_exact(seed, n_faults, n_tests):
     """Property: every reported count equals brute-force pair counting."""
     table = random_table(n_faults, n_tests, 2, seed=seed)
-    dictionary, report = build_same_different(table, calls=2, seed=seed)
+    dictionary, report = build_sd(table, calls=2, seed=seed)
     brute = brute_indistinguished(dictionary)
     assert report.indistinguished_procedure2 == brute
     assert report.distinguished_procedure2 == total_pairs(n_faults) - brute

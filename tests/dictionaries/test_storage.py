@@ -6,7 +6,6 @@ from repro.dictionaries import (
     FullDictionary,
     PackedDictionary,
     PassFailDictionary,
-    build_same_different,
     pack_full,
     pack_passfail,
     pack_samediff,
@@ -15,6 +14,7 @@ from repro.dictionaries import (
     unpack_samediff,
 )
 from repro.sim import ResponseTable, TestSet
+from tests.util import build_sd
 
 
 @pytest.fixture(scope="module")
@@ -31,7 +31,7 @@ class TestPayloadSizes:
         assert packed.payload_bits == table.n_tests * table.n_faults
 
     def test_samediff(self, table):
-        dictionary, _ = build_same_different(table, calls=3, seed=0)
+        dictionary, _ = build_sd(table, calls=3, seed=0)
         packed = pack_samediff(dictionary)
         assert packed.payload_bits == table.n_tests * (
             table.n_faults + table.n_outputs
@@ -56,7 +56,7 @@ class TestRoundTrip:
             assert restored.row(i) == original.row(i)
 
     def test_samediff(self, table):
-        original, _ = build_same_different(table, calls=3, seed=0)
+        original, _ = build_sd(table, calls=3, seed=0)
         restored = unpack_samediff(pack_samediff(original), table)
         assert restored.baselines == original.baselines
         for i in range(table.n_faults):

@@ -17,6 +17,8 @@ import json
 import sys
 from pathlib import Path
 
+import pytest
+
 GOLDEN_PATH = Path(__file__).parent / "golden" / "table6_small.json"
 
 #: (circuit, test type) cells pinned by the fixture; small enough for
@@ -26,12 +28,12 @@ SEED = 0
 CALLS = 5
 
 
-def compute_rows():
+def compute_rows(backend=None):
     from repro.experiments import table6_row
 
     rows = []
     for circuit, test_type in CELLS:
-        row = table6_row(circuit, test_type, seed=SEED, calls=CALLS)
+        row = table6_row(circuit, test_type, seed=SEED, calls=CALLS, backend=backend)
         rows.append(
             {
                 "circuit": circuit,
@@ -52,9 +54,11 @@ def compute_rows():
     return {"seed": SEED, "calls": CALLS, "rows": rows}
 
 
-def test_table6_matches_golden():
+@pytest.mark.parametrize("backend", ["packed", "naive"])
+def test_table6_matches_golden(backend):
+    """Both kernel backends must reproduce the fixture bit for bit."""
     golden = json.loads(GOLDEN_PATH.read_text())
-    current = compute_rows()
+    current = compute_rows(backend)
     assert current["seed"] == golden["seed"]
     assert current["calls"] == golden["calls"]
     for got, want in zip(current["rows"], golden["rows"]):

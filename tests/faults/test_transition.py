@@ -119,11 +119,8 @@ class TestAtpg:
 class TestTransitionDictionaries:
     def test_same_different_applies(self, s27_scan):
         """The s/d construction is fault-model agnostic."""
-        from repro.dictionaries import (
-            FullDictionary,
-            PassFailDictionary,
-            build_same_different,
-        )
+        from repro.dictionaries import FullDictionary, PassFailDictionary
+        from tests.util import build_sd
 
         faults = transition_faults(s27_scan)
         launch, capture, report = generate_transition_tests(
@@ -133,7 +130,7 @@ class TestTransitionDictionaries:
         table = transition_response_table(s27_scan, launch, capture, detected)
         full = FullDictionary(table)
         passfail = PassFailDictionary(table)
-        samediff, _ = build_same_different(table, calls=10, seed=0)
+        samediff, _ = build_sd(table, calls=10, seed=0)
         assert (
             full.indistinguished_pairs()
             <= samediff.indistinguished_pairs()

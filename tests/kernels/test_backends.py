@@ -1,0 +1,65 @@
+"""Tests for the kernel backend registry and selection rules."""
+
+import pytest
+
+from repro.kernels import (
+    BACKEND_ENV,
+    KernelBackend,
+    NaiveBackend,
+    PackedBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
+from repro.kernels.base import _INSTANCES, _REGISTRY
+
+
+class TestRegistry:
+    def test_both_builtin_backends_registered(self):
+        assert available_backends() == ["naive", "packed"]
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("naive"), NaiveBackend)
+        assert isinstance(get_backend("packed"), PackedBackend)
+
+    def test_instances_are_cached(self):
+        assert get_backend("packed") is get_backend("packed")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="naive"):
+            get_backend("vectorised-fpga")
+
+    def test_backends_satisfy_protocol(self):
+        for name in available_backends():
+            assert isinstance(get_backend(name), KernelBackend)
+
+    def test_register_backend_replaces_stale_instance(self):
+        class Custom(NaiveBackend):
+            name = "custom"
+
+        try:
+            register_backend("custom", Custom)
+            first = get_backend("custom")
+            register_backend("custom", Custom)
+            assert get_backend("custom") is not first
+        finally:
+            _REGISTRY.pop("custom", None)
+            _INSTANCES.pop("custom", None)
+
+
+class TestDefaultSelection:
+    def test_packed_is_the_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert default_backend_name() == "packed"
+        assert get_backend().name == "packed"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "naive")
+        assert default_backend_name() == "naive"
+        assert get_backend().name == "naive"
+        assert get_backend(None).name == "naive"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "naive")
+        assert get_backend("packed").name == "packed"

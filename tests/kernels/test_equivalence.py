@@ -1,0 +1,155 @@
+"""Differential property tests: the packed kernels vs the naive reference.
+
+Every public kernel primitive must be *byte-identical* across backends —
+not statistically close, not equal-up-to-tie-breaks.  Hypothesis hunts
+for a response table where any primitive (candidate scoring, the full
+Procedure 1 run, pair counting, Procedure 2) disagrees.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import DictionaryConfig, build
+from repro.dictionaries.resolution import Partition
+from repro.kernels import get_backend
+from repro.obs import scoped_registry
+from repro.sim import PASS
+from tests.util import random_table
+
+NAIVE = get_backend("naive")
+PACKED = get_backend("packed")
+
+
+@st.composite
+def tables(draw, min_faults=0, max_faults=14, min_tests=0, max_tests=7):
+    n_faults = draw(st.integers(min_value=min_faults, max_value=max_faults))
+    n_tests = draw(st.integers(min_value=min_tests, max_value=max_tests))
+    n_outputs = draw(st.integers(min_value=1, max_value=3))
+    density = draw(st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return random_table(n_faults, n_tests, n_outputs, seed, density=density)
+
+
+def _run_tuple(run):
+    return (run.baselines, run.distinguished, run.evaluated, run.cutoffs,
+            run.winners)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=tables(), lower=st.sampled_from([1, 2, 10, 10**9]))
+def test_procedure1_identical(table, lower):
+    """Same baselines, counts, evaluation totals, cutoffs and winners."""
+    order = range(table.n_tests)
+    naive_run = NAIVE.procedure1(table, order, lower)
+    packed_run = PACKED.procedure1(table, order, lower)
+    assert _run_tuple(packed_run) == _run_tuple(naive_run)
+
+
+@settings(max_examples=30, deadline=None)
+@given(table=tables(min_faults=2), data=st.data())
+def test_candidate_distances_identical(table, data):
+    """dist(z) per candidate matches in value, signature and members."""
+    # Compare both on the fresh partition and on a refined mid-run one.
+    partition = Partition(range(table.n_faults))
+    refined = NAIVE.procedure1(table, range(table.n_tests), 10).partition
+    for p in (partition, refined):
+        for j in range(table.n_tests):
+            assert PACKED.candidate_distances(table, j, p) == (
+                NAIVE.candidate_distances(table, j, p)
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(table=tables())
+def test_pair_counts_identical(table):
+    baselines = NAIVE.procedure1(table, range(table.n_tests), 10).baselines
+    assert PACKED.indistinguished_for(table, baselines) == (
+        NAIVE.indistinguished_for(table, baselines)
+    )
+    # A baseline outside Z_j ∪ {PASS} must count like "splits nothing".
+    junk = [(97, 98, 99)] * table.n_tests
+    assert PACKED.indistinguished_for(table, junk) == (
+        NAIVE.indistinguished_for(table, junk)
+    )
+    assert PACKED.passfail_indistinguished(table) == (
+        NAIVE.passfail_indistinguished(table)
+    )
+    assert PACKED.full_indistinguished(table) == NAIVE.full_indistinguished(table)
+
+
+@settings(max_examples=25, deadline=None)
+@given(table=tables(min_faults=2, min_tests=1), max_passes=st.sampled_from([1, 10]))
+def test_replace_identical(table, max_passes):
+    """Procedure 2: identical trajectory, not just an equal final count."""
+    baselines = NAIVE.procedure1(table, range(table.n_tests), 10).baselines
+    assert PACKED.replace(table, baselines, max_passes) == (
+        NAIVE.replace(table, baselines, max_passes)
+    )
+
+
+def _strip_seconds(report_dict):
+    return {k: v for k, v in report_dict.items() if not k.endswith("_seconds")}
+
+
+def _kernel_counters(registry):
+    counters = registry.snapshot()["counters"]
+    return {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("procedure1.", "procedure2.", "build."))
+    }
+
+
+@settings(max_examples=12, deadline=None)
+@given(table=tables(), seed=st.integers(min_value=0, max_value=10**4))
+def test_full_build_identical(table, seed):
+    """End-to-end via repro.api.build: dictionary, report and metrics."""
+    results = {}
+    for backend in ("naive", "packed"):
+        with scoped_registry() as registry:
+            built = build(
+                table,
+                config=DictionaryConfig(seed=seed, calls1=3, backend=backend),
+            )
+            results[backend] = (
+                built.dictionary.baselines,
+                [built.dictionary.row(i) for i in range(table.n_faults)],
+                _strip_seconds(built.report.as_dict()),
+                _kernel_counters(registry),
+            )
+    assert results["packed"] == results["naive"]
+
+
+class TestDegenerateTables:
+    """The shapes most likely to trip packed bookkeeping, pinned explicitly."""
+
+    def test_no_tests(self):
+        table = random_table(6, 0, 2, seed=1)
+        for backend in (NAIVE, PACKED):
+            run = backend.procedure1(table, range(0), 10)
+            assert run.baselines == [] and run.distinguished == 0
+        assert PACKED.full_indistinguished(table) == 15  # C(6, 2)
+
+    def test_too_few_faults(self):
+        for n_faults in (0, 1):
+            table = random_table(n_faults, 4, 2, seed=2)
+            naive_run = NAIVE.procedure1(table, range(4), 10)
+            packed_run = PACKED.procedure1(table, range(4), 10)
+            assert _run_tuple(packed_run) == _run_tuple(naive_run)
+            assert packed_run.distinguished == 0
+
+    def test_all_identical_column(self):
+        # density=1.0 with one output: every fault fails every test with
+        # the same signature, so no candidate ever splits anything.
+        table = random_table(8, 3, 1, seed=3, density=1.0)
+        for j in range(table.n_tests):
+            assert len(table.failing_signatures(j)) <= 1
+        naive_run = NAIVE.procedure1(table, range(3), 10)
+        packed_run = PACKED.procedure1(table, range(3), 10)
+        assert _run_tuple(packed_run) == _run_tuple(naive_run)
+        assert packed_run.winners == []
+        assert packed_run.baselines == [PASS] * 3 or all(
+            b == packed_run.baselines[0] for b in packed_run.baselines
+        )

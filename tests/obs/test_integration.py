@@ -4,7 +4,7 @@ import json
 
 from repro import load_circuit, prepare_for_test
 from repro.cli import main
-from repro.dictionaries import build_same_different
+from tests.util import build_sd
 from repro.faults import collapse
 from repro.obs import CallbackProgress, load_jsonl, scoped_registry, validate_nesting
 from repro.sim import ResponseTable, TestSet
@@ -21,7 +21,7 @@ class TestBuildCounters:
     def test_build_same_different_emits_expected_counters(self):
         with scoped_registry() as registry:
             table = small_table()
-            _, report = build_same_different(table, calls=3, seed=0)
+            _, report = build_sd(table, calls=3, seed=0)
         counters = registry.snapshot()["counters"]
         assert counters["procedure1.calls"] == report.procedure1_calls
         assert counters["build.restarts"] == report.procedure1_calls
@@ -36,7 +36,7 @@ class TestBuildCounters:
     def test_build_report_carries_phase_seconds_and_as_dict(self):
         with scoped_registry():
             table = small_table()
-            _, report = build_same_different(table, calls=2, seed=1)
+            _, report = build_sd(table, calls=2, seed=1)
         assert report.procedure1_seconds > 0
         data = report.as_dict()
         assert data["procedure1_calls"] == report.procedure1_calls
@@ -48,7 +48,7 @@ class TestBuildCounters:
         events = []
         with scoped_registry():
             table = small_table()
-            _, report = build_same_different(
+            _, report = build_sd(
                 table,
                 calls=3,
                 seed=0,

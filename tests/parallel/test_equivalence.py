@@ -1,7 +1,7 @@
 """Differential tests: parallel builds are byte-identical to serial ones.
 
 The contract under test is the strongest one the engine makes: for a
-fixed ``seed``, ``build_same_different(..., jobs=N)`` returns the same
+fixed ``seed``, a build with ``jobs=N`` returns the same
 baselines, the same distinguished-pair counts, and the same logical
 restart count for every ``N`` — the schedule may speculate and discard,
 but the fold must be indistinguishable from the serial loop.
@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dictionaries import build_same_different
 from repro.obs import scoped_registry
 from repro.sim import ResponseTable, TestSet
-from tests.util import random_table
+from tests.util import build_sd, random_table
 
 
 def _circuit_table(netlist, n_tests, seed):
@@ -38,7 +37,7 @@ def circuit_tables(tiny_circuits):
 
 def _build(table, seed, jobs, calls=6):
     with scoped_registry():
-        return build_same_different(table, calls=calls, seed=seed, jobs=jobs)
+        return build_sd(table, calls=calls, seed=seed, jobs=jobs)
 
 
 class TestSerialParallelEquivalence:
@@ -72,7 +71,7 @@ class TestSerialParallelEquivalence:
         """Merged worker counters count at least the logical restarts."""
         table = circuit_tables[0]
         with scoped_registry() as registry:
-            _, report = build_same_different(table, calls=4, seed=0, jobs=2)
+            _, report = build_sd(table, calls=4, seed=0, jobs=2)
         assert registry.counter("procedure1.calls").value >= report.procedure1_calls
         assert registry.counter("parallel.batches").value == report.batches
         speculative = registry.counter("parallel.speculative_restarts").value

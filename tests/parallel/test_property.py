@@ -11,14 +11,9 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dictionaries import (
-    FullDictionary,
-    PassFailDictionary,
-    build_same_different,
-    total_pairs,
-)
+from repro.dictionaries import FullDictionary, PassFailDictionary, total_pairs
 from repro.obs import scoped_registry
-from tests.util import random_table
+from tests.util import build_sd, random_table
 
 
 @settings(max_examples=30, deadline=None)
@@ -33,7 +28,7 @@ def test_resolution_chain(seed, n_faults, n_tests, density):
     passfail = PassFailDictionary(table).distinguished_pairs()
     full = total_pairs(n_faults) - FullDictionary(table).indistinguished_pairs()
     with scoped_registry():
-        dictionary, report = build_same_different(table, calls=3, seed=seed)
+        dictionary, report = build_sd(table, calls=3, seed=seed)
     assert passfail <= report.distinguished_procedure1
     assert report.distinguished_procedure1 <= report.distinguished_procedure2
     assert report.distinguished_procedure2 <= full
@@ -52,9 +47,9 @@ def test_procedure2_never_regresses_under_jobs(seed, n_faults, n_tests, jobs):
     """Any jobs value reproduces the serial Procedure 2 result exactly."""
     table = random_table(n_faults, n_tests, 3, seed=seed, density=0.4)
     with scoped_registry():
-        _, serial = build_same_different(table, calls=3, seed=seed, jobs=1)
+        _, serial = build_sd(table, calls=3, seed=seed, jobs=1)
     with scoped_registry():
-        _, parallel = build_same_different(table, calls=3, seed=seed, jobs=jobs)
+        _, parallel = build_sd(table, calls=3, seed=seed, jobs=jobs)
     assert parallel.distinguished_procedure2 == serial.distinguished_procedure2
     assert parallel.distinguished_procedure1 == serial.distinguished_procedure1
     assert (

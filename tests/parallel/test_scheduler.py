@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dictionaries import PassFailDictionary, build_same_different
+from repro.dictionaries import PassFailDictionary
 from repro.obs import scoped_registry
 from repro.parallel import (
     RestartFold,
@@ -14,7 +14,7 @@ from repro.parallel import (
     restart_order,
 )
 from repro.sim import PASS
-from tests.util import random_table
+from tests.util import build_sd, random_table
 
 
 class TestSeedStreams:
@@ -83,9 +83,9 @@ class TestSchedulerValidation:
     def test_build_rejects_bad_arguments(self):
         table = random_table(5, 3, 2, seed=0)
         with pytest.raises(ValueError):
-            build_same_different(table, calls=0)
+            build_sd(table, calls=0)
         with pytest.raises(ValueError):
-            build_same_different(table, jobs=0)
+            build_sd(table, jobs=0)
 
 
 class TestDegenerateGuards:
@@ -94,7 +94,7 @@ class TestDegenerateGuards:
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_no_tests(self, jobs):
         table = random_table(10, 0, 2, seed=3)
-        dictionary, report = build_same_different(table, calls=3, jobs=jobs)
+        dictionary, report = build_sd(table, calls=3, jobs=jobs)
         assert report.procedure1_calls == 0
         assert report.distinguished_procedure1 == 0
         assert report.distinguished_procedure2 == 0
@@ -105,7 +105,7 @@ class TestDegenerateGuards:
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_too_few_faults(self, n_faults, jobs):
         table = random_table(n_faults, 5, 2, seed=4)
-        dictionary, report = build_same_different(table, calls=3, jobs=jobs)
+        dictionary, report = build_sd(table, calls=3, jobs=jobs)
         assert report.procedure1_calls == 0
         assert dictionary.baselines == (PASS,) * 5
         assert dictionary.indistinguished_pairs() == 0
@@ -120,7 +120,7 @@ class TestSeedDeterminism:
         runs = []
         for _ in range(2):
             with scoped_registry():
-                dictionary, report = build_same_different(
+                dictionary, report = build_sd(
                     table, calls=5, seed=9, jobs=jobs
                 )
             runs.append((dictionary, report))
@@ -141,7 +141,7 @@ class TestSeedDeterminism:
             table = random_table(3 + seed % 10, 1 + seed % 5, 2, seed=seed)
             passfail = PassFailDictionary(table)
             with scoped_registry():
-                _, report = build_same_different(table, calls=2, seed=seed)
+                _, report = build_sd(table, calls=2, seed=seed)
             assert (
                 report.distinguished_procedure1
                 >= passfail.distinguished_pairs()

@@ -10,11 +10,8 @@ from repro.sim.seqfaultsim import (
     sequential_outputs,
     sequential_response_table,
 )
-from repro.dictionaries import (
-    FullDictionary,
-    PassFailDictionary,
-    build_same_different,
-)
+from repro.dictionaries import FullDictionary, PassFailDictionary
+from tests.util import build_sd
 
 
 @pytest.fixture(scope="module")
@@ -89,7 +86,7 @@ class TestSequenceResponseTable:
         table = sequential_response_table(s27, s27_sequences, faults)
         full = FullDictionary(table)
         passfail = PassFailDictionary(table)
-        samediff, _ = build_same_different(table, calls=10, seed=0)
+        samediff, _ = build_sd(table, calls=10, seed=0)
         assert (
             full.indistinguished_pairs()
             <= samediff.indistinguished_pairs()

@@ -14,7 +14,6 @@ from repro import (
     FullDictionary,
     PassFailDictionary,
     ResponseTable,
-    build_same_different,
     collapse,
     generate_diagnostic_tests,
     load_circuit,
@@ -26,6 +25,7 @@ from repro.circuit import GeneratorSpec, full_scan, generate_netlist
 from repro.dictionaries import pack_samediff, unpack_samediff
 from repro.diagnosis import TwoStageDiagnoser
 from repro.sim import FaultSimulator
+from tests.util import build_sd
 
 
 @pytest.fixture(scope="module")
@@ -38,7 +38,7 @@ def pipeline():
     simulator = FaultSimulator(netlist, tests)
     detected = [f for f in faults if simulator.detection_word(f)]
     table = ResponseTable.build(netlist, detected, tests)
-    samediff, build = build_same_different(table, calls=20, seed=7)
+    samediff, build = build_sd(table, calls=20, seed=7)
     return netlist, faults, tests, report, table, samediff, build
 
 
@@ -110,7 +110,7 @@ class TestEmbeddedCircuitPipeline:
         simulator = FaultSimulator(s27_scan, tests)
         detected = [f for f in s27_faults if simulator.detection_word(f)]
         table = ResponseTable.build(s27_scan, detected, tests)
-        samediff, _ = build_same_different(table, calls=50, seed=0)
+        samediff, _ = build_sd(table, calls=50, seed=0)
         full = FullDictionary(table)
         assert samediff.indistinguished_pairs() == full.indistinguished_pairs()
 

@@ -4,8 +4,41 @@ from __future__ import annotations
 
 import random
 
+from repro.api import DictionaryConfig, build
 from repro.faults import Fault
 from repro.sim import ResponseTable, TestSet
+
+
+def build_sd(
+    table,
+    *,
+    calls=100,
+    lower=10,
+    seed=0,
+    replace=True,
+    jobs=1,
+    progress=None,
+    backend=None,
+):
+    """Build a same/different dictionary through the public facade.
+
+    Returns ``(dictionary, report)`` like the legacy entry point did, so
+    tests keep their two-value unpacking while exercising
+    :func:`repro.api.build` (the loose-kwarg shapes now warn).
+    """
+    built = build(
+        table,
+        config=DictionaryConfig(
+            seed=seed,
+            calls1=calls,
+            lower=lower,
+            jobs=jobs,
+            procedure2=replace,
+            backend=backend,
+        ),
+        progress=progress,
+    )
+    return built.dictionary, built.report
 
 
 def random_table(n_faults, n_tests, n_outputs, seed, density=0.5):
