@@ -1,0 +1,95 @@
+"""Benchmark for the build cache: cached rebuild vs cold build.
+
+The build→serve split exists so the expensive part — fault simulation
+plus Procedures 1/2 — runs once.  This bench measures the claim: a
+second ``api.build`` with the same inputs and ``cache_dir`` must come
+back at least 10× faster than the cold build, because all it does is
+read and validate one artifact.
+
+The cold build here enters through the ``netlist`` path so the cache hit
+skips the fault simulation too (the table path would hide that saving).
+Rounds keep the per-side minimum like the kernel bench; the cold side is
+re-run against a fresh cache directory each round so it never
+accidentally warms itself.  ``REPRO_BENCH_QUICK=1`` (the CI setting)
+drops to p208/diag with fewer restarts; full mode uses the paper's cell
+sizes on p298 as well.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+from repro.api import DictionaryConfig, build
+from repro.experiments.table6 import prepared_experiment
+from repro.faults import collapse
+from repro.obs import scoped_registry
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+ROUNDS = 2 if QUICK else 3
+#: Enough restarts that the cold build does representative Procedure 1
+#: work; the cached side is a constant-time artifact load either way.
+CALLS = 25 if QUICK else 50
+CELLS = [("p208", "diag")] if QUICK else [("p208", "diag"), ("p298", "diag")]
+MIN_SPEEDUP = 10.0
+
+
+def _inputs(circuit, ttype):
+    netlist, tests = prepared_experiment(circuit, ttype, 0)
+    faults = collapse(netlist)
+    return netlist, faults, tests
+
+
+def test_cached_rebuild_speedup(tmp_path):
+    for circuit, ttype in CELLS:
+        netlist, faults, tests = _inputs(circuit, ttype)
+        config = DictionaryConfig(seed=0, calls1=CALLS)
+
+        cold_best = math.inf
+        warm_best = math.inf
+        for round_no in range(ROUNDS):
+            cache_dir = tmp_path / f"{circuit}-{ttype}-{round_no}"
+            start = time.perf_counter()
+            cold = build(
+                netlist=netlist, faults=faults, tests=tests,
+                config=config, cache_dir=cache_dir,
+            )
+            cold_best = min(cold_best, time.perf_counter() - start)
+
+            with scoped_registry() as registry:
+                start = time.perf_counter()
+                warm = build(
+                    netlist=netlist, faults=faults, tests=tests,
+                    config=config, cache_dir=cache_dir,
+                )
+                warm_best = min(warm_best, time.perf_counter() - start)
+                # The warm build must be a pure artifact load.
+                assert registry.counter("faultsim.faults_simulated").value == 0
+                assert registry.counter("store.cache_hits").value == 1
+            assert warm.dictionary.baselines == cold.dictionary.baselines
+
+        ratio = cold_best / warm_best if warm_best else math.inf
+        print(
+            f"\n[artifact-bench] {circuit} {ttype}: cold={cold_best * 1e3:.1f}ms "
+            f"cached={warm_best * 1e3:.1f}ms speedup={ratio:.1f}x "
+            f"(calls1={CALLS})"
+        )
+        assert ratio >= MIN_SPEEDUP, (
+            f"{circuit} {ttype}: cached rebuild only {ratio:.1f}x faster than "
+            f"cold build (floor {MIN_SPEEDUP}x)"
+        )
+
+
+def test_artifact_load_does_not_recompute_interning(tmp_path):
+    """The stored interned view must be adopted, not re-derived."""
+    netlist, faults, tests = _inputs(*CELLS[0])
+    config = DictionaryConfig(seed=0, calls1=CALLS)
+    cache_dir = tmp_path / "intern-check"
+    build(netlist=netlist, faults=faults, tests=tests, config=config,
+          cache_dir=cache_dir)
+    with scoped_registry() as registry:
+        warm = build(netlist=netlist, faults=faults, tests=tests,
+                     config=config, cache_dir=cache_dir)
+        warm.table.interned  # would pack a table if one were missing
+        assert registry.counter("kernel.tables_packed").value == 0

@@ -74,6 +74,7 @@ def build(
     kind: str = "same-different",
     config: Optional[DictionaryConfig] = None,
     progress: Optional[ProgressReporter] = None,
+    cache_dir=None,
 ) -> BuiltDictionary:
     """Build a fault dictionary of the requested ``kind``.
 
@@ -83,23 +84,51 @@ def build(
     restarts), ``"pass-fail"``, or ``"full"``.  All tuning lives in
     ``config``; ``progress`` receives per-restart events for the
     same-different build.
+
+    ``cache_dir`` names an on-disk build cache
+    (:class:`~repro.store.cache.BuildCache`): when an artifact whose
+    content hash matches the build inputs exists there, it is loaded and
+    returned — for the ``netlist`` entry path that skips even the fault
+    simulation — and otherwise the fresh build is stored for next time.
+    See ``docs/artifacts.md`` for the cache-key rules.
     """
     if table is None:
         if netlist is None or faults is None or tests is None:
             raise ValueError(
                 "build() needs either table= or all of netlist=, faults=, tests="
             )
-        table = ResponseTable.build(netlist, faults, tests)
     elif netlist is not None or faults is not None or tests is not None:
         raise ValueError(
             "build() takes either table= or netlist=/faults=/tests=, not both"
         )
     config = config if config is not None else DictionaryConfig()
+    if kind not in KINDS:
+        raise ValueError(f"unknown dictionary kind {kind!r} (expected one of {KINDS})")
+
+    cache = key = None
+    if cache_dir is not None:
+        # Imported lazily: repro.store imports this module.
+        from .store import BuildCache, build_inputs_hash, table_content_hash
+
+        cache = BuildCache(cache_dir)
+        key = (
+            table_content_hash(table, kind, config)
+            if table is not None
+            else build_inputs_hash(netlist, faults, tests, kind, config)
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    if table is None:
+        table = ResponseTable.build(netlist, faults, tests)
     if kind == "same-different":
         dictionary, report = _build_impl(table, config, progress)
-        return BuiltDictionary(dictionary, table, kind, config, report)
-    if kind == "pass-fail":
-        return BuiltDictionary(PassFailDictionary(table), table, kind, config)
-    if kind == "full":
-        return BuiltDictionary(FullDictionary(table), table, kind, config)
-    raise ValueError(f"unknown dictionary kind {kind!r} (expected one of {KINDS})")
+        built = BuiltDictionary(dictionary, table, kind, config, report)
+    elif kind == "pass-fail":
+        built = BuiltDictionary(PassFailDictionary(table), table, kind, config)
+    else:
+        built = BuiltDictionary(FullDictionary(table), table, kind, config)
+    if cache is not None:
+        cache.put(built, key)
+    return built

@@ -12,7 +12,8 @@ from typing import List, Sequence
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
-from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.bits import iter_bits
+from ..sim.faultsim import FaultSimulator
 from ..sim.patterns import TestSet
 
 

@@ -16,7 +16,8 @@ from typing import Dict, List, Sequence, Set
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
 from ..obs import get_default_registry, trace_span
-from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.bits import iter_bits
+from ..sim.faultsim import FaultSimulator
 from ..sim.patterns import TestSet
 from .detect import GenerationReport, generate_detection_tests
 from .podem import Podem, Status

@@ -8,6 +8,8 @@ Installed as the ``repro-fd`` console script::
     repro-fd atpg p208 --ttype diag       # generate a test set, print summary
     repro-fd table6 p208 p298             # reproduce Table 6 rows
     repro-fd diagnose p208 --fault n3/sa1 # diagnose an injected fault
+    repro-fd pack p208 --out p208.rfd     # build once, write the artifact
+    repro-fd diagnose --artifact p208.rfd # serve from it, no circuit files
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
-from .api import DictionaryConfig, build as build_dictionary
+from .api import KINDS, DictionaryConfig, build as build_dictionary
 from .circuit import available_circuits, load_circuit, prepare_for_test
 from .diagnosis import Diagnoser, observe_fault
 from .dictionaries import (
@@ -119,6 +121,17 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk build cache: reuse the stored artifact whose content "
+        "hash matches the build inputs instead of rebuilding "
+        "(see docs/artifacts.md)",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -213,7 +226,7 @@ def cmd_table6(args: argparse.Namespace) -> int:
     with _observability(args) as session:
         rows = run_table6(
             circuits, seed=args.seed, calls=args.calls, progress=session.progress,
-            jobs=args.jobs, backend=args.backend,
+            jobs=args.jobs, backend=args.backend, cache_dir=args.cache_dir,
         )
         session.out.emit(render_table6(rows))
         session.out.emit("")
@@ -221,19 +234,79 @@ def cmd_table6(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_diagnose(args: argparse.Namespace) -> int:
+def cmd_pack(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .store import save_artifact
+
     with _observability(args) as session:
-        netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
+        _, table = response_table_for(args.circuit, args.ttype, args.seed)
         built = build_dictionary(
             table,
+            kind=args.kind,
             config=DictionaryConfig(
                 seed=args.seed, calls1=args.calls, jobs=args.jobs,
                 backend=args.backend,
             ),
             progress=session.progress,
+            cache_dir=args.cache_dir,
         )
-        samediff = built.dictionary
-        dictionaries = [FullDictionary(table), PassFailDictionary(table), samediff]
+        content_hash = save_artifact(built, args.out)
+        size = Path(args.out).stat().st_size
+        session.out.emit(
+            f"packed {args.circuit}/{args.ttype} -> {args.out}: "
+            f"kind={built.kind}, {table.n_faults} faults x "
+            f"{table.n_tests} tests, {size} bytes, hash {content_hash[:12]}"
+        )
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    if (args.circuit is None) == (args.artifact is None):
+        print(
+            "diagnose: give exactly one of a circuit name or --artifact FILE",
+            file=sys.stderr,
+        )
+        return 1
+    with _observability(args) as session:
+        netlist = None
+        if args.artifact is not None:
+            from .store import ArtifactError, load_artifact
+
+            try:
+                built = load_artifact(args.artifact)
+            except ArtifactError as exc:
+                print(f"diagnose: {exc}", file=sys.stderr)
+                return 1
+            table = built.table
+            session.out.emit(
+                f"serving from artifact {args.artifact} "
+                f"({built.kind}, {table.n_faults} faults x {table.n_tests} tests)"
+            )
+        else:
+            netlist, table = response_table_for(args.circuit, args.ttype, args.seed)
+            built = build_dictionary(
+                table,
+                config=DictionaryConfig(
+                    seed=args.seed, calls1=args.calls, jobs=args.jobs,
+                    backend=args.backend,
+                ),
+                progress=session.progress,
+                cache_dir=args.cache_dir,
+            )
+        if table.n_faults == 0:
+            print(
+                "diagnose: the dictionary covers no faults (empty fault list "
+                "or no detections); nothing to diagnose",
+                file=sys.stderr,
+            )
+            return 1
+        if built.kind == "same-different":
+            dictionaries = [
+                FullDictionary(table), PassFailDictionary(table), built.dictionary,
+            ]
+        else:
+            dictionaries = [built.dictionary]
         if args.fault is not None:
             victim = args.fault
             if victim not in table.faults:
@@ -244,7 +317,12 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 return 1
         else:
             victim = table.faults[args.seed % table.n_faults]
-        observed = observe_fault(netlist, table.tests, victim)
+        if netlist is not None:
+            observed = observe_fault(netlist, table.tests, victim)
+        else:
+            # Artifact mode: the stored full row of a modelled victim *is*
+            # its observed response — no circuit files needed.
+            observed = list(table.full_row(table.faults.index(victim)))
         session.out.emit(f"injected: {victim}\n")
         for dictionary in dictionaries:
             diagnosis = Diagnoser(dictionary).diagnose(observed, limit=5)
@@ -303,17 +381,46 @@ def build_parser() -> argparse.ArgumentParser:
     table6.add_argument("--calls", type=int, default=100, help="CALLS1")
     _add_jobs_flag(table6)
     _add_backend_flag(table6)
+    _add_cache_flag(table6)
     _add_obs_flags(table6)
     table6.set_defaults(func=cmd_table6)
 
+    pack = sub.add_parser(
+        "pack", help="build a dictionary and write it as an artifact"
+    )
+    pack.add_argument("circuit")
+    pack.add_argument("--ttype", choices=("diag", "10det"), default="diag")
+    pack.add_argument("--kind", choices=KINDS, default="same-different")
+    pack.add_argument("--seed", type=int, default=0)
+    pack.add_argument("--calls", type=int, default=100, help="CALLS1")
+    pack.add_argument(
+        "--out", required=True, metavar="FILE", help="artifact file to write"
+    )
+    _add_jobs_flag(pack)
+    _add_backend_flag(pack)
+    _add_cache_flag(pack)
+    _add_obs_flags(pack)
+    pack.set_defaults(func=cmd_pack)
+
     diagnose = sub.add_parser("diagnose", help="diagnose an injected fault")
-    diagnose.add_argument("circuit")
+    diagnose.add_argument(
+        "circuit", nargs="?", default=None,
+        help="circuit to build the dictionary from (or use --artifact)",
+    )
+    diagnose.add_argument(
+        "--artifact",
+        metavar="FILE",
+        default=None,
+        help="serve from this on-disk artifact instead of building "
+        "(no circuit files needed; see 'pack')",
+    )
     diagnose.add_argument("--ttype", choices=("diag", "10det"), default="diag")
     diagnose.add_argument("--fault", type=_parse_fault, default=None)
     diagnose.add_argument("--seed", type=int, default=0)
     diagnose.add_argument("--calls", type=int, default=20)
     _add_jobs_flag(diagnose)
     _add_backend_flag(diagnose)
+    _add_cache_flag(diagnose)
     _add_obs_flags(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
     return parser

@@ -5,6 +5,13 @@ signatures relative to the fault-free response), a :class:`Diagnoser`
 encodes it in its dictionary's row space and returns the candidate faults:
 exact row matches when they exist, otherwise the best matches by per-test
 agreement — the standard cause-effect flow the paper's dictionaries feed.
+
+The diagnoser is a pure *serve-side* object: it holds dictionary rows and
+the fault catalogue, never a simulator, so it can be stood up straight
+from an on-disk artifact (:meth:`Diagnoser.from_artifact`) on a machine
+with no circuit files at all.  The simulator only appears in the
+:func:`observe_fault` / :func:`observe_defect` helpers, which model the
+*tester* producing an observed response — the other side of the boundary.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ from typing import Dict, List, Sequence, Tuple
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
 from ..obs import get_default_registry, trace_span
-from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.bits import iter_bits
+from ..sim.faultsim import FaultSimulator
 from ..sim.logicsim import output_words
 from ..sim.patterns import TestSet
 from ..sim.responses import Signature
@@ -41,14 +49,44 @@ class Diagnosis:
 
 
 class Diagnoser:
-    """Wraps one dictionary as a diagnosis engine."""
+    """Serves dictionary lookups: rows + fault catalogue, no simulator.
 
-    def __init__(self, dictionary: FaultDictionary) -> None:
+    ``Diagnoser(dictionary)`` adapts any in-memory
+    :class:`~repro.dictionaries.base.FaultDictionary`; the artifact-backed
+    constructors below are the production path, where build and serve are
+    different processes (often different machines).
+    """
+
+    def __init__(self, dictionary: FaultDictionary, *, source: str = "memory") -> None:
         self.dictionary = dictionary
+        #: The fault catalogue lookups answer from (row index == position).
+        self.faults = tuple(dictionary.table.faults)
+        #: Where this diagnoser's rows came from: "memory", "build" or "artifact".
+        self.source = source
+
+    @classmethod
+    def from_built(cls, built) -> "Diagnoser":
+        """Adapt a :class:`~repro.api.BuiltDictionary` (the build facade's result)."""
+        return cls(built.dictionary, source="build")
+
+    @classmethod
+    def from_artifact(cls, path) -> "Diagnoser":
+        """Serve from an on-disk artifact; needs no netlist or simulator.
+
+        Loads the artifact (strictly validated — see
+        :mod:`repro.store.artifact`), reconstructs the dictionary rows and
+        interned responses, and answers lookups byte-identically to a
+        diagnoser over the live-built dictionary.
+        """
+        from ..store import load_artifact
+
+        built = load_artifact(path)
+        get_default_registry().counter("diagnosis.artifact_diagnosers").inc()
+        return cls(built.dictionary, source="artifact")
 
     def diagnose(self, observed: Sequence[Signature], limit: int = 10) -> Diagnosis:
         """Candidates for an observed response (one signature per test)."""
-        faults = self.dictionary.table.faults
+        faults = self.faults
         with trace_span("diagnosis.lookup", kind=self.dictionary.kind):
             exact = [
                 faults[index]

@@ -12,11 +12,11 @@ re-simulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
-from ..sim.faultsim import FaultSimulator, iter_bits
+from ..sim.bits import iter_bits
 from ..sim.patterns import TestSet
 from ..sim.responses import Signature
 from ..dictionaries.base import FaultDictionary
@@ -40,33 +40,69 @@ class TwoStageDiagnosis:
 
 
 class TwoStageDiagnoser:
-    """Dictionary pre-screen followed by full-response fault simulation."""
+    """Dictionary pre-screen followed by full-response comparison.
+
+    Stage 2 needs the *full* response of every screened fault.  Screened
+    faults always come from the dictionary's own fault list, so their
+    full rows are already in the response table the dictionary was built
+    over — they are read from there, and the fault simulator is only
+    constructed lazily, as a fallback for callers that feed faults from
+    outside the table.  That makes the two-stage flow artifact-servable:
+    :meth:`from_artifact` runs both stages with no circuit files present.
+    """
 
     def __init__(
         self,
-        netlist: Netlist,
+        netlist: Optional[Netlist],
         tests: TestSet,
         dictionary: FaultDictionary,
     ) -> None:
         self.netlist = netlist
         self.tests = tests
         self.dictionary = dictionary
-        self._simulator = FaultSimulator(netlist, tests)
-        self._output_index = {net: o for o, net in enumerate(netlist.outputs)}
+        self._simulator = None
+        self._fault_index = {
+            fault: i for i, fault in enumerate(dictionary.table.faults)
+        }
 
-    def _full_response(self, fault: Fault) -> Tuple[Signature, ...]:
+    @classmethod
+    def from_artifact(cls, path, netlist: Optional[Netlist] = None) -> "TwoStageDiagnoser":
+        """Both stages from an on-disk artifact; ``netlist`` is optional
+        and only consulted for faults outside the artifact's fault list."""
+        from ..store import load_artifact
+
+        built = load_artifact(path)
+        return cls(netlist, built.table.tests, built.dictionary)
+
+    def _simulate_response(self, fault: Fault) -> Tuple[Signature, ...]:
+        if self._simulator is None:
+            if self.netlist is None:
+                raise ValueError(
+                    f"fault {fault} is not in the dictionary's fault list and "
+                    "no netlist was provided to simulate it"
+                )
+            from ..sim.faultsim import FaultSimulator
+
+            self._simulator = FaultSimulator(self.netlist, self.tests)
         per_test = {}
+        output_index = {net: o for o, net in enumerate(self.netlist.outputs)}
         diffs = self._simulator.output_diffs(fault)
         for net in self.netlist.outputs:
             word = diffs.get(net)
             if not word:
                 continue
-            o = self._output_index[net]
+            o = output_index[net]
             for j in iter_bits(word):
                 per_test.setdefault(j, []).append(o)
         return tuple(
             tuple(per_test.get(j, ())) for j in range(len(self.tests))
         )
+
+    def _full_response(self, fault: Fault) -> Tuple[Signature, ...]:
+        index = self._fault_index.get(fault)
+        if index is not None:
+            return self.dictionary.table.full_row(index)
+        return self._simulate_response(fault)
 
     def diagnose(self, observed: Sequence[Signature]) -> TwoStageDiagnosis:
         """Run both stages on an observed response.

@@ -27,39 +27,72 @@ from .passfail import PassFailDictionary
 from .samediff import SameDifferentDictionary
 
 
-class _BitWriter:
+class BitWriter:
+    """Accumulates values LSB-first into a byte buffer.
+
+    Whole bytes are flushed into a ``bytearray`` as soon as they are
+    complete, so memory stays proportional to the packed *byte* count —
+    the earlier per-bit ``List[int]`` accumulator cost ~28 bytes of list
+    slot per payload bit, which dominated packing of large dictionaries.
+    """
+
     def __init__(self) -> None:
-        self._bits: List[int] = []
+        self._buffer = bytearray()
+        self._pending = 0
+        self._pending_bits = 0
 
     def write(self, value: int, width: int) -> None:
-        for position in range(width):
-            self._bits.append((value >> position) & 1)
+        """Append the low ``width`` bits of ``value``."""
+        self._pending |= (value & ((1 << width) - 1)) << self._pending_bits
+        self._pending_bits += width
+        if self._pending_bits >= 8:
+            whole = self._pending_bits // 8
+            self._buffer += (self._pending & ((1 << (whole * 8)) - 1)).to_bytes(
+                whole, "little"
+            )
+            self._pending >>= whole * 8
+            self._pending_bits -= whole * 8
 
     @property
     def bit_count(self) -> int:
-        return len(self._bits)
+        return len(self._buffer) * 8 + self._pending_bits
 
     def to_bytes(self) -> bytes:
-        out = bytearray((len(self._bits) + 7) // 8)
-        for index, bit in enumerate(self._bits):
-            if bit:
-                out[index // 8] |= 1 << (index % 8)
-        return bytes(out)
+        out = bytes(self._buffer)
+        if self._pending_bits:
+            out += self._pending.to_bytes(1, "little")
+        return out
 
 
-class _BitReader:
+class BitReader:
+    """Reads back values written by :class:`BitWriter`, LSB-first."""
+
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._position = 0
 
+    @property
+    def bit_position(self) -> int:
+        return self._position
+
     def read(self, width: int) -> int:
-        value = 0
-        for offset in range(width):
-            index = self._position + offset
-            bit = (self._data[index // 8] >> (index % 8)) & 1
-            value |= bit << offset
-        self._position += width
-        return value
+        start = self._position
+        end = start + width
+        if width and (end + 7) // 8 > len(self._data):
+            raise ValueError(
+                f"bit stream exhausted: read of {width} bits at bit {start} "
+                f"overruns the {len(self._data)}-byte payload"
+            )
+        word = int.from_bytes(
+            self._data[start // 8 : (end + 7) // 8], "little"
+        )
+        self._position = end
+        return (word >> (start % 8)) & ((1 << width) - 1)
+
+
+#: Backwards-compatible aliases for the pre-refactor private names.
+_BitWriter = BitWriter
+_BitReader = BitReader
 
 
 def _signature_to_bits(table: ResponseTable, signature: Signature, test_index: int) -> int:

@@ -65,14 +65,20 @@ def calls_sweep(
     test_type: str = "diag",
     calls_values: Sequence[int] = (1, 5, 20, 100),
     seed: int = 0,
+    cache_dir=None,
 ) -> List[CallsPoint]:
-    """Best Procedure 1 result as a function of the restart budget."""
+    """Best Procedure 1 result as a function of the restart budget.
+
+    ``cache_dir`` makes repeat sweeps reuse stored builds — each distinct
+    ``calls`` value hashes to its own cache entry (see docs/artifacts.md).
+    """
     _, table = response_table_for(circuit, test_type, seed)
     points = []
     for calls in calls_values:
         report = build_dictionary(
             table,
             config=DictionaryConfig(seed=seed, calls1=calls, procedure2=False),
+            cache_dir=cache_dir,
         ).report
         points.append(
             CallsPoint(calls, report.distinguished_procedure1, report.procedure1_calls)
@@ -93,11 +99,13 @@ def multi_baseline_study(
     max_extra: int = 2,
     seed: int = 0,
     calls: int = 20,
+    cache_dir=None,
 ) -> List[MultiBaselinePoint]:
     """Resolution/size trade-off of 1, 2, … baselines per test."""
     _, table = response_table_for(circuit, test_type, seed)
     dictionary = build_dictionary(
-        table, config=DictionaryConfig(seed=seed, calls1=calls)
+        table, config=DictionaryConfig(seed=seed, calls1=calls),
+        cache_dir=cache_dir,
     ).dictionary
     points = [
         MultiBaselinePoint(1, dictionary.size_bits, dictionary.indistinguished_pairs())
@@ -121,12 +129,14 @@ class MixedStorageResult:
 
 
 def mixed_storage_study(
-    circuit: str, test_type: str = "diag", seed: int = 0, calls: int = 20
+    circuit: str, test_type: str = "diag", seed: int = 0, calls: int = 20,
+    cache_dir=None,
 ) -> MixedStorageResult:
     """How much the mixed (fault-free where possible) storage remark saves."""
     _, table = response_table_for(circuit, test_type, seed)
     dictionary = build_dictionary(
-        table, config=DictionaryConfig(seed=seed, calls1=calls)
+        table, config=DictionaryConfig(seed=seed, calls1=calls),
+        cache_dir=cache_dir,
     ).dictionary
     fault_free = sum(1 for b in dictionary.baselines if b == PASS)
     return MixedStorageResult(

@@ -134,12 +134,15 @@ def table6_row(
     progress: Optional[ProgressReporter] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
+    cache_dir=None,
 ) -> Table6Row:
     """Compute one row of Table 6 (``LOWER`` and ``CALLS1`` as in the paper).
 
     ``jobs > 1`` parallelises the Procedure 1 restarts; the row's numbers
     are identical for every ``jobs`` value (see ``docs/parallelism.md``)
     and for every kernel ``backend`` (see ``docs/kernels.md``).
+    ``cache_dir`` reuses a previously stored build of the same cell
+    (see ``docs/artifacts.md``); repeat sweeps then skip Procedures 1/2.
     """
     with trace_span("table6.row", circuit=circuit, ttype=test_type):
         with trace_span("table6.prepare"):
@@ -152,6 +155,7 @@ def table6_row(
                 seed=seed, calls1=calls, lower=lower, jobs=jobs, backend=backend
             ),
             progress=progress,
+            cache_dir=cache_dir,
         )
         build = built.report
     return Table6Row(
@@ -177,6 +181,7 @@ def run_table6(
     progress: Optional[ProgressReporter] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
+    cache_dir=None,
 ) -> List[Table6Row]:
     """All requested rows, circuit-major / test-type-minor like the paper."""
     progress = progress if progress is not None else NullProgress()
@@ -190,6 +195,7 @@ def run_table6(
             table6_row(
                 circuit, test_type, seed=seed, lower=lower, calls=calls,
                 progress=progress, jobs=jobs, backend=backend,
+                cache_dir=cache_dir,
             )
         )
     progress.report("table6", len(cells), len(cells))

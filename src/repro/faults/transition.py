@@ -123,7 +123,7 @@ def transition_response_table(netlist: Netlist, launch, capture, faults):
     "Tests" are vector pairs; signatures are the failing outputs observed
     at capture.  Any dictionary organisation builds on the result.
     """
-    from ..sim.faultsim import iter_bits
+    from ..sim.bits import iter_bits
     from ..sim.responses import ResponseTable
 
     simulator = TransitionFaultSimulator(netlist, launch, capture)

@@ -1,6 +1,7 @@
 """Bit-parallel logic and fault simulation."""
 
-from .faultsim import FaultSimulator, iter_bits
+from .bits import iter_bits
+from .faultsim import FaultSimulator
 from .logicsim import (
     SimulationError,
     output_vectors,

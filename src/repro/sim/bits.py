@@ -1,0 +1,19 @@
+"""Bit-word helpers shared across simulation, dictionaries and diagnosis.
+
+The bit-parallel simulators represent per-pattern values as arbitrary
+precision integers (bit ``j`` = pattern ``j``); everything downstream —
+response tables, dictionary rows, diagnosis signatures — walks those words
+bit by bit.  :func:`iter_bits` is that walk, factored out of
+``faultsim`` so consumers that never simulate (the artifact-backed
+diagnosis path, packing) do not need the simulator module for it.
+"""
+
+from __future__ import annotations
+
+
+def iter_bits(word: int):
+    """Yield the positions of the set bits of ``word`` (ascending)."""
+    while word:
+        lsb = word & -word
+        yield lsb.bit_length() - 1
+        word ^= lsb

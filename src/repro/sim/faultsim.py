@@ -16,16 +16,9 @@ from ..circuit.gates import EVALUATORS, GateType
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
 from ..obs import get_default_registry
+from .bits import iter_bits  # noqa: F401 - re-exported for compatibility
 from .logicsim import SimulationError, simulate
 from .patterns import TestSet
-
-
-def iter_bits(word: int):
-    """Yield the positions of the set bits of ``word`` (ascending)."""
-    while word:
-        lsb = word & -word
-        yield lsb.bit_length() - 1
-        word ^= lsb
 
 
 class FaultSimulator:

@@ -20,7 +20,8 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..circuit.netlist import Netlist
 from ..faults.model import Fault
-from .faultsim import FaultSimulator, iter_bits
+from .bits import iter_bits
+from .faultsim import FaultSimulator
 from .patterns import TestSet
 
 Signature = Tuple[int, ...]
@@ -198,6 +199,19 @@ class ResponseTable:
 
             self._interned = intern_response_table(self)
         return self._interned
+
+    def adopt_interned(self, interned) -> None:
+        """Install a precomputed packed view instead of deriving one.
+
+        The artifact loader calls this with the deserialised columns so a
+        restored table serves the packed kernels without re-interning.
+        """
+        if interned.n_faults != self.n_faults or interned.n_tests != self.n_tests:
+            raise ValueError(
+                f"interned view is {interned.n_faults}x{interned.n_tests}, "
+                f"table is {self.n_faults}x{self.n_tests}"
+            )
+        self._interned = interned
 
     # ------------------------------------------------------------------
     def subset(self, test_indices: Sequence[int]) -> "ResponseTable":

@@ -1,0 +1,39 @@
+"""Persistent dictionary artifacts: the build→store→serve boundary.
+
+The paper computes a dictionary once and diagnoses many failing chips
+against it.  This package is that boundary in code: a versioned binary
+artifact format for built dictionaries (:mod:`repro.store.artifact`) and
+a content-addressed build cache on top of it
+(:mod:`repro.store.cache`).  The serve side —
+:meth:`repro.diagnosis.Diagnoser.from_artifact` — needs only these
+modules, never a netlist or simulator.
+"""
+
+from .artifact import (
+    FORMAT_VERSION,
+    MAGIC,
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactHashError,
+    ArtifactVersionError,
+    build_inputs_hash,
+    load_artifact,
+    save_artifact,
+    table_content_hash,
+)
+from .cache import ARTIFACT_SUFFIX, BuildCache
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactHashError",
+    "ArtifactVersionError",
+    "BuildCache",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "build_inputs_hash",
+    "load_artifact",
+    "save_artifact",
+    "table_content_hash",
+]

@@ -1,0 +1,405 @@
+"""The versioned on-disk dictionary artifact.
+
+A dictionary is computed once and then serves many failing chips — the
+build→serve boundary the paper assumes.  This module makes the built
+dictionary a first-class asset: :func:`save_artifact` writes a
+:class:`~repro.api.BuiltDictionary` (dictionary rows, build provenance
+*and* the interned response table) to a single self-describing binary
+file, and :func:`load_artifact` restores it without a netlist, test
+generator or fault simulator in the loop.
+
+File layout (all integers big-endian)::
+
+    offset 0   magic          b"RFDA"
+    offset 4   format version u16 (currently 1)
+    offset 6   content hash   32 raw bytes (sha256 of the build inputs)
+    offset 38  body checksum  32 raw bytes (sha256 of everything after it)
+    offset 70  header length  u32
+    offset 74  header         JSON (utf-8)
+    ...        payload        bit-packed response columns
+
+The header carries the catalogue data (outputs, faults, test vectors,
+fault-free output words, the per-test distinct failing signatures, the
+baseline ids, config and build report); the payload packs the interned
+signature-id columns — ``ceil(log2 |Z_j|)`` bits per (fault, test) — with
+the :class:`~repro.dictionaries.storage.BitWriter` machinery.  Everything
+is JSON + packed integers: loading never unpickles anything, and any
+truncation or bit flip fails the body checksum with a strict
+:class:`ArtifactError` subclass instead of yielding garbage.
+
+The *content hash* identifies the build inputs, not the file bytes: it is
+the cache key of :class:`~repro.store.cache.BuildCache` (see
+``docs/artifacts.md`` for the key rules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..api import BuiltDictionary, DictionaryConfig, KINDS
+from ..circuit.bench import dumps as bench_dumps
+from ..circuit.netlist import Netlist
+from ..dictionaries.full import FullDictionary
+from ..dictionaries.passfail import PassFailDictionary
+from ..dictionaries.samediff import BuildReport, SameDifferentDictionary
+from ..dictionaries.storage import BitWriter
+from ..faults.model import Fault
+from ..kernels.interning import InternedTable
+from ..obs import get_default_registry
+from ..sim.patterns import TestSet
+from ..sim.responses import PASS, ResponseTable, Signature
+
+MAGIC = b"RFDA"
+FORMAT_VERSION = 1
+
+#: magic, format version, content hash, body checksum.
+_PREAMBLE = struct.Struct(">4sH32s32s")
+_HEADER_LEN = struct.Struct(">I")
+
+
+class ArtifactError(ValueError):
+    """Base of every artifact validation failure."""
+
+
+class ArtifactFormatError(ArtifactError):
+    """The file is not a well-formed artifact (magic, truncation, corruption)."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact uses a format version this code does not speak."""
+
+
+class ArtifactHashError(ArtifactError):
+    """The artifact's content hash does not match the expected build inputs."""
+
+
+# ----------------------------------------------------------------------
+# content hashing (the cache key)
+# ----------------------------------------------------------------------
+def _canonical(doc: object) -> bytes:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _build_key(kind: str, config: DictionaryConfig) -> Dict[str, object]:
+    """The config portion of the cache key.
+
+    ``jobs`` and ``backend`` are deliberately excluded: both are
+    guaranteed byte-identical to the serial/packed reference (see
+    docs/parallelism.md and docs/kernels.md), so they change how a
+    dictionary is built, never what is built.
+    """
+    return {
+        "kind": kind,
+        "seed": config.seed,
+        "calls1": config.calls1,
+        "lower": config.lower,
+        "procedure2": config.procedure2,
+    }
+
+
+def _faults_doc(faults: Sequence[Fault]) -> List[List[object]]:
+    return [[f.line, f.stuck_at, f.input_of] for f in faults]
+
+
+def _tests_doc(tests: TestSet) -> Dict[str, object]:
+    return {
+        "inputs": list(tests.inputs),
+        "vectors": [format(t, "x") for t in tests],
+    }
+
+
+def build_inputs_hash(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    tests: TestSet,
+    kind: str,
+    config: DictionaryConfig,
+) -> str:
+    """Cache key for a ``netlist``/``faults``/``tests`` build — computable
+    *before* any fault simulation, which is what lets a cache hit skip the
+    simulator entirely."""
+    doc = {
+        "netlist": bench_dumps(netlist),
+        "faults": _faults_doc(faults),
+        "tests": _tests_doc(tests),
+        "build": _build_key(kind, config),
+    }
+    return hashlib.sha256(_canonical(doc)).hexdigest()
+
+
+def table_content_hash(
+    table: ResponseTable, kind: str, config: DictionaryConfig
+) -> str:
+    """Cache key for a prepared-table build: the full response content.
+
+    Distinct from :func:`build_inputs_hash` by construction — the two
+    entry paths hash different inputs and never alias each other's cache
+    entries.
+    """
+    responses = [
+        [
+            [j, list(sig)]
+            for j in range(table.n_tests)
+            if (sig := table.signature(i, j)) != PASS
+        ]
+        for i in range(table.n_faults)
+    ]
+    doc = {
+        "outputs": list(table.outputs),
+        "faults": _faults_doc(table.faults),
+        "tests": _tests_doc(table.tests),
+        "good": {net: format(w, "x") for net, w in table.good_output_words.items()},
+        "responses": responses,
+        "build": _build_key(kind, config),
+    }
+    return hashlib.sha256(_canonical(doc)).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def save_artifact(
+    built: BuiltDictionary,
+    path: Union[str, Path],
+    *,
+    content_hash: Optional[str] = None,
+) -> str:
+    """Write ``built`` to ``path``; returns the hex content hash stored.
+
+    ``content_hash`` defaults to :func:`table_content_hash` over the
+    built table and config; the build cache passes its own input-derived
+    key instead.
+    """
+    registry = get_default_registry()
+    with registry.timer("store.artifact_save_seconds").time():
+        if built.kind not in KINDS:
+            raise ArtifactError(f"cannot serialise dictionary kind {built.kind!r}")
+        table = built.table
+        if content_hash is None:
+            content_hash = table_content_hash(table, built.kind, built.config)
+        interned = table.interned  # the packed-column view, built once
+        baselines: Optional[List[int]] = None
+        if built.kind == "same-different":
+            baselines = []
+            for j, baseline in enumerate(built.dictionary.baselines):
+                sid = interned.sig_ids[j].get(baseline)
+                if sid is None:
+                    raise ArtifactError(
+                        f"baseline of test {j} is not in the candidate set Z_{j}"
+                    )
+                baselines.append(sid)
+        writer = BitWriter()
+        for j in range(table.n_tests):
+            width = (len(interned.sigs[j]) - 1).bit_length()
+            if not width:
+                continue
+            col = interned.cols[j]
+            for i in range(table.n_faults):
+                writer.write(col[i], width)
+        header = {
+            "kind": built.kind,
+            "config": asdict(built.config),
+            "report": built.report.as_dict(schema=2) if built.report else None,
+            "outputs": list(table.outputs),
+            "faults": _faults_doc(table.faults),
+            "test_inputs": list(table.tests.inputs),
+            "tests": [format(t, "x") for t in table.tests],
+            "good_output_words": {
+                net: format(w, "x") for net, w in table.good_output_words.items()
+            },
+            "signatures": [
+                [list(sig) for sig in sigs_j[1:]] for sigs_j in interned.sigs
+            ],
+            "baselines": baselines,
+            "payload_bits": writer.bit_count,
+        }
+        header_bytes = _canonical(header)
+        body = _HEADER_LEN.pack(len(header_bytes)) + header_bytes + writer.to_bytes()
+        blob = (
+            _PREAMBLE.pack(
+                MAGIC,
+                FORMAT_VERSION,
+                bytes.fromhex(content_hash),
+                hashlib.sha256(body).digest(),
+            )
+            + body
+        )
+        Path(path).write_bytes(blob)
+        registry.counter("store.artifacts_saved").inc()
+        registry.gauge("store.artifact_bytes").set(len(blob))
+    return content_hash
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def load_artifact(
+    path: Union[str, Path], *, expected_hash: Optional[str] = None
+) -> BuiltDictionary:
+    """Restore a :class:`~repro.api.BuiltDictionary` from ``path``.
+
+    Validation is strict: a bad magic number, unknown format version,
+    failed checksum (truncation, bit rot) or — when ``expected_hash`` is
+    given — a content-hash mismatch each raise their dedicated
+    :class:`ArtifactError` subclass.  The restored table carries its
+    interned column view, so diagnosis serves at full speed with no
+    circuit files present.
+    """
+    registry = get_default_registry()
+    with registry.timer("store.artifact_load_seconds").time():
+        try:
+            raw = Path(path).read_bytes()
+        except OSError as exc:
+            raise ArtifactFormatError(f"{path}: cannot read artifact: {exc}") from exc
+        if len(raw) < _PREAMBLE.size:
+            raise ArtifactFormatError(
+                f"{path}: {len(raw)} bytes is too short for an artifact preamble"
+            )
+        magic, version, hash_raw, body_sha = _PREAMBLE.unpack_from(raw)
+        if magic != MAGIC:
+            raise ArtifactFormatError(
+                f"{path}: bad magic {magic!r} (not a dictionary artifact)"
+            )
+        if version != FORMAT_VERSION:
+            raise ArtifactVersionError(
+                f"{path}: format version {version} (this build reads "
+                f"{FORMAT_VERSION}); rebuild the artifact"
+            )
+        content_hash = hash_raw.hex()
+        if expected_hash is not None and content_hash != expected_hash:
+            raise ArtifactHashError(
+                f"{path}: content hash {content_hash[:12]}… does not match the "
+                f"expected build inputs {expected_hash[:12]}…"
+            )
+        body = raw[_PREAMBLE.size :]
+        if hashlib.sha256(body).digest() != body_sha:
+            raise ArtifactFormatError(
+                f"{path}: body checksum mismatch (truncated or corrupted file)"
+            )
+        try:
+            built = _reconstruct(body)
+        except ArtifactError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError, struct.error) as exc:
+            raise ArtifactFormatError(f"{path}: malformed artifact body: {exc}") from exc
+        registry.counter("store.artifacts_loaded").inc()
+        registry.gauge("store.artifact_bytes").set(len(raw))
+    return built
+
+
+def _reconstruct(body: bytes) -> BuiltDictionary:
+    (header_len,) = _HEADER_LEN.unpack_from(body)
+    header_bytes = body[_HEADER_LEN.size : _HEADER_LEN.size + header_len]
+    if len(header_bytes) != header_len:
+        raise ArtifactFormatError("header extends past the end of the file")
+    payload = body[_HEADER_LEN.size + header_len :]
+    header = json.loads(header_bytes)
+
+    kind = header["kind"]
+    if kind not in KINDS:
+        raise ArtifactFormatError(f"unknown dictionary kind {kind!r}")
+    config = _restore_config(header["config"])
+    report = _restore_report(header["report"])
+    outputs = tuple(header["outputs"])
+    faults = tuple(
+        Fault(line, stuck_at, input_of)
+        for line, stuck_at, input_of in header["faults"]
+    )
+    tests = TestSet(header["test_inputs"], (int(t, 16) for t in header["tests"]))
+    good = {net: int(w, 16) for net, w in header["good_output_words"].items()}
+    sigs: List[List[Signature]] = [
+        [PASS] + [tuple(sig) for sig in per_test]
+        for per_test in header["signatures"]
+    ]
+    n_faults, n_tests = len(faults), len(sigs)
+    if n_tests != len(tests):
+        raise ArtifactFormatError(
+            f"{n_tests} signature columns for {len(tests)} tests"
+        )
+    if (int(header["payload_bits"]) + 7) // 8 != len(payload):
+        raise ArtifactFormatError(
+            f"payload is {len(payload)} bytes but header declares "
+            f"{header['payload_bits']} bits"
+        )
+
+    # Bulk decode: the payload is read once as a little-endian integer and
+    # each column is peeled off in one chunk — the same bit order the
+    # incremental BitReader would walk, an order of magnitude fewer
+    # Python-level operations (this is the warm path of the build cache).
+    stream = int.from_bytes(payload, "little")
+    position = 0
+    cols: List[List[int]] = []
+    det_words = [0] * n_faults
+    failing: List[Dict[int, Signature]] = [{} for _ in range(n_faults)]
+    for j, sigs_j in enumerate(sigs):
+        width = (len(sigs_j) - 1).bit_length()
+        col = [0] * n_faults
+        if width:
+            mask = (1 << width) - 1
+            chunk = (stream >> position) & ((1 << (width * n_faults)) - 1)
+            position += width * n_faults
+            bit = 1 << j
+            for i in range(n_faults):
+                sid = chunk & mask
+                chunk >>= width
+                if sid >= len(sigs_j):
+                    raise ArtifactFormatError(
+                        f"signature id {sid} out of range for test {j}"
+                    )
+                if sid:
+                    col[i] = sid
+                    det_words[i] |= bit
+                    failing[i][j] = sigs_j[sid]
+        cols.append(col)
+    if position != int(header["payload_bits"]):
+        raise ArtifactFormatError(
+            f"payload holds {position} bits of columns, header declares "
+            f"{header['payload_bits']}"
+        )
+
+    table = ResponseTable(outputs, faults, tests, failing, good)
+    table.adopt_interned(
+        InternedTable(
+            n_faults,
+            n_tests,
+            cols,
+            sigs,
+            [{sig: sid for sid, sig in enumerate(sigs_j)} for sigs_j in sigs],
+            det_words,
+        )
+    )
+
+    if kind == "same-different":
+        ids = header["baselines"]
+        if ids is None or len(ids) != n_tests:
+            raise ArtifactFormatError("same-different artifact without baselines")
+        baselines = []
+        for j, sid in enumerate(ids):
+            if not 0 <= sid < len(sigs[j]):
+                raise ArtifactFormatError(
+                    f"baseline id {sid} out of range for test {j}"
+                )
+            baselines.append(sigs[j][sid])
+        dictionary = SameDifferentDictionary(table, baselines)
+    elif kind == "pass-fail":
+        dictionary = PassFailDictionary(table)
+    else:
+        dictionary = FullDictionary(table)
+    return BuiltDictionary(dictionary, table, kind, config, report)
+
+
+def _restore_config(doc: Dict[str, object]) -> DictionaryConfig:
+    known = {f.name for f in fields(DictionaryConfig)}
+    return DictionaryConfig(**{k: v for k, v in doc.items() if k in known})
+
+
+def _restore_report(doc: Optional[Dict[str, object]]) -> Optional[BuildReport]:
+    if doc is None:
+        return None
+    known = {f.name for f in fields(BuildReport)}
+    return BuildReport(**{k: v for k, v in doc.items() if k in known})

@@ -1,0 +1,69 @@
+"""The on-disk build cache: content-addressed dictionary artifacts.
+
+``repro.api.build(..., cache_dir=...)`` funnels through here: the build
+inputs are hashed (see :func:`~repro.store.artifact.build_inputs_hash` /
+:func:`~repro.store.artifact.table_content_hash`), and a cache entry with
+that hash is loaded instead of re-running fault simulation and
+Procedures 1/2.  Entries are plain artifact files named
+``<content-hash>.rfd``, written atomically, so a cache directory can be
+shared between processes and shipped between machines.
+
+Every lookup lands in the metrics registry: ``store.cache_hits``,
+``store.cache_misses``, and ``store.cache_invalid`` for entries that
+exist but fail artifact validation (those are treated as misses and
+overwritten by the subsequent store).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..api import BuiltDictionary
+from ..obs import get_default_registry
+from .artifact import ArtifactError, load_artifact, save_artifact
+
+#: File extension of cache entries (and the conventional one for artifacts).
+ARTIFACT_SUFFIX = ".rfd"
+
+
+class BuildCache:
+    """A directory of dictionary artifacts keyed by content hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, content_hash: str) -> Path:
+        return self.root / f"{content_hash}{ARTIFACT_SUFFIX}"
+
+    def get(self, content_hash: str) -> Optional[BuiltDictionary]:
+        """The cached build for ``content_hash``, or ``None`` on a miss.
+
+        An existing entry that fails validation (version bump, truncation,
+        foreign file) counts as a miss — the caller rebuilds and the next
+        :meth:`put` replaces it.
+        """
+        registry = get_default_registry()
+        path = self.path_for(content_hash)
+        if not path.is_file():
+            registry.counter("store.cache_misses").inc()
+            return None
+        try:
+            built = load_artifact(path, expected_hash=content_hash)
+        except ArtifactError:
+            registry.counter("store.cache_misses").inc()
+            registry.counter("store.cache_invalid").inc()
+            return None
+        registry.counter("store.cache_hits").inc()
+        return built
+
+    def put(self, built: BuiltDictionary, content_hash: str) -> Path:
+        """Store ``built`` under ``content_hash``; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(content_hash)
+        scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        save_artifact(built, scratch, content_hash=content_hash)
+        scratch.replace(path)
+        get_default_registry().counter("store.cache_stores").inc()
+        return path

@@ -1,7 +1,10 @@
 """Tests for bit-packed dictionary serialization."""
 
+import random
+
 import pytest
 
+from repro.dictionaries.storage import BitReader, BitWriter
 from repro.dictionaries import (
     FullDictionary,
     PackedDictionary,
@@ -21,6 +24,82 @@ from tests.util import build_sd
 def table(s27_scan, s27_faults):
     tests = TestSet.random(s27_scan.inputs, 14, seed=21)
     return ResponseTable.build(s27_scan, s27_faults, tests)
+
+
+class _ListBitWriter:
+    """The pre-refactor per-bit accumulator, kept as the reference."""
+
+    def __init__(self):
+        self._bits = []
+
+    def write(self, value, width):
+        for position in range(width):
+            self._bits.append((value >> position) & 1)
+
+    @property
+    def bit_count(self):
+        return len(self._bits)
+
+    def to_bytes(self):
+        out = bytearray((len(self._bits) + 7) // 8)
+        for index, bit in enumerate(self._bits):
+            if bit:
+                out[index // 8] |= 1 << (index % 8)
+        return bytes(out)
+
+
+class TestBitWriter:
+    """The bytearray accumulator must be byte-for-byte the old behaviour."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalent_to_list_accumulator(self, seed):
+        rng = random.Random(seed)
+        fast, reference = BitWriter(), _ListBitWriter()
+        for _ in range(300):
+            width = rng.randint(0, 70)
+            value = rng.getrandbits(width) if width else 0
+            fast.write(value, width)
+            reference.write(value, width)
+            assert fast.bit_count == reference.bit_count
+        assert fast.to_bytes() == reference.to_bytes()
+
+    def test_masks_high_bits_like_old_writer(self):
+        fast, reference = BitWriter(), _ListBitWriter()
+        for writer in (fast, reference):
+            writer.write(0b1111_0101, 3)  # only the low 3 bits land
+            writer.write(-0, 0)
+            writer.write((1 << 80) | 1, 5)
+        assert fast.to_bytes() == reference.to_bytes()
+        assert fast.bit_count == reference.bit_count == 8
+
+    def test_to_bytes_is_stable_and_non_destructive(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        first = writer.to_bytes()
+        assert writer.to_bytes() == first
+        writer.write(0b11, 2)
+        assert writer.bit_count == 5
+        assert writer.to_bytes() == bytes([0b11101])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reader_round_trip(self, seed):
+        rng = random.Random(100 + seed)
+        fields = [
+            (rng.getrandbits(w) if (w := rng.randint(0, 70)) else 0, w)
+            for _ in range(200)
+        ]
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.to_bytes())
+        for value, width in fields:
+            assert reader.read(width) == value
+
+    def test_reader_overrun_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read(6)
+        with pytest.raises(ValueError, match="exhausted"):
+            reader.read(3)
 
 
 class TestPayloadSizes:

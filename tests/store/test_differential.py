@@ -1,0 +1,83 @@
+"""Differential test: the artifact-served diagnoser vs the live one.
+
+The acceptance criterion for the build/serve split: on the golden Table-6
+cells, :meth:`Diagnoser.from_artifact` must reproduce *identical*
+``Diagnosis`` results to a diagnoser over the live-built dictionary — the
+same exact sets and the same ranked (fault, score) lists, for every
+dictionary kind and for every fault in the table.
+"""
+
+import pytest
+
+from repro.api import DictionaryConfig, build
+from repro.diagnosis import Diagnoser, TwoStageDiagnoser, observe_fault
+from repro.experiments.table6 import response_table_for
+from repro.store import save_artifact
+
+SEED = 0
+CALLS = 5
+
+CELLS = [("p208", "diag"), ("p208", "10det"), ("p298", "diag")]
+
+
+def _cell(circuit, ttype, kind="same-different"):
+    netlist, table = response_table_for(circuit, ttype, SEED)
+    built = build(
+        table, kind=kind, config=DictionaryConfig(seed=SEED, calls1=CALLS)
+    )
+    return netlist, built
+
+
+@pytest.mark.parametrize("circuit,ttype", CELLS)
+def test_artifact_diagnoser_matches_live(circuit, ttype, tmp_path):
+    netlist, built = _cell(circuit, ttype)
+    path = tmp_path / "cell.rfd"
+    save_artifact(built, path)
+
+    live = Diagnoser(built.dictionary)
+    served = Diagnoser.from_artifact(path)
+    assert served.source == "artifact"
+    assert served.faults == live.faults
+
+    table = built.table
+    for index in range(table.n_faults):
+        observed = observe_fault(netlist, table.tests, table.faults[index])
+        a = live.diagnose(observed, limit=10)
+        b = served.diagnose(observed, limit=10)
+        assert a.exact == b.exact
+        assert a.ranked == b.ranked
+
+
+@pytest.mark.parametrize("kind", ["pass-fail", "full"])
+def test_other_kinds_match_live(kind, tmp_path):
+    netlist, built = _cell("p208", "diag", kind=kind)
+    path = tmp_path / "cell.rfd"
+    save_artifact(built, path)
+    live = Diagnoser(built.dictionary)
+    served = Diagnoser.from_artifact(path)
+    table = built.table
+    for index in range(0, table.n_faults, 7):
+        observed = observe_fault(netlist, table.tests, table.faults[index])
+        a = live.diagnose(observed, limit=10)
+        b = served.diagnose(observed, limit=10)
+        assert a.exact == b.exact
+        assert a.ranked == b.ranked
+
+
+def test_two_stage_from_artifact_needs_no_netlist(tmp_path):
+    netlist, built = _cell("p208", "diag")
+    path = tmp_path / "cell.rfd"
+    save_artifact(built, path)
+
+    live = TwoStageDiagnoser(netlist, built.table.tests, built.dictionary)
+    served = TwoStageDiagnoser.from_artifact(path)
+    assert served.netlist is None
+
+    table = built.table
+    for index in range(0, table.n_faults, 11):
+        observed = observe_fault(netlist, table.tests, table.faults[index])
+        a = live.diagnose(observed)
+        b = served.diagnose(observed)
+        assert a.screened == b.screened
+        assert a.confirmed == b.confirmed
+        assert a.simulated == b.simulated

@@ -72,6 +72,80 @@ class TestCommands:
             main(["frobnicate"])
 
 
+class TestArtifactFlow:
+    def test_pack_then_diagnose_from_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "s27.rfd"
+        assert main(["pack", "s27", "--calls", "2", "--out", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "packed s27/diag" in out and "hash" in out
+        assert artifact.exists()
+
+        assert main(["diagnose", "--artifact", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "serving from artifact" in out
+        assert "injected:" in out
+        assert "same/different" in out
+
+    def test_artifact_mode_matches_live_mode(self, capsys, tmp_path):
+        artifact = tmp_path / "s27.rfd"
+        assert main(["pack", "s27", "--calls", "2", "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["diagnose", "--artifact", str(artifact), "--fault", "G11/sa0"]
+        ) == 0
+        served = capsys.readouterr().out
+        assert main(["diagnose", "s27", "--calls", "2", "--fault", "G11/sa0"]) == 0
+        live = capsys.readouterr().out
+        # Same candidates, kind by kind; only the artifact banner differs.
+        assert served.split("injected:")[1] == live.split("injected:")[1]
+
+    def test_diagnose_requires_circuit_or_artifact(self, capsys):
+        assert main(["diagnose"]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_diagnose_rejects_both_sources(self, capsys, tmp_path):
+        assert main(["diagnose", "s27", "--artifact", str(tmp_path / "x.rfd")]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_diagnose_rejects_bad_artifact(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.rfd"
+        bogus.write_bytes(b"not an artifact at all")
+        assert main(["diagnose", "--artifact", str(bogus)]) == 1
+        assert "diagnose:" in capsys.readouterr().err
+
+    def test_diagnose_empty_dictionary_is_a_clean_error(self, capsys, tmp_path):
+        # A dictionary over zero faults (satellite: no ZeroDivisionError).
+        from repro.api import DictionaryConfig, build
+        from repro.store import save_artifact
+        from tests.util import random_table
+
+        empty = build(
+            random_table(0, 4, 2, seed=0),
+            config=DictionaryConfig(seed=0, calls1=1),
+        )
+        artifact = tmp_path / "empty.rfd"
+        save_artifact(empty, artifact)
+        assert main(["diagnose", "--artifact", str(artifact)]) == 1
+        assert "no faults" in capsys.readouterr().err
+
+    def test_diagnose_cache_dir_reuses_build(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["diagnose", "s27", "--calls", "2", "--cache-dir", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        assert list(cache.glob("*.rfd"))
+        assert main(
+            ["diagnose", "s27", "--calls", "2", "--cache-dir", str(cache),
+             "--metrics-out", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        import json
+
+        snapshot = json.loads(out)
+        assert snapshot["counters"]["store.cache_hits"] == 1
+
+
 class TestConvert:
     def test_bench_to_verilog_and_back(self, tmp_path):
         from repro.circuit import bench, load_circuit
