@@ -11,8 +11,12 @@ Usage::
     REPRO_FULL_SWEEP=1 python examples/reproduce_table6.py   # + big proxies
     REPRO_JOBS=4 python examples/reproduce_table6.py    # parallel restarts
     REPRO_BACKEND=naive python examples/reproduce_table6.py  # reference kernels
+    REPRO_EXAMPLES_QUICK=1 python examples/reproduce_table6.py  # seconds, one cell
 
 Expect a few minutes for the default sweep (test generation dominates).
+``REPRO_EXAMPLES_QUICK=1`` (the CI setting) shrinks the run to a single
+small cell with a reduced restart budget so the script stays a smoke
+test rather than the full evaluation.
 ``REPRO_JOBS`` fans the Procedure 1 restarts out over worker processes;
 the numbers are identical to the serial run (docs/parallelism.md).
 ``REPRO_BACKEND`` picks the kernel backend (``packed``, the default, or
@@ -35,19 +39,24 @@ from repro.experiments import (
 
 
 def main() -> None:
+    quick = bool(os.environ.get("REPRO_EXAMPLES_QUICK"))
     if len(sys.argv) > 1:
         circuits = sys.argv[1:]
+    elif quick:
+        circuits = ["p208"]
     elif os.environ.get("REPRO_FULL_SWEEP"):
         circuits = list(DEFAULT_CIRCUITS) + list(EXTENDED_CIRCUITS)
     else:
         circuits = list(DEFAULT_CIRCUITS)
 
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    calls = 5 if quick else 100
+    test_types = ("diag",) if quick else ("diag", "10det")
     rows = []
     for circuit in circuits:
-        for test_type in ("diag", "10det"):
+        for test_type in test_types:
             start = time.perf_counter()
-            row = table6_row(circuit, test_type, seed=0, jobs=jobs)
+            row = table6_row(circuit, test_type, seed=0, jobs=jobs, calls=calls)
             elapsed = time.perf_counter() - start
             rows.append(row)
             print(

@@ -24,7 +24,7 @@ Quickstart (the public construction surface is :mod:`repro.api`)::
           passfail.dictionary.indistinguished_pairs())
 """
 
-from .api import BuiltDictionary, DictionaryConfig, build
+from .api import BuiltDictionary, DictionaryConfig, build, serve
 from .circuit import (
     GateType,
     GeneratorSpec,
@@ -103,6 +103,7 @@ __all__ = [
     "run_table6",
     "scoped_registry",
     "scoped_tracer",
+    "serve",
     "simulate",
     "table6_row",
     "trace_span",

@@ -1,4 +1,4 @@
-"""The public build facade: one entry point for every dictionary kind.
+"""The public facade: one entry point each for building and serving.
 
 Three PRs of growth left the construction surface scattered across
 ``build_same_different`` / ``select_baselines`` / ``replace_baselines``,
@@ -16,6 +16,14 @@ each with its own loose kwargs.  This module is the one documented way in:
 kernel backend (:mod:`repro.kernels`) runs the inner loops.  The legacy
 entry points remain as thin delegates that emit ``DeprecationWarning`` on
 the old loose-kwarg shapes.
+
+:func:`serve` is the matching serve-side entry point: it stands up a
+:class:`~repro.serve.DiagnosisServer` over packed artifacts for batch
+and session diagnosis (see ``docs/serving.md``):
+
+>>> from repro.api import serve
+>>> server = serve("p208.rfd", deadline_ms=250)
+>>> outcomes = server.serve_jsonl(open("chips.jsonl"))
 """
 
 from __future__ import annotations
@@ -132,3 +140,39 @@ def build(
     if cache is not None:
         cache.put(built, key)
     return built
+
+
+def serve(
+    artifact=None,
+    *,
+    pool_size: int = 8,
+    workers: int = 4,
+    deadline_ms: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff_ms: float = 10.0,
+    limit: int = 10,
+):
+    """Stand up a batch diagnosis server over packed artifacts.
+
+    ``artifact`` is the default artifact path for requests that do not
+    name their own; every other argument populates a
+    :class:`~repro.serve.ServeConfig` — ``pool_size`` bounds the LRU
+    artifact pool, ``workers`` the fan-out threads, ``deadline_ms`` the
+    per-request budget (``None`` = none), ``max_retries`` /
+    ``retry_backoff_ms`` the transient-error policy, and ``limit`` the
+    default ranked-candidate count.  Returns a
+    :class:`~repro.serve.DiagnosisServer`; see ``docs/serving.md`` for
+    batch semantics and reason codes.
+    """
+    # Imported lazily: repro.serve imports repro.store, which imports us.
+    from .serve import DiagnosisServer, ServeConfig
+
+    config = ServeConfig(
+        pool_size=pool_size,
+        workers=workers,
+        deadline_ms=deadline_ms,
+        max_retries=max_retries,
+        retry_backoff_ms=retry_backoff_ms,
+        limit=limit,
+    )
+    return DiagnosisServer(config, default_artifact=artifact)

@@ -10,6 +10,10 @@ Installed as the ``repro-fd`` console script::
     repro-fd diagnose p208 --fault n3/sa1 # diagnose an injected fault
     repro-fd pack p208 --out p208.rfd     # build once, write the artifact
     repro-fd diagnose --artifact p208.rfd # serve from it, no circuit files
+    repro-fd serve chips.jsonl --artifact p208.rfd  # batch diagnosis service
+
+``docs/cli.md`` is the generated reference for every subcommand and flag
+(regenerate with ``python tools/gen_cli_docs.py``; CI fails on drift).
 """
 
 from __future__ import annotations
@@ -297,7 +301,9 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         if table.n_faults == 0:
             print(
                 "diagnose: the dictionary covers no faults (empty fault list "
-                "or no detections); nothing to diagnose",
+                "or no detections); re-run the 'pack' workflow on a circuit "
+                "and test set that detect faults (repro-fd pack CIRCUIT --out "
+                "FILE.rfd), then serve it with 'diagnose --artifact FILE.rfd'",
                 file=sys.stderr,
             )
             return 1
@@ -334,6 +340,56 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         session.out.emit(
             f"\nsizes: full={sizes.full} p/f={sizes.pass_fail} "
             f"s/d={sizes.same_different} bits"
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DiagnosisServer, ServeConfig
+
+    with _observability(args) as session:
+        try:
+            config = ServeConfig(
+                pool_size=args.pool_size,
+                workers=args.workers,
+                deadline_ms=args.deadline_ms,
+                max_retries=args.max_retries,
+                limit=args.limit,
+            )
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 1
+        server = DiagnosisServer(config, default_artifact=args.artifact)
+        if args.requests == "-":
+            lines = sys.stdin.readlines()
+        else:
+            try:
+                with open(args.requests) as handle:
+                    lines = handle.readlines()
+            except OSError as exc:
+                print(f"serve: cannot read requests: {exc}", file=sys.stderr)
+                return 1
+        outcomes = server.serve_jsonl(lines)
+        if not outcomes:
+            print("serve: the request file holds no requests", file=sys.stderr)
+            return 1
+        rendered = "\n".join(outcome.to_json_line() for outcome in outcomes)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered + "\n")
+        else:
+            # Outcomes are the machine output of this command: stdout,
+            # with the human summary on stderr (like --metrics-out -).
+            print(rendered)
+        by_code: dict = {}
+        for outcome in outcomes:
+            by_code[outcome.code] = by_code.get(outcome.code, 0) + 1
+        summary = ", ".join(
+            f"{code}={count}" for code, count in sorted(by_code.items())
+        )
+        print(
+            f"served {len(outcomes)} requests: {summary}",
+            file=sys.stderr,
         )
     return 0
 
@@ -402,7 +458,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(pack)
     pack.set_defaults(func=cmd_pack)
 
-    diagnose = sub.add_parser("diagnose", help="diagnose an injected fault")
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="diagnose an injected fault (build live, or serve an artifact "
+        "packed with 'pack')",
+    )
     diagnose.add_argument(
         "circuit", nargs="?", default=None,
         help="circuit to build the dictionary from (or use --artifact)",
@@ -412,7 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="serve from this on-disk artifact instead of building "
-        "(no circuit files needed; see 'pack')",
+        "(no circuit files needed; produce one with the 'pack' workflow: "
+        "repro-fd pack CIRCUIT --out FILE.rfd)",
     )
     diagnose.add_argument("--ttype", choices=("diag", "10det"), default="diag")
     diagnose.add_argument("--fault", type=_parse_fault, default=None)
@@ -423,6 +484,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flag(diagnose)
     _add_obs_flags(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a JSONL batch of diagnosis requests from packed artifacts",
+    )
+    serve.add_argument(
+        "requests",
+        help="JSONL file of requests, one JSON object per line ('-' = stdin); "
+        "each request gives observed=, fault= or observations= — see "
+        "docs/serving.md",
+    )
+    serve.add_argument(
+        "--artifact",
+        metavar="FILE",
+        default=None,
+        help="default artifact for requests that do not name their own "
+        "(produce one with 'pack')",
+    )
+    serve.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write outcome JSONL here instead of stdout",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline in milliseconds (default: none); an "
+        "expired request degrades to a deadline_expired outcome",
+    )
+    serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max loaded artifacts resident in the LRU pool (default 8)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries (with exponential backoff) on transient artifact "
+        "errors before an artifact_error outcome (default 2)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads for batch fan-out (outcomes are identical "
+        "for any value; default 4)",
+    )
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="ranked candidates per outcome for requests without limit= "
+        "(default 10)",
+    )
+    _add_obs_flags(serve)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -117,6 +117,21 @@ class SameDifferentDictionary(FaultDictionary):
         disagree = bin(self._rows[fault_index] ^ self.encode_response(signatures))
         return self.table.n_tests - disagree.count("1")
 
+    def ranked_candidates(self, signatures: Sequence[Signature], limit: int = 10):
+        # Encode the observed response once and score every row against
+        # that word — the base implementation would re-encode per fault,
+        # which dominates the serve layer's warm-path lookup cost.
+        from .base import ScoredCandidate
+
+        observed = self.encode_response(signatures)
+        n_tests = self.table.n_tests
+        scored = [
+            ScoredCandidate(index, n_tests - bin(row ^ observed).count("1"))
+            for index, row in enumerate(self._rows)
+        ]
+        scored.sort(key=lambda c: (-c.score, c.fault_index))
+        return scored[:limit]
+
     def baseline_vector(self, test_index: int) -> str:
         """The stored baseline output vector of one test, as a bit string."""
         return self.table.signature_to_vector(self.baselines[test_index], test_index)

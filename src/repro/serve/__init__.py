@@ -1,0 +1,60 @@
+"""Batch diagnosis serving: pool, server, sessions, structured outcomes.
+
+The build side of the repo ends at an on-disk artifact
+(:mod:`repro.store`); this package is the other half of the paper's
+"build once, diagnose many" economics at service shape:
+
+* :class:`ArtifactPool` — a bounded LRU pool of loaded (memory-mapped at
+  load time) artifacts keyed by content hash, with single-flight load
+  deduplication;
+* :class:`DiagnosisServer` — batch fan-out over a worker pool with
+  per-request deadlines, retry-with-backoff on transient artifact
+  errors, and graceful degradation to reason-coded
+  :class:`DiagnosisOutcome` values;
+* :class:`DiagnosisSession` — incremental multi-observation diagnosis
+  that narrows the candidate set test by test and reports when
+  resolution stops improving.
+
+Entry points: ``repro.api.serve()`` (the facade) and ``repro-fd serve``
+(JSONL batches on the command line).  Semantics, sizing guidance and the
+reason-code table live in ``docs/serving.md``.
+"""
+
+from .outcomes import (
+    ARTIFACT_ERROR,
+    BAD_REQUEST,
+    DEADLINE_EXPIRED,
+    INTERNAL_ERROR,
+    OK,
+    REASON_CODES,
+    UNMODELED_RESPONSE,
+    BadRequest,
+    DiagnosisOutcome,
+    DiagnosisRequest,
+    parse_jsonl,
+    parse_request,
+)
+from .pool import ArtifactPool, PoolEntry
+from .server import DiagnosisServer, ServeConfig
+from .session import DiagnosisSession, SessionUpdate
+
+__all__ = [
+    "ARTIFACT_ERROR",
+    "ArtifactPool",
+    "BAD_REQUEST",
+    "BadRequest",
+    "DEADLINE_EXPIRED",
+    "DiagnosisOutcome",
+    "DiagnosisRequest",
+    "DiagnosisServer",
+    "DiagnosisSession",
+    "INTERNAL_ERROR",
+    "OK",
+    "PoolEntry",
+    "REASON_CODES",
+    "ServeConfig",
+    "SessionUpdate",
+    "UNMODELED_RESPONSE",
+    "parse_jsonl",
+    "parse_request",
+]

@@ -1,0 +1,89 @@
+"""The serve layer's metric-name catalog.
+
+Every metric the serve layer emits is addressed through a constant in
+this module — never an inline string literal — so the catalog below *is*
+the emission surface.  ``tests/docs/test_metrics_catalog.py`` holds the
+names (this table plus a literal scan of ``src/repro/serve/``) against
+the table in ``docs/observability.md``: a metric added here without a
+doc row fails the suite.
+"""
+
+from __future__ import annotations
+
+# -- counters ----------------------------------------------------------
+#: Requests accepted into a batch (every request, whatever its outcome).
+REQUESTS = "serve.requests"
+#: Batches processed by :meth:`DiagnosisServer.diagnose_batch`.
+BATCHES = "serve.batches"
+#: Artifact-load attempts retried after a transient error.
+RETRIES = "serve.retries"
+#: Pool lookups answered from a resident entry.
+POOL_HITS = "serve.pool_hits"
+#: Pool lookups that had to load the artifact.
+POOL_MISSES = "serve.pool_misses"
+#: Entries evicted to respect the pool capacity.
+POOL_EVICTIONS = "serve.pool_evictions"
+#: Lookups that waited on another thread's in-flight load (single-flight).
+POOL_SINGLE_FLIGHT_WAITS = "serve.pool_single_flight_waits"
+#: Sessions opened through :meth:`DiagnosisServer.session` / ``DiagnosisSession``.
+SESSIONS = "serve.sessions"
+#: Observations folded into sessions.
+SESSION_OBSERVATIONS = "serve.session_observations"
+#: Sessions that reported convergence (resolution stopped improving).
+SESSIONS_CONVERGED = "serve.sessions_converged"
+
+#: Per-outcome counters: ``serve.outcomes.<reason code>``.
+OUTCOME_PREFIX = "serve.outcomes."
+
+# -- gauges ------------------------------------------------------------
+#: Resident entries in the artifact pool after the last access.
+POOL_SIZE = "serve.pool_size"
+#: Worker threads of the last batch.
+WORKERS = "serve.workers"
+
+# -- timers ------------------------------------------------------------
+#: End-to-end latency of one request (parse → outcome).
+REQUEST_SECONDS = "serve.request_seconds"
+#: Artifact load latency inside the pool (misses only).
+LOAD_SECONDS = "serve.load_seconds"
+#: Dictionary lookup latency (the diagnose stage alone).
+DIAGNOSE_SECONDS = "serve.diagnose_seconds"
+#: Wall time of a whole batch.
+BATCH_SECONDS = "serve.batch_seconds"
+
+
+def outcome_counter(code: str) -> str:
+    """The counter name recording outcomes with reason ``code``."""
+    return OUTCOME_PREFIX + code
+
+
+def catalog() -> dict:
+    """Every metric name the serve layer can emit, keyed by kind.
+
+    The outcome counters are enumerated from the reason codes so the
+    docs test sees the expanded names, not the prefix.
+    """
+    from .outcomes import REASON_CODES
+
+    return {
+        "counters": [
+            REQUESTS,
+            BATCHES,
+            RETRIES,
+            POOL_HITS,
+            POOL_MISSES,
+            POOL_EVICTIONS,
+            POOL_SINGLE_FLIGHT_WAITS,
+            SESSIONS,
+            SESSION_OBSERVATIONS,
+            SESSIONS_CONVERGED,
+            *[outcome_counter(code) for code in REASON_CODES],
+        ],
+        "gauges": [POOL_SIZE, WORKERS],
+        "timers": [
+            REQUEST_SECONDS,
+            LOAD_SECONDS,
+            DIAGNOSE_SECONDS,
+            BATCH_SECONDS,
+        ],
+    }

@@ -1,0 +1,196 @@
+"""A bounded LRU pool of loaded dictionary artifacts.
+
+The serve layer's working set is "which dictionaries is this process
+currently diagnosing against" — usually far smaller than the artifact
+store on disk.  :class:`ArtifactPool` keeps at most ``capacity`` loaded
+artifacts resident, keyed by **content hash** (read from the artifact
+preamble with a one-page ``mmap`` probe), so two paths to the same bytes
+share one entry and a republished file under the same path gets a fresh
+one.
+
+Loads are *single-flight*: when several worker threads miss on the same
+key at once, exactly one performs the load (through ``mmap`` +
+:func:`repro.store.load_artifact_buffer`, strict validation included)
+while the rest wait on it and share the result — the thundering-herd
+behaviour a cold batch against one artifact would otherwise exhibit.
+A failed load is propagated to every waiter but **not** cached: the next
+lookup retries, which is what the server's retry-with-backoff leans on.
+"""
+
+from __future__ import annotations
+
+import mmap
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from ..diagnosis.engine import Diagnoser
+from ..obs import get_default_registry
+from . import metrics as M
+
+
+class PoolEntry:
+    """One resident artifact: the restored build plus a ready diagnoser."""
+
+    __slots__ = ("content_hash", "built", "diagnoser", "path", "_fault_names")
+
+    def __init__(self, content_hash: str, built, path: str) -> None:
+        self.content_hash = content_hash
+        self.built = built
+        self.diagnoser = Diagnoser(built.dictionary, source="artifact")
+        self.path = path
+        self._fault_names = None
+
+    @property
+    def table(self):
+        return self.built.table
+
+    def fault_index(self, name: str) -> Optional[int]:
+        """Row index of a fault name, from a per-entry cached catalogue.
+
+        Entries are shared across every request that hits them, so the
+        name index is built once per residency instead of per request.
+        """
+        if self._fault_names is None:
+            self._fault_names = {
+                str(fault): i for i, fault in enumerate(self.table.faults)
+            }
+        return self._fault_names.get(name)
+
+
+class _InFlight:
+    """A load in progress: waiters block on ``done`` and read the result."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.entry: Optional[PoolEntry] = None
+        self.error: Optional[BaseException] = None
+
+
+def _default_loader(path: str):
+    """Load an artifact through a memory map (strict validation included)."""
+    from ..store import load_artifact_buffer
+
+    with open(path, "rb") as handle:
+        try:
+            with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as view:
+                return load_artifact_buffer(view, name=path)
+        except ValueError:
+            # Zero-length files cannot be mapped; fall through to a plain
+            # read so they fail artifact validation with the right error.
+            handle.seek(0)
+            return load_artifact_buffer(handle.read(), name=path)
+
+
+class ArtifactPool:
+    """Content-hash-keyed LRU cache of loaded artifacts.
+
+    Thread-safe.  ``capacity`` bounds resident entries; ``loader`` is
+    injectable for tests (fault injection, latency shaping) and defaults
+    to the mmap-backed strict loader.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        *,
+        loader: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._loader = loader if loader is not None else _default_loader
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, PoolEntry]" = OrderedDict()
+        self._inflight: dict = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def resident_hashes(self):
+        """Content hashes currently resident, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, path: Union[str, Path]) -> PoolEntry:
+        """The resident entry for ``path``'s content, loading on a miss.
+
+        Raises :class:`~repro.store.ArtifactError` (or ``OSError``) when
+        the file is unreadable or fails validation — the caller decides
+        whether that is transient (the server retries with backoff).
+        """
+        from ..store import read_content_hash
+
+        registry = get_default_registry()
+        path = str(path)
+        key = read_content_hash(path)
+
+        while True:
+            wait_for: Optional[_InFlight] = None
+            flight: Optional[_InFlight] = None
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    registry.counter(M.POOL_HITS).inc()
+                    return entry
+                wait_for = self._inflight.get(key)
+                if wait_for is None:
+                    flight = self._inflight[key] = _InFlight()
+                    registry.counter(M.POOL_MISSES).inc()
+
+            if wait_for is not None:
+                registry.counter(M.POOL_SINGLE_FLIGHT_WAITS).inc()
+                wait_for.done.wait()
+                if wait_for.error is not None:
+                    raise wait_for.error
+                if wait_for.entry is not None:
+                    return wait_for.entry
+                continue  # loader lost a race; retry the lookup
+
+            try:
+                with registry.timer(M.LOAD_SECONDS).time():
+                    built = self._loader(path)
+                entry = PoolEntry(key, built, path)
+            except BaseException as exc:
+                flight.error = exc
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.done.set()
+                raise
+            with self._lock:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    registry.counter(M.POOL_EVICTIONS).inc()
+                registry.gauge(M.POOL_SIZE).set(len(self._entries))
+                self._inflight.pop(key, None)
+            flight.entry = entry
+            flight.done.set()
+            return entry
+
+    # ------------------------------------------------------------------
+    def evict(self, content_hash: str) -> bool:
+        """Drop one resident entry; returns whether it was resident."""
+        registry = get_default_registry()
+        with self._lock:
+            removed = self._entries.pop(content_hash, None) is not None
+            if removed:
+                registry.counter(M.POOL_EVICTIONS).inc()
+                registry.gauge(M.POOL_SIZE).set(len(self._entries))
+        return removed
+
+    def clear(self) -> None:
+        """Drop every resident entry (counted as evictions)."""
+        registry = get_default_registry()
+        with self._lock:
+            registry.counter(M.POOL_EVICTIONS).inc(len(self._entries))
+            self._entries.clear()
+            registry.gauge(M.POOL_SIZE).set(0)

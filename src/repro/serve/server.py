@@ -1,0 +1,383 @@
+"""The batch diagnosis server: fan-out, deadlines, retries, degradation.
+
+:class:`DiagnosisServer` turns the one-shot ``Diagnoser`` flow into a
+service loop: a batch of observed-response requests is fanned out across
+a thread pool, every request carries its own deadline and retry budget,
+and **no request outcome can fail the batch** — malformed input, an
+unloadable artifact or a blown deadline each degrade to a structured
+:class:`~repro.serve.outcomes.DiagnosisOutcome` with a reason code.
+
+Determinism: an outcome is a pure function of its request and the
+artifact bytes (the workers share nothing mutable per request beyond the
+pool, whose entries are immutable once loaded), and the batch result
+preserves request order — so the same batch produces the same outcome
+list for any ``workers`` value.  ``tests/serve/test_determinism.py``
+holds that line.
+
+Time is injectable (``clock``/``sleep``) so deadline and backoff
+behaviour is tested with a fake clock rather than real sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from ..obs import get_default_registry, trace_span
+from ..sim.responses import PASS
+from ..store import ArtifactError
+from . import metrics as M
+from .outcomes import (
+    ARTIFACT_ERROR,
+    BAD_REQUEST,
+    DEADLINE_EXPIRED,
+    INTERNAL_ERROR,
+    OK,
+    UNMODELED_RESPONSE,
+    DiagnosisOutcome,
+    DiagnosisRequest,
+    parse_jsonl,
+)
+from .pool import ArtifactPool, PoolEntry
+from .session import DiagnosisSession
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operating envelope of one :class:`DiagnosisServer`.
+
+    ``deadline_ms`` is per request, measured from the moment a worker
+    picks the request up (queueing does not count, so outcomes do not
+    depend on worker count); ``None`` disables deadlines.  Retries apply
+    to transient artifact/cache errors only — a request that cannot load
+    its artifact is attempted ``1 + max_retries`` times with exponential
+    backoff starting at ``retry_backoff_ms``.
+    """
+
+    pool_size: int = 8
+    workers: int = 4
+    deadline_ms: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff_ms: float = 10.0
+    #: Default ranked-candidate count for requests that don't set one.
+    limit: int = 10
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+
+
+class _Deadline:
+    """One request's time budget against an injectable clock."""
+
+    __slots__ = ("clock", "start", "budget")
+
+    def __init__(self, clock: Callable[[], float], budget_ms: Optional[float]) -> None:
+        self.clock = clock
+        self.start = clock()
+        self.budget = budget_ms / 1000.0 if budget_ms is not None else None
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock() - self.start
+
+    @property
+    def expired(self) -> bool:
+        return self.budget is not None and self.elapsed > self.budget
+
+
+class DiagnosisServer:
+    """Serve diagnosis batches and sessions from pooled artifacts.
+
+    ``default_artifact`` answers requests that do not name their own;
+    ``pool`` lets callers share one :class:`ArtifactPool` between servers
+    (and lets tests inject fault-raising loaders).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        default_artifact: Optional[str] = None,
+        pool: Optional[ArtifactPool] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.default_artifact = (
+            str(default_artifact) if default_artifact is not None else None
+        )
+        self.pool = pool if pool is not None else ArtifactPool(self.config.pool_size)
+        self._clock = clock
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # batch entry points
+    # ------------------------------------------------------------------
+    def serve_jsonl(self, lines: Iterable[str]) -> List[DiagnosisOutcome]:
+        """Process a JSONL request stream (one request object per line)."""
+        return self.diagnose_batch(parse_jsonl(lines))
+
+    def diagnose_batch(
+        self, requests: Sequence[Union[DiagnosisRequest, DiagnosisOutcome]]
+    ) -> List[DiagnosisOutcome]:
+        """One outcome per request, in request order, degraded never dropped.
+
+        Accepts pre-made outcomes in the input sequence (as produced by
+        :func:`~repro.serve.outcomes.parse_jsonl` for unparseable lines)
+        and passes them through in position.
+        """
+        registry = get_default_registry()
+        requests = list(requests)
+        registry.counter(M.BATCHES).inc()
+        registry.gauge(M.WORKERS).set(self.config.workers)
+        with registry.timer(M.BATCH_SECONDS).time(), \
+                trace_span("serve.batch", requests=len(requests)):
+            if self.config.workers == 1 or len(requests) <= 1:
+                outcomes = [self._serve_entry(entry) for entry in requests]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-serve",
+                ) as executor:
+                    outcomes = list(executor.map(self._serve_entry, requests))
+        for outcome in outcomes:
+            registry.counter(M.outcome_counter(outcome.code)).inc()
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def session(
+        self, artifact: Optional[str] = None, *, stall_after: int = 3
+    ) -> DiagnosisSession:
+        """Open an incremental multi-observation session on an artifact.
+
+        The artifact goes through the same pool (hot sessions on a warm
+        dictionary cost no load).
+        """
+        entry = self.pool.get(self._artifact_for(artifact))
+        return DiagnosisSession(entry.built.dictionary, stall_after=stall_after)
+
+    # ------------------------------------------------------------------
+    # per-request machinery
+    # ------------------------------------------------------------------
+    def _artifact_for(self, override: Optional[str]) -> str:
+        path = override if override is not None else self.default_artifact
+        if path is None:
+            raise ValueError(
+                "request names no artifact and the server has no default "
+                "(pass default_artifact= or set 'artifact' on the request)"
+            )
+        return path
+
+    def _serve_entry(
+        self, entry: Union[DiagnosisRequest, DiagnosisOutcome]
+    ) -> DiagnosisOutcome:
+        if isinstance(entry, DiagnosisOutcome):
+            get_default_registry().counter(M.REQUESTS).inc()
+            return entry
+        return self._serve_request(entry)
+
+    def _serve_request(self, request: DiagnosisRequest) -> DiagnosisOutcome:
+        registry = get_default_registry()
+        registry.counter(M.REQUESTS).inc()
+        deadline = _Deadline(self._clock, self.config.deadline_ms)
+        with registry.timer(M.REQUEST_SECONDS).time():
+            try:
+                outcome = self._serve_inner(request, deadline)
+            except Exception as exc:  # noqa: BLE001 - degradation boundary
+                outcome = DiagnosisOutcome(
+                    request_id=request.request_id,
+                    code=INTERNAL_ERROR,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+        outcome.elapsed_seconds = deadline.elapsed
+        return outcome
+
+    def _serve_inner(
+        self, request: DiagnosisRequest, deadline: _Deadline
+    ) -> DiagnosisOutcome:
+        try:
+            path = self._artifact_for(request.artifact)
+        except ValueError as exc:
+            return DiagnosisOutcome(
+                request_id=request.request_id, code=BAD_REQUEST, detail=str(exc)
+            )
+
+        entry, attempts, failure = self._load_with_retries(path, deadline)
+        if entry is None:
+            code = DEADLINE_EXPIRED if deadline.expired else ARTIFACT_ERROR
+            return DiagnosisOutcome(
+                request_id=request.request_id,
+                code=code,
+                detail=failure or "artifact load failed",
+                attempts=attempts,
+            )
+        if deadline.expired:
+            return DiagnosisOutcome(
+                request_id=request.request_id,
+                code=DEADLINE_EXPIRED,
+                detail=f"deadline of {self.config.deadline_ms}ms passed "
+                "after artifact load",
+                attempts=attempts,
+            )
+
+        if request.observations is not None:
+            return self._serve_session_request(request, entry, attempts, deadline)
+        if request.observed is None and request.fault is None:
+            return DiagnosisOutcome(
+                request_id=request.request_id,
+                code=BAD_REQUEST,
+                detail="request carries no observed=, fault= or observations=",
+                attempts=attempts,
+            )
+        return self._serve_lookup(request, entry, attempts, deadline)
+
+    # -- artifact load with retry/backoff ------------------------------
+    def _load_with_retries(self, path: str, deadline: _Deadline):
+        """Returns ``(entry, attempts, failure_detail)``; entry ``None`` on
+        failure.  Only :class:`ArtifactError`/``OSError`` are treated as
+        transient; anything else propagates to the internal-error boundary.
+        """
+        registry = get_default_registry()
+        failure: Optional[str] = None
+        attempts = 0
+        for attempt in range(1 + self.config.max_retries):
+            if deadline.expired:
+                return None, attempts, failure or "deadline expired before load"
+            attempts = attempt + 1
+            if attempt:
+                registry.counter(M.RETRIES).inc()
+                backoff = (
+                    self.config.retry_backoff_ms / 1000.0 * (2 ** (attempt - 1))
+                )
+                if deadline.budget is not None:
+                    remaining = deadline.budget - deadline.elapsed
+                    if remaining <= 0:
+                        return None, attempts - 1, failure
+                    backoff = min(backoff, remaining)
+                self._sleep(backoff)
+            try:
+                return self.pool.get(path), attempts, None
+            except (ArtifactError, OSError) as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+        return None, attempts, failure
+
+    # -- the two request flavours --------------------------------------
+    def _resolve_observed(self, request: DiagnosisRequest, entry: PoolEntry):
+        """The per-test signature sequence a request asks to diagnose.
+
+        Returns ``(observed, problem)`` where ``problem`` is an
+        unmodeled-response detail string when the request does not fit
+        the dictionary.
+        """
+        table = entry.table
+        if request.fault is not None:
+            index = entry.fault_index(request.fault)
+            if index is None:
+                return None, (
+                    f"fault {request.fault!r} is not in the artifact's "
+                    f"{table.n_faults}-fault catalogue"
+                )
+            return list(table.full_row(index)), None
+        observed = request.observed
+        if len(observed) != table.n_tests:
+            return None, (
+                f"observed response has {len(observed)} tests, dictionary "
+                f"has {table.n_tests}"
+            )
+        for j, signature in enumerate(observed):
+            for output in signature:
+                if output >= table.n_outputs:
+                    return None, (
+                        f"observed[{j}] names output {output}, dictionary "
+                        f"has {table.n_outputs} outputs"
+                    )
+        return list(observed), None
+
+    def _serve_lookup(
+        self,
+        request: DiagnosisRequest,
+        entry: PoolEntry,
+        attempts: int,
+        deadline: _Deadline,
+    ) -> DiagnosisOutcome:
+        registry = get_default_registry()
+        observed, problem = self._resolve_observed(request, entry)
+        if problem is not None:
+            return DiagnosisOutcome(
+                request_id=request.request_id,
+                code=UNMODELED_RESPONSE,
+                detail=problem,
+                attempts=attempts,
+            )
+        with registry.timer(M.DIAGNOSE_SECONDS).time():
+            diagnosis = entry.diagnoser.diagnose(observed, limit=request.limit)
+        if deadline.expired:
+            return DiagnosisOutcome(
+                request_id=request.request_id,
+                code=DEADLINE_EXPIRED,
+                detail=f"deadline of {self.config.deadline_ms}ms passed "
+                "during diagnosis",
+                attempts=attempts,
+            )
+        return DiagnosisOutcome(
+            request_id=request.request_id,
+            code=OK,
+            exact=[str(fault) for fault in diagnosis.exact],
+            ranked=[(str(fault), score) for fault, score in diagnosis.ranked],
+            attempts=attempts,
+        )
+
+    def _serve_session_request(
+        self,
+        request: DiagnosisRequest,
+        entry: PoolEntry,
+        attempts: int,
+        deadline: _Deadline,
+    ) -> DiagnosisOutcome:
+        table = entry.table
+        session = DiagnosisSession(entry.built.dictionary)
+        for test_index, signature in request.observations:
+            if test_index >= table.n_tests:
+                return DiagnosisOutcome(
+                    request_id=request.request_id,
+                    code=UNMODELED_RESPONSE,
+                    detail=f"observation names test {test_index}, dictionary "
+                    f"has {table.n_tests} tests",
+                    attempts=attempts,
+                )
+            if any(output >= table.n_outputs for output in signature):
+                return DiagnosisOutcome(
+                    request_id=request.request_id,
+                    code=UNMODELED_RESPONSE,
+                    detail=f"observation on test {test_index} names an output "
+                    f">= {table.n_outputs}",
+                    attempts=attempts,
+                )
+            session.observe(test_index, signature)
+            if deadline.expired:
+                return DiagnosisOutcome(
+                    request_id=request.request_id,
+                    code=DEADLINE_EXPIRED,
+                    detail=f"deadline of {self.config.deadline_ms}ms passed "
+                    f"after {len(session.history)} observations",
+                    attempts=attempts,
+                    narrowing=[update.after for update in session.history],
+                )
+        candidates = [str(fault) for fault in session.candidate_faults()]
+        if request.limit:
+            candidates = candidates[: request.limit]
+        return DiagnosisOutcome(
+            request_id=request.request_id,
+            code=OK,
+            exact=candidates,
+            attempts=attempts,
+            narrowing=[update.after for update in session.history],
+            converged=session.converged,
+        )

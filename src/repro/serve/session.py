@@ -1,0 +1,215 @@
+"""Incremental multi-observation diagnosis sessions.
+
+Model-based diagnosis treats a failing unit as a *stream* of
+observations, not one response vector: apply a test, look at the
+outcome, decide whether applying more tests is still buying resolution.
+:class:`DiagnosisSession` is that flow over a fault dictionary — it
+starts from the full fault catalogue and narrows the candidate set one
+``(test, signature)`` observation at a time, using each dictionary
+organisation's own per-test semantics:
+
+* **full** — candidates must reproduce the observed signature exactly;
+* **pass/fail** — candidates must agree on detect/not-detect;
+* **same/different** — candidates must fall on the observed side of the
+  test's baseline (the paper's ``b_i,j`` bit).
+
+The session also answers the operational questions: ``converged`` turns
+true when the last ``stall_after`` observations failed to shrink the
+candidate set (resolution has stopped improving — stop testing), and
+:meth:`suggest_next_test` picks the unobserved test that splits the
+current candidates best, the greedy adaptive-testing step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dictionaries.base import FaultDictionary
+from ..dictionaries.passfail import PassFailDictionary
+from ..dictionaries.samediff import SameDifferentDictionary
+from ..obs import get_default_registry
+from ..sim.responses import PASS, Signature
+from . import metrics as M
+
+
+@dataclass(frozen=True)
+class SessionUpdate:
+    """What one observation did to the candidate set."""
+
+    test_index: int
+    signature: Signature
+    #: Candidate count before / after folding this observation in.
+    before: int
+    after: int
+    #: Consecutive non-improving observations ending here (0 if improved).
+    stalled: int
+
+    @property
+    def improved(self) -> bool:
+        return self.after < self.before
+
+
+class DiagnosisSession:
+    """Narrow a candidate fault set observation by observation.
+
+    ``stall_after`` non-improving observations in a row flip
+    :attr:`converged` (a unique candidate or an exhausted test set also
+    does); the caller reads it to stop applying tests.  The session never
+    touches a simulator — it is a pure serve-side object, so it works
+    against artifact-restored dictionaries with no circuit files.
+    """
+
+    def __init__(self, dictionary: FaultDictionary, *, stall_after: int = 3) -> None:
+        if stall_after < 1:
+            raise ValueError(f"stall_after must be >= 1, got {stall_after}")
+        self.dictionary = dictionary
+        self.table = dictionary.table
+        self.stall_after = stall_after
+        self.candidates: List[int] = list(range(self.table.n_faults))
+        self.history: List[SessionUpdate] = []
+        self._observed: Dict[int, Signature] = {}
+        self._stalled = 0
+        self._converged_counted = False
+        registry = get_default_registry()
+        registry.counter(M.SESSIONS).inc()
+
+    # ------------------------------------------------------------------
+    # per-test row semantics, by dictionary organisation
+    # ------------------------------------------------------------------
+    def _stored_value(self, fault_index: int, test_index: int) -> object:
+        """Fault ``fault_index``'s row value at one test, per dictionary kind."""
+        dictionary = self.dictionary
+        if isinstance(dictionary, SameDifferentDictionary):
+            return (dictionary.row(fault_index) >> test_index) & 1
+        if isinstance(dictionary, PassFailDictionary):
+            return self.table.signature(fault_index, test_index) != PASS
+        # Full dictionary — and the conservative fallback for any other
+        # organisation: exact response agreement (never widens a set a
+        # coarser encoding would keep).
+        return self.table.signature(fault_index, test_index)
+
+    def _observed_value(self, test_index: int, signature: Signature) -> object:
+        dictionary = self.dictionary
+        if isinstance(dictionary, SameDifferentDictionary):
+            return 0 if signature == dictionary.baselines[test_index] else 1
+        if isinstance(dictionary, PassFailDictionary):
+            return signature != PASS
+        return signature
+
+    # ------------------------------------------------------------------
+    def observe(self, test_index: int, signature: Signature) -> SessionUpdate:
+        """Fold one tester observation in; returns the narrowing result.
+
+        Re-observing a test replaces nothing — each call filters the
+        *current* candidate set, so contradictory re-observations simply
+        empty it (a clear signal the unit is not modelled).
+        """
+        if not 0 <= test_index < self.table.n_tests:
+            raise ValueError(
+                f"test index {test_index} out of range for "
+                f"{self.table.n_tests} tests"
+            )
+        signature = tuple(signature)
+        for output in signature:
+            if not 0 <= output < self.table.n_outputs:
+                raise ValueError(
+                    f"output index {output} out of range for "
+                    f"{self.table.n_outputs} outputs"
+                )
+        before = len(self.candidates)
+        want = self._observed_value(test_index, signature)
+        self.candidates = [
+            i for i in self.candidates
+            if self._stored_value(i, test_index) == want
+        ]
+        after = len(self.candidates)
+        self._observed[test_index] = signature
+        self._stalled = 0 if after < before else self._stalled + 1
+        update = SessionUpdate(
+            test_index=test_index,
+            signature=signature,
+            before=before,
+            after=after,
+            stalled=self._stalled,
+        )
+        self.history.append(update)
+        registry = get_default_registry()
+        registry.counter(M.SESSION_OBSERVATIONS).inc()
+        if self.converged and not self._converged_counted:
+            self._converged_counted = True
+            registry.counter(M.SESSIONS_CONVERGED).inc()
+        return update
+
+    # ------------------------------------------------------------------
+    @property
+    def resolved(self) -> bool:
+        """Exactly one candidate remains."""
+        return len(self.candidates) == 1
+
+    @property
+    def exhausted(self) -> bool:
+        """Every test has been observed at least once."""
+        return len(self._observed) >= self.table.n_tests
+
+    @property
+    def stalled(self) -> int:
+        """Consecutive observations that did not shrink the candidate set."""
+        return self._stalled
+
+    @property
+    def converged(self) -> bool:
+        """Resolution has stopped improving: a unique (or empty) candidate
+        set, ``stall_after`` non-improving observations in a row, or no
+        tests left to apply."""
+        return (
+            len(self.candidates) <= 1
+            or self._stalled >= self.stall_after
+            or self.exhausted
+        )
+
+    def candidate_faults(self) -> List[object]:
+        """The remaining candidates as fault objects, row order."""
+        faults = self.table.faults
+        return [faults[i] for i in self.candidates]
+
+    # ------------------------------------------------------------------
+    def suggest_next_test(self) -> Optional[int]:
+        """The unobserved test that best splits the current candidates.
+
+        Greedy adaptive testing: score each remaining test by the number
+        of candidate pairs its dictionary column separates and return the
+        best (lowest index on ties).  ``None`` when no test can improve —
+        the session is converged by construction at that point.
+        """
+        if len(self.candidates) <= 1:
+            return None
+        best_test: Optional[int] = None
+        best_score = 0
+        total = len(self.candidates)
+        for j in range(self.table.n_tests):
+            if j in self._observed:
+                continue
+            groups: Dict[object, int] = {}
+            for i in self.candidates:
+                value = self._stored_value(i, j)
+                groups[value] = groups.get(value, 0) + 1
+            split = (total * (total - 1) - sum(
+                size * (size - 1) for size in groups.values()
+            )) // 2
+            if split > best_score:
+                best_test, best_score = j, split
+        return best_test
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """A plain-data summary of where the session stands."""
+        return {
+            "observations": len(self.history),
+            "candidates": len(self.candidates),
+            "narrowing": [update.after for update in self.history],
+            "stalled": self._stalled,
+            "resolved": self.resolved,
+            "converged": self.converged,
+            "exhausted": self.exhausted,
+        }

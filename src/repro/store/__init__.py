@@ -18,6 +18,8 @@ from .artifact import (
     ArtifactVersionError,
     build_inputs_hash,
     load_artifact,
+    load_artifact_buffer,
+    read_content_hash,
     save_artifact,
     table_content_hash,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "MAGIC",
     "build_inputs_hash",
     "load_artifact",
+    "load_artifact_buffer",
+    "read_content_hash",
     "save_artifact",
     "table_content_hash",
 ]

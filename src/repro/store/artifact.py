@@ -238,6 +238,45 @@ def save_artifact(
 # ----------------------------------------------------------------------
 # load
 # ----------------------------------------------------------------------
+def read_content_hash(path: Union[str, Path]) -> str:
+    """The content hash from an artifact's preamble, without loading it.
+
+    Validates only the fixed-size preamble (magic + format version) —
+    enough for the serve pool to key its entries before deciding whether
+    the (much more expensive) full load and checksum walk is needed.  The
+    preamble is read through ``mmap`` when the platform allows, so the
+    probe touches one page of the file.
+    """
+    try:
+        with open(path, "rb") as handle:
+            try:
+                import mmap
+
+                with mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                ) as view:
+                    head = bytes(view[: _PREAMBLE.size])
+            except (ValueError, OSError):  # empty file or no mmap support
+                head = handle.read(_PREAMBLE.size)
+    except OSError as exc:
+        raise ArtifactFormatError(f"{path}: cannot read artifact: {exc}") from exc
+    if len(head) < _PREAMBLE.size:
+        raise ArtifactFormatError(
+            f"{path}: {len(head)} bytes is too short for an artifact preamble"
+        )
+    magic, version, hash_raw, _ = _PREAMBLE.unpack_from(head)
+    if magic != MAGIC:
+        raise ArtifactFormatError(
+            f"{path}: bad magic {magic!r} (not a dictionary artifact)"
+        )
+    if version != FORMAT_VERSION:
+        raise ArtifactVersionError(
+            f"{path}: format version {version} (this build reads "
+            f"{FORMAT_VERSION}); rebuild the artifact"
+        )
+    return hash_raw.hex()
+
+
 def load_artifact(
     path: Union[str, Path], *, expected_hash: Optional[str] = None
 ) -> BuiltDictionary:
@@ -250,43 +289,55 @@ def load_artifact(
     interned column view, so diagnosis serves at full speed with no
     circuit files present.
     """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise ArtifactFormatError(f"{path}: cannot read artifact: {exc}") from exc
+    return load_artifact_buffer(raw, name=str(path), expected_hash=expected_hash)
+
+
+def load_artifact_buffer(
+    raw: bytes, *, name: str = "<buffer>", expected_hash: Optional[str] = None
+) -> BuiltDictionary:
+    """:func:`load_artifact` over an in-memory buffer.
+
+    ``raw`` may be any bytes-like object — the serve pool passes a
+    memory-mapped view of the file so validation streams straight off the
+    page cache; ``name`` labels error messages.
+    """
     registry = get_default_registry()
     with registry.timer("store.artifact_load_seconds").time():
-        try:
-            raw = Path(path).read_bytes()
-        except OSError as exc:
-            raise ArtifactFormatError(f"{path}: cannot read artifact: {exc}") from exc
         if len(raw) < _PREAMBLE.size:
             raise ArtifactFormatError(
-                f"{path}: {len(raw)} bytes is too short for an artifact preamble"
+                f"{name}: {len(raw)} bytes is too short for an artifact preamble"
             )
         magic, version, hash_raw, body_sha = _PREAMBLE.unpack_from(raw)
         if magic != MAGIC:
             raise ArtifactFormatError(
-                f"{path}: bad magic {magic!r} (not a dictionary artifact)"
+                f"{name}: bad magic {magic!r} (not a dictionary artifact)"
             )
         if version != FORMAT_VERSION:
             raise ArtifactVersionError(
-                f"{path}: format version {version} (this build reads "
+                f"{name}: format version {version} (this build reads "
                 f"{FORMAT_VERSION}); rebuild the artifact"
             )
         content_hash = hash_raw.hex()
         if expected_hash is not None and content_hash != expected_hash:
             raise ArtifactHashError(
-                f"{path}: content hash {content_hash[:12]}… does not match the "
+                f"{name}: content hash {content_hash[:12]}… does not match the "
                 f"expected build inputs {expected_hash[:12]}…"
             )
-        body = raw[_PREAMBLE.size :]
+        body = bytes(memoryview(raw)[_PREAMBLE.size :])
         if hashlib.sha256(body).digest() != body_sha:
             raise ArtifactFormatError(
-                f"{path}: body checksum mismatch (truncated or corrupted file)"
+                f"{name}: body checksum mismatch (truncated or corrupted file)"
             )
         try:
             built = _reconstruct(body)
         except ArtifactError:
             raise
         except (KeyError, IndexError, TypeError, ValueError, struct.error) as exc:
-            raise ArtifactFormatError(f"{path}: malformed artifact body: {exc}") from exc
+            raise ArtifactFormatError(f"{name}: malformed artifact body: {exc}") from exc
         registry.counter("store.artifacts_loaded").inc()
         registry.gauge("store.artifact_bytes").set(len(raw))
     return built

@@ -1,0 +1,42 @@
+"""Every relative link and anchor in docs/ and README.md must resolve."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_relative_links_resolve():
+    checker = load_checker()
+    problems = []
+    for page in checker.checked_pages():
+        checker.check_page(page, problems)
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_index_links_every_page():
+    index = (REPO_ROOT / "docs" / "index.md").read_text()
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        if page.name == "index.md":
+            continue
+        assert f"({page.name})" in index, (
+            f"docs/index.md does not link {page.name}"
+        )
+
+
+def test_github_slugger_basics():
+    checker = load_checker()
+    assert checker.github_slug("Pool sizing") == "pool-sizing"
+    assert checker.github_slug("`repro-fd serve`") == "repro-fd-serve"
+    assert checker.github_slug("Deadlines and retries") == "deadlines-and-retries"

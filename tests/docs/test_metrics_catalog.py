@@ -1,0 +1,81 @@
+"""Every serve-layer metric must be documented in docs/observability.md.
+
+Two independent enumerations feed the check: the declared catalog in
+``repro.serve.metrics.catalog()``, and a literal scan of the serve
+sources for ``"serve.…"`` strings — so neither an undeclared inline
+metric nor an undocumented declared one can slip through.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.serve import metrics
+from repro.serve.outcomes import REASON_CODES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DOC = (REPO_ROOT / "docs" / "observability.md").read_text()
+
+SERVE_NAME = re.compile(r'"(serve\.[a-z0-9_.]+)"')
+
+#: Trace-span names (not metrics); checked against the span taxonomy.
+SPANS = {"serve.batch"}
+
+
+def declared_names():
+    catalog = metrics.catalog()
+    return sorted(
+        name for names in catalog.values() for name in names
+    )
+
+
+def literal_names():
+    names = set()
+    for source in sorted((REPO_ROOT / "src" / "repro" / "serve").glob("*.py")):
+        for match in SERVE_NAME.finditer(source.read_text()):
+            name = match.group(1)
+            if name == metrics.OUTCOME_PREFIX.rstrip("."):
+                continue  # the prefix itself; expanded per reason code below
+            names.add(name)
+    # Expand the outcome prefix the way the server does at runtime.
+    names.discard(metrics.OUTCOME_PREFIX)
+    for code in REASON_CODES:
+        names.add(metrics.outcome_counter(code))
+    return sorted(names)
+
+
+def test_declared_catalog_covers_the_literals():
+    declared = set(declared_names())
+    for name in literal_names():
+        if name.startswith(metrics.OUTCOME_PREFIX) or name in SPANS:
+            continue  # reason codes are expanded; spans are not metrics
+        assert name in declared, (
+            f"{name} is emitted by src/repro/serve but not declared in "
+            f"repro.serve.metrics.catalog()"
+        )
+
+
+def test_every_serve_metric_is_documented():
+    for name in declared_names():
+        assert f"`{name}`" in DOC, (
+            f"{name} is missing from the serve-metrics table in "
+            f"docs/observability.md"
+        )
+
+
+def test_serve_spans_are_in_the_taxonomy():
+    for span in SPANS:
+        assert span in DOC, (
+            f"span {span} is missing from the span taxonomy in "
+            f"docs/observability.md"
+        )
+
+
+def test_every_reason_code_is_documented():
+    serving = (REPO_ROOT / "docs" / "serving.md").read_text()
+    for code in REASON_CODES:
+        assert f"`{code}`" in serving, (
+            f"reason code {code} is missing from docs/serving.md"
+        )
+        assert f"`serve.outcomes.{code}`" in DOC

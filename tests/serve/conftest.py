@@ -1,0 +1,46 @@
+"""Shared fixtures for the serve-layer suite: packed synthetic artifacts.
+
+Everything here is circuit-free — artifacts are packed from synthetic
+``ResponseTable`` values (``tests.util.random_table``), which keeps the
+pool/server/session tests fast and makes "no circuit files present" true
+by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DictionaryConfig, build
+from repro.store import save_artifact
+from tests.util import random_table
+
+
+def pack_random_artifact(
+    path, *, n_faults=24, n_tests=10, n_outputs=3, seed=0, calls=3
+):
+    """Build a same/different dictionary over a random table and pack it."""
+    table = random_table(n_faults, n_tests, n_outputs, seed=seed)
+    built = build(table, config=DictionaryConfig(seed=seed, calls1=calls))
+    save_artifact(built, path)
+    return built
+
+
+@pytest.fixture(scope="session")
+def artifact_a(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "a.rfd"
+    built = pack_random_artifact(path, seed=1)
+    return path, built
+
+
+@pytest.fixture(scope="session")
+def artifact_b(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "b.rfd"
+    built = pack_random_artifact(path, seed=2)
+    return path, built
+
+
+@pytest.fixture(scope="session")
+def artifact_c(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "c.rfd"
+    built = pack_random_artifact(path, seed=3)
+    return path, built

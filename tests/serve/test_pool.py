@@ -1,0 +1,156 @@
+"""ArtifactPool: LRU bounds, content-hash keying, single-flight loads."""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+
+import pytest
+
+from repro.obs import scoped_registry
+from repro.serve import ArtifactPool
+from repro.store import ArtifactFormatError, load_artifact, read_content_hash
+
+
+class TestKeyingAndLru:
+    def test_hit_after_load(self, artifact_a):
+        path, _ = artifact_a
+        with scoped_registry() as registry:
+            pool = ArtifactPool(capacity=2)
+            first = pool.get(path)
+            second = pool.get(path)
+            assert first is second
+            assert registry.counters["serve.pool_misses"].value == 1
+            assert registry.counters["serve.pool_hits"].value == 1
+            assert registry.gauges["serve.pool_size"].value == 1
+
+    def test_same_content_different_path_shares_one_entry(
+        self, artifact_a, tmp_path
+    ):
+        path, _ = artifact_a
+        copy = tmp_path / "copy.rfd"
+        shutil.copy(path, copy)
+        with scoped_registry() as registry:
+            pool = ArtifactPool(capacity=4)
+            assert pool.get(path) is pool.get(copy)
+            assert len(pool) == 1
+            assert registry.counters["serve.pool_misses"].value == 1
+
+    def test_lru_eviction_at_capacity(self, artifact_a, artifact_b, artifact_c):
+        paths = [artifact_a[0], artifact_b[0], artifact_c[0]]
+        with scoped_registry() as registry:
+            pool = ArtifactPool(capacity=2)
+            pool.get(paths[0])
+            pool.get(paths[1])
+            pool.get(paths[0])  # refresh a: LRU order is now b, a
+            pool.get(paths[2])  # evicts b
+            assert registry.counters["serve.pool_evictions"].value == 1
+            resident = pool.resident_hashes()
+            assert read_content_hash(paths[1]) not in resident
+            assert read_content_hash(paths[0]) in resident
+            # b reloads on next touch.
+            pool.get(paths[1])
+            assert registry.counters["serve.pool_misses"].value == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ArtifactPool(capacity=0)
+
+    def test_evict_and_clear(self, artifact_a):
+        path, _ = artifact_a
+        with scoped_registry():
+            pool = ArtifactPool(capacity=2)
+            entry = pool.get(path)
+            assert pool.evict(entry.content_hash) is True
+            assert pool.evict(entry.content_hash) is False
+            pool.get(path)
+            pool.clear()
+            assert len(pool) == 0
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_load_once(self, artifact_a):
+        path, _ = artifact_a
+        load_started = threading.Event()
+        release = threading.Event()
+        loads = []
+
+        def slow_loader(p):
+            loads.append(p)
+            load_started.set()
+            release.wait(timeout=10)
+            return load_artifact(p)
+
+        with scoped_registry() as registry:
+            pool = ArtifactPool(capacity=2, loader=slow_loader)
+            results = [None] * 6
+
+            def worker(slot):
+                results[slot] = pool.get(path)
+
+            threads = [threading.Thread(target=worker, args=(0,))]
+            threads[0].start()
+            assert load_started.wait(timeout=10)
+            # The key is now in flight: five more lookups must wait on it.
+            for slot in range(1, 6):
+                thread = threading.Thread(target=worker, args=(slot,))
+                thread.start()
+                threads.append(thread)
+            deadline = time.monotonic() + 10
+            waits = registry.counter("serve.pool_single_flight_waits")
+            while waits.value < 5 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(loads) == 1, "single-flight must deduplicate the load"
+            assert all(entry is results[0] for entry in results)
+            assert registry.counters["serve.pool_misses"].value == 1
+            assert registry.counters["serve.pool_single_flight_waits"].value == 5
+
+    def test_failed_load_propagates_and_is_not_cached(self, artifact_a):
+        path, _ = artifact_a
+        calls = []
+
+        def flaky_loader(p):
+            calls.append(p)
+            if len(calls) == 1:
+                raise ArtifactFormatError("injected transient fault")
+            return load_artifact(p)
+
+        with scoped_registry():
+            pool = ArtifactPool(capacity=2, loader=flaky_loader)
+            with pytest.raises(ArtifactFormatError, match="injected"):
+                pool.get(path)
+            # The failure is not a resident entry: the retry loads cleanly.
+            entry = pool.get(path)
+            assert len(calls) == 2
+            assert entry.built.kind == "same-different"
+
+
+class TestValidation:
+    def test_probe_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "bogus.rfd"
+        bogus.write_bytes(b"not an artifact, definitely" * 8)
+        pool = ArtifactPool(capacity=1)
+        with pytest.raises(ArtifactFormatError, match="bad magic"):
+            pool.get(bogus)
+
+    def test_probe_rejects_truncation(self, tmp_path, artifact_a):
+        path, _ = artifact_a
+        stub = tmp_path / "stub.rfd"
+        stub.write_bytes(path.read_bytes()[:20])
+        pool = ArtifactPool(capacity=1)
+        with pytest.raises(ArtifactFormatError, match="too short"):
+            pool.get(stub)
+
+    def test_corrupt_body_fails_strictly(self, tmp_path, artifact_a):
+        path, _ = artifact_a
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a payload bit: body checksum must catch it
+        hurt = tmp_path / "hurt.rfd"
+        hurt.write_bytes(bytes(raw))
+        pool = ArtifactPool(capacity=1)
+        with pytest.raises(ArtifactFormatError, match="checksum"):
+            pool.get(hurt)

@@ -1,0 +1,211 @@
+"""DiagnosisSession: narrowing, convergence, adaptive test suggestion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionaries.full import FullDictionary
+from repro.dictionaries.passfail import PassFailDictionary
+from repro.obs import scoped_registry
+from repro.serve import DiagnosisSession
+from repro.sim.responses import PASS
+from tests.util import random_table
+
+
+def drive_to_ground_truth(session, table, fault_index):
+    """Feed every test's stored response for one fault, in test order."""
+    row = table.full_row(fault_index)
+    for j, signature in enumerate(row):
+        session.observe(j, signature)
+
+
+class TestNarrowing:
+    def test_ground_truth_fault_always_survives(self, artifact_a):
+        _, built = artifact_a
+        table = built.table
+        for fault_index in range(0, table.n_faults, 5):
+            with scoped_registry():
+                session = DiagnosisSession(built.dictionary)
+                drive_to_ground_truth(session, table, fault_index)
+            assert fault_index in session.candidates
+            assert session.exhausted and session.converged
+
+    def test_narrowing_is_monotone(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            session = DiagnosisSession(built.dictionary)
+            drive_to_ground_truth(session, built.table, 7)
+        sizes = [update.after for update in session.history]
+        assert sizes == sorted(sizes, reverse=True)
+        assert session.history[0].before == built.table.n_faults
+
+    def test_same_different_semantics_match_the_row_bits(self, artifact_a):
+        # One observation on test j must keep exactly the faults whose
+        # dictionary row bit agrees with the observed side of the baseline.
+        _, built = artifact_a
+        dictionary = built.dictionary
+        table = built.table
+        j = 0
+        signature = table.full_row(5)[j]
+        observed_bit = 0 if signature == dictionary.baselines[j] else 1
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            session.observe(j, signature)
+        expected = [
+            i for i in range(table.n_faults)
+            if (dictionary.row(i) >> j) & 1 == observed_bit
+        ]
+        assert session.candidates == expected
+
+    def test_contradictory_reobservation_empties_the_set(self, artifact_a):
+        _, built = artifact_a
+        dictionary = built.dictionary
+        baseline = dictionary.baselines[0]
+        # An observed signature on the other side of the baseline.
+        flipped = PASS if baseline != PASS else (0,)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            session.observe(0, baseline)
+            session.observe(0, flipped)
+        assert session.candidates == []
+        assert session.converged
+
+    def test_observe_validates_indices(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            session = DiagnosisSession(built.dictionary)
+            with pytest.raises(ValueError, match="test index"):
+                session.observe(99, PASS)
+            with pytest.raises(ValueError, match="output index"):
+                session.observe(0, (99,))
+
+
+class TestOtherOrganisations:
+    def test_passfail_narrows_on_detection_only(self):
+        table = random_table(16, 8, 2, seed=9)
+        dictionary = PassFailDictionary(table)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            session.observe(0, (0,))  # any failing signature: "detected"
+        expected = [
+            i for i in range(table.n_faults)
+            if table.signature(i, 0) != PASS
+        ]
+        assert session.candidates == expected
+
+    def test_full_requires_exact_signature(self):
+        table = random_table(16, 8, 2, seed=9)
+        dictionary = FullDictionary(table)
+        signature = table.signature(3, 0)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            session.observe(0, signature)
+        expected = [
+            i for i in range(table.n_faults)
+            if table.signature(i, 0) == signature
+        ]
+        assert session.candidates == expected
+
+
+class TestConvergence:
+    def test_stall_counter_flips_converged(self, artifact_a):
+        _, built = artifact_a
+        dictionary = built.dictionary
+        with scoped_registry() as registry:
+            session = DiagnosisSession(dictionary, stall_after=2)
+            # Re-observing the same baseline-side signature never narrows
+            # further, so every repeat is a stall.
+            session.observe(0, dictionary.baselines[0])
+            assert session.stalled == 0
+            session.observe(0, dictionary.baselines[0])
+            session.observe(0, dictionary.baselines[0])
+            assert session.stalled == 2
+            assert session.converged and not session.exhausted
+            assert registry.counters["serve.sessions_converged"].value == 1
+            # Converged is counted once, even as observations continue.
+            session.observe(0, dictionary.baselines[0])
+            assert registry.counters["serve.sessions_converged"].value == 1
+            assert registry.counters["serve.session_observations"].value == 4
+
+    def test_stall_after_validation(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            with pytest.raises(ValueError, match="stall_after"):
+                DiagnosisSession(built.dictionary, stall_after=0)
+
+    def test_report_shape(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            session = DiagnosisSession(built.dictionary)
+            drive_to_ground_truth(session, built.table, 2)
+        report = session.report()
+        assert report["observations"] == built.table.n_tests
+        assert report["candidates"] == len(session.candidates)
+        assert report["narrowing"] == [u.after for u in session.history]
+        assert report["exhausted"] is True
+
+
+class TestSuggestion:
+    def test_suggested_test_splits_best(self, artifact_a):
+        _, built = artifact_a
+        dictionary = built.dictionary
+        table = built.table
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            suggestion = session.suggest_next_test()
+        assert suggestion is not None
+
+        def split_score(j):
+            ones = sum(
+                (dictionary.row(i) >> j) & 1 for i in range(table.n_faults)
+            )
+            zeros = table.n_faults - ones
+            return ones * zeros
+
+        best = max(split_score(j) for j in range(table.n_tests))
+        assert split_score(suggestion) == best
+        # Lowest index wins ties.
+        assert suggestion == min(
+            j for j in range(table.n_tests) if split_score(j) == best
+        )
+
+    def test_observed_tests_are_not_suggested(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            session = DiagnosisSession(built.dictionary)
+            seen = set()
+            while (j := session.suggest_next_test()) is not None:
+                assert j not in seen
+                seen.add(j)
+                session.observe(j, built.table.full_row(4)[j])
+        assert session.converged
+
+    def test_adaptive_order_converges_no_slower_than_linear(self, artifact_a):
+        # The greedy suggestion order needs at most as many observations
+        # as blind 0..n-1 order to reach the same final candidate set.
+        _, built = artifact_a
+        table = built.table
+        row = table.full_row(11)
+
+        with scoped_registry():
+            linear = DiagnosisSession(built.dictionary)
+            drive_to_ground_truth(linear, table, 11)
+            final = set(linear.candidates)
+
+            adaptive = DiagnosisSession(built.dictionary)
+            steps = 0
+            while set(adaptive.candidates) != final:
+                j = adaptive.suggest_next_test()
+                if j is None:
+                    break
+                adaptive.observe(j, row[j])
+                steps += 1
+        assert set(adaptive.candidates) == final
+        assert steps <= table.n_tests
+
+    def test_no_suggestion_when_resolved(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            session = DiagnosisSession(built.dictionary)
+            session.candidates = [0]
+            assert session.suggest_next_test() is None

@@ -126,7 +126,10 @@ class TestArtifactFlow:
         artifact = tmp_path / "empty.rfd"
         save_artifact(empty, artifact)
         assert main(["diagnose", "--artifact", str(artifact)]) == 1
-        assert "no faults" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "no faults" in err
+        # The message must point at the repair path: the 'pack' workflow.
+        assert "pack" in err and "--artifact" in err
 
     def test_diagnose_cache_dir_reuses_build(self, capsys, tmp_path):
         cache = tmp_path / "cache"
@@ -144,6 +147,90 @@ class TestArtifactFlow:
 
         snapshot = json.loads(out)
         assert snapshot["counters"]["store.cache_hits"] == 1
+
+
+class TestServeCommand:
+    @pytest.fixture()
+    def artifact(self, tmp_path, capsys):
+        path = tmp_path / "s27.rfd"
+        assert main(["pack", "s27", "--calls", "2", "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def _write_requests(self, tmp_path, docs):
+        import json
+
+        path = tmp_path / "requests.jsonl"
+        path.write_text("".join(json.dumps(doc) + "\n" for doc in docs))
+        return path
+
+    def test_serve_batch_from_artifact_only(self, capsys, tmp_path, artifact):
+        # No circuit files involved: requests against the packed artifact.
+        import json
+
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"id": "chip-1", "fault": "G11/sa0"},
+                {"id": "chip-2", "observations": [[0, []], [1, [0]]]},
+            ],
+        )
+        assert main(["serve", str(requests), "--artifact", str(artifact)]) == 0
+        captured = capsys.readouterr()
+        outcomes = [json.loads(line) for line in captured.out.splitlines()]
+        assert [o["id"] for o in outcomes] == ["chip-1", "chip-2"]
+        assert all(o["code"] == "ok" for o in outcomes)
+        assert outcomes[0]["exact"] == ["G11/sa0"]
+        assert "narrowing" in outcomes[1]
+        assert "served 2 requests" in captured.err
+
+    def test_degraded_requests_do_not_fail_the_batch(
+        self, capsys, tmp_path, artifact
+    ):
+        import json
+
+        corrupt = tmp_path / "corrupt.rfd"
+        corrupt.write_bytes(artifact.read_bytes()[:40])  # truncated preamble
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"id": "good", "fault": "G11/sa0"},
+                {"id": "hurt", "fault": "G11/sa0", "artifact": str(corrupt)},
+                {"id": "odd", "observed": [[0]]},
+            ],
+        )
+        out = tmp_path / "outcomes.jsonl"
+        assert main(
+            ["serve", str(requests), "--artifact", str(artifact),
+             "--out", str(out), "--max-retries", "1", "--metrics-out", "-"]
+        ) == 0
+        captured = capsys.readouterr()
+        outcomes = {
+            doc["id"]: doc
+            for doc in map(json.loads, out.read_text().splitlines())
+        }
+        assert outcomes["good"]["code"] == "ok"
+        assert outcomes["hurt"]["code"] == "artifact_error"
+        assert outcomes["hurt"]["attempts"] == 2  # retried once
+        assert outcomes["odd"]["code"] == "unmodeled_response"
+        snapshot = json.loads(captured.out)
+        counters = snapshot["counters"]
+        assert counters["serve.outcomes.ok"] == 1
+        assert counters["serve.outcomes.artifact_error"] == 1
+        assert counters["serve.outcomes.unmodeled_response"] == 1
+        assert counters["serve.retries"] == 1
+
+    def test_serve_rejects_unreadable_request_file(self, capsys, tmp_path):
+        assert main(["serve", str(tmp_path / "missing.jsonl")]) == 1
+        assert "cannot read requests" in capsys.readouterr().err
+
+    def test_serve_rejects_empty_batch(self, capsys, tmp_path, artifact):
+        requests = tmp_path / "empty.jsonl"
+        requests.write_text("\n\n")
+        assert main(
+            ["serve", str(requests), "--artifact", str(artifact)]
+        ) == 1
+        assert "no requests" in capsys.readouterr().err
 
 
 class TestConvert:

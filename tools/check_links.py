@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Check every relative markdown link (and anchor) in docs/ and README.md.
+
+For each ``[text](target)`` link in the checked pages:
+
+* ``http(s)://`` targets are skipped (no network in CI);
+* relative path targets must exist on disk, resolved against the page's
+  own directory;
+* ``#anchor`` fragments — standalone or after a path — must match a
+  heading in the target page, using GitHub's slug rules (lowercase,
+  spaces to dashes, punctuation dropped).
+
+Exit 0 when every link resolves, 1 with a per-link report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+IMAGE = re.compile(r"!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def checked_pages():
+    pages = [REPO_ROOT / "README.md"]
+    pages += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [page for page in pages if page.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: the rules the web UI applies."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(page: Path) -> set:
+    text = CODE_FENCE.sub("", page.read_text())
+    slugs = set()
+    counts = {}
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def check_page(page: Path, problems: list) -> None:
+    text = CODE_FENCE.sub("", page.read_text())
+    targets = [m.group(1) for m in LINK.finditer(text)]
+    targets += [m.group(1) for m in IMAGE.finditer(text)]
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (page.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{page.relative_to(REPO_ROOT)}: broken link "
+                                f"target {target!r} ({path_part} not found)")
+                continue
+            anchor_page = resolved
+        else:
+            anchor_page = page
+        if fragment:
+            if anchor_page.suffix != ".md" or not anchor_page.is_file():
+                problems.append(f"{page.relative_to(REPO_ROOT)}: anchor on "
+                                f"non-markdown target {target!r}")
+                continue
+            if fragment not in anchors_of(anchor_page):
+                problems.append(f"{page.relative_to(REPO_ROOT)}: anchor "
+                                f"{target!r} matches no heading in "
+                                f"{anchor_page.relative_to(REPO_ROOT)}")
+
+
+def main() -> int:
+    problems: list = []
+    pages = checked_pages()
+    for page in pages:
+        check_page(page, problems)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{len(problems)} broken link(s) across {len(pages)} pages",
+              file=sys.stderr)
+        return 1
+    print(f"all links resolve across {len(pages)} pages")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
