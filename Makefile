@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench table6 examples full-sweep clean
+.PHONY: install test bench bench-report profile table6 examples full-sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,7 +11,13 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ -s
+
+bench-report:
+	$(PYTHON) tools/bench_report.py
+
+profile:
+	$(PYTHON) tools/profile_hotpaths.py
 
 table6:
 	$(PYTHON) examples/reproduce_table6.py

@@ -1,26 +1,63 @@
-"""Shared benchmark configuration.
+"""Shared benchmark configuration: the sweep and the ``bench`` recorder.
+
+Every suite takes the module-scoped ``bench`` fixture — a
+:class:`repro.obs.BenchRecorder` — and records its measurements through
+``bench.case(...)``.  At module teardown the recorder writes
+``BENCH_<area>.json`` (area = the suite filename minus ``test_``) into
+``$REPRO_BENCH_OUT`` (default: the current directory), which is what
+``tools/bench_report.py`` diffs against ``benchmarks/baselines/``.
 
 The Table 6 benches sweep ``DEFAULT_CIRCUITS`` by default; set
 ``REPRO_FULL_SWEEP=1`` to include the large proxies (p641 … p9234) as the
-paper does.  Test-set generation per (circuit, type) cell is cached within
-the pytest process, so each cell's generation cost is paid once even
-though several benches touch it.
+paper does, or ``REPRO_BENCH_QUICK=1`` (the CI setting) to shrink every
+suite to a seconds-sized run.  Test-set generation per (circuit, type)
+cell is cached within the pytest process, so each cell's generation cost
+is paid once even though several benches touch it.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import DEFAULT_CIRCUITS, EXTENDED_CIRCUITS
+from repro.obs import BenchRecorder
+
+from benchmarks.util import full_sweep, quick_mode
 
 
 def sweep_circuits():
+    if quick_mode():
+        return [DEFAULT_CIRCUITS[0]]
     circuits = list(DEFAULT_CIRCUITS)
-    if os.environ.get("REPRO_FULL_SWEEP"):
+    if full_sweep():
         circuits += list(EXTENDED_CIRCUITS)
     return circuits
+
+
+def bench_area(module_name: str) -> str:
+    """``benchmarks.test_kernel_speedup`` -> ``kernel_speedup``."""
+    name = module_name.rsplit(".", 1)[-1]
+    if name.startswith("test_"):
+        name = name[len("test_"):]
+    return name
+
+
+def bench_out_dir() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OUT", "."))
+
+
+@pytest.fixture(scope="module")
+def bench(request):
+    """The suite's :class:`BenchRecorder`; emits BENCH_<area>.json."""
+    recorder = BenchRecorder(
+        bench_area(request.module.__name__), quick=quick_mode()
+    )
+    yield recorder
+    if len(recorder):  # all-skipped modules leave no (empty) result behind
+        recorder.write(bench_out_dir())
 
 
 @pytest.fixture(scope="session")

@@ -15,22 +15,24 @@ LOWERS = (1, 5, 10, 10**9)
 
 
 @pytest.mark.parametrize("lower", LOWERS)
-def test_lower_cutoff(benchmark, lower):
+def test_lower_cutoff(bench, lower):
     _, table = response_table_for("p208", "diag", seed=0)
+    label = lower if lower < 10**9 else "inf"
+    case = bench.case(f"lower_cutoff[{label}]", LOWER=label)
 
-    def run():
-        return select_baselines(table, config=DictionaryConfig(lower=lower))
-
-    _, _, distinguished = benchmark(run)
-    benchmark.extra_info.update(
-        {"LOWER": lower if lower < 10**9 else "inf", "distinguished": distinguished}
+    _, _, distinguished = case.run(
+        lambda: select_baselines(table, config=DictionaryConfig(lower=lower))
     )
+    case.info(distinguished=distinguished)
 
 
-def test_lower_cutoff_costs_little_resolution():
+def test_lower_cutoff_costs_little_resolution(bench):
     _, table = response_table_for("p208", "diag", seed=0)
     _, _, with_cutoff = select_baselines(table, config=DictionaryConfig(lower=10))
     _, _, exhaustive = select_baselines(
         table, config=DictionaryConfig(lower=10**9)
+    )
+    bench.case("cutoff_resolution_cost").info(
+        with_cutoff=with_cutoff, exhaustive=exhaustive
     )
     assert with_cutoff >= 0.98 * exhaustive

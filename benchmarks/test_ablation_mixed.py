@@ -4,23 +4,18 @@ from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 
-def test_mixed_storage_accounting(benchmark):
+def test_mixed_storage_accounting(bench):
     _, table = response_table_for("p208", "diag", seed=0)
+    case = bench.case("mixed_storage")
 
-    def run():
-        dictionary, _ = build_sd(table, calls=20, seed=0)
-        return dictionary
-
-    dictionary = benchmark.pedantic(run, rounds=1, iterations=1)
+    dictionary, _ = case.run(lambda: build_sd(table, calls=20, seed=0))
     from repro.sim import PASS
 
     fault_free = sum(1 for b in dictionary.baselines if b == PASS)
-    benchmark.extra_info.update(
-        {
-            "plain_bits": dictionary.size_bits,
-            "mixed_bits": dictionary.mixed_size_bits(),
-            "fault_free_baselines": fault_free,
-            "tests": table.n_tests,
-        }
+    case.info(
+        plain_bits=dictionary.size_bits,
+        mixed_bits=dictionary.mixed_size_bits(),
+        fault_free_baselines=fault_free,
+        tests=table.n_tests,
     )
     assert dictionary.mixed_size_bits() <= dictionary.size_bits + table.n_tests

@@ -8,20 +8,18 @@ from repro.experiments.table6 import response_table_for
 
 
 @pytest.mark.parametrize("extra", (1, 2))
-def test_secondary_baselines(benchmark, extra):
+def test_secondary_baselines(bench, extra):
     _, table = response_table_for("p208", "diag", seed=0)
     single, _ = build_sd(table, calls=20, seed=0)
+    case = bench.case(f"secondary_baselines[{extra}]", extra=extra)
 
-    def run():
-        return add_secondary_baselines(table, single, extra_per_test=extra)
-
-    multi = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(
-        {
-            "baselines_per_test": 1 + extra,
-            "size_bits": multi.size_bits,
-            "indistinguished": multi.indistinguished_pairs(),
-            "single_baseline_indistinguished": single.indistinguished_pairs(),
-        }
+    multi = case.run(
+        lambda: add_secondary_baselines(table, single, extra_per_test=extra)
+    )
+    case.info(
+        baselines_per_test=1 + extra,
+        size_bits=multi.size_bits,
+        indistinguished=multi.indistinguished_pairs(),
+        single_baseline_indistinguished=single.indistinguished_pairs(),
     )
     assert multi.indistinguished_pairs() <= single.indistinguished_pairs()

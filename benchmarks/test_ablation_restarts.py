@@ -9,19 +9,16 @@ BUDGETS = (1, 5, 20, 100)
 
 
 @pytest.mark.parametrize("calls", BUDGETS)
-def test_restart_budget(benchmark, calls):
+def test_restart_budget(bench, calls):
     _, table = response_table_for("p208", "diag", seed=0)
+    case = bench.case(f"restart_budget[{calls}]", CALLS1=calls)
 
-    def run():
-        return build_sd(table, calls=calls, replace=False, seed=0)
-
-    _, report = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(
-        {
-            "CALLS1": calls,
-            "distinguished": report.distinguished_procedure1,
-            "calls_run": report.procedure1_calls,
-        }
+    _, report = case.run(
+        lambda: build_sd(table, calls=calls, replace=False, seed=0)
+    )
+    case.info(
+        distinguished=report.distinguished_procedure1,
+        calls_run=report.procedure1_calls,
     )
 
 

@@ -18,20 +18,18 @@ sizes on p298 as well.
 from __future__ import annotations
 
 import math
-import os
-import time
 
+from benchmarks.util import pick
 from repro.api import DictionaryConfig, build
 from repro.experiments.table6 import prepared_experiment
 from repro.faults import collapse
 from repro.obs import scoped_registry
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
-ROUNDS = 2 if QUICK else 3
+ROUNDS = pick(3, 2)
 #: Enough restarts that the cold build does representative Procedure 1
 #: work; the cached side is a constant-time artifact load either way.
-CALLS = 25 if QUICK else 50
-CELLS = [("p208", "diag")] if QUICK else [("p208", "diag"), ("p298", "diag")]
+CALLS = pick(50, 25)
+CELLS = pick([("p208", "diag"), ("p298", "diag")], [("p208", "diag")])
 MIN_SPEEDUP = 10.0
 
 
@@ -41,35 +39,39 @@ def _inputs(circuit, ttype):
     return netlist, faults, tests
 
 
-def test_cached_rebuild_speedup(tmp_path):
+def test_cached_rebuild_speedup(bench, tmp_path):
     for circuit, ttype in CELLS:
         netlist, faults, tests = _inputs(circuit, ttype)
         config = DictionaryConfig(seed=0, calls1=CALLS)
+        cold_case = bench.case(f"cold[{circuit}-{ttype}]", circuit=circuit,
+                               ttype=ttype, calls1=CALLS)
+        warm_case = bench.case(f"cached[{circuit}-{ttype}]", circuit=circuit,
+                               ttype=ttype, calls1=CALLS)
 
-        cold_best = math.inf
-        warm_best = math.inf
         for round_no in range(ROUNDS):
             cache_dir = tmp_path / f"{circuit}-{ttype}-{round_no}"
-            start = time.perf_counter()
-            cold = build(
-                netlist=netlist, faults=faults, tests=tests,
-                config=config, cache_dir=cache_dir,
-            )
-            cold_best = min(cold_best, time.perf_counter() - start)
-
-            with scoped_registry() as registry:
-                start = time.perf_counter()
-                warm = build(
+            with cold_case.measure():
+                cold = build(
                     netlist=netlist, faults=faults, tests=tests,
                     config=config, cache_dir=cache_dir,
                 )
-                warm_best = min(warm_best, time.perf_counter() - start)
+
+            with scoped_registry() as registry:
+                with warm_case.measure():
+                    warm = build(
+                        netlist=netlist, faults=faults, tests=tests,
+                        config=config, cache_dir=cache_dir,
+                    )
                 # The warm build must be a pure artifact load.
                 assert registry.counter("faultsim.faults_simulated").value == 0
                 assert registry.counter("store.cache_hits").value == 1
             assert warm.dictionary.baselines == cold.dictionary.baselines
 
+        cold_best = cold_case.wall_seconds
+        warm_best = warm_case.wall_seconds
         ratio = cold_best / warm_best if warm_best else math.inf
+        warm_case.gate("speedup_vs_cold", ratio, higher_is_better=True,
+                       tolerance=0.5)
         print(
             f"\n[artifact-bench] {circuit} {ttype}: cold={cold_best * 1e3:.1f}ms "
             f"cached={warm_best * 1e3:.1f}ms speedup={ratio:.1f}x "

@@ -9,18 +9,20 @@ response data via the matching module.
 
 import pytest
 
+from benchmarks.util import pick
 from repro.diagnosis import observe_defect
 from repro.diagnosis.matching import Policy, rank_candidates
 from repro.experiments.table6 import response_table_for
 from repro.faults.bridging import enumerate_bridges, inject_bridge
 
-SAMPLE = 20
+SAMPLE = pick(20, 8)
 
 
 @pytest.mark.parametrize("policy", list(Policy))
-def test_bridging_diagnosis(benchmark, policy):
+def test_bridging_diagnosis(bench, policy):
     netlist, table = response_table_for("p208", "diag", seed=0)
     bridges = enumerate_bridges(netlist, count=SAMPLE, seed=7)
+    case = bench.case(f"bridging[{policy.value}]", policy=policy.value)
 
     def run():
         hits = 0
@@ -39,14 +41,12 @@ def test_bridging_diagnosis(benchmark, policy):
                 hits += 1
         return hits, diagnosable
 
-    hits, diagnosable = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(
-        {
-            "policy": policy.value,
-            "bridges_injected": SAMPLE,
-            "bridges_excited": diagnosable,
-            "top10_net_hits": hits,
-        }
+    hits, diagnosable = case.run(run)
+    case.iterations(SAMPLE)
+    case.info(
+        bridges_injected=SAMPLE,
+        bridges_excited=diagnosable,
+        top10_net_hits=hits,
     )
     if diagnosable:
         # Stuck-at dictionaries must localise a reasonable share of

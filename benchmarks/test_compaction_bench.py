@@ -24,10 +24,11 @@ WIDTHS = (4, 2, 1)
 
 
 @pytest.mark.parametrize("width", WIDTHS)
-def test_compacted_dictionary(benchmark, width):
+def test_compacted_dictionary(bench, width):
     netlist, tests = prepared_experiment("p208", "diag", 0)
     compacted = parity_compactor(netlist, width)
     faults = collapse(netlist)
+    case = bench.case(f"compaction[{width}]", signature_width=width)
 
     def build():
         simulator = FaultSimulator(compacted, tests)
@@ -36,18 +37,15 @@ def test_compacted_dictionary(benchmark, width):
         samediff, _ = build_sd(table, calls=20, seed=0)
         return table, samediff
 
-    table, samediff = benchmark.pedantic(build, rounds=1, iterations=1)
+    table, samediff = case.run(build)
     sizes = DictionarySizes.of(table)
-    benchmark.extra_info.update(
-        {
-            "signature_width": width,
-            "faults_detected": table.n_faults,
-            "size_full": sizes.full,
-            "size_sd": sizes.same_different,
-            "ind_full": FullDictionary(table).indistinguished_pairs(),
-            "ind_pf": PassFailDictionary(table).indistinguished_pairs(),
-            "ind_sd": samediff.indistinguished_pairs(),
-        }
+    case.info(
+        faults_detected=table.n_faults,
+        size_full=sizes.full,
+        size_sd=sizes.same_different,
+        ind_full=FullDictionary(table).indistinguished_pairs(),
+        ind_pf=PassFailDictionary(table).indistinguished_pairs(),
+        ind_sd=samediff.indistinguished_pairs(),
     )
     # The organisational ordering survives compaction.
     assert (

@@ -7,10 +7,12 @@ numbers in Table 6.
 
 import pytest
 
+from benchmarks.util import build_sd, pick
 from repro.diagnosis import single_fault_campaign
 from repro.dictionaries import FullDictionary, PassFailDictionary
-from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
+
+SAMPLE = pick(30, 12)
 
 
 @pytest.fixture(scope="module")
@@ -21,25 +23,24 @@ def setup():
     return netlist, table, dictionaries
 
 
-def test_single_fault_campaign(benchmark, setup):
+def test_single_fault_campaign(bench, setup):
     netlist, table, dictionaries = setup
+    case = bench.case("single_fault_campaign", sample=SAMPLE)
 
-    def run():
-        return single_fault_campaign(
-            netlist, table.tests, dictionaries, sample=30, seed=0
+    results = case.run(
+        lambda: single_fault_campaign(
+            netlist, table.tests, dictionaries, sample=SAMPLE, seed=0
         )
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(
-        {
-            kind: {
-                "mean_candidates": round(result.mean_candidates, 3),
-                "unique_fraction": round(result.unique_fraction, 3),
-                "top1": round(result.top1_accuracy, 3),
-            }
-            for kind, result in results.items()
-        }
     )
+    case.iterations(SAMPLE)
+    case.info({
+        kind: {
+            "mean_candidates": round(result.mean_candidates, 3),
+            "unique_fraction": round(result.unique_fraction, 3),
+            "top1": round(result.top1_accuracy, 3),
+        }
+        for kind, result in results.items()
+    })
     assert (
         results["full"].mean_candidates
         <= results["same/different"].mean_candidates
@@ -47,7 +48,7 @@ def test_single_fault_campaign(benchmark, setup):
     )
 
 
-def test_dictionary_lookup_speed(benchmark, setup):
+def test_dictionary_lookup_speed(bench, setup):
     """Raw per-chip lookup latency of the same/different dictionary."""
     netlist, table, dictionaries = setup
     samediff = dictionaries[2]
@@ -55,5 +56,6 @@ def test_dictionary_lookup_speed(benchmark, setup):
 
     observed = observe_fault(netlist, table.tests, table.faults[0])
     diagnoser = Diagnoser(samediff)
-    diagnosis = benchmark(lambda: diagnoser.diagnose(observed))
+    case = bench.case("dictionary_lookup")
+    diagnosis = case.run(lambda: diagnoser.diagnose(observed), rounds=3)
     assert table.faults[0] in diagnosis.exact

@@ -16,23 +16,24 @@ per-backend minimum is kept, so background CPU drift hits both sides
 alike.  Full mode sweeps the first five circuits of the default sweep
 (all of them with ``REPRO_FULL_SWEEP=1``) and asserts a geometric-mean
 speedup of ≥3× with every circuit ≥1.5×; ``REPRO_BENCH_QUICK=1`` (the
-CI setting) times only p208 and asserts ≥1.5×.
+CI setting) times only p208 and asserts ≥1.5×.  The measured per-circuit
+ratio is regression-gated against the committed baseline through
+``BENCH_kernel_speedup.json``.
 """
 
 from __future__ import annotations
 
 import math
-import os
 
 import pytest
 
+from benchmarks.util import full_sweep, pick, quick_mode
 from repro.experiments.table6 import DEFAULT_CIRCUITS, response_table_for
 from repro.kernels import get_backend
 from repro.kernels.interning import intern_response_table
 from repro.obs import scoped_registry
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
-ROUNDS = 2 if QUICK else 3
+ROUNDS = pick(3, 2)
 LOWER = 10
 #: Per-circuit floor and sweep-wide geometric-mean floor (full mode).
 MIN_EACH = 1.5
@@ -40,9 +41,9 @@ MIN_GEOMEAN = 3.0
 
 
 def _bench_circuits():
-    if QUICK:
+    if quick_mode():
         return ["p208"]
-    if os.environ.get("REPRO_FULL_SWEEP"):
+    if full_sweep():
         return list(DEFAULT_CIRCUITS)
     return list(DEFAULT_CIRCUITS)[:5]
 
@@ -64,7 +65,7 @@ def _scoring_seconds(backend, table):
     return timings["scoring"], run
 
 
-def test_kernel_scoring_speedup(tenDetect_table):
+def test_kernel_scoring_speedup(bench, tenDetect_table):
     circuit, table = tenDetect_table
     naive = get_backend("naive")
     packed = get_backend("packed")
@@ -78,6 +79,9 @@ def test_kernel_scoring_speedup(tenDetect_table):
     pack_seconds = snapshot["timers"]["kernel.pack_seconds"]["total"]
     tables_packed = snapshot["counters"]["kernel.tables_packed"]
 
+    naive_case = bench.case(f"naive[{circuit}]", circuit=circuit, backend="naive")
+    packed_case = bench.case(f"packed[{circuit}]", circuit=circuit,
+                             backend="packed")
     naive_best = math.inf
     packed_best = math.inf
     for _ in range(ROUNDS):
@@ -85,11 +89,19 @@ def test_kernel_scoring_speedup(tenDetect_table):
         packed_seconds, packed_run = _scoring_seconds(packed, table)
         # The differential half of the claim: identical output, always.
         assert _run_tuple(packed_run) == _run_tuple(naive_run)
+        naive_case.record(naive_seconds)
+        packed_case.record(packed_seconds)
         naive_best = min(naive_best, naive_seconds)
         packed_best = min(packed_best, packed_seconds)
 
     ratio = naive_best / packed_best if packed_best else math.inf
     _RATIOS[circuit] = ratio
+    packed_case.info(
+        pack_seconds=pack_seconds, tables_packed=tables_packed,
+        faults=table.n_faults, tests=table.n_tests,
+    )
+    packed_case.gate("speedup_vs_naive", ratio, higher_is_better=True,
+                     tolerance=0.35)
     print(
         f"\n[kernel-speedup] {circuit} 10det: naive={naive_best * 1e3:.1f}ms "
         f"packed={packed_best * 1e3:.1f}ms speedup={ratio:.2f}x "
@@ -108,14 +120,17 @@ def test_kernel_scoring_speedup(tenDetect_table):
 _RATIOS = {}
 
 
-def test_kernel_speedup_geomean():
+def test_kernel_speedup_geomean(bench):
     """Full mode only: the sweep-wide claim of the kernel layer is ≥3×."""
-    if QUICK:
+    if quick_mode():
         pytest.skip("quick mode times a single circuit; no geomean to assert")
     assert _RATIOS, "per-circuit bench must run first"
     geomean = math.exp(
         sum(math.log(r) for r in _RATIOS.values()) / len(_RATIOS)
     )
+    case = bench.case("geomean", circuits=len(_RATIOS))
+    case.info({c: round(r, 3) for c, r in sorted(_RATIOS.items())})
+    case.gate("geomean_speedup", geomean, higher_is_better=True, tolerance=0.35)
     print(
         f"\n[kernel-speedup] geomean over {len(_RATIOS)} circuits: "
         f"{geomean:.2f}x "

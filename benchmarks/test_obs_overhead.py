@@ -12,40 +12,39 @@ Runs are interleaved and the per-mode minimum is compared, which washes
 out machine noise far better than single-shot timing.
 """
 
-import time
-
 from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 from repro.obs import disabled, scoped_registry
 
+# Not shrunk in quick mode: the 5% bound needs the full min-of-5 rounds
+# to wash out scheduler noise.
 ROUNDS = 5
 CALLS = 20
 TOLERANCE = 1.05
 
 
-def _build_seconds(table):
-    start = time.perf_counter()
-    build_sd(table, calls=CALLS, seed=0)
-    return time.perf_counter() - start
-
-
-def test_instrumentation_overhead_is_bounded():
+def test_instrumentation_overhead_is_bounded(bench):
     _, table = response_table_for("p208", "diag", 0)
     # Warm-up outside the measurement: first-touch costs (caches) hit
     # whichever mode runs first otherwise.
-    _build_seconds(table)
+    build_sd(table, calls=CALLS, seed=0)
 
-    instrumented = []
-    plain = []
+    instrumented_case = bench.case("instrumented", calls1=CALLS)
+    plain_case = bench.case("null_registry", calls1=CALLS)
     for _ in range(ROUNDS):
         with scoped_registry():
-            instrumented.append(_build_seconds(table))
+            with instrumented_case.measure():
+                build_sd(table, calls=CALLS, seed=0)
         with disabled():
-            plain.append(_build_seconds(table))
+            with plain_case.measure():
+                build_sd(table, calls=CALLS, seed=0)
 
-    best_instrumented = min(instrumented)
-    best_plain = min(plain)
+    best_instrumented = instrumented_case.wall_seconds
+    best_plain = plain_case.wall_seconds
     ratio = best_instrumented / best_plain
+    instrumented_case.info(overhead_ratio=round(ratio, 4))
+    instrumented_case.gate("overhead_ratio", ratio, higher_is_better=False,
+                           tolerance=0.1)
     print(
         f"\nobs overhead: instrumented {best_instrumented:.4f}s "
         f"vs plain {best_plain:.4f}s (ratio {ratio:.3f})"

@@ -8,17 +8,17 @@ s/d point is on the Pareto frontier, a hair above pass/fail in size.
 from repro.experiments.pareto import dominated_points, render_frontier, size_resolution_frontier
 
 
-def test_size_resolution_frontier(benchmark):
-    points = benchmark.pedantic(
-        lambda: size_resolution_frontier("p208", "diag", calls=20),
-        rounds=1,
-        iterations=1,
+def test_size_resolution_frontier(bench):
+    case = bench.case("frontier[p208]")
+    points = case.run(
+        lambda: size_resolution_frontier("p208", "diag", calls=20)
     )
     print()
     print(render_frontier("p208", points))
-    benchmark.extra_info.update(
-        {p.kind: {"size_bits": p.size_bits, "indistinguished": p.indistinguished} for p in points}
-    )
+    case.info({
+        p.kind: {"size_bits": p.size_bits, "indistinguished": p.indistinguished}
+        for p in points
+    })
     by_kind = {p.kind: p for p in points}
     dominated = {p.kind for p in dominated_points(points)}
     assert "same/different" not in dominated

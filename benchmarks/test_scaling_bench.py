@@ -1,22 +1,24 @@
 """Benchmark E16: pipeline cost scaling across circuit sizes."""
 
+from benchmarks.util import pick
 from repro.experiments.scaling import scaling_study
 
+CIRCUITS = pick(("p208", "p344", "p641"), ("p208", "p344"))
 
-def test_scaling_study(benchmark):
-    points = benchmark.pedantic(
-        lambda: scaling_study(circuits=("p208", "p344", "p641"), tests_per_circuit=96),
-        rounds=1,
-        iterations=1,
+
+def test_scaling_study(bench):
+    case = bench.case("scaling_study", circuits=list(CIRCUITS))
+    points = case.run(
+        lambda: scaling_study(circuits=CIRCUITS, tests_per_circuit=96)
     )
     for point in points:
-        benchmark.extra_info[point.circuit] = {
+        case.info({point.circuit: {
             "gates": point.gates,
             "faults": point.faults,
             "build_table_s": round(point.build_table_seconds, 4),
             "procedure1_s": round(point.procedure1_seconds, 4),
             "procedure2_s": round(point.procedure2_seconds, 4),
-        }
+        }})
     # Near-linear growth: 6x the gates must not cost 50x the time.
     small, large = points[0], points[-1]
     size_ratio = large.faults / max(1, small.faults)

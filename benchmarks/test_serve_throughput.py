@@ -17,11 +17,10 @@ usual noise discipline.
 from __future__ import annotations
 
 import math
-import os
-import time
 
 import pytest
 
+from benchmarks.util import pick
 from repro.api import DictionaryConfig, build
 from repro.diagnosis.engine import Diagnoser
 from repro.experiments.table6 import response_table_for
@@ -29,9 +28,8 @@ from repro.obs import scoped_registry
 from repro.serve import DiagnosisRequest, DiagnosisServer, ServeConfig
 from repro.store import save_artifact
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
-ROUNDS = 2 if QUICK else 3
-REQUESTS = 40 if QUICK else 200
+ROUNDS = pick(3, 2)
+REQUESTS = pick(200, 40)
 CALLS = 5
 MIN_SPEEDUP = 5.0
 
@@ -68,7 +66,7 @@ def one_shot_results(path, built, requests):
     return results
 
 
-def test_warm_pool_batch_throughput(packed_cell):
+def test_warm_pool_batch_throughput(bench, packed_cell):
     path, built = packed_cell
     requests = request_list(built)
 
@@ -84,12 +82,13 @@ def test_warm_pool_batch_throughput(packed_cell):
     assert [(o.request_id, o.exact) for o in outcomes] == expected
     assert all(o.code == "ok" for o in outcomes)
 
-    sequential_best = math.inf
-    batch_best = math.inf
+    one_shot_case = bench.case("one_shot", requests=REQUESTS)
+    batch_case = bench.case("warm_pool_batch", requests=REQUESTS)
+    one_shot_case.iterations(REQUESTS)
+    batch_case.iterations(REQUESTS)
     for _ in range(ROUNDS):
-        start = time.perf_counter()
-        one_shot_results(path, built, requests)
-        sequential_best = min(sequential_best, time.perf_counter() - start)
+        with one_shot_case.measure():
+            one_shot_results(path, built, requests)
 
         with scoped_registry() as registry:
             server = DiagnosisServer(
@@ -97,15 +96,19 @@ def test_warm_pool_batch_throughput(packed_cell):
                 default_artifact=str(path),
             )
             server.pool.get(path)
-            start = time.perf_counter()
-            server.diagnose_batch(requests)
-            batch_best = min(batch_best, time.perf_counter() - start)
+            with batch_case.measure():
+                server.diagnose_batch(requests)
             # Warm pool: the batch must never reload the artifact.
             assert registry.counter("serve.pool_misses").value == 1
             assert registry.counter("serve.pool_hits").value == REQUESTS
 
+    sequential_best = one_shot_case.wall_seconds
+    batch_best = batch_case.wall_seconds
     ratio = sequential_best / batch_best if batch_best else math.inf
     per_request = batch_best / REQUESTS * 1e6
+    batch_case.info(us_per_request=round(per_request, 1))
+    batch_case.gate("speedup_vs_one_shot", ratio, higher_is_better=True,
+                    tolerance=0.35)
     print(
         f"\n[serve-bench] p208 diag x{REQUESTS}: "
         f"one-shot={sequential_best * 1e3:.1f}ms "

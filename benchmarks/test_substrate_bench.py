@@ -6,10 +6,14 @@ engine the experiments stand on and guard against performance regressions.
 
 import pytest
 
+from benchmarks.util import pick
 from repro.circuit import load_circuit, prepare_for_test
 from repro.faults import collapse
 from repro.sim import FaultSimulator, ResponseTable, TestSet, simulate
 from repro.atpg import Podem
+
+PATTERNS = pick(256, 64)
+FAULT_SAMPLE = pick(200, 60)
 
 
 @pytest.fixture(scope="module")
@@ -18,47 +22,52 @@ def p641():
     return netlist, collapse(netlist)
 
 
-def test_logic_simulation_throughput(benchmark, p641):
+def test_logic_simulation_throughput(bench, p641):
     netlist, _ = p641
-    tests = TestSet.random(netlist.inputs, 256, seed=0)
-    words = benchmark(lambda: simulate(netlist, tests))
-    benchmark.extra_info["pattern_gate_evals"] = 256 * netlist.num_gates
+    tests = TestSet.random(netlist.inputs, PATTERNS, seed=0)
+    case = bench.case("logic_simulation", patterns=PATTERNS)
+    words = case.run(lambda: simulate(netlist, tests), rounds=3)
+    case.iterations(PATTERNS * netlist.num_gates)
+    case.info(pattern_gate_evals=PATTERNS * netlist.num_gates)
     assert len(words) == len(netlist.gates)
 
 
-def test_fault_simulation_throughput(benchmark, p641):
+def test_fault_simulation_throughput(bench, p641):
     netlist, faults = p641
-    tests = TestSet.random(netlist.inputs, 128, seed=0)
+    tests = TestSet.random(netlist.inputs, PATTERNS // 2, seed=0)
     simulator = FaultSimulator(netlist, tests)
-    sample = faults[:200]
+    sample = faults[:FAULT_SAMPLE]
+    case = bench.case("fault_simulation", faults=len(sample))
 
     def run():
         return sum(1 for fault in sample if simulator.detection_word(fault))
 
-    detected = benchmark(run)
-    benchmark.extra_info.update({"faults": len(sample), "patterns": 128})
+    detected = case.run(run, rounds=2)
+    case.iterations(len(sample))
+    case.info(faults=len(sample), patterns=PATTERNS // 2)
     assert 0 < detected <= len(sample)
 
 
-def test_response_table_build(benchmark, p641):
+def test_response_table_build(bench, p641):
     netlist, faults = p641
     tests = TestSet.random(netlist.inputs, 64, seed=1)
+    case = bench.case("response_table_build", faults=300)
 
-    def run():
-        return ResponseTable.build(netlist, faults[:300], tests)
-
-    table = benchmark.pedantic(run, rounds=2, iterations=1)
+    table = case.run(
+        lambda: ResponseTable.build(netlist, faults[:300], tests), rounds=2
+    )
     assert table.n_faults == 300
 
 
-def test_podem_throughput(benchmark, p641):
+def test_podem_throughput(bench, p641):
     netlist, faults = p641
     engine = Podem(netlist, backtrack_limit=256)
     sample = faults[::17][:40]
+    case = bench.case("podem", faults=len(sample))
 
-    def run():
-        return [engine.generate(fault).status.value for fault in sample]
-
-    statuses = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info["faults"] = len(sample)
+    statuses = case.run(
+        lambda: [engine.generate(fault).status.value for fault in sample]
+    )
+    case.iterations(len(sample))
+    case.info(faults=len(sample))
     assert len(statuses) == len(sample)

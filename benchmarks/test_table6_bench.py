@@ -2,9 +2,9 @@
 
 Each cell benchmarks the same/different dictionary construction
 (Procedure 1 with restarts + Procedure 2) on that cell's response table
-and records every Table 6 column in ``extra_info``.  The final test prints
-the assembled table in the paper's layout (visible with ``-s`` and stored
-in the benchmark JSON).
+and records every Table 6 column in the case ``info``.  The final test
+prints the assembled table in the paper's layout (visible with ``-s`` and
+stored in ``BENCH_table6_bench.json``).
 """
 
 from __future__ import annotations
@@ -12,10 +12,12 @@ from __future__ import annotations
 import pytest
 
 from repro.dictionaries import FullDictionary, PassFailDictionary
-from benchmarks.util import build_sd
+from benchmarks.util import build_sd, pick
 from repro.experiments import render_table6
 from repro.experiments.table6 import Table6Row, response_table_for
 from benchmarks.conftest import sweep_circuits
+
+CALLS = pick(100, 25)
 
 _CELLS = [
     (circuit, test_type)
@@ -25,13 +27,15 @@ _CELLS = [
 
 
 @pytest.mark.parametrize("circuit,test_type", _CELLS)
-def test_table6_cell(benchmark, table6_rows, circuit, test_type):
+def test_table6_cell(bench, table6_rows, circuit, test_type):
     _, table = response_table_for(circuit, test_type, seed=0)
+    case = bench.case(f"cell[{circuit}-{test_type}]",
+                      circuit=circuit, ttype=test_type)
 
     def build():
-        return build_sd(table, lower=10, calls=100, seed=0)
+        return build_sd(table, lower=10, calls=CALLS, seed=0)
 
-    _, report = benchmark.pedantic(build, rounds=1, iterations=1)
+    _, report = case.run(build)
 
     full = FullDictionary(table)
     passfail = PassFailDictionary(table)
@@ -48,34 +52,31 @@ def test_table6_cell(benchmark, table6_rows, circuit, test_type):
         build=report,
     )
     table6_rows.append(row)
-    benchmark.extra_info.update(
-        {
-            "circuit": circuit,
-            "Ttype": test_type,
-            "|T|": row.n_tests,
-            "size_full": row.sizes.full,
-            "size_pf": row.sizes.pass_fail,
-            "size_sd": row.sizes.same_different,
-            "ind_full": row.indist_full,
-            "ind_pf": row.indist_passfail,
-            "ind_sd_rand": row.indist_sd_random,
-            "ind_sd_repl": row.indist_sd_replace,
-        }
-    )
+    case.info({
+        "|T|": row.n_tests,
+        "size_full": row.sizes.full,
+        "size_pf": row.sizes.pass_fail,
+        "size_sd": row.sizes.same_different,
+        "ind_full": row.indist_full,
+        "ind_pf": row.indist_passfail,
+        "ind_sd_rand": row.indist_sd_random,
+        "ind_sd_repl": row.indist_sd_replace,
+    })
     # The paper's headline orderings must hold in every cell.
     assert row.indist_full <= row.indist_sd_replace <= row.indist_sd_random
     assert row.indist_sd_random <= row.indist_passfail
     assert row.sizes.pass_fail < row.sizes.same_different < row.sizes.full
 
 
-def test_render_table6(benchmark, table6_rows):
+def test_render_table6(bench, table6_rows):
     """Print the assembled Table 6 (run last; depends on the cell benches)."""
     if not table6_rows:
         pytest.skip("cell benches did not run")
     ordered = sorted(
         table6_rows, key=lambda row: (_CELLS.index((row.circuit, row.test_type)))
     )
-    text = benchmark(lambda: render_table6(ordered))
+    case = bench.case("render", cells=len(ordered))
+    text = case.run(lambda: render_table6(ordered), rounds=3)
     print()
     print(text)
-    benchmark.extra_info["table"] = text.splitlines()
+    case.info(table=text.splitlines())

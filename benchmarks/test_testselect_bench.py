@@ -10,13 +10,13 @@ negligible.
 
 import pytest
 
+from benchmarks.util import build_sd
 from repro.dictionaries import (
     FullDictionary,
     PassFailDictionary,
     select_tests_preserving_detection,
     select_tests_preserving_resolution,
 )
-from benchmarks.util import build_sd
 from repro.experiments.table6 import response_table_for
 
 
@@ -26,32 +26,26 @@ def table():
     return table
 
 
-def test_select_detection(benchmark, table):
-    chosen = benchmark.pedantic(
-        lambda: select_tests_preserving_detection(table), rounds=1, iterations=1
-    )
-    benchmark.extra_info.update(
-        {"tests_before": table.n_tests, "tests_after": len(chosen)}
-    )
+def test_select_detection(bench, table):
+    case = bench.case("select_detection")
+    chosen = case.run(lambda: select_tests_preserving_detection(table))
+    case.info(tests_before=table.n_tests, tests_after=len(chosen))
     assert len(chosen) < table.n_tests
 
 
-def test_select_resolution(benchmark, table):
-    chosen = benchmark.pedantic(
-        lambda: select_tests_preserving_resolution(table), rounds=1, iterations=1
-    )
+def test_select_resolution(bench, table):
+    case = bench.case("select_resolution")
+    chosen = case.run(lambda: select_tests_preserving_resolution(table))
     sub = table.subset(chosen)
     assert (
         FullDictionary(sub).indistinguished_pairs()
         == FullDictionary(table).indistinguished_pairs()
     )
     samediff, _ = build_sd(sub, calls=20, seed=0)
-    benchmark.extra_info.update(
-        {
-            "tests_before": table.n_tests,
-            "tests_after": len(chosen),
-            "pf_bits_after": PassFailDictionary(sub).size_bits,
-            "sd_bits_after": samediff.size_bits,
-            "sd_indistinguished_after": samediff.indistinguished_pairs(),
-        }
+    case.info(
+        tests_before=table.n_tests,
+        tests_after=len(chosen),
+        pf_bits_after=PassFailDictionary(sub).size_bits,
+        sd_bits_after=samediff.size_bits,
+        sd_indistinguished_after=samediff.indistinguished_pairs(),
     )

@@ -6,24 +6,27 @@ dictionary organisations for the transition fault model on p208 and
 records the same columns as Table 6.
 """
 
+from benchmarks.util import build_sd, pick
 from repro.dictionaries import (
     DictionarySizes,
     FullDictionary,
     PassFailDictionary,
 )
-from benchmarks.util import build_sd
 from repro.experiments.table6 import prepared_experiment
 from repro.faults.transition import transition_faults, transition_response_table
 from repro.atpg.transition_atpg import generate_transition_tests
 
+RANDOM_PAIRS = pick(64, 32)
 
-def test_transition_dictionary(benchmark):
+
+def test_transition_dictionary(bench):
     netlist, _ = prepared_experiment("p208", "diag", 0)
     faults = transition_faults(netlist)
+    case = bench.case("transition[p208]", random_pairs=RANDOM_PAIRS)
 
     def build():
         launch, capture, report = generate_transition_tests(
-            netlist, faults, seed=0, random_pairs=64
+            netlist, faults, seed=0, random_pairs=RANDOM_PAIRS
         )
         table = transition_response_table(
             netlist, launch, capture, report["detected"]
@@ -31,22 +34,20 @@ def test_transition_dictionary(benchmark):
         samediff, _ = build_sd(table, calls=20, seed=0)
         return table, samediff, report
 
-    table, samediff, report = benchmark.pedantic(build, rounds=1, iterations=1)
+    table, samediff, report = case.run(build)
     sizes = DictionarySizes.of(table)
     full = FullDictionary(table)
     passfail = PassFailDictionary(table)
-    benchmark.extra_info.update(
-        {
-            "transition_faults": len(faults),
-            "detected": len(report["detected"]),
-            "untestable": len(report["untestable"]),
-            "pairs": table.n_tests,
-            "size_pf": sizes.pass_fail,
-            "size_sd": sizes.same_different,
-            "ind_full": full.indistinguished_pairs(),
-            "ind_pf": passfail.indistinguished_pairs(),
-            "ind_sd": samediff.indistinguished_pairs(),
-        }
+    case.info(
+        transition_faults=len(faults),
+        detected=len(report["detected"]),
+        untestable=len(report["untestable"]),
+        pairs=table.n_tests,
+        size_pf=sizes.pass_fail,
+        size_sd=sizes.same_different,
+        ind_full=full.indistinguished_pairs(),
+        ind_pf=passfail.indistinguished_pairs(),
+        ind_sd=samediff.indistinguished_pairs(),
     )
     assert (
         full.indistinguished_pairs()

@@ -11,6 +11,7 @@ Installed as the ``repro-fd`` console script::
     repro-fd pack p208 --out p208.rfd     # build once, write the artifact
     repro-fd diagnose --artifact p208.rfd # serve from it, no circuit files
     repro-fd serve chips.jsonl --artifact p208.rfd  # batch diagnosis service
+    repro-fd bench-report --check         # gate BENCH_*.json vs baselines
 
 ``docs/cli.md`` is the generated reference for every subcommand and flag
 (regenerate with ``python tools/gen_cli_docs.py``; CI fails on drift).
@@ -394,6 +395,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    from .obs.benchreport import run_report
+
+    return run_report(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fd",
@@ -549,6 +556,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    from .obs.benchreport import add_report_arguments
+
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="diff BENCH_*.json benchmark results against the committed "
+        "baselines and flag regressions (see docs/benchmarking.md)",
+    )
+    add_report_arguments(bench_report)
+    bench_report.set_defaults(func=cmd_bench_report)
     return parser
 
 

@@ -7,6 +7,16 @@ default registry costs a handful of dict operations per pipeline call,
 and tests isolate themselves with :func:`scoped_registry`.
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    BenchRecorder,
+    BenchResult,
+    BenchSchemaError,
+    CaseRecorder,
+    host_fingerprint,
+    load_results,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -37,7 +47,15 @@ from .tracing import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "BenchRecorder",
+    "BenchResult",
+    "BenchSchemaError",
     "CallbackProgress",
+    "CaseRecorder",
+    "host_fingerprint",
+    "load_results",
     "Counter",
     "Gauge",
     "MetricsRegistry",

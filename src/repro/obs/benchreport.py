@@ -1,0 +1,302 @@
+"""Diff ``BENCH_*.json`` results against committed baselines.
+
+This is the regression gate behind ``tools/bench_report.py`` and
+``repro-fd bench-report``: load the current results (written by the
+``bench`` fixture while the suites ran), load the committed baselines
+from ``benchmarks/baselines/``, and render the trajectory per case —
+wall-clock, throughput and every suite-declared gated metric.
+
+Two kinds of checks with different teeth:
+
+* **wall_seconds** is compared with one generous global tolerance
+  (default ``--wall-tolerance 1.0``: fail only beyond 2x slower),
+  because absolute wall time moves with the hardware;
+* **gated metrics** (speedup ratios and other derived, mostly
+  machine-independent numbers declared with ``case.gate(...)``) carry
+  their own direction and per-metric tolerance in the result file.
+
+Exactly *at* a tolerance boundary passes — only strictly beyond it
+fails.  A current area or case with no baseline is reported as ``new``
+and passes (that is how a fresh bench enters the trajectory: run it,
+then commit its file with ``--update``).  Results measured in a
+different quick/full mode than their baseline are compared for
+information only.  See ``docs/benchmarking.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .bench import BenchResult, load_results
+
+#: Default fractional tolerance on wall_seconds (1.0 == fail beyond 2x).
+DEFAULT_WALL_TOLERANCE = 1.0
+
+#: Default baselines directory, relative to the repo root.
+BASELINES_DIR = "benchmarks/baselines"
+
+OK = "ok"
+IMPROVED = "improved"
+REGRESSION = "regression"
+NEW = "new"
+MISSING = "missing"
+INFO = "info"
+
+
+@dataclass
+class Delta:
+    """One compared metric of one case — a row of the trajectory table."""
+
+    area: str
+    case: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: Optional[float]
+    status: str
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline and self.current is not None and self.baseline > 0:
+            return self.current / self.baseline
+        return None
+
+
+def _check(current: float, baseline: float, tolerance: float,
+           higher_is_better: bool) -> str:
+    """Strictly beyond the tolerated band fails; at the boundary passes."""
+    if higher_is_better:
+        if current < baseline * (1.0 - tolerance):
+            return REGRESSION
+        if current > baseline:
+            return IMPROVED
+        return OK
+    if current > baseline * (1.0 + tolerance):
+        return REGRESSION
+    if current < baseline:
+        return IMPROVED
+    return OK
+
+
+def compare_area(current: BenchResult, baseline: Optional[BenchResult],
+                 wall_tolerance: float = DEFAULT_WALL_TOLERANCE) -> List[Delta]:
+    """Every metric delta of one area, current vs committed baseline."""
+    deltas: List[Delta] = []
+    if baseline is None:
+        for case in current.cases:
+            deltas.append(Delta(
+                current.area, case.name, "wall_seconds", None,
+                case.wall_seconds, None, NEW, "no committed baseline",
+            ))
+        return deltas
+
+    mode_mismatch = baseline.quick != current.quick
+    note = (
+        f"mode mismatch (baseline {'quick' if baseline.quick else 'full'}, "
+        f"current {'quick' if current.quick else 'full'}); informational"
+        if mode_mismatch else ""
+    )
+    for case in current.cases:
+        base_case = baseline.case(case.name)
+        if base_case is None:
+            deltas.append(Delta(
+                current.area, case.name, "wall_seconds", None,
+                case.wall_seconds, None, NEW, "case not in baseline",
+            ))
+            continue
+        if case.wall_seconds is not None and base_case.wall_seconds:
+            status = (
+                INFO if mode_mismatch else _check(
+                    case.wall_seconds, base_case.wall_seconds,
+                    wall_tolerance, higher_is_better=False,
+                )
+            )
+            deltas.append(Delta(
+                current.area, case.name, "wall_seconds",
+                base_case.wall_seconds, case.wall_seconds,
+                wall_tolerance, status, note,
+            ))
+        for name, spec in case.gates.items():
+            base_spec = base_case.gates.get(name)
+            if base_spec is None:
+                deltas.append(Delta(
+                    current.area, case.name, name, None, spec["value"],
+                    spec.get("tolerance"), NEW, "gate not in baseline",
+                ))
+                continue
+            status = (
+                INFO if mode_mismatch else _check(
+                    float(spec["value"]), float(base_spec["value"]),
+                    float(spec.get("tolerance", 0.25)),
+                    bool(spec.get("higher_is_better", True)),
+                )
+            )
+            deltas.append(Delta(
+                current.area, case.name, name,
+                float(base_spec["value"]), float(spec["value"]),
+                float(spec.get("tolerance", 0.25)), status, note,
+            ))
+    for base_case in baseline.cases:
+        if current.case(base_case.name) is None:
+            deltas.append(Delta(
+                current.area, base_case.name, "wall_seconds",
+                base_case.wall_seconds, None, None, MISSING,
+                "case in baseline but not in this run",
+            ))
+    return deltas
+
+
+def compare_all(current: Dict[str, BenchResult],
+                baselines: Dict[str, BenchResult],
+                wall_tolerance: float = DEFAULT_WALL_TOLERANCE) -> List[Delta]:
+    deltas: List[Delta] = []
+    for area in sorted(current):
+        deltas.extend(
+            compare_area(current[area], baselines.get(area), wall_tolerance)
+        )
+    return deltas
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def render_trajectory(deltas: List[Delta]) -> str:
+    """The trajectory table: one row per compared metric."""
+    headers = ("area", "case", "metric", "baseline", "current", "Δ", "status")
+    rows = []
+    for delta in deltas:
+        ratio = delta.ratio
+        if ratio is None:
+            change = "-"
+        else:
+            change = f"{(ratio - 1.0) * 100:+.1f}%"
+        rows.append((
+            delta.area, delta.case, delta.metric, _fmt(delta.baseline),
+            _fmt(delta.current), change,
+            delta.status + (f" ({delta.note})" if delta.note else ""),
+        ))
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def summarize(deltas: List[Delta]) -> str:
+    counts: Dict[str, int] = {}
+    for delta in deltas:
+        counts[delta.status] = counts.get(delta.status, 0) + 1
+    total = len(deltas)
+    parts = ", ".join(
+        f"{counts[s]} {s}" for s in
+        (REGRESSION, IMPROVED, OK, NEW, MISSING, INFO) if s in counts
+    )
+    return f"{total} metrics compared: {parts or 'nothing to compare'}"
+
+
+def add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared flag set of ``tools/bench_report.py`` and the
+    ``repro-fd bench-report`` subcommand."""
+    parser.add_argument(
+        "--results", metavar="DIR", default=".",
+        help="directory holding the current BENCH_*.json files "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--baselines", metavar="DIR", default=None,
+        help=f"committed baseline directory (default: {BASELINES_DIR} "
+        "under the repo root, or under --results if that exists)",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=DEFAULT_WALL_TOLERANCE,
+        metavar="FRAC",
+        help="fractional wall-clock tolerance before a regression is "
+        "declared (default 1.0 = fail beyond 2x the baseline); gated "
+        "metrics carry their own per-metric tolerance",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero if any metric regressed beyond tolerance "
+        "(the CI gate)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="adopt the current results as the new committed baselines",
+    )
+
+
+def _default_baselines(results_dir: Path) -> Path:
+    local = results_dir / "baselines"
+    if local.is_dir() and results_dir.name == "benchmarks":
+        return local
+    # tools/ and src/repro/obs/ both sit two levels below the repo root.
+    for root in (Path.cwd(), Path(__file__).resolve().parents[3]):
+        candidate = root / BASELINES_DIR
+        if candidate.is_dir():
+            return candidate
+    return Path(BASELINES_DIR)
+
+
+def run_report(args: argparse.Namespace, *, out=None) -> int:
+    out = out or sys.stdout
+    results_dir = Path(args.results)
+    baselines_dir = (
+        Path(args.baselines) if args.baselines
+        else _default_baselines(results_dir)
+    )
+    current = load_results(results_dir)
+    if not current:
+        print(f"bench-report: no {('BENCH_*.json')} results under "
+              f"{results_dir}", file=sys.stderr)
+        return 2
+    if args.update:
+        baselines_dir.mkdir(parents=True, exist_ok=True)
+        for result in current.values():
+            path = result.write(baselines_dir)
+            print(f"baseline updated: {path}", file=out)
+        return 0
+    baselines = load_results(baselines_dir) if baselines_dir.is_dir() else {}
+    deltas = compare_all(current, baselines, args.wall_tolerance)
+    print(render_trajectory(deltas), file=out)
+    print(summarize(deltas), file=out)
+    regressions = [d for d in deltas if d.status == REGRESSION]
+    if regressions:
+        for delta in regressions:
+            print(
+                f"REGRESSION {delta.area}/{delta.case} {delta.metric}: "
+                f"{_fmt(delta.baseline)} -> {_fmt(delta.current)} "
+                f"(tolerance {delta.tolerance})",
+                file=sys.stderr,
+            )
+        return 1 if args.check else 0
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_report",
+        description="Diff BENCH_*.json results against committed baselines",
+    )
+    add_report_arguments(parser)
+    return run_report(parser.parse_args(argv))

@@ -9,8 +9,9 @@ diagnosis code needs:
 * :class:`Gauge` — last-value-wins measurements (final stale streak,
   partition class counts…);
 * :class:`Timer` — duration samples with summary statistics
-  (count/total/min/max/p50/p95), backing every wall-clock measurement in
-  the repo so no caller hand-rolls ``time.perf_counter()`` pairs.
+  (count/total/min/max/p50/p90/p95/p99), backing every wall-clock
+  measurement in the repo so no caller hand-rolls ``time.perf_counter()``
+  pairs.
 
 A process-global default registry is always installed, so instrumented
 code never checks for ``None``; hot paths accumulate locally and flush
@@ -132,7 +133,9 @@ class Timer:
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "p50": self.percentile(50) or 0.0,
+            "p90": self.percentile(90) or 0.0,
             "p95": self.percentile(95) or 0.0,
+            "p99": self.percentile(99) or 0.0,
         }
 
 

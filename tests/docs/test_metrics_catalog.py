@@ -72,6 +72,24 @@ def test_serve_spans_are_in_the_taxonomy():
         )
 
 
+def test_timer_summary_statistics_are_documented():
+    """Every statistic ``Timer.summary()`` reports — including the tail
+    percentiles p90/p99 — must be listed in the metric catalog, since
+    that summary is what ``--metrics-out`` and the ``BENCH_*.json``
+    metrics block actually contain."""
+    from repro.obs import MetricsRegistry
+
+    timer = MetricsRegistry().timer("t")
+    timer.record(1.0)
+    for statistic in timer.summary():
+        assert f"`{statistic}`" in DOC, (
+            f"Timer.summary() reports {statistic!r} but the timers line in "
+            f"docs/observability.md does not list it"
+        )
+    for percentile in ("p50", "p90", "p95", "p99"):
+        assert percentile in timer.summary()
+
+
 def test_every_reason_code_is_documented():
     serving = (REPO_ROOT / "docs" / "serving.md").read_text()
     for code in REASON_CODES:

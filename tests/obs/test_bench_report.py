@@ -1,0 +1,159 @@
+"""The regression gate: tolerance edges, baselines, the --check exit code."""
+
+from __future__ import annotations
+
+import argparse
+import io
+
+import pytest
+
+from repro.obs import BenchRecorder
+from repro.obs.benchreport import (
+    INFO,
+    MISSING,
+    NEW,
+    OK,
+    REGRESSION,
+    add_report_arguments,
+    compare_area,
+    compare_all,
+    render_trajectory,
+    run_report,
+    summarize,
+)
+
+
+def result(area="kernel", wall=1.0, speedup=4.0, quick=False, case="alpha"):
+    recorder = BenchRecorder(area, quick=quick)
+    handle = recorder.case(case)
+    handle.record(wall)
+    handle.gate("speedup", speedup, higher_is_better=True, tolerance=0.25)
+    return recorder.result()
+
+
+def by_metric(deltas):
+    return {(d.case, d.metric): d for d in deltas}
+
+
+class TestToleranceEdges:
+    def test_within_tolerance_is_ok(self):
+        deltas = compare_area(result(wall=1.5), result(wall=1.0),
+                              wall_tolerance=1.0)
+        assert by_metric(deltas)[("alpha", "wall_seconds")].status == OK
+
+    def test_exactly_at_tolerance_passes(self):
+        # wall: exactly 2x the baseline with tolerance 1.0 — the boundary.
+        deltas = compare_area(result(wall=2.0), result(wall=1.0),
+                              wall_tolerance=1.0)
+        assert by_metric(deltas)[("alpha", "wall_seconds")].status == OK
+        # gate: exactly at the 25% floor of a higher-is-better metric.
+        deltas = compare_area(result(speedup=3.0), result(speedup=4.0))
+        assert by_metric(deltas)[("alpha", "speedup")].status == OK
+
+    def test_beyond_tolerance_regresses(self):
+        deltas = compare_area(result(wall=2.001), result(wall=1.0),
+                              wall_tolerance=1.0)
+        assert by_metric(deltas)[("alpha", "wall_seconds")].status == REGRESSION
+
+    def test_gated_metric_direction(self):
+        # higher-is-better: dropping below baseline*(1-tol) fails…
+        deltas = compare_area(result(speedup=2.9), result(speedup=4.0))
+        assert by_metric(deltas)[("alpha", "speedup")].status == REGRESSION
+        # …rising never does.
+        deltas = compare_area(result(speedup=9.0), result(speedup=4.0))
+        assert by_metric(deltas)[("alpha", "speedup")].status == "improved"
+
+    def test_faster_wall_is_an_improvement(self):
+        deltas = compare_area(result(wall=0.5), result(wall=1.0))
+        assert by_metric(deltas)[("alpha", "wall_seconds")].status == "improved"
+
+
+class TestBaselineShapes:
+    def test_missing_baseline_area_is_new_and_passes(self):
+        deltas = compare_area(result(), None)
+        assert all(d.status == NEW for d in deltas)
+
+    def test_new_case_in_current_is_new(self):
+        current = result()
+        current.merge(result(case="beta", wall=9.9, speedup=1.0))
+        deltas = compare_area(current, result())
+        statuses = by_metric(deltas)
+        assert statuses[("beta", "wall_seconds")].status == NEW
+        assert statuses[("alpha", "wall_seconds")].status == OK
+
+    def test_case_gone_from_current_is_reported_missing(self):
+        baseline = result()
+        baseline.merge(result(case="beta"))
+        deltas = compare_area(result(), baseline)
+        assert by_metric(deltas)[("beta", "wall_seconds")].status == MISSING
+
+    def test_quick_vs_full_mode_is_informational_only(self):
+        deltas = compare_area(result(wall=99.0, quick=False),
+                              result(wall=1.0, quick=True))
+        statuses = {d.status for d in deltas}
+        assert statuses == {INFO}
+
+    def test_compare_all_covers_every_area(self):
+        current = {"a": result("a"), "b": result("b")}
+        deltas = compare_all(current, {"a": result("a")})
+        areas = {d.area for d in deltas}
+        assert areas == {"a", "b"}
+
+
+class TestReportRun:
+    def _args(self, results, baselines, **overrides):
+        parser = argparse.ArgumentParser()
+        add_report_arguments(parser)
+        argv = ["--results", str(results), "--baselines", str(baselines)]
+        for flag, on in overrides.items():
+            if on:
+                argv.append(f"--{flag}")
+        return parser.parse_args(argv)
+
+    def test_injected_synthetic_regression_fails_check(self, tmp_path):
+        """The acceptance scenario: a 3x slowdown must trip the gate."""
+        results = tmp_path / "now"
+        baselines = tmp_path / "base"
+        results.mkdir(), baselines.mkdir()
+        result(wall=1.0).write(baselines)
+        result(wall=3.0).write(results)  # synthetic regression: 3x slower
+        out = io.StringIO()
+        assert run_report(self._args(results, baselines, check=True), out=out) == 1
+        # Without --check the same report is informational.
+        assert run_report(self._args(results, baselines), out=io.StringIO()) == 0
+
+    def test_clean_run_passes_check(self, tmp_path):
+        results = tmp_path / "now"
+        baselines = tmp_path / "base"
+        results.mkdir(), baselines.mkdir()
+        result(wall=1.0).write(baselines)
+        result(wall=1.1).write(results)
+        out = io.StringIO()
+        assert run_report(self._args(results, baselines, check=True), out=out) == 0
+        assert "wall_seconds" in out.getvalue()
+
+    def test_update_adopts_current_results(self, tmp_path):
+        results = tmp_path / "now"
+        baselines = tmp_path / "base"
+        results.mkdir()
+        result(wall=1.0).write(results)
+        args = self._args(results, baselines, update=True)
+        assert run_report(args, out=io.StringIO()) == 0
+        assert (baselines / "BENCH_kernel.json").exists()
+        # After adoption, a check against the new baselines is clean.
+        assert run_report(self._args(results, baselines, check=True),
+                          out=io.StringIO()) == 0
+
+    def test_no_results_is_a_usage_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        args = self._args(empty, tmp_path / "base")
+        assert run_report(args, out=io.StringIO()) == 2
+
+
+class TestRendering:
+    def test_trajectory_table_and_summary(self):
+        deltas = compare_area(result(wall=3.0), result(wall=1.0))
+        table = render_trajectory(deltas)
+        assert "wall_seconds" in table and "kernel" in table
+        assert "regression" in summarize(deltas)

@@ -48,9 +48,25 @@ class TestTimer:
         assert summary["total"] == pytest.approx(5.5)
         assert summary["min"] == pytest.approx(0.1)
         assert summary["max"] == pytest.approx(1.0)
-        # Nearest-rank: p50 of 10 samples is the 5th, p95 the 10th.
+        # Nearest-rank: p50 of 10 samples is the 5th, p90 the 9th,
+        # p95 and p99 the 10th.
         assert summary["p50"] == pytest.approx(0.5)
+        assert summary["p90"] == pytest.approx(0.9)
         assert summary["p95"] == pytest.approx(1.0)
+        assert summary["p99"] == pytest.approx(1.0)
+
+    def test_tail_percentiles_reach_snapshot(self):
+        """p50/p90/p99 must survive into the registry snapshot (the
+        ``--metrics-out`` payload) — the bench recorder reads them there."""
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        for sample in range(1, 101):
+            timer.record(sample / 100.0)
+        timers = registry.snapshot()["timers"]["t"]
+        for key in ("p50", "p90", "p95", "p99"):
+            assert key in timers
+        assert timers["p90"] == pytest.approx(0.90)
+        assert timers["p99"] == pytest.approx(0.99)
 
     def test_percentiles_single_sample(self):
         timer = MetricsRegistry().timer("t")

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Diff ``BENCH_*.json`` benchmark results against committed baselines.
+
+Thin script front end over :mod:`repro.obs.benchreport` (the same logic
+serves the ``repro-fd bench-report`` subcommand).  Typical flows::
+
+    # run the suites (each writes BENCH_<area>.json), then:
+    python tools/bench_report.py                  # trajectory table
+    python tools/bench_report.py --check          # CI gate: nonzero on
+                                                  # regression beyond tolerance
+    python tools/bench_report.py --update         # adopt current results as
+                                                  # the new baselines
+
+See ``docs/benchmarking.md`` for the schema and the baseline-refresh
+workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.benchreport import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
