@@ -33,7 +33,7 @@ from .dictionaries import (
     FullDictionary,
     PassFailDictionary,
 )
-from .kernels import available_backends
+from .kernels import available_backends, backend_choices_help
 from .faults import Fault, collapse
 from .experiments import render_table6, run_table6
 from .experiments.example_tables import render_all
@@ -116,13 +116,13 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    # Choices and help both come from the kernel registry, so a newly
+    # registered backend can never drift out of the help string.
     parser.add_argument(
         "--backend",
         choices=available_backends(),
         default=None,
-        help="kernel backend for the inner loops (default: $REPRO_BACKEND "
-        "or 'packed'; results are identical for any choice, see "
-        "docs/kernels.md)",
+        help=backend_choices_help(),
     )
 
 

@@ -497,12 +497,11 @@ def _build_impl(
         # No test to pick a baseline for, or no pair to distinguish.
         return SameDifferentDictionary(table, [PASS] * table.n_tests), report
 
-    if backend.name == "packed":
-        # Materialise the packed view now: outside the per-phase timers,
-        # and before a parallel build pickles the table to its workers —
-        # the interned columns ship with it instead of being re-derived
-        # in every worker process.
-        table.interned
+    # Materialise the backend's cached view (interned columns, word-array
+    # layout, …) now: outside the per-phase timers, and before a parallel
+    # build pickles the table to its workers — derived layouts ship with
+    # it instead of being re-derived in every worker process.
+    backend.prepare(table)
 
     ceiling = total_pairs(table.n_faults) - backend.full_indistinguished(table)
     floor_baselines: List[Signature] = [PASS] * table.n_tests

@@ -12,11 +12,19 @@ implementations ship with the repo:
 * ``packed`` — interned integer signature ids over precomputed columns
   (:mod:`repro.kernels.interning`) with class-major scoring and
   detection-word skipping (:mod:`repro.kernels.packed`).
+* ``vector`` — batched word-array candidate scoring over the flat
+  :class:`~repro.kernels.interning.VectorLayout` (numpy when importable,
+  stdlib ``array`` fallback otherwise; :mod:`repro.kernels.vector`).
 
 Backends must be *byte-identical*: same baselines, same counts, same
 metrics, for every input.  ``REPRO_BACKEND`` selects the process-wide
-default; see ``docs/kernels.md`` for the layout and for how to register
-a third backend.
+default; see ``docs/kernels.md`` for the layouts and for how to register
+another backend.
+
+The registry is the single source of truth for what exists: the CLI's
+``--backend`` choices *and* help text are generated from it
+(:func:`backend_choices_help`), so a newly registered backend can never
+drift out of the user-facing help string.
 """
 
 from __future__ import annotations
@@ -64,6 +72,17 @@ class KernelBackend(Protocol):
     """
 
     name: str
+
+    def prepare(self, table: ResponseTable) -> None:
+        """Materialise whatever cached view this backend scores from.
+
+        Called once per table by the build driver, outside the per-phase
+        timers and before a parallel build pickles the table to its
+        workers — so derived layouts ship with the table instead of
+        being re-derived per worker process.  Must be idempotent; the
+        naive backend's is a no-op.
+        """
+        ...
 
     def procedure1(
         self,
@@ -116,17 +135,50 @@ class KernelBackend(Protocol):
 
 _REGISTRY: Dict[str, Callable[[], KernelBackend]] = {}
 _INSTANCES: Dict[str, KernelBackend] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
 
 
-def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
-    """Register a backend factory under ``name`` (last registration wins)."""
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend], description: str = ""
+) -> None:
+    """Register a backend factory under ``name`` (last registration wins).
+
+    ``description`` is a short human-readable phrase surfaced wherever
+    the registry is rendered for users — notably the CLI ``--backend``
+    help via :func:`backend_choices_help`.
+    """
     _REGISTRY[name] = factory
+    _DESCRIPTIONS[name] = description
     _INSTANCES.pop(name, None)
 
 
 def available_backends() -> List[str]:
     """Registered backend names, sorted."""
     return sorted(_REGISTRY)
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """``name -> description`` for every registered backend, name-sorted."""
+    return {name: _DESCRIPTIONS.get(name, "") for name in available_backends()}
+
+
+def backend_choices_help() -> str:
+    """The one help string describing every registered backend.
+
+    Generated from the registry so the CLI ``--backend`` flag (and any
+    other surface quoting it) can never drift from
+    :func:`available_backends` — a drift test in
+    ``tests/kernels/test_backends.py`` holds them together.
+    """
+    parts = ", ".join(
+        f"'{name}' ({description})" if description else f"'{name}'"
+        for name, description in backend_descriptions().items()
+    )
+    return (
+        f"kernel backend for the inner loops: {parts}; default "
+        f"${BACKEND_ENV} or '{DEFAULT_BACKEND}'. Results are identical "
+        f"for any choice, see docs/kernels.md"
+    )
 
 
 def default_backend_name() -> str:

@@ -24,6 +24,9 @@ class NaiveBackend:
 
     name = "naive"
 
+    def prepare(self, table: ResponseTable) -> None:
+        """No cached view to build: the reference paths read the table raw."""
+
     def procedure1(
         self,
         table: ResponseTable,

@@ -47,6 +47,10 @@ class PackedBackend:
 
     name = "packed"
 
+    def prepare(self, table: ResponseTable) -> None:
+        """Materialise the interned columns (idempotent, cached on the table)."""
+        table.interned  # noqa: B018 - touch to materialise the cache
+
     # ------------------------------------------------------------------
     # Procedure 1
     # ------------------------------------------------------------------

@@ -5,21 +5,30 @@ restarted driver fans them out over worker processes; deterministic
 per-restart seed streams keep ``jobs=N`` byte-identical to the serial
 path.  See ``docs/parallelism.md`` for the seeding model, batch
 semantics and metrics-merge caveats.
+
+:mod:`repro.parallel.shards` shards *within* one restart: the vector
+backend's candidate-scoring histogram folds over contiguous fault-entry
+blocks, byte-identically for any shard count.
 """
 
 from .scheduler import RestartFold, RestartScheduler, ScheduleOutcome
 from .seeds import derive_restart_seed, restart_order, restart_rng
+from .shards import CandidateSharder, count_block, fold_counts, shard_slices
 from .worker import RestartResult, init_worker, run_restart, run_restart_inline
 
 __all__ = [
+    "CandidateSharder",
     "RestartFold",
     "RestartResult",
     "RestartScheduler",
     "ScheduleOutcome",
+    "count_block",
     "derive_restart_seed",
+    "fold_counts",
     "init_worker",
     "restart_order",
     "restart_rng",
     "run_restart",
     "run_restart_inline",
+    "shard_slices",
 ]

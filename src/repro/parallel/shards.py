@@ -1,0 +1,150 @@
+"""Within-restart candidate-scoring shards for the vector backend.
+
+The restart engine (:mod:`repro.parallel.scheduler`) shards *across*
+restarts: each worker evaluates whole Procedure 1 calls.  This module
+shards *inside* one call: the histogram at the heart of the vector
+backend's candidate sweep — counting ``(class, candidate)`` keys over a
+test's detected entries — is additive over any partition of those
+entries, so the key array can be cut into contiguous fault blocks,
+counted independently, and summed.  Integer addition is commutative and
+associative, which makes the fold order-independent: the sharded counts
+are *equal*, not approximately equal, to the unsharded ``bincount``, and
+the backend stays byte-identical for any shard count.
+
+Sharding is opt-in (``REPRO_VECTOR_SHARDS=N`` with ``N >= 2``, or the
+``shards=`` argument of :class:`~repro.kernels.vector.VectorBackend`)
+and only engages on tests whose detected-entry slice is at least
+``REPRO_VECTOR_SHARD_MIN`` entries (default ``2**15``) — below that the
+serialization cost dwarfs the counting cost.  ``inline=True`` runs the
+shard fold in-process (no pool), which is what the identity tests use
+and what keeps the fold logic exercised even where process pools are
+unavailable.
+
+Per-fold metrics: ``parallel.sharded_tests`` counts sharded histograms,
+``parallel.shard_tasks`` the shard blocks counted.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+from ..obs import get_default_registry
+
+#: Default minimum detected entries before a test's histogram shards.
+DEFAULT_MIN_ENTRIES = 1 << 15
+
+SHARD_MIN_ENV = "REPRO_VECTOR_SHARD_MIN"
+
+
+def default_min_entries() -> int:
+    """``$REPRO_VECTOR_SHARD_MIN`` or :data:`DEFAULT_MIN_ENTRIES`."""
+    raw = os.environ.get(SHARD_MIN_ENV)
+    return int(raw) if raw else DEFAULT_MIN_ENTRIES
+
+
+def shard_slices(n_entries: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal, deterministic ``[lo, hi)`` blocks.
+
+    Covers ``range(n_entries)`` exactly with at most ``shards`` non-empty
+    blocks; pure arithmetic, so every process derives the same cut.
+    """
+    if n_entries <= 0:
+        return []
+    if shards <= 1:
+        return [(0, n_entries)]
+    shards = min(shards, n_entries)
+    bounds = [n_entries * s // shards for s in range(shards + 1)]
+    return [(bounds[s], bounds[s + 1]) for s in range(shards)]
+
+
+def count_block(data: bytes) -> Tuple[List[int], List[int]]:
+    """Histogram one block of int64 key bytes: ``(ids, counts)``, ids sorted.
+
+    Runs in shard worker processes; numpy when importable, a
+    :class:`collections.Counter` otherwise — both produce the same exact
+    integer pairs.
+    """
+    try:
+        import numpy as np
+    except ImportError:
+        from collections import Counter
+
+        values = array("q")
+        values.frombytes(data)
+        histogram = Counter(values)
+        ids = sorted(histogram)
+        return ids, [histogram[i] for i in ids]
+    ids, counts = np.unique(np.frombuffer(data, dtype=np.int64), return_counts=True)
+    return ids.tolist(), counts.tolist()
+
+
+def fold_counts(partials, length: int):
+    """Sum per-shard ``(ids, counts)`` pairs into one dense int64 vector.
+
+    Requires numpy (the only caller is the vector backend's numpy path).
+    Order-independent: see the module docstring.
+    """
+    import numpy as np
+
+    out = np.zeros(length, dtype=np.int64)
+    for ids, counts in partials:
+        if ids:
+            out[np.asarray(ids, dtype=np.int64)] += np.asarray(
+                counts, dtype=np.int64
+            )
+    return out
+
+
+class CandidateSharder:
+    """Shards one test's key histogram over processes (or inline).
+
+    The process pool is created lazily on first sharded fold and sized
+    to ``shards`` workers; :meth:`close` shuts it down (the interpreter's
+    atexit hook does too).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        min_entries: int = DEFAULT_MIN_ENTRIES,
+        inline: bool = False,
+    ) -> None:
+        self.shards = max(2, int(shards))
+        self.min_entries = max(0, int(min_entries))
+        self.inline = bool(inline)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def wants(self, n_entries: int) -> bool:
+        """True when a test with ``n_entries`` detected entries shards."""
+        return n_entries >= self.min_entries
+
+    def counts(self, key, length: int):
+        """The exact equivalent of ``numpy.bincount(key, minlength=length)``."""
+        import numpy as np
+
+        key = np.ascontiguousarray(key, dtype=np.int64)
+        payloads = [
+            key[lo:hi].tobytes() for lo, hi in shard_slices(key.size, self.shards)
+        ]
+        if self.inline or len(payloads) <= 1:
+            partials = [count_block(payload) for payload in payloads]
+        else:
+            partials = list(self._executor().map(count_block, payloads))
+        registry = get_default_registry()
+        registry.counter("parallel.sharded_tests").inc()
+        registry.counter("parallel.shard_tasks").inc(len(payloads))
+        return fold_counts(partials, length)
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the shard pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

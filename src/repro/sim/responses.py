@@ -74,14 +74,16 @@ class ResponseTable:
             failing.append({j: tuple(outs) for j, outs in per_test.items()})
         good = {net: simulator.good_values[net] for net in netlist.outputs}
         table = cls(netlist.outputs, faults, tests, failing, good)
-        # Pre-intern the columns while the table is hot when the packed
-        # kernel backend is (or defaults to) active, so builds — and the
-        # worker processes a parallel build pickles the table to — never
-        # pay the packing cost inside a timed procedure.
-        from ..kernels import default_backend_name
+        # Pre-materialise the default backend's cached view (interned
+        # columns for packed, plus the word-array layout for vector)
+        # while the table is hot, so builds — and the worker processes a
+        # parallel build pickles the table to — never pay the packing
+        # cost inside a timed procedure.
+        from ..kernels import available_backends, default_backend_name, get_backend
 
-        if default_backend_name() == "packed":
-            table.interned  # noqa: B018 - touch to materialise the cache
+        name = default_backend_name()
+        if name in available_backends():
+            get_backend(name).prepare(table)
         return table
 
     # ------------------------------------------------------------------

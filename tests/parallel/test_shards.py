@@ -1,0 +1,176 @@
+"""Within-restart shard fold: byte-identity for any shard count.
+
+The candidate-scoring histogram is additive over any partition of a
+test's detected entries (integer addition commutes), so sharding must be
+invisible in the results — these tests hold the fold to *equality* with
+the unsharded histogram and the sharded backend to byte-identity with
+the serial one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import scoped_registry
+from repro.parallel.shards import (
+    CandidateSharder,
+    count_block,
+    default_min_entries,
+    fold_counts,
+    shard_slices,
+)
+from tests.util import random_table
+
+numpy = pytest.importorskip(
+    "numpy", reason="the shard fold feeds the vector backend's numpy path"
+)
+
+
+class TestShardSlices:
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        shards=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_contiguous_cover(self, n, shards):
+        slices = shard_slices(n, shards)
+        flat = [x for lo, hi in slices for x in range(lo, hi)]
+        assert flat == list(range(n))
+        assert all(hi > lo for lo, hi in slices)
+        assert len(slices) <= shards or shards < 1
+
+    def test_deterministic(self):
+        assert shard_slices(100, 7) == shard_slices(100, 7)
+
+    def test_near_equal(self):
+        sizes = [hi - lo for lo, hi in shard_slices(101, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestFold:
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=99), max_size=300),
+        shards=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_count_equals_bincount(self, data, shards):
+        key = numpy.asarray(data, dtype=numpy.int64)
+        partials = [
+            count_block(key[lo:hi].tobytes())
+            for lo, hi in shard_slices(key.size, shards)
+        ]
+        folded = fold_counts(partials, 100)
+        assert (folded == numpy.bincount(key, minlength=100)).all()
+
+    def test_count_block_without_numpy(self):
+        from tests.util import numpy_import_blocked
+
+        key = numpy.asarray([3, 1, 3, 3, 0], dtype=numpy.int64)
+        with_np = count_block(key.tobytes())
+        with numpy_import_blocked():
+            without_np = count_block(key.tobytes())
+        assert with_np == without_np == ([0, 1, 3], [1, 1, 3])
+
+
+class TestCandidateSharder:
+    def test_inline_counts_match_bincount(self):
+        rng = numpy.random.default_rng(1)
+        sharder = CandidateSharder(3, min_entries=0, inline=True)
+        for _ in range(10):
+            length = int(rng.integers(1, 400))
+            key = rng.integers(0, length, size=int(rng.integers(0, 1500)))
+            key = key.astype(numpy.int64)
+            got = sharder.counts(key, length)
+            assert (got == numpy.bincount(key, minlength=length)).all()
+
+    def test_process_pool_counts_match_bincount(self):
+        sharder = CandidateSharder(2, min_entries=0)
+        try:
+            rng = numpy.random.default_rng(2)
+            key = rng.integers(0, 700, size=20000).astype(numpy.int64)
+            got = sharder.counts(key, 700)
+            assert (got == numpy.bincount(key, minlength=700)).all()
+        finally:
+            sharder.close()
+
+    def test_wants_threshold(self):
+        sharder = CandidateSharder(2, min_entries=100, inline=True)
+        assert not sharder.wants(99)
+        assert sharder.wants(100)
+
+    def test_default_min_entries_env(self, monkeypatch):
+        from repro.parallel.shards import DEFAULT_MIN_ENTRIES, SHARD_MIN_ENV
+
+        monkeypatch.delenv(SHARD_MIN_ENV, raising=False)
+        assert default_min_entries() == DEFAULT_MIN_ENTRIES
+        monkeypatch.setenv(SHARD_MIN_ENV, "123")
+        assert default_min_entries() == 123
+
+    def test_metrics_counted(self):
+        sharder = CandidateSharder(4, min_entries=0, inline=True)
+        key = numpy.arange(50, dtype=numpy.int64)
+        with scoped_registry() as registry:
+            sharder.counts(key, 50)
+            counters = registry.snapshot()["counters"]
+        assert counters["parallel.sharded_tests"] == 1
+        assert counters["parallel.shard_tasks"] == 4
+
+
+class TestShardedBackendIdentity:
+    def _run_tuple(self, run):
+        return (run.baselines, run.distinguished, run.evaluated, run.cutoffs,
+                run.winners)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**4),
+        shards=st.sampled_from([2, 3, 5]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sharded_procedure1_is_byte_identical(self, seed, shards):
+        from repro.kernels import get_backend
+        from repro.kernels.vector import VectorBackend
+
+        table = random_table(40, 10, 3, seed, density=0.4)
+        serial = get_backend("vector")
+        sharded = VectorBackend(shards=shards, shard_min_entries=0)
+        sharded._sharder.inline = True  # keep the property loop cheap
+        assert self._run_tuple(
+            sharded.procedure1(table, range(10), 10)
+        ) == self._run_tuple(serial.procedure1(table, range(10), 10))
+
+    def test_sharded_process_pool_procedure1(self):
+        from repro.kernels import get_backend
+        from repro.kernels.vector import VectorBackend
+
+        table = random_table(120, 12, 3, 5, density=0.5)
+        serial = get_backend("vector")
+        sharded = VectorBackend(shards=2, shard_min_entries=0)
+        try:
+            assert self._run_tuple(
+                sharded.procedure1(table, range(12), 10)
+            ) == self._run_tuple(serial.procedure1(table, range(12), 10))
+        finally:
+            sharded._sharder.close()
+
+    def test_shards_env_configures_the_backend(self, monkeypatch):
+        from repro.kernels.vector import SHARDS_ENV, VectorBackend
+
+        monkeypatch.setenv(SHARDS_ENV, "3")
+        backend = VectorBackend()
+        try:
+            if backend.uses_numpy:
+                assert backend._sharder is not None
+                assert backend._sharder.shards == 3
+            else:
+                assert backend._sharder is None
+        finally:
+            if backend._sharder is not None:
+                backend._sharder.close()
+
+    def test_fallback_mode_ignores_sharding(self):
+        from repro.kernels.vector import VectorBackend
+
+        backend = VectorBackend(force_fallback=True, shards=4)
+        assert backend._sharder is None

@@ -83,6 +83,52 @@ def test_capacity_one_pool_serves_golden_cells_bit_for_bit(golden_artifacts):
         assert name in outcome.exact  # the injected fault names itself
 
 
+def test_vector_backend_builds_and_serves_identical_cells(golden_artifacts, tmp_path):
+    """The backend used to *build* must be invisible at serve time.
+
+    Each golden cell is rebuilt under the vector backend (and, for the
+    first cell, under its numpy-blocked fallback), packed, and served —
+    the artifacts' dictionaries and every served outcome must equal the
+    default-backend build's.
+    """
+    from tests.util import fallback_vector_registered, numpy_import_blocked
+
+    legs = [("vector", cell) for cell in CELLS]
+    legs.append(("vector-fallback", CELLS[0]))
+    for leg, cell in legs:
+        circuit, test_type = cell
+        _, table = response_table_for(circuit, test_type, SEED)
+        config = DictionaryConfig(seed=SEED, calls1=CALLS, backend="vector")
+        if leg == "vector-fallback":
+            with fallback_vector_registered(), numpy_import_blocked():
+                rebuilt = build(table, config=config)
+        else:
+            rebuilt = build(table, config=config)
+        _, reference = golden_artifacts[cell]
+        assert rebuilt.dictionary.baselines == reference.dictionary.baselines, leg
+        path = tmp_path / f"{circuit}-{test_type}-{leg}.rfd"
+        save_artifact(rebuilt, path)
+
+        names = sample_fault_names(reference)
+        diagnoser = Diagnoser(reference.dictionary)
+        server = DiagnosisServer(
+            ServeConfig(workers=1, pool_size=1), default_artifact=str(path)
+        )
+        outcomes = server.diagnose_batch(
+            [DiagnosisRequest(request_id=name, fault=name) for name in names]
+        )
+        for name, outcome in zip(names, outcomes):
+            assert outcome.code == "ok", (leg, cell, name, outcome.detail)
+            index = [str(f) for f in reference.table.faults].index(name)
+            want = diagnoser.diagnose(
+                list(reference.table.full_row(index)), limit=10
+            )
+            assert outcome.exact == [str(f) for f in want.exact], (leg, name)
+            assert outcome.ranked == [
+                (str(f), score) for f, score in want.ranked
+            ], (leg, name)
+
+
 def test_reloads_are_stable_across_runs(golden_artifacts):
     (path, built) = golden_artifacts[CELLS[0]]
     names = sample_fault_names(built)

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import random
+import sys
+from contextlib import contextmanager
 
 from repro.api import DictionaryConfig, build
 from repro.faults import Fault
@@ -64,3 +66,68 @@ def random_table(n_faults, n_tests, n_outputs, seed, density=0.5):
     return ResponseTable(
         tuple(f"z{o}" for o in range(n_outputs)), faults, tests, failing, good
     )
+
+
+def distinct_table(n_faults, n_tests):
+    """Every fault fails every test with its own unique signature ``(i,)``.
+
+    The adversarial shape where each test's candidate set is maximal
+    (``|Z_j| == n_faults + 1``) and any failing candidate splits a
+    singleton off — the full dictionary resolves everything, so builds
+    hit the restart ceiling on the first restart.
+    """
+    faults = [Fault(f"f{i}", 0) for i in range(n_faults)]
+    tests = TestSet(("i0",), [0] * n_tests)
+    failing = [
+        {j: (i,) for j in range(n_tests)} for i in range(n_faults)
+    ]
+    good = {f"z{o}": 0 for o in range(max(n_faults, 1))}
+    return ResponseTable(
+        tuple(f"z{o}" for o in range(max(n_faults, 1))),
+        faults, tests, failing, good,
+    )
+
+
+@contextmanager
+def numpy_import_blocked():
+    """Make ``import numpy`` raise ImportError inside the block.
+
+    Pins the vector backend's stdlib-``array`` fallback the way a
+    numpy-less interpreter would: a ``None`` entry in ``sys.modules``
+    makes any import attempt fail.  Restores the previous state (and
+    evicts nothing else) on exit.
+    """
+    had = "numpy" in sys.modules
+    previous = sys.modules.get("numpy")
+    sys.modules["numpy"] = None
+    try:
+        yield
+    finally:
+        if had:
+            sys.modules["numpy"] = previous
+        else:
+            del sys.modules["numpy"]
+
+
+@contextmanager
+def fallback_vector_registered():
+    """Re-register ``vector`` as its forced-fallback construction.
+
+    Inside the block, ``get_backend("vector")`` — and therefore builds
+    with ``backend="vector"`` — run the pure-Python word-array path even
+    when numpy is importable.  The real registration is restored on exit.
+    """
+    from repro.kernels import register_backend
+    from repro.kernels.base import _DESCRIPTIONS
+    from repro.kernels.vector import VectorBackend
+
+    description = _DESCRIPTIONS.get("vector", "")
+    register_backend(
+        "vector",
+        lambda: VectorBackend(force_fallback=True),
+        description,
+    )
+    try:
+        yield
+    finally:
+        register_backend("vector", VectorBackend, description)
