@@ -18,6 +18,7 @@ from pathlib import Path
 import repro
 from repro import DictionaryConfig, build
 from repro.diagnosis import observe_fault
+from repro.serve import ServeConfig
 from repro.store import save_artifact
 
 
@@ -40,7 +41,7 @@ def main() -> None:
     chip_two = observe_fault(netlist, tests, faults[7])
 
     # ---- serve side: one batch, mixed request flavours ----------------
-    server = repro.serve(artifact, deadline_ms=500, workers=2)
+    server = repro.serve(artifact, config=ServeConfig(deadline_ms=500, workers=2))
     requests = [
         {"id": "chip-1", "observed": [list(sig) for sig in chip_one]},
         {"id": "chip-2", "observed": [list(sig) for sig in chip_two]},

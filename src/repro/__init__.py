@@ -24,7 +24,7 @@ Quickstart (the public construction surface is :mod:`repro.api`)::
           passfail.dictionary.indistinguished_pairs())
 """
 
-from .api import BuiltDictionary, DictionaryConfig, build, serve
+from .api import BuiltDictionary, DictionaryConfig, build, serve, serve_daemon
 from .circuit import (
     GateType,
     GeneratorSpec,
@@ -104,6 +104,7 @@ __all__ = [
     "scoped_registry",
     "scoped_tracer",
     "serve",
+    "serve_daemon",
     "simulate",
     "table6_row",
     "trace_span",

@@ -22,12 +22,17 @@ the old loose-kwarg shapes.
 and session diagnosis (see ``docs/serving.md``):
 
 >>> from repro.api import serve
->>> server = serve("p208.rfd", deadline_ms=250)
+>>> from repro.serve import ServeConfig
+>>> server = serve("p208.rfd", config=ServeConfig(deadline_ms=250))
 >>> outcomes = server.serve_jsonl(open("chips.jsonl"))
+
+and :func:`serve_daemon` wraps that server in the asyncio network
+daemon (``docs/daemon.md``) for the long-running deployment shape.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -142,37 +147,97 @@ def build(
     return built
 
 
-def serve(
-    artifact=None,
-    *,
-    pool_size: int = 8,
-    workers: int = 4,
-    deadline_ms: Optional[float] = None,
-    max_retries: int = 2,
-    retry_backoff_ms: float = 10.0,
-    limit: int = 10,
-):
+#: Loose kwargs :func:`serve` still accepts under deprecation; each maps
+#: straight onto the :class:`~repro.serve.ServeConfig` field of the same
+#: name.
+_SERVE_LEGACY_KWARGS = (
+    "pool_size", "workers", "deadline_ms", "max_retries",
+    "retry_backoff_ms", "limit",
+)
+
+
+def serve(artifact=None, *, config=None, **legacy):
     """Stand up a batch diagnosis server over packed artifacts.
 
     ``artifact`` is the default artifact path for requests that do not
-    name their own; every other argument populates a
-    :class:`~repro.serve.ServeConfig` — ``pool_size`` bounds the LRU
-    artifact pool, ``workers`` the fan-out threads, ``deadline_ms`` the
-    per-request budget (``None`` = none), ``max_retries`` /
-    ``retry_backoff_ms`` the transient-error policy, and ``limit`` the
-    default ranked-candidate count.  Returns a
+    name their own; ``config`` is a :class:`~repro.serve.ServeConfig`
+    carrying the whole operating envelope (pool size, workers, deadline,
+    retry policy, default candidate limit).  Returns a
     :class:`~repro.serve.DiagnosisServer`; see ``docs/serving.md`` for
     batch semantics and reason codes.
+
+    The pre-PR-8 loose kwargs (``pool_size=``, ``workers=``,
+    ``deadline_ms=``, ``max_retries=``, ``retry_backoff_ms=``,
+    ``limit=``) still work but emit ``DeprecationWarning`` — pass a
+    ``ServeConfig`` instead.
     """
     # Imported lazily: repro.serve imports repro.store, which imports us.
     from .serve import DiagnosisServer, ServeConfig
 
-    config = ServeConfig(
-        pool_size=pool_size,
-        workers=workers,
-        deadline_ms=deadline_ms,
-        max_retries=max_retries,
-        retry_backoff_ms=retry_backoff_ms,
-        limit=limit,
-    )
+    if legacy:
+        unknown = set(legacy) - set(_SERVE_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"serve() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if config is not None:
+            raise ValueError(
+                "serve() takes either config= or the legacy loose kwargs, "
+                f"not both (got config= and {sorted(legacy)})"
+            )
+        warnings.warn(
+            "passing loose keyword arguments to repro.api.serve() is "
+            "deprecated; pass config=ServeConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = ServeConfig(**legacy)
+    if config is None:
+        config = ServeConfig()
     return DiagnosisServer(config, default_artifact=artifact)
+
+
+def serve_daemon(
+    artifact=None,
+    *,
+    config=None,
+    serve_config=None,
+    host: str = "127.0.0.1",
+    port: int = 8132,
+    **daemon_kwargs,
+):
+    """Construct the asyncio network daemon (without starting it).
+
+    The config-first counterpart of :func:`serve` for the long-running
+    deployment shape: returns a
+    :class:`~repro.serve.daemon.DiagnosisDaemon` wired over a
+    :class:`~repro.serve.DiagnosisServer`.  Drive it with
+    ``asyncio.run(daemon.run_until_stopped())``, or use
+    :func:`repro.serve.daemon.start_in_thread` to run it on a background
+    thread (the pattern the daemon test suite and benchmarks use).
+
+    ``config`` is a full :class:`~repro.serve.daemon.DaemonConfig` (all
+    other arguments must then be left at their defaults); otherwise one
+    is assembled from ``artifact``, ``serve_config``, ``host``/``port``
+    and any remaining ``DaemonConfig`` fields passed as keywords
+    (``max_inflight=``, ``tenant_quotas=``, ...).  Protocol and
+    operations guidance live in ``docs/daemon.md``.
+    """
+    from .serve import ServeConfig
+    from .serve.daemon import DaemonConfig, DiagnosisDaemon
+
+    if config is not None:
+        if artifact is not None or serve_config is not None or daemon_kwargs:
+            raise ValueError(
+                "serve_daemon() takes either a full config= or the "
+                "individual fields, not both"
+            )
+        return DiagnosisDaemon(config)
+    config = DaemonConfig(
+        host=host,
+        port=port,
+        serve=serve_config if serve_config is not None else ServeConfig(),
+        default_artifact=str(artifact) if artifact is not None else None,
+        **daemon_kwargs,
+    )
+    return DiagnosisDaemon(config)

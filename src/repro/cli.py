@@ -395,6 +395,75 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ServeConfig
+    from .serve.daemon import DaemonConfig, DiagnosisDaemon
+
+    try:
+        quotas = []
+        for spec in args.tenant_quota or ():
+            name, sep, value = spec.partition("=")
+            if not sep or not name:
+                raise ValueError(
+                    f"--tenant-quota takes NAME=N, got {spec!r}"
+                )
+            quotas.append((name, int(value)))
+        config = DaemonConfig(
+            host=args.host,
+            port=args.port,
+            serve=ServeConfig(
+                pool_size=args.pool_size,
+                workers=args.workers,
+                deadline_ms=args.deadline_ms,
+                max_retries=args.max_retries,
+                limit=args.limit,
+            ),
+            default_artifact=args.artifact,
+            max_inflight=args.max_inflight,
+            max_batch=args.max_batch,
+            max_body_bytes=args.max_body_bytes,
+            drain_grace_s=args.drain_grace_s,
+            spool_dir=args.spool_dir,
+            tenant_quotas=tuple(quotas),
+            default_tenant_quota=args.default_tenant_quota,
+        )
+    except ValueError as exc:
+        print(f"daemon: {exc}", file=sys.stderr)
+        return 1
+
+    with _observability(args):
+        daemon = DiagnosisDaemon(config)
+
+        async def run() -> None:
+            host, port = await daemon.start()
+            print(
+                f"daemon: listening on http://{host}:{port} "
+                f"(workers={config.serve.workers}, "
+                f"max_inflight={config.max_inflight})",
+                file=sys.stderr,
+                flush=True,
+            )
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        signum, lambda: asyncio.ensure_future(daemon.stop())
+                    )
+                except NotImplementedError:
+                    pass  # platform without loop signal handlers
+            await daemon.run_until_stopped()
+            print("daemon: drained and stopped", file=sys.stderr)
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def cmd_bench_report(args: argparse.Namespace) -> int:
     from .obs.benchreport import run_report
 
@@ -556,6 +625,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    daemon = sub.add_parser(
+        "daemon",
+        help="run the asyncio diagnosis daemon: typed HTTP endpoints over "
+        "packed artifacts with admission control (see docs/daemon.md)",
+    )
+    daemon.add_argument(
+        "--artifact",
+        metavar="FILE",
+        default=None,
+        help="default artifact for requests that do not name their own "
+        "(produce one with 'pack')",
+    )
+    daemon.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    daemon.add_argument(
+        "--port", type=int, default=8132, metavar="N",
+        help="TCP port to bind (default 8132; 0 = kernel-assigned)",
+    )
+    daemon.add_argument(
+        "--pool-size", type=int, default=8, metavar="N",
+        help="max loaded artifacts resident in the LRU pool (default 8)",
+    )
+    daemon.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="diagnosis worker threads behind the event loop (default 4)",
+    )
+    daemon.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline in milliseconds (default: none); an "
+        "expired request degrades to a deadline_expired result",
+    )
+    daemon.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries on transient artifact errors (default 2)",
+    )
+    daemon.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="ranked candidates per result for requests without limit= "
+        "(default 10)",
+    )
+    daemon.add_argument(
+        "--max-inflight", type=int, default=16, metavar="N",
+        help="work units admitted concurrently before 429 overloaded "
+        "rejections (default 16)",
+    )
+    daemon.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="max requests in one batch call (default 256)",
+    )
+    daemon.add_argument(
+        "--max-body-bytes", type=int, default=32 * 1024 * 1024, metavar="N",
+        help="max request body size; larger bodies are rejected with 413 "
+        "before buffering (default 32MiB)",
+    )
+    daemon.add_argument(
+        "--drain-grace-s", type=float, default=5.0, metavar="S",
+        help="seconds to wait for in-flight work on shutdown (default 5)",
+    )
+    daemon.add_argument(
+        "--spool-dir", metavar="DIR", default=None,
+        help="directory for octet-stream artifact uploads (default: the "
+        "system temp directory)",
+    )
+    daemon.add_argument(
+        "--tenant-quota", action="append", metavar="NAME=N",
+        help="cap tenant NAME at N concurrent admission slots (may repeat)",
+    )
+    daemon.add_argument(
+        "--default-tenant-quota", type=int, default=None, metavar="N",
+        help="admission-slot cap for tenants without an explicit "
+        "--tenant-quota (default: only the global --max-inflight applies)",
+    )
+    _add_obs_flags(daemon)
+    daemon.set_defaults(func=cmd_daemon)
 
     from .obs.benchreport import add_report_arguments
 

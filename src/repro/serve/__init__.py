@@ -15,9 +15,12 @@ The build side of the repo ends at an on-disk artifact
   that narrows the candidate set test by test and reports when
   resolution stops improving.
 
-Entry points: ``repro.api.serve()`` (the facade) and ``repro-fd serve``
-(JSONL batches on the command line).  Semantics, sizing guidance and the
-reason-code table live in ``docs/serving.md``.
+All three entry points — ``repro.api.serve()`` (the facade),
+``repro-fd serve`` (JSONL batches) and ``repro-fd daemon`` (the asyncio
+network daemon, :mod:`repro.serve.daemon`) — speak the typed, versioned
+wire schemas of :mod:`repro.serve.schemas`.  Semantics, sizing guidance
+and the reason-code table live in ``docs/serving.md``; the daemon
+protocol in ``docs/daemon.md``.
 """
 
 from .outcomes import (
@@ -31,10 +34,18 @@ from .outcomes import (
     BadRequest,
     DiagnosisOutcome,
     DiagnosisRequest,
+    parse_batch_docs,
     parse_jsonl,
     parse_request,
 )
 from .pool import ArtifactPool, PoolEntry
+from .schemas import (
+    SCHEMA_VERSION,
+    DiagnoseRequest,
+    DiagnoseResult,
+    SchemaError,
+    SessionAdvance,
+)
 from .server import DiagnosisServer, ServeConfig
 from .session import DiagnosisSession, SessionUpdate
 
@@ -44,6 +55,8 @@ __all__ = [
     "BAD_REQUEST",
     "BadRequest",
     "DEADLINE_EXPIRED",
+    "DiagnoseRequest",
+    "DiagnoseResult",
     "DiagnosisOutcome",
     "DiagnosisRequest",
     "DiagnosisServer",
@@ -52,9 +65,13 @@ __all__ = [
     "OK",
     "PoolEntry",
     "REASON_CODES",
+    "SCHEMA_VERSION",
+    "SchemaError",
     "ServeConfig",
+    "SessionAdvance",
     "SessionUpdate",
     "UNMODELED_RESPONSE",
+    "parse_batch_docs",
     "parse_jsonl",
     "parse_request",
 ]

@@ -1,0 +1,39 @@
+"""The asyncio diagnosis daemon (``repro-fd daemon``).
+
+A stdlib-only long-running network front end over the serve stack:
+:class:`DiagnosisDaemon` speaks minimal HTTP/1.1 on a TCP socket,
+validates every body against the typed wire schemas of
+:mod:`repro.serve.schemas`, runs diagnosis on a worker executor through
+:meth:`~repro.serve.server.DiagnosisServer.diagnose_one`, and holds
+multi-observation sessions plus a hot-registerable artifact pool across
+requests.  Protocol, endpoints and operations guidance live in
+``docs/daemon.md``.
+"""
+
+from .daemon import (
+    DaemonConfig,
+    DaemonHandle,
+    DiagnosisDaemon,
+    start_in_thread,
+)
+from .http import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_HEADER_BYTES,
+    FrameError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_HEADER_BYTES",
+    "DaemonConfig",
+    "DaemonHandle",
+    "DiagnosisDaemon",
+    "FrameError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+    "start_in_thread",
+]

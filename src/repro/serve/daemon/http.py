@@ -1,0 +1,254 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+The daemon does not pull in an HTTP framework; this module implements
+exactly the slice of HTTP/1.1 the diagnosis protocol needs: request-line
+plus headers, ``Content-Length`` bodies with hard size limits, keep-alive
+connection reuse, and reason-coded rejection of everything else
+(malformed frames, oversized headers/bodies, chunked transfer encoding).
+
+Framing failures raise :class:`FrameError` carrying the HTTP status, a
+machine reason code and a human detail; the daemon renders those as a
+JSON error document and — because a connection that failed to frame
+cannot be resynchronised — closes the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Hard ceiling on the request head (request line + headers), bytes.
+DEFAULT_MAX_HEADER_BYTES = 32 * 1024
+#: Hard ceiling on a request body, bytes (artifact uploads included).
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Transport-level reason codes (distinct from the diagnosis outcome
+#: codes in :mod:`repro.serve.schemas`; documented in ``docs/daemon.md``).
+MALFORMED_FRAME = "malformed_frame"
+OVERSIZED_HEADER = "oversized_header"
+OVERSIZED_BODY = "oversized_body"
+UNSUPPORTED_TRANSFER = "unsupported_transfer_encoding"
+NOT_FOUND = "not_found"
+METHOD_NOT_ALLOWED = "method_not_allowed"
+OVERLOADED = "overloaded"
+QUOTA_EXCEEDED = "quota_exceeded"
+SHUTTING_DOWN = "shutting_down"
+BATCH_TOO_LARGE = "batch_too_large"
+UNKNOWN_SESSION = "unknown_session"
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class FrameError(Exception):
+    """An HTTP frame that cannot be parsed (or exceeds a hard limit).
+
+    ``status`` is the HTTP status to answer with, ``code`` the machine
+    reason code, ``str(exc)`` the human detail.  Framing errors always
+    close the connection — there is no reliable way to find the next
+    request boundary after one.
+    """
+
+    def __init__(self, status: int, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request frame."""
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    keep_alive: bool = True
+
+    @property
+    def path(self) -> str:
+        """The target with any query string stripped."""
+        return self.target.split("?", 1)[0]
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def json_body(self) -> object:
+        """Decode the body as JSON; :class:`FrameError` on failure."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(
+                400, MALFORMED_FRAME, f"body is not valid JSON: {exc}"
+            ) from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request frame; ``None`` on clean end-of-stream.
+
+    The stream's own ``limit`` (set when the server was created) bounds
+    the header scan; bodies are bounded by ``max_body_bytes`` *before*
+    they are read, so an oversized upload is rejected without buffering.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between keep-alive requests
+        raise FrameError(
+            400, MALFORMED_FRAME,
+            "connection closed before the request head completed",
+        ) from exc
+    except asyncio.LimitOverrunError as exc:
+        raise FrameError(
+            431, OVERSIZED_HEADER,
+            f"request head exceeds {max_header_bytes} bytes",
+        ) from exc
+
+    if len(head) > max_header_bytes:
+        raise FrameError(
+            431, OVERSIZED_HEADER,
+            f"request head of {len(head)} bytes exceeds {max_header_bytes}",
+        )
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise FrameError(400, MALFORMED_FRAME, "undecodable header") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[0] or not parts[1].startswith("/"):
+        raise FrameError(
+            400, MALFORMED_FRAME, f"malformed request line: {lines[0]!r}"
+        )
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise FrameError(
+            400, MALFORMED_FRAME, f"unsupported protocol {version!r}"
+        )
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise FrameError(
+                400, MALFORMED_FRAME, f"malformed header line: {line!r}"
+            )
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise FrameError(
+            501, UNSUPPORTED_TRANSFER,
+            "chunked/compressed transfer encodings are not supported; "
+            "send a Content-Length body",
+        )
+
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+
+    body = b""
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise FrameError(
+            400, MALFORMED_FRAME, f"bad Content-Length {raw_length!r}"
+        ) from exc
+    if length < 0:
+        raise FrameError(
+            400, MALFORMED_FRAME, f"negative Content-Length {length}"
+        )
+    if length > max_body_bytes:
+        raise FrameError(
+            413, OVERSIZED_BODY,
+            f"body of {length} bytes exceeds the {max_body_bytes}-byte limit",
+        )
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise FrameError(
+                400, MALFORMED_FRAME,
+                f"connection closed after {len(exc.partial)} of "
+                f"{length} body bytes",
+            ) from exc
+
+    return HttpRequest(
+        method=method,
+        target=target,
+        headers=headers,
+        body=body,
+        version=version,
+        keep_alive=keep_alive,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Iterable[Tuple[str, str]] = (),
+) -> bytes:
+    """Serialise one response frame (status line, headers, body)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    document: object,
+    *,
+    keep_alive: bool = True,
+    extra_headers: Iterable[Tuple[str, str]] = (),
+) -> bytes:
+    """A JSON document as a complete response frame."""
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    return render_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+def error_document(code: str, detail: str) -> Dict[str, object]:
+    """The uniform transport-error envelope (versioned like the schemas)."""
+    from ..schemas import SCHEMA_VERSION
+
+    return {"schema": SCHEMA_VERSION, "code": code, "detail": detail}

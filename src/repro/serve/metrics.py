@@ -35,11 +35,37 @@ SESSIONS_CONVERGED = "serve.sessions_converged"
 #: Per-outcome counters: ``serve.outcomes.<reason code>``.
 OUTCOME_PREFIX = "serve.outcomes."
 
+# -- daemon counters ---------------------------------------------------
+#: TCP connections accepted by the asyncio daemon.
+DAEMON_CONNECTIONS = "serve.daemon.connections"
+#: HTTP requests parsed off daemon connections (every route and method).
+DAEMON_HTTP_REQUESTS = "serve.daemon.http_requests"
+#: Responses with a non-2xx HTTP status (transport-level errors).
+DAEMON_HTTP_ERRORS = "serve.daemon.http_errors"
+#: Work requests rejected because ``max_inflight`` was saturated.
+DAEMON_REJECTED_OVERLOAD = "serve.daemon.rejected_overload"
+#: Work requests rejected by a per-tenant admission quota.
+DAEMON_REJECTED_QUOTA = "serve.daemon.rejected_quota"
+#: Work requests rejected because the daemon was draining for shutdown.
+DAEMON_REJECTED_DRAINING = "serve.daemon.rejected_draining"
+#: Connections dropped for unparseable or oversized HTTP frames.
+DAEMON_BAD_FRAMES = "serve.daemon.bad_frames"
+#: Artifacts hot-registered (uploaded or pinned by path) while running.
+DAEMON_ARTIFACTS_REGISTERED = "serve.daemon.artifacts_registered"
+#: Artifacts explicitly evicted through the daemon API.
+DAEMON_ARTIFACTS_EVICTED = "serve.daemon.artifacts_evicted"
+
 # -- gauges ------------------------------------------------------------
 #: Resident entries in the artifact pool after the last access.
 POOL_SIZE = "serve.pool_size"
 #: Worker threads of the last batch.
 WORKERS = "serve.workers"
+#: Admitted daemon work units currently in flight.
+DAEMON_INFLIGHT = "serve.daemon.inflight"
+#: Multi-observation sessions currently held open by the daemon.
+DAEMON_OPEN_SESSIONS = "serve.daemon.open_sessions"
+#: 1 while the daemon accepts work, 0 while starting/draining/stopped.
+DAEMON_READY = "serve.daemon.ready"
 
 # -- timers ------------------------------------------------------------
 #: End-to-end latency of one request (parse → outcome).
@@ -50,6 +76,8 @@ LOAD_SECONDS = "serve.load_seconds"
 DIAGNOSE_SECONDS = "serve.diagnose_seconds"
 #: Wall time of a whole batch.
 BATCH_SECONDS = "serve.batch_seconds"
+#: HTTP request latency in the daemon (frame parsed → response written).
+DAEMON_REQUEST_SECONDS = "serve.daemon.request_seconds"
 
 
 def outcome_counter(code: str) -> str:
@@ -77,13 +105,29 @@ def catalog() -> dict:
             SESSIONS,
             SESSION_OBSERVATIONS,
             SESSIONS_CONVERGED,
+            DAEMON_CONNECTIONS,
+            DAEMON_HTTP_REQUESTS,
+            DAEMON_HTTP_ERRORS,
+            DAEMON_REJECTED_OVERLOAD,
+            DAEMON_REJECTED_QUOTA,
+            DAEMON_REJECTED_DRAINING,
+            DAEMON_BAD_FRAMES,
+            DAEMON_ARTIFACTS_REGISTERED,
+            DAEMON_ARTIFACTS_EVICTED,
             *[outcome_counter(code) for code in REASON_CODES],
         ],
-        "gauges": [POOL_SIZE, WORKERS],
+        "gauges": [
+            POOL_SIZE,
+            WORKERS,
+            DAEMON_INFLIGHT,
+            DAEMON_OPEN_SESSIONS,
+            DAEMON_READY,
+        ],
         "timers": [
             REQUEST_SECONDS,
             LOAD_SECONDS,
             DIAGNOSE_SECONDS,
             BATCH_SECONDS,
+            DAEMON_REQUEST_SECONDS,
         ],
     }

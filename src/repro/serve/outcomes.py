@@ -1,11 +1,17 @@
 """Request/outcome value types of the batch diagnosis service.
 
-A batch is a sequence of :class:`DiagnosisRequest` values (usually parsed
+A batch is a sequence of :class:`DiagnoseRequest` values (usually parsed
 from JSONL) and always yields one :class:`DiagnosisOutcome` per request,
 in request order.  Degradation is structural, never exceptional: a
 malformed request, an observed response the dictionary cannot encode, an
 expired deadline or an artifact that will not load each produce an
 outcome with the matching reason code — the batch itself succeeds.
+
+The wire shapes (validation, schema versioning, the frozen
+``DiagnoseRequest``/``DiagnoseResult``/``SessionAdvance`` trio) live in
+:mod:`repro.serve.schemas`; this module keeps the in-process outcome
+object the server mutates while serving, plus the JSONL batch decoding
+that degrades corrupt lines to ``bad_request`` outcomes.
 
 Reason codes (also surfaced as ``serve.outcomes.<code>`` counters and
 documented in ``docs/serving.md``):
@@ -27,55 +33,51 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..sim.responses import Signature
-
-OK = "ok"
-BAD_REQUEST = "bad_request"
-UNMODELED_RESPONSE = "unmodeled_response"
-DEADLINE_EXPIRED = "deadline_expired"
-ARTIFACT_ERROR = "artifact_error"
-INTERNAL_ERROR = "internal_error"
-
-#: Every reason code an outcome can carry, in severity order.
-REASON_CODES = (
-    OK,
-    BAD_REQUEST,
-    UNMODELED_RESPONSE,
-    DEADLINE_EXPIRED,
+from .schemas import (
     ARTIFACT_ERROR,
+    BAD_REQUEST,
+    DEADLINE_EXPIRED,
     INTERNAL_ERROR,
+    OK,
+    REASON_CODES,
+    UNMODELED_RESPONSE,
+    DiagnoseRequest,
+    DiagnoseResult,
+    SchemaError,
 )
 
+#: Back-compat aliases: the request type moved to ``repro.serve.schemas``
+#: (PR 8); the old names keep working for existing callers.
+DiagnosisRequest = DiagnoseRequest
+BadRequest = SchemaError
 
-class BadRequest(ValueError):
-    """Raised by :func:`parse_request` on a malformed request document."""
-
-
-@dataclass(frozen=True)
-class DiagnosisRequest:
-    """One failing-chip lookup inside a batch.
-
-    Exactly one of ``observed`` (per-test failing-output signatures) or
-    ``fault`` (a modelled fault name whose stored full row stands in for
-    the tester response — the demo/evaluation path, no circuit files
-    needed) must be given.  ``artifact`` overrides the server's default
-    artifact for this request; ``observations`` switches the request to
-    the incremental session flow (see ``docs/serving.md``).
-    """
-
-    request_id: str
-    observed: Optional[Tuple[Signature, ...]] = None
-    fault: Optional[str] = None
-    artifact: Optional[str] = None
-    observations: Optional[Tuple[Tuple[int, Signature], ...]] = None
-    limit: int = 10
+__all__ = [
+    "ARTIFACT_ERROR",
+    "BAD_REQUEST",
+    "BadRequest",
+    "DEADLINE_EXPIRED",
+    "DiagnosisOutcome",
+    "DiagnosisRequest",
+    "INTERNAL_ERROR",
+    "OK",
+    "REASON_CODES",
+    "UNMODELED_RESPONSE",
+    "parse_jsonl",
+    "parse_request",
+]
 
 
 @dataclass
 class DiagnosisOutcome:
-    """The structured result of one request — degraded or not."""
+    """The structured result of one request — degraded or not.
+
+    This is the mutable in-process form (the server stamps
+    ``elapsed_seconds`` and ``policy`` after the fact);
+    :meth:`~repro.serve.schemas.DiagnoseResult.from_outcome` freezes it
+    into the wire shape.
+    """
 
     request_id: str
     #: One of :data:`REASON_CODES`.
@@ -94,136 +96,38 @@ class DiagnosisOutcome:
     narrowing: Optional[List[int]] = None
     #: Session flow only: resolution stopped improving before the end.
     converged: Optional[bool] = None
+    #: Degraded outcomes only: the operative server policy (deadline and
+    #: retry settings), so a ``deadline_expired``/``artifact_error`` line
+    #: is auditable from the JSONL output alone.
+    policy: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
         return self.code == OK
 
     def as_dict(self) -> Dict[str, object]:
-        doc: Dict[str, object] = {
-            "id": self.request_id,
-            "code": self.code,
-            "exact": list(self.exact),
-            "ranked": [[fault, score] for fault, score in self.ranked],
-            "attempts": self.attempts,
-            "elapsed_seconds": round(self.elapsed_seconds, 6),
-        }
-        if self.detail:
-            doc["detail"] = self.detail
-        if self.narrowing is not None:
-            doc["narrowing"] = list(self.narrowing)
-        if self.converged is not None:
-            doc["converged"] = self.converged
-        return doc
+        return DiagnoseResult.from_outcome(self).as_dict(include_schema=False)
 
     def to_json_line(self) -> str:
         return json.dumps(self.as_dict(), sort_keys=True)
 
 
-def _parse_signature(doc: object, *, what: str) -> Signature:
-    if not isinstance(doc, (list, tuple)):
-        raise BadRequest(f"{what} must be a list of output indices, got {doc!r}")
-    outputs: List[int] = []
-    for item in doc:
-        if isinstance(item, bool) or not isinstance(item, int) or item < 0:
-            raise BadRequest(
-                f"{what} must hold non-negative output indices, got {item!r}"
-            )
-        outputs.append(item)
-    if len(set(outputs)) != len(outputs):
-        raise BadRequest(f"{what} repeats an output index: {doc!r}")
-    return tuple(sorted(outputs))
+def parse_request(doc: object, *, default_id: str) -> DiagnoseRequest:
+    """Validate one decoded JSONL document into a :class:`DiagnoseRequest`.
 
-
-def parse_request(doc: object, *, default_id: str) -> DiagnosisRequest:
-    """Validate one decoded JSONL document into a :class:`DiagnosisRequest`.
-
-    Raises :class:`BadRequest` with a precise message on any malformation;
-    the server turns that into a ``bad_request`` outcome rather than
-    letting it fail the batch.
+    Thin delegate kept for back-compat; the validation itself lives in
+    :meth:`repro.serve.schemas.DiagnoseRequest.from_dict`.  Raises
+    :class:`~repro.serve.schemas.SchemaError` (alias :class:`BadRequest`)
+    with a precise message on any malformation; the server turns that
+    into a ``bad_request`` outcome rather than letting it fail the batch.
     """
-    if not isinstance(doc, dict):
-        raise BadRequest(f"request must be a JSON object, got {type(doc).__name__}")
-    unknown = set(doc) - {
-        "id", "observed", "fault", "artifact", "observations", "limit",
-    }
-    if unknown:
-        raise BadRequest(f"unknown request fields: {sorted(unknown)}")
-    request_id = doc.get("id", default_id)
-    if not isinstance(request_id, str) or not request_id:
-        raise BadRequest(f"id must be a non-empty string, got {request_id!r}")
-
-    modes = [key for key in ("observed", "fault", "observations") if key in doc]
-    if len(modes) != 1:
-        raise BadRequest(
-            "give exactly one of observed=, fault= or observations= "
-            f"(got {modes or 'none'})"
-        )
-
-    observed = None
-    if "observed" in doc:
-        raw = doc["observed"]
-        if not isinstance(raw, list):
-            raise BadRequest(f"observed must be a list of signatures, got {raw!r}")
-        observed = tuple(
-            _parse_signature(sig, what=f"observed[{j}]") for j, sig in enumerate(raw)
-        )
-
-    fault = None
-    if "fault" in doc:
-        fault = doc["fault"]
-        if not isinstance(fault, str) or not fault:
-            raise BadRequest(f"fault must be a non-empty string, got {fault!r}")
-
-    observations = None
-    if "observations" in doc:
-        raw = doc["observations"]
-        if not isinstance(raw, list) or not raw:
-            raise BadRequest(
-                f"observations must be a non-empty list of [test, signature] "
-                f"pairs, got {raw!r}"
-            )
-        parsed = []
-        for position, pair in enumerate(raw):
-            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
-                raise BadRequest(
-                    f"observations[{position}] must be a [test, signature] pair"
-                )
-            test_index, sig = pair
-            if isinstance(test_index, bool) or not isinstance(test_index, int) \
-                    or test_index < 0:
-                raise BadRequest(
-                    f"observations[{position}] test index must be a "
-                    f"non-negative integer, got {test_index!r}"
-                )
-            parsed.append(
-                (test_index, _parse_signature(
-                    sig, what=f"observations[{position}] signature"))
-            )
-        observations = tuple(parsed)
-
-    artifact = doc.get("artifact")
-    if artifact is not None and (not isinstance(artifact, str) or not artifact):
-        raise BadRequest(f"artifact must be a non-empty path, got {artifact!r}")
-
-    limit = doc.get("limit", 10)
-    if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
-        raise BadRequest(f"limit must be a non-negative integer, got {limit!r}")
-
-    return DiagnosisRequest(
-        request_id=request_id,
-        observed=observed,
-        fault=fault,
-        artifact=artifact,
-        observations=observations,
-        limit=limit,
-    )
+    return DiagnoseRequest.from_dict(doc, default_id=default_id)
 
 
 def parse_jsonl(lines, *, id_prefix: str = "request") -> List[object]:
     """Decode a JSONL request stream into requests and early outcomes.
 
-    Returns one entry per non-blank line: a :class:`DiagnosisRequest`, or
+    Returns one entry per non-blank line: a :class:`DiagnoseRequest`, or
     — for lines that fail to decode or validate — a ready-made
     ``bad_request`` :class:`DiagnosisOutcome`, so a corrupt line degrades
     that one request and never the batch.
@@ -243,13 +147,37 @@ def parse_jsonl(lines, *, id_prefix: str = "request") -> List[object]:
             ))
             continue
         try:
-            parsed.append(parse_request(doc, default_id=default_id))
-        except BadRequest as exc:
+            parsed.append(DiagnoseRequest.from_dict(doc, default_id=default_id))
+        except SchemaError as exc:
             request_id = default_id
             if isinstance(doc, dict) and isinstance(doc.get("id"), str):
                 request_id = doc["id"]
             parsed.append(DiagnosisOutcome(
-                request_id=request_id, code=BAD_REQUEST,
+                request_id=request_id, code=exc.code,
                 detail=f"line {number}: {exc}",
+            ))
+    return parsed
+
+
+def parse_batch_docs(docs, *, id_prefix: str = "request") -> List[object]:
+    """Decode an already-JSON-decoded list of request documents.
+
+    The JSON-array counterpart of :func:`parse_jsonl` (the daemon's
+    batch endpoint accepts both): one entry per document — a validated
+    :class:`DiagnoseRequest` or a ready-made ``bad_request``
+    :class:`DiagnosisOutcome` for documents that fail validation.
+    """
+    parsed: List[object] = []
+    for number, doc in enumerate(docs, start=1):
+        default_id = f"{id_prefix}-{number}"
+        try:
+            parsed.append(DiagnoseRequest.from_dict(doc, default_id=default_id))
+        except SchemaError as exc:
+            request_id = default_id
+            if isinstance(doc, dict) and isinstance(doc.get("id"), str):
+                request_id = doc["id"]
+            parsed.append(DiagnosisOutcome(
+                request_id=request_id, code=exc.code,
+                detail=f"request {number}: {exc}",
             ))
     return parsed

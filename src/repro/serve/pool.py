@@ -106,6 +106,7 @@ class ArtifactPool:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, PoolEntry]" = OrderedDict()
         self._inflight: dict = {}
+        self._pinned: set = set()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -116,6 +117,24 @@ class ArtifactPool:
         """Content hashes currently resident, least recently used first."""
         with self._lock:
             return list(self._entries)
+
+    def resident(self):
+        """One info dict per resident entry, least recently used first.
+
+        The daemon's ``GET /v1/artifacts`` listing: content hash, the
+        path the entry was loaded from, pin state and table shape.
+        """
+        with self._lock:
+            return [
+                {
+                    "content_hash": entry.content_hash,
+                    "path": entry.path,
+                    "pinned": entry.content_hash in self._pinned,
+                    "faults": entry.table.n_faults,
+                    "tests": entry.table.n_tests,
+                }
+                for entry in self._entries.values()
+            ]
 
     # ------------------------------------------------------------------
     def get(self, path: Union[str, Path]) -> PoolEntry:
@@ -168,7 +187,14 @@ class ArtifactPool:
                 self._entries[key] = entry
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    victim = next(
+                        (k for k in self._entries
+                         if k not in self._pinned and k != key),
+                        None,
+                    )
+                    if victim is None:
+                        break  # everything resident is pinned: allow overflow
+                    self._entries.pop(victim)
                     registry.counter(M.POOL_EVICTIONS).inc()
                 registry.gauge(M.POOL_SIZE).set(len(self._entries))
                 self._inflight.pop(key, None)
@@ -177,11 +203,39 @@ class ArtifactPool:
             return entry
 
     # ------------------------------------------------------------------
+    def pin(self, path: Union[str, Path]) -> PoolEntry:
+        """Load ``path`` (if needed) and protect it from LRU eviction.
+
+        Pinned entries never fall out of the pool to make room — the
+        daemon's hot-registration endpoint pins uploads so a traffic
+        burst against other artifacts cannot evict a freshly published
+        dictionary.  Explicit :meth:`evict`/:meth:`clear` still remove
+        pinned entries (and drop the pin).
+        """
+        entry = self.get(path)
+        with self._lock:
+            self._pinned.add(entry.content_hash)
+        return entry
+
+    def unpin(self, content_hash: str) -> bool:
+        """Make one entry evictable again; returns whether it was pinned."""
+        with self._lock:
+            was_pinned = content_hash in self._pinned
+            self._pinned.discard(content_hash)
+        return was_pinned
+
+    def pinned_hashes(self):
+        """Content hashes currently pinned (unordered)."""
+        with self._lock:
+            return sorted(self._pinned)
+
+    # ------------------------------------------------------------------
     def evict(self, content_hash: str) -> bool:
         """Drop one resident entry; returns whether it was resident."""
         registry = get_default_registry()
         with self._lock:
             removed = self._entries.pop(content_hash, None) is not None
+            self._pinned.discard(content_hash)
             if removed:
                 registry.counter(M.POOL_EVICTIONS).inc()
                 registry.gauge(M.POOL_SIZE).set(len(self._entries))
@@ -193,4 +247,5 @@ class ArtifactPool:
         with self._lock:
             registry.counter(M.POOL_EVICTIONS).inc(len(self._entries))
             self._entries.clear()
+            self._pinned.clear()
             registry.gauge(M.POOL_SIZE).set(0)

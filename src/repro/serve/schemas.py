@@ -1,0 +1,461 @@
+"""Typed, versioned wire schemas — the one request model of the serve layer.
+
+Every way into diagnosis serving — the in-process facade
+(``repro.api.serve``), the JSONL batch CLI (``repro-fd serve``) and the
+network daemon (``repro-fd daemon``, :mod:`repro.serve.daemon`) — speaks
+the same frozen dataclasses defined here:
+
+* :class:`DiagnoseRequest` — one failing-chip lookup (``observed=``,
+  ``fault=`` or ``observations=``), optionally tenant-tagged;
+* :class:`DiagnoseResult` — the wire form of a
+  :class:`~repro.serve.outcomes.DiagnosisOutcome`;
+* :class:`SessionAdvance` — one step of an incremental
+  multi-observation session over the daemon.
+
+Each type round-trips through ``from_dict`` / ``as_dict``.  Documents
+carry a ``"schema"`` field (:data:`SCHEMA_VERSION`); a missing field
+means "current", any other value is rejected — so a client built against
+a future layout degrades to a reason-coded error instead of being
+half-parsed.  Validation is strict and every failure raises
+:class:`SchemaError` with a reason code (``bad_request`` unless stated
+otherwise) and a precise human detail, which the batch server and the
+daemon surface verbatim.
+
+The shapes deliberately mirror the ``DiagnoseRequest`` /
+``DiagnoseResponseItem`` pydantic pair of the FastAPI diagnose-flow this
+layer is modelled on — minus the dependency: plain frozen dataclasses
+plus hand validation keep the wire boundary stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..sim.responses import Signature
+
+#: Version of the request/result wire layout; bump on incompatible change.
+SCHEMA_VERSION = 1
+
+# Reason codes an outcome (or a daemon transport error) can carry.
+OK = "ok"
+BAD_REQUEST = "bad_request"
+UNMODELED_RESPONSE = "unmodeled_response"
+DEADLINE_EXPIRED = "deadline_expired"
+ARTIFACT_ERROR = "artifact_error"
+INTERNAL_ERROR = "internal_error"
+
+#: Every reason code a batch outcome can carry, in severity order.
+REASON_CODES = (
+    OK,
+    BAD_REQUEST,
+    UNMODELED_RESPONSE,
+    DEADLINE_EXPIRED,
+    ARTIFACT_ERROR,
+    INTERNAL_ERROR,
+)
+
+
+class SchemaError(ValueError):
+    """A wire document failed strict validation.
+
+    ``code`` is the reason code the caller should surface
+    (``bad_request`` for malformed documents); ``str(exc)`` is the
+    human-readable detail.
+    """
+
+    def __init__(self, detail: str, *, code: str = BAD_REQUEST) -> None:
+        super().__init__(detail)
+        self.code = code
+
+
+def _check_schema_field(doc: Mapping, *, what: str) -> None:
+    """Reject documents written against a different wire layout."""
+    version = doc.get("schema", SCHEMA_VERSION)
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise SchemaError(
+            f"{what}: schema must be an integer version, got {version!r}"
+        )
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{what}: unsupported schema version {version} "
+            f"(this server speaks schema {SCHEMA_VERSION})"
+        )
+
+
+def _parse_signature(doc: object, *, what: str) -> Signature:
+    if not isinstance(doc, (list, tuple)):
+        raise SchemaError(
+            f"{what} must be a list of output indices, got {doc!r}"
+        )
+    outputs: List[int] = []
+    for item in doc:
+        if isinstance(item, bool) or not isinstance(item, int) or item < 0:
+            raise SchemaError(
+                f"{what} must hold non-negative output indices, got {item!r}"
+            )
+        outputs.append(item)
+    if len(set(outputs)) != len(outputs):
+        raise SchemaError(f"{what} repeats an output index: {doc!r}")
+    return tuple(sorted(outputs))
+
+
+def _parse_observations(
+    raw: object, *, what: str = "observations"
+) -> Tuple[Tuple[int, Signature], ...]:
+    if not isinstance(raw, list) or not raw:
+        raise SchemaError(
+            f"{what} must be a non-empty list of [test, signature] "
+            f"pairs, got {raw!r}"
+        )
+    parsed = []
+    for position, pair in enumerate(raw):
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise SchemaError(
+                f"{what}[{position}] must be a [test, signature] pair"
+            )
+        test_index, sig = pair
+        if isinstance(test_index, bool) or not isinstance(test_index, int) \
+                or test_index < 0:
+            raise SchemaError(
+                f"{what}[{position}] test index must be a "
+                f"non-negative integer, got {test_index!r}"
+            )
+        parsed.append(
+            (test_index,
+             _parse_signature(sig, what=f"{what}[{position}] signature"))
+        )
+    return tuple(parsed)
+
+
+def _parse_limit(raw: object) -> int:
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 0:
+        raise SchemaError(f"limit must be a non-negative integer, got {raw!r}")
+    return raw
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiagnoseRequest:
+    """One failing-chip lookup.
+
+    Exactly one of ``observed`` (per-test failing-output signatures),
+    ``fault`` (a modelled fault name whose stored full row stands in for
+    the tester response — the demo/evaluation path) or ``observations``
+    (the incremental session flow) must be given.  ``artifact`` overrides
+    the server's default artifact for this request; ``tenant`` tags the
+    request for the daemon's per-tenant admission quotas.
+    """
+
+    request_id: str
+    observed: Optional[Tuple[Signature, ...]] = None
+    fault: Optional[str] = None
+    artifact: Optional[str] = None
+    observations: Optional[Tuple[Tuple[int, Signature], ...]] = None
+    limit: int = 10
+    tenant: Optional[str] = None
+
+    #: Wire fields ``from_dict`` accepts (anything else is rejected).
+    WIRE_FIELDS = (
+        "schema", "id", "observed", "fault", "artifact", "observations",
+        "limit", "tenant",
+    )
+
+    @classmethod
+    def from_dict(cls, doc: object, *, default_id: str) -> "DiagnoseRequest":
+        """Validate one decoded wire document into a request.
+
+        Raises :class:`SchemaError` with a precise message on any
+        malformation; callers turn that into a ``bad_request`` outcome
+        (batch) or a 400 response (daemon) rather than failing the whole
+        stream.
+        """
+        if not isinstance(doc, dict):
+            raise SchemaError(
+                f"request must be a JSON object, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - set(cls.WIRE_FIELDS)
+        if unknown:
+            raise SchemaError(f"unknown request fields: {sorted(unknown)}")
+        _check_schema_field(doc, what="request")
+
+        request_id = doc.get("id", default_id)
+        if not isinstance(request_id, str) or not request_id:
+            raise SchemaError(
+                f"id must be a non-empty string, got {request_id!r}"
+            )
+
+        modes = [
+            key for key in ("observed", "fault", "observations") if key in doc
+        ]
+        if len(modes) != 1:
+            raise SchemaError(
+                "give exactly one of observed=, fault= or observations= "
+                f"(got {modes or 'none'})"
+            )
+
+        observed = None
+        if "observed" in doc:
+            raw = doc["observed"]
+            if not isinstance(raw, list):
+                raise SchemaError(
+                    f"observed must be a list of signatures, got {raw!r}"
+                )
+            observed = tuple(
+                _parse_signature(sig, what=f"observed[{j}]")
+                for j, sig in enumerate(raw)
+            )
+
+        fault = None
+        if "fault" in doc:
+            fault = doc["fault"]
+            if not isinstance(fault, str) or not fault:
+                raise SchemaError(
+                    f"fault must be a non-empty string, got {fault!r}"
+                )
+
+        observations = None
+        if "observations" in doc:
+            observations = _parse_observations(doc["observations"])
+
+        artifact = doc.get("artifact")
+        if artifact is not None and (
+            not isinstance(artifact, str) or not artifact
+        ):
+            raise SchemaError(
+                f"artifact must be a non-empty path, got {artifact!r}"
+            )
+
+        tenant = doc.get("tenant")
+        if tenant is not None and (not isinstance(tenant, str) or not tenant):
+            raise SchemaError(
+                f"tenant must be a non-empty string, got {tenant!r}"
+            )
+
+        return cls(
+            request_id=request_id,
+            observed=observed,
+            fault=fault,
+            artifact=artifact,
+            observations=observations,
+            limit=_parse_limit(doc.get("limit", 10)),
+            tenant=tenant,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """The wire document: versioned, minimal (absent fields omitted)."""
+        doc: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "id": self.request_id,
+        }
+        if self.observed is not None:
+            doc["observed"] = [list(sig) for sig in self.observed]
+        if self.fault is not None:
+            doc["fault"] = self.fault
+        if self.artifact is not None:
+            doc["artifact"] = self.artifact
+        if self.observations is not None:
+            doc["observations"] = [
+                [test, list(sig)] for test, sig in self.observations
+            ]
+        if self.limit != 10:
+            doc["limit"] = self.limit
+        if self.tenant is not None:
+            doc["tenant"] = self.tenant
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiagnoseResult:
+    """The frozen wire form of one diagnosis outcome.
+
+    ``code`` is one of :data:`REASON_CODES`; the optional blocks
+    (``narrowing``/``converged`` for session requests, ``policy`` for
+    degraded requests — the operative deadline/retry settings, so a
+    degraded line is auditable from the JSONL output alone) are omitted
+    from the wire document when absent.
+    """
+
+    request_id: str
+    code: str
+    exact: Tuple[str, ...] = ()
+    ranked: Tuple[Tuple[str, int], ...] = ()
+    detail: str = ""
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    narrowing: Optional[Tuple[int, ...]] = None
+    converged: Optional[bool] = None
+    policy: Optional[Tuple[Tuple[str, object], ...]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.code == OK
+
+    @classmethod
+    def from_outcome(cls, outcome) -> "DiagnoseResult":
+        """Freeze a (mutable, in-process) ``DiagnosisOutcome`` for the wire."""
+        policy = outcome.policy
+        return cls(
+            request_id=outcome.request_id,
+            code=outcome.code,
+            exact=tuple(outcome.exact),
+            ranked=tuple((name, score) for name, score in outcome.ranked),
+            detail=outcome.detail,
+            attempts=outcome.attempts,
+            elapsed_seconds=outcome.elapsed_seconds,
+            narrowing=(
+                tuple(outcome.narrowing)
+                if outcome.narrowing is not None else None
+            ),
+            converged=outcome.converged,
+            policy=(
+                tuple(sorted(policy.items())) if policy is not None else None
+            ),
+        )
+
+    def as_dict(self, *, include_schema: bool = True) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "id": self.request_id,
+            "code": self.code,
+            "exact": list(self.exact),
+            "ranked": [[name, score] for name, score in self.ranked],
+            "attempts": self.attempts,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+        if include_schema:
+            doc["schema"] = SCHEMA_VERSION
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.narrowing is not None:
+            doc["narrowing"] = list(self.narrowing)
+        if self.converged is not None:
+            doc["converged"] = self.converged
+        if self.policy is not None:
+            doc["policy"] = dict(self.policy)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: object) -> "DiagnoseResult":
+        """Parse a wire result (the client side of the daemon protocol)."""
+        if not isinstance(doc, dict):
+            raise SchemaError(
+                f"result must be a JSON object, got {type(doc).__name__}"
+            )
+        _check_schema_field(doc, what="result")
+        request_id = doc.get("id")
+        code = doc.get("code")
+        if not isinstance(request_id, str) or not request_id:
+            raise SchemaError(f"result id must be a string, got {request_id!r}")
+        if code not in REASON_CODES:
+            raise SchemaError(f"result code {code!r} is not a reason code")
+        ranked = doc.get("ranked", [])
+        if not isinstance(ranked, list):
+            raise SchemaError(f"result ranked must be a list, got {ranked!r}")
+        policy = doc.get("policy")
+        if policy is not None and not isinstance(policy, dict):
+            raise SchemaError(f"result policy must be an object, got {policy!r}")
+        narrowing = doc.get("narrowing")
+        return cls(
+            request_id=request_id,
+            code=code,
+            exact=tuple(str(name) for name in doc.get("exact", [])),
+            ranked=tuple((str(n), int(s)) for n, s in ranked),
+            detail=str(doc.get("detail", "")),
+            attempts=int(doc.get("attempts", 1)),
+            elapsed_seconds=float(doc.get("elapsed_seconds", 0.0)),
+            narrowing=(
+                tuple(int(n) for n in narrowing)
+                if narrowing is not None else None
+            ),
+            converged=doc.get("converged"),
+            policy=(
+                tuple(sorted(policy.items())) if policy is not None else None
+            ),
+        )
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# sessions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionAdvance:
+    """One step of a daemon-held multi-observation session.
+
+    ``observations`` may be empty (query the current state without
+    folding anything in); ``suggest`` asks the server to compute the
+    greedy next-test suggestion, which costs a scan over the remaining
+    candidates; ``limit`` bounds the candidate names echoed back.
+    """
+
+    session_id: str
+    observations: Tuple[Tuple[int, Signature], ...] = ()
+    suggest: bool = False
+    limit: int = 10
+
+    #: Wire fields ``from_dict`` accepts (anything else is rejected).
+    WIRE_FIELDS = ("schema", "session", "observations", "suggest", "limit")
+
+    @classmethod
+    def from_dict(
+        cls, doc: object, *, session_id: Optional[str] = None
+    ) -> "SessionAdvance":
+        """Validate a session-advance document.
+
+        ``session_id`` (from the URL path, daemon-side) overrides any
+        ``session`` field in the body; one of the two must be present.
+        """
+        if not isinstance(doc, dict):
+            raise SchemaError(
+                f"session advance must be a JSON object, got "
+                f"{type(doc).__name__}"
+            )
+        unknown = set(doc) - set(cls.WIRE_FIELDS)
+        if unknown:
+            raise SchemaError(
+                f"unknown session-advance fields: {sorted(unknown)}"
+            )
+        _check_schema_field(doc, what="session advance")
+        sid = session_id if session_id is not None else doc.get("session")
+        if not isinstance(sid, str) or not sid:
+            raise SchemaError(
+                f"session must be a non-empty string, got {sid!r}"
+            )
+        observations: Tuple[Tuple[int, Signature], ...] = ()
+        if "observations" in doc and doc["observations"] != []:
+            observations = _parse_observations(doc["observations"])
+        suggest = doc.get("suggest", False)
+        if not isinstance(suggest, bool):
+            raise SchemaError(f"suggest must be a boolean, got {suggest!r}")
+        return cls(
+            session_id=sid,
+            observations=observations,
+            suggest=suggest,
+            limit=_parse_limit(doc.get("limit", 10)),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "session": self.session_id,
+        }
+        if self.observations:
+            doc["observations"] = [
+                [test, list(sig)] for test, sig in self.observations
+            ]
+        if self.suggest:
+            doc["suggest"] = True
+        if self.limit != 10:
+            doc["limit"] = self.limit
+        return doc

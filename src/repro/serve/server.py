@@ -72,6 +72,19 @@ class ServeConfig:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
 
+    def policy(self) -> dict:
+        """The deadline/retry settings as an auditable outcome block.
+
+        Attached to every ``deadline_expired``/``artifact_error`` outcome
+        so a degraded JSONL line carries the settings it degraded under —
+        previously those only appeared in the CLI summary line.
+        """
+        return {
+            "deadline_ms": self.deadline_ms,
+            "max_retries": self.max_retries,
+            "retry_backoff_ms": self.retry_backoff_ms,
+        }
+
 
 class _Deadline:
     """One request's time budget against an injectable clock."""
@@ -151,6 +164,20 @@ class DiagnosisServer:
             registry.counter(M.outcome_counter(outcome.code)).inc()
         return outcomes
 
+    def diagnose_one(
+        self, request: Union[DiagnosisRequest, DiagnosisOutcome]
+    ) -> DiagnosisOutcome:
+        """Serve a single request outside a batch (the daemon's work unit).
+
+        Same degradation and metrics semantics as one entry of
+        :meth:`diagnose_batch`, without the batch bookkeeping — callers
+        that already run their own fan-out (the asyncio daemon's worker
+        executor) use this as the per-request hot path.
+        """
+        outcome = self._serve_entry(request)
+        get_default_registry().counter(M.outcome_counter(outcome.code)).inc()
+        return outcome
+
     # ------------------------------------------------------------------
     def session(
         self, artifact: Optional[str] = None, *, stall_after: int = 3
@@ -197,6 +224,10 @@ class DiagnosisServer:
                     detail=f"{type(exc).__name__}: {exc}",
                 )
         outcome.elapsed_seconds = deadline.elapsed
+        if outcome.code in (DEADLINE_EXPIRED, ARTIFACT_ERROR):
+            # Deadline/retry degradations carry the settings they
+            # degraded under, so the JSONL output alone is auditable.
+            outcome.policy = self.config.policy()
         return outcome
 
     def _serve_inner(

@@ -93,3 +93,83 @@ class TestConfigConflicts:
     def test_select_baselines_conflict(self, table):
         with pytest.raises(ValueError, match="DictionaryConfig"):
             select_baselines(table, lower=5, config=DictionaryConfig())
+
+
+class TestServeDeprecation:
+    """``repro.api.serve()`` joined the config-first migration in PR 8."""
+
+    def test_loose_kwargs_warn_and_still_work(self):
+        from repro.api import serve
+
+        with pytest.warns(DeprecationWarning, match="repro.api.serve"):
+            server = serve(deadline_ms=250.0, workers=2, pool_size=3)
+        assert server.config.deadline_ms == 250.0
+        assert server.config.workers == 2
+        assert server.config.pool_size == 3
+
+    def test_every_legacy_kwarg_maps_onto_the_config(self):
+        from repro.api import serve
+
+        with pytest.warns(DeprecationWarning, match="ServeConfig"):
+            server = serve(
+                pool_size=2, workers=3, deadline_ms=9.0,
+                max_retries=1, retry_backoff_ms=4.0, limit=7,
+            )
+        config = server.config
+        assert (config.pool_size, config.workers, config.deadline_ms) == (2, 3, 9.0)
+        assert (config.max_retries, config.retry_backoff_ms, config.limit) == (1, 4.0, 7)
+
+    def test_config_shape_does_not_warn(self):
+        from repro.api import serve
+        from repro.serve import ServeConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            server = serve(config=ServeConfig(workers=2))
+        assert server.config.workers == 2
+
+    def test_bare_call_does_not_warn(self):
+        from repro.api import serve
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            serve()
+
+    def test_conflict_raises(self):
+        from repro.api import serve
+        from repro.serve import ServeConfig
+
+        with pytest.raises(ValueError, match="config= or the legacy"):
+            serve(config=ServeConfig(), workers=2)
+
+    def test_unknown_kwarg_raises_type_error(self):
+        from repro.api import serve
+
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            serve(timeout_ms=5)
+
+
+class TestServeDaemonFacade:
+    """``repro.api.serve_daemon()`` is config-first from day one."""
+
+    def test_assembles_a_daemon_from_fields(self):
+        from repro.api import serve_daemon
+        from repro.serve import ServeConfig
+
+        daemon = serve_daemon(
+            "a.rfd", serve_config=ServeConfig(workers=2),
+            port=0, max_inflight=4,
+        )
+        assert daemon.config.max_inflight == 4
+        assert daemon.config.default_artifact == "a.rfd"
+        assert daemon.server.config.workers == 2
+        assert daemon.state == "idle"
+
+    def test_full_config_excludes_the_field_shape(self):
+        from repro.api import serve_daemon
+        from repro.serve.daemon import DaemonConfig
+
+        daemon = serve_daemon(config=DaemonConfig(port=0))
+        assert daemon.config.port == 0
+        with pytest.raises(ValueError, match="full config="):
+            serve_daemon("a.rfd", config=DaemonConfig(port=0))

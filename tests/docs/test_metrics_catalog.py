@@ -32,7 +32,8 @@ def declared_names():
 
 def literal_names():
     names = set()
-    for source in sorted((REPO_ROOT / "src" / "repro" / "serve").glob("*.py")):
+    # rglob: the daemon subpackage (src/repro/serve/daemon/) emits too.
+    for source in sorted((REPO_ROOT / "src" / "repro" / "serve").rglob("*.py")):
         for match in SERVE_NAME.finditer(source.read_text()):
             name = match.group(1)
             if name == metrics.OUTCOME_PREFIX.rstrip("."):

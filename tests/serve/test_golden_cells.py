@@ -129,6 +129,48 @@ def test_vector_backend_builds_and_serves_identical_cells(golden_artifacts, tmp_
             ], (leg, name)
 
 
+def test_daemon_serves_golden_cells_over_a_real_socket(golden_artifacts):
+    """The network daemon must not perturb a single golden bit.
+
+    Every sampled fault of every golden cell is diagnosed twice — by a
+    direct ``Diagnoser`` on the in-memory build, and through the asyncio
+    daemon over a real localhost socket — and the exact/ranked lists
+    must agree pair for pair.
+    """
+    import http.client
+    import json
+
+    from repro.serve.daemon import DaemonConfig, start_in_thread
+
+    handle = start_in_thread(DaemonConfig(port=0, serve=ServeConfig(workers=2)))
+    try:
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=30)
+        for cell, (path, built) in golden_artifacts.items():
+            diagnoser = Diagnoser(built.dictionary)
+            for name in sample_fault_names(built):
+                index = [str(f) for f in built.table.faults].index(name)
+                want = diagnoser.diagnose(
+                    list(built.table.full_row(index)), limit=10
+                )
+                conn.request(
+                    "POST", "/v1/diagnose",
+                    body=json.dumps({
+                        "id": name, "fault": name, "artifact": str(path),
+                    }).encode(),
+                )
+                response = conn.getresponse()
+                doc = json.loads(response.read().decode())
+                assert response.status == 200, (cell, name, doc)
+                assert doc["code"] == "ok", (cell, name, doc)
+                assert doc["exact"] == [str(f) for f in want.exact], (cell, name)
+                assert doc["ranked"] == [
+                    [str(f), score] for f, score in want.ranked
+                ], (cell, name)
+        conn.close()
+    finally:
+        handle.stop()
+
+
 def test_reloads_are_stable_across_runs(golden_artifacts):
     (path, built) = golden_artifacts[CELLS[0]]
     names = sample_fault_names(built)

@@ -154,3 +154,59 @@ class TestValidation:
         pool = ArtifactPool(capacity=1)
         with pytest.raises(ArtifactFormatError, match="checksum"):
             pool.get(hurt)
+
+
+class TestPinning:
+    def test_pinned_entries_survive_lru_pressure(
+        self, artifact_a, artifact_b, artifact_c
+    ):
+        with scoped_registry():
+            pool = ArtifactPool(capacity=1)
+            pinned = pool.pin(artifact_a[0])
+            assert pool.pinned_hashes() == [pinned.content_hash]
+            # Two more loads through a capacity-1 pool: each would evict
+            # the LRU entry, but the pinned one must never be the victim.
+            pool.get(artifact_b[0])
+            pool.get(artifact_c[0])
+            assert pinned.content_hash in pool.resident_hashes()
+            assert pool.get(artifact_a[0]) is pinned  # still a hit
+
+    def test_all_pinned_allows_overflow(self, artifact_a, artifact_b):
+        with scoped_registry() as registry:
+            pool = ArtifactPool(capacity=1)
+            pool.pin(artifact_a[0])
+            pool.pin(artifact_b[0])
+            assert len(pool) == 2  # over capacity, by pinning
+            assert "serve.pool_evictions" not in registry.counters
+
+    def test_unpin_restores_evictability(self, artifact_a, artifact_b):
+        with scoped_registry():
+            pool = ArtifactPool(capacity=1)
+            pinned = pool.pin(artifact_a[0])
+            assert pool.unpin(pinned.content_hash) is True
+            assert pool.unpin(pinned.content_hash) is False
+            pool.get(artifact_b[0])  # now evicts the formerly-pinned entry
+            assert pinned.content_hash not in pool.resident_hashes()
+
+    def test_explicit_evict_and_clear_drop_pins(self, artifact_a):
+        with scoped_registry():
+            pool = ArtifactPool(capacity=2)
+            pinned = pool.pin(artifact_a[0])
+            assert pool.evict(pinned.content_hash) is True
+            assert pool.pinned_hashes() == []
+            pool.pin(artifact_a[0])
+            pool.clear()
+            assert pool.pinned_hashes() == []
+            assert len(pool) == 0
+
+    def test_resident_reports_pin_state_and_shape(self, artifact_a, artifact_b):
+        with scoped_registry():
+            pool = ArtifactPool(capacity=4)
+            pinned = pool.pin(artifact_a[0])
+            pool.get(artifact_b[0])
+            info = {entry["content_hash"]: entry for entry in pool.resident()}
+            assert info[pinned.content_hash]["pinned"] is True
+            assert info[pinned.content_hash]["path"] == str(artifact_a[0])
+            assert info[pinned.content_hash]["faults"] == pinned.table.n_faults
+            others = [e for e in pool.resident() if not e["pinned"]]
+            assert len(others) == 1

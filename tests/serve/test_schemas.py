@@ -1,0 +1,196 @@
+"""The typed wire schemas: round-trips, versioning, strict validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import outcomes
+from repro.serve.outcomes import DiagnosisOutcome
+from repro.serve.schemas import (
+    BAD_REQUEST,
+    OK,
+    REASON_CODES,
+    SCHEMA_VERSION,
+    DiagnoseRequest,
+    DiagnoseResult,
+    SchemaError,
+    SessionAdvance,
+)
+
+
+class TestDiagnoseRequestRoundTrip:
+    def test_observed_round_trips(self):
+        request = DiagnoseRequest.from_dict(
+            {"id": "chip-1", "observed": [[0, 2], [], [1]], "limit": 5},
+            default_id="x",
+        )
+        doc = request.as_dict()
+        assert doc["schema"] == SCHEMA_VERSION
+        again = DiagnoseRequest.from_dict(doc, default_id="y")
+        assert again == request
+
+    def test_fault_and_tenant_round_trip(self):
+        request = DiagnoseRequest.from_dict(
+            {"fault": "G1/sa1", "artifact": "a.rfd", "tenant": "acme"},
+            default_id="r-1",
+        )
+        assert request.request_id == "r-1"
+        assert request.tenant == "acme"
+        assert DiagnoseRequest.from_dict(
+            json.loads(request.to_json()), default_id="z"
+        ) == request
+
+    def test_observations_round_trip(self):
+        request = DiagnoseRequest.from_dict(
+            {"id": "s", "observations": [[0, [1]], [3, []]]}, default_id="x"
+        )
+        assert request.observations == ((0, (1,)), (3, ()))
+        assert DiagnoseRequest.from_dict(
+            request.as_dict(), default_id="x"
+        ) == request
+
+    def test_default_fields_are_omitted_from_the_wire(self):
+        doc = DiagnoseRequest.from_dict(
+            {"id": "a", "fault": "f"}, default_id="x"
+        ).as_dict()
+        assert set(doc) == {"schema", "id", "fault"}
+
+
+class TestSchemaVersioning:
+    def test_missing_schema_field_means_current(self):
+        request = DiagnoseRequest.from_dict(
+            {"id": "a", "fault": "f"}, default_id="x"
+        )
+        assert request.fault == "f"
+
+    @pytest.mark.parametrize("version", [0, 2, 99, "1", 1.0, True])
+    def test_other_versions_are_rejected(self, version):
+        with pytest.raises(SchemaError, match="schema"):
+            DiagnoseRequest.from_dict(
+                {"schema": version, "id": "a", "fault": "f"}, default_id="x"
+            )
+
+    def test_result_and_session_check_the_version_too(self):
+        with pytest.raises(SchemaError, match="schema"):
+            DiagnoseResult.from_dict({"schema": 7, "id": "a", "code": "ok"})
+        with pytest.raises(SchemaError, match="schema"):
+            SessionAdvance.from_dict({"schema": 7, "session": "s"})
+
+
+class TestStrictValidation:
+    @pytest.mark.parametrize("doc, fragment", [
+        ([1, 2], "JSON object"),
+        ({"id": "a"}, "exactly one of"),
+        ({"id": "a", "fault": "f", "observed": [[0]]}, "exactly one of"),
+        ({"id": "a", "fault": "f", "bogus": 1}, "unknown request fields"),
+        ({"id": "", "fault": "f"}, "non-empty string"),
+        ({"id": "a", "fault": ""}, "fault"),
+        ({"id": "a", "observed": [[0, 0]]}, "repeats"),
+        ({"id": "a", "observed": [[-1]]}, "non-negative"),
+        ({"id": "a", "observed": "nope"}, "list"),
+        ({"id": "a", "fault": "f", "limit": -1}, "limit"),
+        ({"id": "a", "fault": "f", "limit": True}, "limit"),
+        ({"id": "a", "fault": "f", "artifact": ""}, "artifact"),
+        ({"id": "a", "fault": "f", "tenant": ""}, "tenant"),
+        ({"id": "a", "observations": []}, "non-empty"),
+        ({"id": "a", "observations": [[0]]}, "pair"),
+        ({"id": "a", "observations": [["x", [0]]]}, "test index"),
+    ])
+    def test_malformations_raise_schema_errors(self, doc, fragment):
+        with pytest.raises(SchemaError, match=fragment) as info:
+            DiagnoseRequest.from_dict(doc, default_id="x")
+        assert info.value.code == BAD_REQUEST
+
+    def test_session_advance_strictness(self):
+        with pytest.raises(SchemaError, match="unknown session-advance"):
+            SessionAdvance.from_dict({"session": "s", "nope": 1})
+        with pytest.raises(SchemaError, match="session"):
+            SessionAdvance.from_dict({"suggest": True})
+        with pytest.raises(SchemaError, match="suggest"):
+            SessionAdvance.from_dict({"session": "s", "suggest": "yes"})
+
+    def test_session_id_from_path_overrides_body(self):
+        advance = SessionAdvance.from_dict(
+            {"session": "body", "suggest": True}, session_id="path"
+        )
+        assert advance.session_id == "path"
+        assert advance.as_dict()["session"] == "path"
+
+
+class TestDiagnoseResult:
+    def test_freezes_an_outcome_and_round_trips(self):
+        outcome = DiagnosisOutcome(
+            request_id="r", code=OK,
+            exact=["a"], ranked=[("a", 9), ("b", 7)],
+            attempts=2, elapsed_seconds=0.25,
+            narrowing=[5, 3, 1], converged=True,
+        )
+        result = DiagnoseResult.from_outcome(outcome)
+        doc = result.as_dict()
+        assert doc["schema"] == SCHEMA_VERSION
+        again = DiagnoseResult.from_dict(json.loads(json.dumps(doc)))
+        assert again == result
+        assert again.ok
+
+    def test_policy_block_survives_the_wire(self):
+        outcome = DiagnosisOutcome(
+            request_id="r", code="deadline_expired",
+            detail="too slow",
+            policy={"deadline_ms": 5.0, "max_retries": 2,
+                    "retry_backoff_ms": 10.0},
+        )
+        doc = DiagnoseResult.from_outcome(outcome).as_dict()
+        assert doc["policy"] == {
+            "deadline_ms": 5.0, "max_retries": 2, "retry_backoff_ms": 10.0,
+        }
+        again = DiagnoseResult.from_dict(doc)
+        assert dict(again.policy) == doc["policy"]
+
+    def test_outcome_as_dict_is_the_wire_shape_minus_schema(self):
+        outcome = DiagnosisOutcome(request_id="r", code=OK, exact=["a"])
+        doc = outcome.as_dict()
+        assert "schema" not in doc
+        wire = DiagnoseResult.from_outcome(outcome).as_dict()
+        wire.pop("schema")
+        assert doc == wire
+
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(SchemaError, match="reason code"):
+            DiagnoseResult.from_dict({"id": "a", "code": "nope"})
+
+
+class TestBackCompatAliases:
+    def test_old_names_are_the_new_types(self):
+        assert outcomes.DiagnosisRequest is DiagnoseRequest
+        assert outcomes.BadRequest is SchemaError
+        from repro.serve import BadRequest, DiagnosisRequest
+        assert DiagnosisRequest is DiagnoseRequest
+        assert BadRequest is SchemaError
+
+    def test_reason_codes_re_export(self):
+        assert outcomes.REASON_CODES == REASON_CODES
+        assert outcomes.OK is OK
+
+    def test_parse_jsonl_still_degrades_bad_lines(self):
+        lines = [
+            json.dumps({"id": "good", "fault": "f"}),
+            "{broken json",
+            json.dumps({"id": "bad", "fault": "f", "schema": 9}),
+        ]
+        parsed = outcomes.parse_jsonl(lines)
+        assert isinstance(parsed[0], DiagnoseRequest)
+        assert isinstance(parsed[1], DiagnosisOutcome)
+        assert parsed[1].code == BAD_REQUEST
+        assert parsed[2].request_id == "bad"
+        assert "schema" in parsed[2].detail
+
+    def test_parse_batch_docs_mirrors_parse_jsonl(self):
+        parsed = outcomes.parse_batch_docs([
+            {"id": "good", "fault": "f"},
+            {"nonsense": True},
+        ])
+        assert isinstance(parsed[0], DiagnoseRequest)
+        assert parsed[1].code == BAD_REQUEST
+        assert "request 2" in parsed[1].detail

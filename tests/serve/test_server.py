@@ -347,3 +347,93 @@ class TestJsonl:
         assert doc["code"] == "ok"
         assert doc["id"] == "request-1"
         assert doc["attempts"] == 1
+
+
+class TestPolicyAudit:
+    """Degraded outcomes carry the operative deadline/retry settings, so
+    a ``deadline_expired``/``artifact_error`` JSONL line is auditable
+    without the CLI summary (the PR-8 fix)."""
+
+    def test_deadline_expired_outcome_carries_policy(self, artifact_a):
+        path, _ = artifact_a
+        clock = FakeClock()
+
+        def slow_loader(p):
+            clock.advance(0.2)
+            return load_artifact(p)
+
+        server, _, _ = make_server(
+            path, loader=slow_loader, clock=clock,
+            deadline_ms=50.0, max_retries=1, retry_backoff_ms=7.0,
+        )
+        with scoped_registry():
+            [outcome] = server.diagnose_batch(
+                [DiagnosisRequest(request_id="r1", fault="f0/sa0")]
+            )
+        assert outcome.code == "deadline_expired"
+        assert outcome.policy == {
+            "deadline_ms": 50.0, "max_retries": 1, "retry_backoff_ms": 7.0,
+        }
+        # And it reaches the JSONL line itself.
+        import json
+        doc = json.loads(outcome.to_json_line())
+        assert doc["policy"]["deadline_ms"] == 50.0
+
+    def test_artifact_error_outcome_carries_policy(self, artifact_a):
+        path, _ = artifact_a
+
+        def broken_loader(p):
+            raise ArtifactFormatError("hurt")
+
+        server, _, _ = make_server(
+            path, loader=broken_loader, max_retries=2, retry_backoff_ms=5.0
+        )
+        with scoped_registry():
+            [outcome] = server.diagnose_batch(
+                [DiagnosisRequest(request_id="r1", fault="f0/sa0")]
+            )
+        assert outcome.code == "artifact_error"
+        assert outcome.policy == {
+            "deadline_ms": None, "max_retries": 2, "retry_backoff_ms": 5.0,
+        }
+
+    def test_ok_and_bad_request_outcomes_carry_no_policy(self, artifact_a):
+        path, built = artifact_a
+        server, _, _ = make_server(path)
+        with scoped_registry():
+            outcomes = server.diagnose_batch([
+                DiagnosisRequest(
+                    request_id="ok", fault=str(built.table.faults[0])
+                ),
+                DiagnosisRequest(request_id="nope", fault="not-a-fault"),
+            ])
+        assert [o.code for o in outcomes] == ["ok", "unmodeled_response"]
+        for outcome in outcomes:
+            assert outcome.policy is None
+            assert "policy" not in outcome.as_dict()
+
+
+class TestDiagnoseOne:
+    """The daemon's per-request hot path mirrors one batch entry."""
+
+    def test_counts_outcome_and_matches_batch(self, artifact_a):
+        path, built = artifact_a
+        server, _, _ = make_server(path)
+        request = DiagnosisRequest(
+            request_id="solo", fault=str(built.table.faults[1])
+        )
+        with scoped_registry() as registry:
+            single = server.diagnose_one(request)
+            assert registry.counters["serve.outcomes.ok"].value == 1
+            assert registry.counters["serve.requests"].value == 1
+            assert "serve.batches" not in registry.counters
+        with scoped_registry():
+            [batched] = server.diagnose_batch([request])
+        assert single.as_dict() == batched.as_dict()
+
+    def test_premade_outcome_passes_through(self, artifact_a):
+        path, _ = artifact_a
+        server, _, _ = make_server(path)
+        premade = DiagnosisOutcome(request_id="x", code="bad_request")
+        with scoped_registry():
+            assert server.diagnose_one(premade) is premade
