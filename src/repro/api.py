@@ -88,6 +88,9 @@ def build(
     config: Optional[DictionaryConfig] = None,
     progress: Optional[ProgressReporter] = None,
     cache_dir=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ) -> BuiltDictionary:
     """Build a fault dictionary of the requested ``kind``.
 
@@ -104,6 +107,17 @@ def build(
     returned — for the ``netlist`` entry path that skips even the fault
     simulation — and otherwise the fresh build is stored for next time.
     See ``docs/artifacts.md`` for the cache-key rules.
+
+    ``checkpoint_dir`` makes a long same-different build resumable: the
+    restart fold writes an ``RFDC`` checkpoint
+    (:mod:`repro.store.checkpoint`) keyed by the same content hash the
+    cache uses, every ``checkpoint_every`` folded restarts.  With
+    ``resume=True`` a matching checkpoint left by a killed build is
+    restored before the first restart runs, and the finished build is
+    byte-identical to an uninterrupted one (``docs/scaling.md``).
+    Checkpoints only apply to ``kind="same-different"`` — the other
+    kinds have no restart loop — and a completed build removes its
+    checkpoint file.
     """
     if table is None:
         if netlist is None or faults is None or tests is None:
@@ -114,29 +128,39 @@ def build(
         raise ValueError(
             "build() takes either table= or netlist=/faults=/tests=, not both"
         )
+    if resume and checkpoint_dir is None:
+        raise ValueError("build(resume=True) requires checkpoint_dir=")
     config = config if config is not None else DictionaryConfig()
     if kind not in KINDS:
         raise ValueError(f"unknown dictionary kind {kind!r} (expected one of {KINDS})")
 
     cache = key = None
-    if cache_dir is not None:
+    if cache_dir is not None or checkpoint_dir is not None:
         # Imported lazily: repro.store imports this module.
         from .store import BuildCache, build_inputs_hash, table_content_hash
 
-        cache = BuildCache(cache_dir)
         key = (
             table_content_hash(table, kind, config)
             if table is not None
             else build_inputs_hash(netlist, faults, tests, kind, config)
         )
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
+        if cache_dir is not None:
+            cache = BuildCache(cache_dir)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
 
     if table is None:
         table = ResponseTable.build(netlist, faults, tests)
     if kind == "same-different":
-        dictionary, report = _build_impl(table, config, progress)
+        checkpoint = None
+        if checkpoint_dir is not None:
+            from .store.checkpoint import CheckpointManager
+
+            checkpoint = CheckpointManager(
+                checkpoint_dir, every=checkpoint_every
+            ).session(key, kind=kind, config=config, resume=resume)
+        dictionary, report = _build_impl(table, config, progress, checkpoint)
         built = BuiltDictionary(dictionary, table, kind, config, report)
     elif kind == "pass-fail":
         built = BuiltDictionary(PassFailDictionary(table), table, kind, config)

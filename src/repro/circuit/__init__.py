@@ -2,7 +2,13 @@
 
 from .bench import BenchParseError, dump, dumps, load, loads
 from .gates import GateType, evaluate_gate
-from .generate import GeneratorSpec, generate_netlist
+from .generate import (
+    ITC99_PRESETS,
+    GeneratorSpec,
+    ProxySpec,
+    generate_netlist,
+    proxy_response_table,
+)
 from .library import PROXY_SPECS, available_circuits, load_circuit
 from .compactor import compaction_alias_rate, grouped_compactor, parity_compactor
 from .netlist import Gate, Netlist, NetlistError, from_gates
@@ -15,9 +21,11 @@ __all__ = [
     "Gate",
     "GateType",
     "GeneratorSpec",
+    "ITC99_PRESETS",
     "Netlist",
     "NetlistError",
     "PROXY_SPECS",
+    "ProxySpec",
     "ScanInfo",
     "VerilogParseError",
     "available_circuits",
@@ -37,4 +45,5 @@ __all__ = [
     "load_circuit",
     "loads",
     "prepare_for_test",
+    "proxy_response_table",
 ]

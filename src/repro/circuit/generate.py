@@ -7,6 +7,15 @@ primary outputs, flip-flops) and gate count, fully determined by its seed.
 The generator biases fan-in selection toward recently created nets so the
 circuit acquires realistic logic depth and reconvergent fan-out rather than
 a flat two-level structure.
+
+For ITC-99-scale work (10k–30k collapsed faults) actually fault-simulating
+a generated netlist is infeasible in pure Python, so :data:`ITC99_PRESETS`
+carries interface-stat presets modelled on b14/b15/b17 and
+:func:`proxy_response_table` synthesises the *response table* directly —
+deterministic in the preset, cone-structured so detection rows collide and
+the same/different selection problem stays non-trivial, and cheap enough
+to rebuild identically in a resumed or subprocess-driven build (see
+``docs/scaling.md``).
 """
 
 from __future__ import annotations
@@ -14,8 +23,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..faults.model import Fault
 from .gates import GateType
 from .netlist import Netlist
 
@@ -131,6 +141,135 @@ def generate_netlist(spec: GeneratorSpec) -> Netlist:
 
     netlist.validate()
     return netlist
+
+
+@dataclass(frozen=True)
+class ProxySpec:
+    """Interface statistics of one ITC-99-class proxy circuit.
+
+    The interface numbers (inputs, outputs, flip-flops, gates) follow the
+    published ITC-99 benchmark statistics; ``n_faults`` is the collapsed
+    stuck-at fault count the proxy response table carries and ``n_tests``
+    a pseudo-random pattern budget sized for dictionary experiments.
+    Equal specs synthesise equal tables.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flip_flops: int
+    n_gates: int
+    n_faults: int
+    n_tests: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise ValueError("proxy needs at least one input and one output")
+        if self.n_faults < 2:
+            raise ValueError("proxy needs at least two faults")
+        if self.n_tests < 1:
+            raise ValueError("proxy needs at least one test")
+
+
+#: ITC-99-class interface presets: b14/b15/b17 proxies at collapsed fault
+#: counts of 10k–30k.  These feed :func:`proxy_response_table`, not the
+#: gate-level generator — simulating circuits this size in pure Python is
+#: out of reach, the dictionary build is what scales.
+ITC99_PRESETS: Dict[str, ProxySpec] = {
+    "b14p": ProxySpec("b14p", 32, 54, 245, 10098, 10000, 160, seed=14),
+    "b15p": ProxySpec("b15p", 36, 70, 449, 8922, 12000, 160, seed=15),
+    "b17p": ProxySpec("b17p", 37, 97, 1415, 32326, 30000, 200, seed=17),
+}
+
+
+def proxy_response_table(
+    spec: Union[str, ProxySpec],
+    n_faults: Optional[int] = None,
+    n_tests: Optional[int] = None,
+):
+    """Synthesise a deterministic ITC-99-scale response table, no simulation.
+
+    ``spec`` is a :class:`ProxySpec` or a preset name from
+    :data:`ITC99_PRESETS`; ``n_faults`` / ``n_tests`` override the preset
+    counts (quick modes downsize without changing the structure — the
+    result is still a pure function of the three arguments, which is what
+    lets a SIGKILL'd build's driver re-derive the identical table before
+    resuming).
+
+    Structure: faults are grouped into *cones* (shared logic regions).  A
+    cone fixes which tests can detect its faults and a small pool of
+    failing signatures per test, so faults of one cone collide in their
+    pass/fail rows while differing in output signatures — exactly the
+    regime where the same/different dictionary buys resolution over
+    pass/fail and Procedure 1 has real work to do.
+    """
+    from ..sim.patterns import TestSet
+    from ..sim.responses import ResponseTable
+
+    if isinstance(spec, str):
+        try:
+            spec = ITC99_PRESETS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown ITC-99 proxy preset {spec!r}; "
+                f"available: {', '.join(sorted(ITC99_PRESETS))}"
+            ) from None
+    faults_n = n_faults if n_faults is not None else spec.n_faults
+    tests_n = n_tests if n_tests is not None else spec.n_tests
+    if faults_n < 2 or tests_n < 1:
+        raise ValueError(f"degenerate proxy size {faults_n}x{tests_n}")
+    rng = random.Random(spec.seed * 1_000_003 + faults_n * 1_009 + tests_n)
+
+    outputs = [f"po{o}" for o in range(spec.n_outputs)]
+    inputs = [f"pi{i}" for i in range(spec.n_inputs)]
+    tests = TestSet(
+        inputs, [rng.getrandbits(spec.n_inputs) for _ in range(tests_n)]
+    )
+    # Fault lines reference the synthetic gate namespace of the preset's
+    # interface stats; two faults (sa0/sa1) per named line.
+    faults = [
+        Fault(f"n{i // 2}", i % 2) for i in range(faults_n)
+    ]
+
+    # Cones: each owns a handful of detecting tests and, per test, a
+    # small signature pool drawn from nearby outputs.
+    n_cones = max(8, faults_n // 40)
+    cone_tests: List[List[int]] = []
+    cone_pools: List[Dict[int, List[Tuple[int, ...]]]] = []
+    for _ in range(n_cones):
+        span = rng.randint(3, min(9, tests_n))
+        detecting = sorted(rng.sample(range(tests_n), span))
+        anchor = rng.randrange(spec.n_outputs)
+        pools: Dict[int, List[Tuple[int, ...]]] = {}
+        for j in detecting:
+            pool = []
+            for _ in range(rng.randint(2, 4)):
+                width = rng.randint(1, min(4, spec.n_outputs))
+                lo = max(0, min(anchor - 3, spec.n_outputs - width - 3))
+                hi = min(spec.n_outputs - 1, anchor + 3 + width)
+                sig = tuple(sorted(rng.sample(range(lo, hi + 1), width)))
+                if sig not in pool:
+                    pool.append(sig)
+            pools[j] = pool
+        cone_tests.append(detecting)
+        cone_pools.append(pools)
+
+    failing: List[Dict[int, Tuple[int, ...]]] = []
+    for _ in range(faults_n):
+        cone = rng.randrange(n_cones)
+        row: Dict[int, Tuple[int, ...]] = {}
+        for j in cone_tests[cone]:
+            if rng.random() < 0.7:
+                row[j] = rng.choice(cone_pools[cone][j])
+        if not row:
+            # Every collapsed fault is detectable by construction.
+            j = rng.choice(cone_tests[cone])
+            row[j] = rng.choice(cone_pools[cone][j])
+        failing.append(row)
+
+    good = {net: rng.getrandbits(tests_n) for net in outputs}
+    return ResponseTable(outputs, faults, tests, failing, good)
 
 
 def _sink_nets(netlist: Netlist, spec: GeneratorSpec) -> List[str]:

@@ -137,6 +137,23 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist an RFDC build checkpoint here after every folded "
+        "Procedure 1 restart, so a killed build can resume to the "
+        "identical artifact (see docs/scaling.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the matching checkpoint in --checkpoint-dir "
+        "instead of restarting Procedure 1 from scratch",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -232,6 +249,7 @@ def cmd_table6(args: argparse.Namespace) -> int:
         rows = run_table6(
             circuits, seed=args.seed, calls=args.calls, progress=session.progress,
             jobs=args.jobs, backend=args.backend, cache_dir=args.cache_dir,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         )
         session.out.emit(render_table6(rows))
         session.out.emit("")
@@ -255,6 +273,8 @@ def cmd_pack(args: argparse.Namespace) -> int:
             ),
             progress=session.progress,
             cache_dir=args.cache_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
         content_hash = save_artifact(built, args.out)
         size = Path(args.out).stat().st_size
@@ -298,6 +318,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 ),
                 progress=session.progress,
                 cache_dir=args.cache_dir,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
             )
         if table.n_faults == 0:
             print(
@@ -514,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(table6)
     _add_backend_flag(table6)
     _add_cache_flag(table6)
+    _add_checkpoint_flags(table6)
     _add_obs_flags(table6)
     table6.set_defaults(func=cmd_table6)
 
@@ -531,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(pack)
     _add_backend_flag(pack)
     _add_cache_flag(pack)
+    _add_checkpoint_flags(pack)
     _add_obs_flags(pack)
     pack.set_defaults(func=cmd_pack)
 
@@ -558,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(diagnose)
     _add_backend_flag(diagnose)
     _add_cache_flag(diagnose)
+    _add_checkpoint_flags(diagnose)
     _add_obs_flags(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
 

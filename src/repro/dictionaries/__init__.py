@@ -8,7 +8,7 @@ from .compressed import (
 )
 from .full import FullDictionary
 from .passfail import PassFailDictionary
-from .resolution import (
+from ..partition import (
     Partition,
     indistinguished_pairs,
     pairs_within,

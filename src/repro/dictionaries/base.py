@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..faults.model import Fault
 from ..sim.responses import ResponseTable, Signature
-from .resolution import indistinguished_pairs, total_pairs
+from ..partition import indistinguished_pairs, total_pairs
 
 
 @dataclass(frozen=True)

@@ -1,131 +1,44 @@
-"""Diagnostic-resolution accounting via partition refinement.
+"""Deprecated home of the partition math — moved to :mod:`repro.partition`.
 
-The set ``P`` of still-indistinguished fault pairs maintained by the
-paper's procedures is never materialised: two faults remain in ``P``
-exactly when their dictionary rows so far are identical, so ``P`` is the
-set of within-class pairs of a partition of the faults.  All pair counts
-(``dist(z)``, indistinguished totals) are computed from class sizes in
-O(faults) instead of O(pairs).
+Everything this module used to define lives in :mod:`repro.partition.core`
+now (one canonical home for pair arithmetic and the refinement engine);
+``Partition`` is an alias of :class:`repro.partition.FaultPartition`.
+Importing the names through this module keeps working but emits a
+:class:`DeprecationWarning` — update imports to ``repro.partition``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence
+import warnings
+
+_MOVED = (
+    "Partition",
+    "indistinguished_after_split",
+    "indistinguished_pairs",
+    "pairs_within",
+    "partition_by_key",
+    "refine",
+    "total_pairs",
+    "FaultPartition",
+    "rows_indistinguished",
+)
+
+__all__ = list(_MOVED)
 
 
-def pairs_within(size: int) -> int:
-    """Number of unordered pairs inside one class: C(size, 2)."""
-    return size * (size - 1) // 2
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.dictionaries.resolution.{name} moved to repro.partition; "
+            "update the import (this shim will be removed)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.partition as partition
+
+        return getattr(partition, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def indistinguished_pairs(partition: Iterable[Sequence[int]]) -> int:
-    """Total within-class pairs of a partition (the paper's indistinguished count)."""
-    return sum(pairs_within(len(members)) for members in partition)
-
-
-def total_pairs(n_faults: int) -> int:
-    """All unordered fault pairs C(n, 2) — the initial size of ``P``."""
-    return pairs_within(n_faults)
-
-
-def indistinguished_after_split(
-    counts: Sequence[tuple], class_sizes: Sequence[int], base: int
-) -> int:
-    """Indistinguished pairs when classes split by a candidate's counts.
-
-    ``base`` is the indistinguished count with no split anywhere; a class
-    of size ``s`` with ``a`` members matching the candidate contributes
-    ``C(a,2) + C(s-a,2)`` instead of ``C(s,2)``.  ``counts`` lists
-    ``(class_id, a)`` pairs for the classes the candidate touches.
-    """
-    indist = base
-    for cid, a in counts:
-        size = class_sizes[cid]
-        indist += pairs_within(a) + pairs_within(size - a) - pairs_within(size)
-    return indist
-
-
-def partition_by_key(indices: Sequence[int], key) -> List[List[int]]:
-    """Group ``indices`` by ``key(index)``, preserving first-seen order."""
-    groups: Dict[Hashable, List[int]] = {}
-    for index in indices:
-        groups.setdefault(key(index), []).append(index)
-    return list(groups.values())
-
-
-def refine(partition: Sequence[Sequence[int]], key) -> List[List[int]]:
-    """Split every class of ``partition`` by ``key``; singletons pass through."""
-    refined: List[List[int]] = []
-    for members in partition:
-        if len(members) == 1:
-            refined.append(list(members))
-        else:
-            refined.extend(partition_by_key(members, key))
-    return refined
-
-
-class Partition:
-    """A mutable partition of fault indices with O(1) class lookup.
-
-    Used by the baseline-selection procedures: ``class_of[i]`` gives the
-    class id of fault ``i`` and ``classes[cid]`` its member list.  Split
-    classes keep their surviving members under the old id; the split-off
-    part gets a fresh id, so ids are stable enough to use as dict keys
-    within one operation.
-    """
-
-    def __init__(self, indices: Sequence[int]) -> None:
-        self.classes: List[List[int]] = [list(indices)]
-        self.class_of: Dict[int, int] = {i: 0 for i in indices}
-
-    @classmethod
-    def from_groups(cls, groups: Sequence[Sequence[int]]) -> "Partition":
-        partition = cls([])
-        partition.classes = [list(g) for g in groups]
-        partition.class_of = {
-            i: cid for cid, members in enumerate(partition.classes) for i in members
-        }
-        return partition
-
-    @property
-    def n_indices(self) -> int:
-        return len(self.class_of)
-
-    def indistinguished(self) -> int:
-        return indistinguished_pairs(self.classes)
-
-    def distinguished(self) -> int:
-        return total_pairs(self.n_indices) - self.indistinguished()
-
-    def nontrivial_classes(self) -> List[List[int]]:
-        return [members for members in self.classes if len(members) > 1]
-
-    def split(self, inside: Iterable[int]) -> int:
-        """Split every class into (members in ``inside``) / (the rest).
-
-        Returns the number of pairs distinguished by the split, i.e. the
-        decrease of :meth:`indistinguished`.
-        """
-        inside_by_class: Dict[int, List[int]] = {}
-        for index in inside:
-            inside_by_class.setdefault(self.class_of[index], []).append(index)
-        distinguished = 0
-        for cid, moved in inside_by_class.items():
-            members = self.classes[cid]
-            if len(moved) == len(members):
-                continue
-            distinguished += len(moved) * (len(members) - len(moved))
-            moved_set = set(moved)
-            remaining = [i for i in members if i not in moved_set]
-            self.classes[cid] = remaining
-            new_cid = len(self.classes)
-            self.classes.append(moved)
-            for index in moved:
-                self.class_of[index] = new_cid
-        return distinguished
-
-    def copy(self) -> "Partition":
-        clone = Partition([])
-        clone.classes = [list(members) for members in self.classes]
-        clone.class_of = dict(self.class_of)
-        return clone
+def __dir__():
+    return sorted(__all__)

@@ -46,14 +46,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernels import Procedure1Run, get_backend
 from ..obs import NullProgress, ProgressReporter, get_default_registry, trace_span
-from ..sim.responses import PASS, ResponseTable, Signature
-from .base import FaultDictionary
-from .resolution import (
-    Partition,
+from ..partition import (
+    FaultPartition,
     indistinguished_after_split,
     pairs_within,
+    rows_indistinguished,
     total_pairs,
 )
+from ..sim.responses import PASS, ResponseTable, Signature
+from .base import FaultDictionary
+
+#: The selection procedures refine this partition engine in place; the
+#: name survives from when the class lived in ``dictionaries.resolution``.
+Partition = FaultPartition
 
 
 class SameDifferentDictionary(FaultDictionary):
@@ -161,24 +166,38 @@ class BuildReport:
     jobs: int = 1
     #: Speculative batches a parallel schedule submitted (0 when serial).
     batches: int = 0
+    #: Partition classes (groups of mutually indistinguished faults) after
+    #: the best Procedure 1 run / after Procedure 2 — the class-count
+    #: trajectory alongside the pair counts.  ``n_faults`` means fully
+    #: distinguished; 0 on degenerate tables with nothing to partition.
+    classes_after_procedure1: int = 0
+    classes_after_procedure2: int = 0
 
-    def as_dict(self, schema: int = 2) -> Dict[str, object]:
+    #: Fields added by schema 3; schemas 1 and 2 drop them.
+    _SCHEMA3_FIELDS = ("classes_after_procedure1", "classes_after_procedure2")
+
+    def as_dict(self, schema: int = 3) -> Dict[str, object]:
         """All fields plus the derived counts, for JSON export.
 
-        ``schema=2`` (the default) carries a ``"schema": 2`` marker so
-        ``--metrics-out`` consumers can detect the layout; ``schema=1``
-        reproduces the pre-kernel shape exactly (same keys, no marker).
+        ``schema=3`` (the default) carries the class-count trajectory and
+        a ``"schema": 3`` marker so ``--metrics-out`` consumers can detect
+        the layout; ``schema=2`` reproduces the pre-partition-core shape
+        (no class counts, marker 2) and ``schema=1`` the pre-kernel shape
+        (same keys as 2, no marker).
         """
-        if schema not in (1, 2):
+        if schema not in (1, 2, 3):
             raise ValueError(
-                f"unknown BuildReport schema {schema!r} (supported: 1, 2)"
+                f"unknown BuildReport schema {schema!r} (supported: 1, 2, 3)"
             )
         data = asdict(self)
         data["indistinguished_procedure1"] = self.indistinguished_procedure1
         data["indistinguished_procedure2"] = self.indistinguished_procedure2
         data["procedure2_improved"] = self.procedure2_improved
-        if schema == 2:
-            data["schema"] = 2
+        if schema < 3:
+            for name in self._SCHEMA3_FIELDS:
+                del data[name]
+        if schema >= 2:
+            data["schema"] = schema
         return data
 
     @property
@@ -260,6 +279,40 @@ def _candidate_distances(
     return candidates
 
 
+def _refine_scores(
+    table: ResponseTable, test_index: int, partition: FaultPartition
+) -> List[int]:
+    """``dist`` per candidate id of ``Z_j`` (0 = fault-free), class-major.
+
+    One pass over the live classes scores every candidate at once: a
+    class of size ``s`` with ``a`` members responding ``z`` contributes
+    ``a * (s - a)`` to ``dist(z)`` — including the fault-free candidate,
+    whose ``a`` is the class's pass count.  The values equal the dists
+    of :func:`_candidate_distances` entry for entry; this is the
+    refinement-delta scoring the selection loop drives, with no member
+    lists materialised for losing candidates.
+    """
+    signatures = table.failing_signatures(test_index)
+    ids = {sig: sid for sid, sig in enumerate(signatures, 1)}
+    dist = [0] * (len(signatures) + 1)
+    for members in partition.classes:
+        s = len(members)
+        if s < 2:
+            continue
+        counts: Dict[Signature, int] = {}
+        for i in members:
+            sig = table.signature(i, test_index)
+            if sig != PASS:
+                counts[sig] = counts.get(sig, 0) + 1
+        failing = 0
+        for sig, a in counts.items():
+            failing += a
+            dist[ids[sig]] += a * (s - a)
+        if failing:
+            dist[0] += failing * (s - failing)
+    return dist
+
+
 def _candidate_members(
     table: ResponseTable, test_index: int, candidate_index: int
 ) -> List[int]:
@@ -289,10 +342,18 @@ def _select_into_partition(
     table: ResponseTable,
     order: Sequence[int],
     lower: int,
-    partition: Partition,
+    partition: FaultPartition,
     timings: Optional[Dict[str, float]] = None,
 ) -> Procedure1Run:
-    """The reference Procedure 1 loop, refining ``partition`` in place."""
+    """The reference Procedure 1 loop, refining ``partition`` in place.
+
+    Each test is scored by one class-major :func:`_refine_scores` pass;
+    the winner's split is then applied as a refinement delta
+    (:meth:`~repro.partition.FaultPartition.split` returns the
+    distinguished-pair decrease).  Selection semantics — first maximum
+    wins, ``LOWER`` consecutive non-improvements cut off — are the
+    paper's, byte-identical to the pre-refactor per-candidate walk.
+    """
     baselines: List[Signature] = [PASS] * table.n_tests
     distinguished = 0
     evaluated = 0
@@ -301,34 +362,34 @@ def _select_into_partition(
     for j in order:
         if timings is not None:
             t0 = time.perf_counter()
-            candidates = _candidate_distances(table, j, partition)
+            dist = _refine_scores(table, j, partition)
             timings["scoring"] = timings.get("scoring", 0.0) + (
                 time.perf_counter() - t0
             )
         else:
-            candidates = _candidate_distances(table, j, partition)
+            dist = _refine_scores(table, j, partition)
         best_dist = -1
         best_index = 0
-        best_signature: Signature = PASS
-        best_members: List[int] = []
         consecutive_lower = 0
-        for index, (dist, signature, members) in enumerate(candidates):
+        for index, d in enumerate(dist):
             evaluated += 1
-            if dist > best_dist:
-                best_dist = dist
+            if d > best_dist:
+                best_dist = d
                 best_index = index
-                best_signature = signature
-                best_members = members
                 consecutive_lower = 0
-            elif dist < best_dist:
+            elif d < best_dist:
                 consecutive_lower += 1
                 if consecutive_lower >= lower:
                     cutoffs += 1
                     break
-        baselines[j] = best_signature
+        baselines[j] = (
+            PASS
+            if best_index == 0
+            else table.failing_signatures(j)[best_index - 1]
+        )
         if best_dist > 0:
             winners.append((j, best_index))
-            distinguished += partition.split(best_members)
+            distinguished += partition.split(_candidate_members(table, j, best_index))
     return Procedure1Run(
         baselines, distinguished, evaluated, cutoffs, winners, partition
     )
@@ -451,6 +512,7 @@ def _build_impl(
     table: ResponseTable,
     config,
     progress: Optional[ProgressReporter] = None,
+    checkpoint=None,
 ) -> Tuple[SameDifferentDictionary, BuildReport]:
     """The construction engine behind :func:`repro.api.build`.
 
@@ -472,8 +534,17 @@ def _build_impl(
     running any restart.
 
     ``progress`` receives one event per folded restart (stage
-    ``"build.procedure1"``, with the stale streak and current best) and
-    one around Procedure 2.
+    ``"build.procedure1"``, with the stale streak, current best and an
+    ETA) and one around Procedure 2.
+
+    ``checkpoint``, when a bound
+    :class:`~repro.store.checkpoint.CheckpointSession` is passed, is
+    observed after every folded restart (writing ``RFDC`` snapshots) and,
+    if it carries resume state from a killed build, restores the restart
+    fold before any restart runs — the serial loop and the parallel
+    scheduler both continue from ``fold.calls_made``, the checkpoint's
+    seed-stream position, so the resumed build is byte-identical to an
+    uninterrupted one.
     """
     # Imported here, not at module level: repro.parallel's worker imports
     # this module, and a top-level import back would cycle.
@@ -514,7 +585,17 @@ def _build_impl(
         baselines=floor_baselines,
         distinguished=floor_distinguished,
         progress=progress,
+        observer=checkpoint.on_fold if checkpoint is not None else None,
     )
+    if checkpoint is not None:
+        checkpoint.bind(table)
+        if checkpoint.restore_into(fold):
+            progress.report(
+                "build.resume",
+                fold.calls_made,
+                stale=fold.stale,
+                best=fold.best_distinguished,
+            )
     with registry.timer("build.procedure1_seconds").time() as phase1:
         with trace_span("build.procedure1", calls=calls, lower=lower, jobs=jobs):
             if jobs > 1:
@@ -523,11 +604,29 @@ def _build_impl(
                 ).run(fold)
                 report.batches = outcome.batches
             else:
-                restart = 0
+                from ..parallel.hierarchy import (
+                    FaultBlockPlan,
+                    fault_blocks_from_env,
+                    sharded_procedure1,
+                )
+
+                blocks = fault_blocks_from_env()
+                plan = (
+                    FaultBlockPlan(table.n_faults, blocks)
+                    if blocks >= 2
+                    else None
+                )
+                restart = fold.calls_made
                 while not fold.done:
                     order = restart_order(seed, restart, table.n_tests)
                     with trace_span("procedure1.call", restart=restart):
-                        run = _procedure1_call(table, order, lower, backend)
+                        if plan is not None:
+                            # $REPRO_FAULT_BLOCKS: score through the
+                            # level-1 block fold (byte-identical).
+                            run = sharded_procedure1(table, order, lower, plan)
+                            _flush_procedure1(run)
+                        else:
+                            run = _procedure1_call(table, order, lower, backend)
                     fold.consume(run.distinguished, run.baselines)
                     restart += 1
     best_baselines = fold.best_baselines
@@ -536,6 +635,8 @@ def _build_impl(
     report.procedure1_seconds = phase1.elapsed
     report.distinguished_procedure1 = best_distinguished
     report.distinguished_procedure2 = best_distinguished
+    report.classes_after_procedure1 = _classes_under(table, best_baselines)
+    report.classes_after_procedure2 = report.classes_after_procedure1
     registry.counter("build.restarts").inc(report.procedure1_calls)
     registry.gauge("build.stale_streak").set(fold.stale)
 
@@ -549,8 +650,48 @@ def _build_impl(
         report.distinguished_procedure2 = improved
         report.procedure2_passes = passes
         report.replacements = replacements
+        report.classes_after_procedure2 = _classes_under(table, best_baselines)
         progress.report("build.procedure2", passes, replacements=replacements)
+    if checkpoint is not None:
+        checkpoint.complete()
     return SameDifferentDictionary(table, best_baselines), report
+
+
+def _partition_under(
+    table: ResponseTable, baselines: Sequence[Signature]
+) -> FaultPartition:
+    """The fault partition (distinct same/different rows) under ``baselines``.
+
+    One binary refinement per test — same as the baseline vs different —
+    with an early exit once every class is a singleton.  Uses the interned
+    columns when the table carries them (baseline -> id lookup, so each
+    refinement walks int columns); falls back to signature comparison.
+    This is the class-based pair state the ``RFDC`` checkpoint layer
+    snapshots.
+    """
+    n = table.n_faults
+    partition = FaultPartition(range(n))
+    interned = table._interned
+    for j, baseline in enumerate(baselines):
+        if partition.all_singletons:
+            break
+        b = tuple(baseline)
+        if interned is not None:
+            bid = interned.sig_ids[j].get(b)
+            if bid is None:
+                # Baseline outside Z_j: every fault differs, no split.
+                continue
+            partition.refine(interned.cols[j], value=bid)
+        else:
+            partition.split([i for i in range(n) if table.signature(i, j) == b])
+    return partition
+
+
+def _classes_under(table: ResponseTable, baselines: Sequence[Signature]) -> int:
+    """Partition-class count (distinct rows) under ``baselines``."""
+    if table.n_faults == 0:
+        return 0
+    return _partition_under(table, baselines).n_classes
 
 
 def _full_dictionary_distinguished(table: ResponseTable) -> int:
@@ -681,7 +822,7 @@ def _replace_naive(
                         rows[index] &= mask
         if not improved:
             break
-    distinguished = total_pairs(n) - _partition_indistinguished(rows)
+    distinguished = total_pairs(n) - rows_indistinguished(rows)
     return current, distinguished, passes, replacements, attempts
 
 
@@ -696,16 +837,27 @@ def _rows_for(table: ResponseTable, baselines: Sequence[Signature]) -> List[int]
     return rows
 
 
-def _partition_indistinguished(rows: Sequence[int]) -> int:
-    groups: Dict[int, int] = {}
-    for row in rows:
-        groups[row] = groups.get(row, 0) + 1
-    return sum(pairs_within(count) for count in groups.values())
+#: Deprecated helpers whose canonical homes are in :mod:`repro.partition`;
+#: importing them still works through the module ``__getattr__`` below.
+_MOVED_HELPERS = {
+    "_partition_indistinguished": "rows_indistinguished",
+    "_indistinguished_with": "indistinguished_after_split",
+}
 
 
-#: Backwards-compatible alias; the implementation moved to
-#: :func:`repro.dictionaries.resolution.indistinguished_after_split`.
-_indistinguished_with = indistinguished_after_split
+def __getattr__(name: str):
+    if name in _MOVED_HELPERS:
+        canonical = _MOVED_HELPERS[name]
+        warnings.warn(
+            f"repro.dictionaries.samediff.{name} is deprecated; use "
+            f"repro.partition.{canonical} (the consolidated pair math)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.partition as partition_module
+
+        return getattr(partition_module, canonical)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ..sim.responses import ResponseTable
-from .resolution import Partition
+from ..partition import Partition
 
 
 def select_tests_preserving_detection(table: ResponseTable) -> List[int]:

@@ -108,9 +108,11 @@ def render_build_instrumentation(rows: Sequence[object]) -> str:
         "jobs",
         "P1 calls",
         "P1 s",
+        "P1 cls",
         "P2 passes",
         "repl",
         "P2 s",
+        "P2 cls",
     )
     body = [
         (
@@ -119,9 +121,11 @@ def render_build_instrumentation(rows: Sequence[object]) -> str:
             row.build.jobs,
             row.build.procedure1_calls,
             row.build.procedure1_seconds,
+            row.build.classes_after_procedure1,
             row.build.procedure2_passes,
             row.build.replacements,
             row.build.procedure2_seconds,
+            row.build.classes_after_procedure2,
         )
         for row in rows
     ]

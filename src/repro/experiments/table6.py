@@ -135,6 +135,8 @@ def table6_row(
     jobs: int = 1,
     backend: Optional[str] = None,
     cache_dir=None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Table6Row:
     """Compute one row of Table 6 (``LOWER`` and ``CALLS1`` as in the paper).
 
@@ -143,6 +145,8 @@ def table6_row(
     and for every kernel ``backend`` (see ``docs/kernels.md``).
     ``cache_dir`` reuses a previously stored build of the same cell
     (see ``docs/artifacts.md``); repeat sweeps then skip Procedures 1/2.
+    ``checkpoint_dir`` / ``resume`` make each cell's restart loop
+    resumable after a kill (see ``docs/scaling.md``).
     """
     with trace_span("table6.row", circuit=circuit, ttype=test_type):
         with trace_span("table6.prepare"):
@@ -156,6 +160,8 @@ def table6_row(
             ),
             progress=progress,
             cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         build = built.report
     return Table6Row(
@@ -182,6 +188,8 @@ def run_table6(
     jobs: int = 1,
     backend: Optional[str] = None,
     cache_dir=None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> List[Table6Row]:
     """All requested rows, circuit-major / test-type-minor like the paper."""
     progress = progress if progress is not None else NullProgress()
@@ -195,7 +203,8 @@ def run_table6(
             table6_row(
                 circuit, test_type, seed=seed, lower=lower, calls=calls,
                 progress=progress, jobs=jobs, backend=backend,
-                cache_dir=cache_dir,
+                cache_dir=cache_dir, checkpoint_dir=checkpoint_dir,
+                resume=resume,
             )
         )
     progress.report("table6", len(cells), len(cells))

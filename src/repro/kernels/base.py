@@ -49,7 +49,7 @@ class Procedure1Run:
     ``winners`` records, per test that split anything, ``(test_index,
     candidate_index)`` of the selected baseline (candidate 0 is the
     fault-free response) — enough to replay the splits into a
-    :class:`~repro.dictionaries.resolution.Partition` when a caller needs
+    :class:`~repro.partition.FaultPartition` when a caller needs
     the final partition, without paying for it on the restart hot path.
     ``partition`` is pre-materialised by backends that build one anyway
     (the naive path); ``None`` otherwise.
@@ -103,6 +103,20 @@ class KernelBackend(Protocol):
         self, table: ResponseTable, test_index: int, partition
     ) -> List[Tuple[int, Signature, List[int]]]:
         """``(dist, signature, members)`` per candidate of ``Z_j``, eagerly."""
+        ...
+
+    def refine_scores(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[int]:
+        """Class-major ``dist(z)`` per candidate id of ``Z_j`` (0 = fault-free).
+
+        One pass over the live classes of ``partition`` (a
+        :class:`~repro.partition.FaultPartition`) scores *every* candidate
+        of the test at once; ``dist[sid]`` is the number of
+        still-indistinguished pairs candidate ``sid`` would split.  The
+        member lists of :meth:`candidate_distances` are not computed —
+        this is the refinement-delta primitive the selection loops drive.
+        """
         ...
 
     def indistinguished_for(

@@ -34,11 +34,11 @@ class NaiveBackend:
         lower: int,
         timings: Optional[Dict[str, float]] = None,
     ) -> Procedure1Run:
-        from ..dictionaries.resolution import Partition
         from ..dictionaries.samediff import _select_into_partition
+        from ..partition import FaultPartition
 
         return _select_into_partition(
-            table, order, lower, Partition(range(table.n_faults)), timings
+            table, order, lower, FaultPartition(range(table.n_faults)), timings
         )
 
     def candidate_distances(
@@ -48,30 +48,34 @@ class NaiveBackend:
 
         return _candidate_distances(table, test_index, partition)
 
+    def refine_scores(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[int]:
+        from ..dictionaries.samediff import _refine_scores
+
+        return _refine_scores(table, test_index, partition)
+
     def indistinguished_for(
         self, table: ResponseTable, baselines: Sequence[Signature]
     ) -> int:
-        from ..dictionaries.samediff import _partition_indistinguished, _rows_for
+        from ..dictionaries.samediff import _rows_for
+        from ..partition import rows_indistinguished
 
-        return _partition_indistinguished(_rows_for(table, baselines))
+        return rows_indistinguished(_rows_for(table, baselines))
 
     def passfail_indistinguished(self, table: ResponseTable) -> int:
-        from ..dictionaries.resolution import pairs_within
+        from ..partition import rows_indistinguished
 
-        groups: Dict[int, int] = {}
-        for index in range(table.n_faults):
-            word = table.detection_word(index)
-            groups[word] = groups.get(word, 0) + 1
-        return sum(pairs_within(count) for count in groups.values())
+        return rows_indistinguished(
+            table.detection_word(index) for index in range(table.n_faults)
+        )
 
     def full_indistinguished(self, table: ResponseTable) -> int:
-        from ..dictionaries.resolution import pairs_within
+        from ..partition import rows_indistinguished
 
-        groups: Dict[tuple, int] = {}
-        for index in range(table.n_faults):
-            row = table.full_row(index)
-            groups[row] = groups.get(row, 0) + 1
-        return sum(pairs_within(count) for count in groups.values())
+        return rows_indistinguished(
+            table.full_row(index) for index in range(table.n_faults)
+        )
 
     def replace(
         self,

@@ -32,7 +32,7 @@ from itertools import compress
 from operator import itemgetter, not_, or_
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..dictionaries.resolution import indistinguished_after_split, pairs_within
+from ..partition import indistinguished_after_split, pairs_within
 from ..sim.responses import PASS, ResponseTable, Signature
 from .base import Procedure1Run
 
@@ -200,27 +200,16 @@ class PackedBackend:
     # ------------------------------------------------------------------
     # dist(z) against an externally maintained partition
     # ------------------------------------------------------------------
+    def refine_scores(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[int]:
+        return interned_refine_scores(table, test_index, partition)
+
     def candidate_distances(
         self, table: ResponseTable, test_index: int, partition
     ) -> List[Tuple[int, Signature, List[int]]]:
         it = table.interned
-        colj = it.cols[test_index]
-        ncand = it.n_candidates(test_index)
-        dist = [0] * ncand
-        for members in partition.classes:
-            s = len(members)
-            if s < 2:
-                continue
-            values = [colj[i] for i in members]
-            first = values[0]
-            a0 = values.count(first)
-            if a0 == s:
-                continue
-            counts: Dict[int, int] = {}
-            for sid in values:
-                counts[sid] = counts.get(sid, 0) + 1
-            for sid, a in counts.items():
-                dist[sid] += a * (s - a)
+        dist = interned_refine_scores(table, test_index, partition)
         groups = table.failing_groups(test_index)
         detected = [i for group in groups for i in group]
         candidates = [(dist[0], PASS, detected)]
@@ -383,3 +372,34 @@ class PackedBackend:
 
 def _initial_classes(n_faults: int) -> List[List[int]]:
     return [list(range(n_faults))] if n_faults >= 2 else []
+
+
+def interned_refine_scores(
+    table: ResponseTable, test_index: int, partition
+) -> List[int]:
+    """Class-major ``dist(z)`` over interned columns, one pass per test.
+
+    ``dist[sid]`` is the number of still-indistinguished pairs of
+    ``partition`` that candidate ``sid`` of ``Z_j`` splits (id 0 is the
+    fault-free response).  Shared by the ``packed`` and ``vector``
+    backends' :meth:`refine_scores`; byte-identical to the naive
+    reference scoring by the differential tests in ``tests/kernels``.
+    """
+    it = table.interned
+    colj = it.cols[test_index]
+    dist = [0] * it.n_candidates(test_index)
+    for members in partition.classes:
+        s = len(members)
+        if s < 2:
+            continue
+        values = [colj[i] for i in members]
+        first = values[0]
+        a0 = values.count(first)
+        if a0 == s:
+            continue
+        counts: Dict[int, int] = {}
+        for sid in values:
+            counts[sid] = counts.get(sid, 0) + 1
+        for sid, a in counts.items():
+            dist[sid] += a * (s - a)
+    return dist

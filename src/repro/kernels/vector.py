@@ -41,7 +41,7 @@ import time
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..dictionaries.resolution import pairs_within
+from ..partition import pairs_within
 from ..sim.responses import PASS, ResponseTable, Signature
 from .base import Procedure1Run
 from .packed import PackedBackend
@@ -387,11 +387,12 @@ class VectorBackend:
     # ------------------------------------------------------------------
     # dist(z) against an externally maintained partition
     # ------------------------------------------------------------------
-    def candidate_distances(
+    def refine_scores(
         self, table: ResponseTable, test_index: int, partition
-    ) -> List[Tuple[int, Signature, List[int]]]:
+    ) -> List[int]:
+        """Class-major ``dist(z)``, batched over the word-array layout."""
         if self._np is None:
-            return self._packed.candidate_distances(table, test_index, partition)
+            return self._packed.refine_scores(table, test_index, partition)
         np = self._np
         it = table.interned
         n = it.n_faults
@@ -430,6 +431,15 @@ class VectorBackend:
                 dist_arr = (counts * (sizes_np[:, None] - counts)).sum(axis=0)
                 dist_arr[0] = (d_per * (sizes_np - d_per)).sum()
                 dist = dist_arr.tolist()
+        return dist
+
+    def candidate_distances(
+        self, table: ResponseTable, test_index: int, partition
+    ) -> List[Tuple[int, Signature, List[int]]]:
+        if self._np is None:
+            return self._packed.candidate_distances(table, test_index, partition)
+        it = table.interned
+        dist = self.refine_scores(table, test_index, partition)
         groups = table.failing_groups(test_index)
         detected = [i for group in groups for i in group]
         candidates = [(dist[0], PASS, detected)]

@@ -1,0 +1,244 @@
+"""Hierarchical two-level fold: fault-block shards within a restart.
+
+The restart engine (:mod:`repro.parallel.scheduler`) folds at one level:
+whole Procedure 1 restarts, in index order.  At ITC-99 scale a *single*
+restart is itself a fold — the class-major ``dist(z)`` scoring of one
+test decomposes over contiguous fault blocks, because what it sums are
+per-``(class, candidate)`` member counts and histogram addition is
+commutative and associative (the same algebra
+:mod:`repro.parallel.shards` proved for the vector backend's entries).
+This module makes that two-level structure explicit:
+
+* **level 1** — :func:`block_counts` counts one fault block's
+  ``(class, candidate)`` members against a shared read-only layout
+  (interned columns + the live partition), :func:`fold_block_counts`
+  merges the partials, :func:`scores_from_counts` turns the folded
+  counts plus class sizes into the exact ``dist`` vector;
+* **level 2** — :class:`HierarchicalFold` is a
+  :class:`~repro.parallel.scheduler.RestartFold` that evaluates each
+  restart through the sharded scorer before folding it, so the whole
+  build is a fold of folds.
+
+Because the level 1 fold is exact (integer histogram addition), a
+sharded restart is byte-identical to an unsharded one for any block
+plan — ``tests/parallel/test_hierarchy.py`` holds that equality against
+every backend's ``refine_scores``.  ``REPRO_FAULT_BLOCKS=N`` (``N >= 2``)
+opts the serial build path into block-sharded scoring.
+
+Metrics: ``parallel.block_folds`` counts sharded scoring passes,
+``parallel.fault_blocks`` the blocks folded.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import get_default_registry
+from ..partition import FaultPartition
+from ..sim.responses import PASS, ResponseTable, Signature
+from .scheduler import RestartFold
+from .seeds import restart_order
+from .shards import shard_slices
+
+#: Environment variable opting the serial build into fault-block shards.
+FAULT_BLOCKS_ENV = "REPRO_FAULT_BLOCKS"
+
+BlockCounts = Dict[Tuple[int, int], int]
+
+
+def fault_blocks_from_env() -> int:
+    """``$REPRO_FAULT_BLOCKS`` as an int (< 2 means unsharded)."""
+    raw = os.environ.get(FAULT_BLOCKS_ENV)
+    try:
+        return int(raw) if raw else 0
+    except ValueError:
+        raise ValueError(
+            f"{FAULT_BLOCKS_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
+class FaultBlockPlan:
+    """A deterministic cut of ``range(n_faults)`` into contiguous blocks.
+
+    Pure arithmetic over ``(n_faults, n_blocks)`` — every process (or
+    future remote worker) derives the identical plan, which is what lets
+    shards share the read-only layout instead of shipping slices of it.
+    """
+
+    def __init__(self, n_faults: int, n_blocks: int) -> None:
+        if n_faults < 0:
+            raise ValueError(f"n_faults must be >= 0, got {n_faults}")
+        if n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        self.n_faults = n_faults
+        self.blocks: List[Tuple[int, int]] = shard_slices(n_faults, n_blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"FaultBlockPlan(n_faults={self.n_faults}, blocks={self.blocks})"
+
+
+def block_counts(
+    colj: Sequence[int],
+    classes: Sequence[Sequence[int]],
+    block: Tuple[int, int],
+) -> BlockCounts:
+    """Level 1 map: one block's ``(class, candidate) -> member count``.
+
+    Only members of live (size >= 2) classes whose fault index falls in
+    ``[lo, hi)`` are counted; class member lists are ascending (splits
+    preserve order), so the block's slice of each class is found by
+    bisection rather than a scan.
+    """
+    lo, hi = block
+    counts: BlockCounts = {}
+    for cid, members in enumerate(classes):
+        if len(members) < 2:
+            continue
+        start = bisect_left(members, lo)
+        stop = bisect_left(members, hi, start)
+        for i in members[start:stop]:
+            key = (cid, colj[i])
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def fold_block_counts(partials: Sequence[BlockCounts]) -> BlockCounts:
+    """Level 1 fold: sum the per-block histograms (order-independent)."""
+    folded: BlockCounts = {}
+    for partial in partials:
+        for key, count in partial.items():
+            folded[key] = folded.get(key, 0) + count
+    return folded
+
+
+def scores_from_counts(
+    counts: BlockCounts, class_sizes: Sequence[int], n_candidates: int
+) -> List[int]:
+    """Folded counts + class sizes -> the exact ``dist`` vector.
+
+    A class of size ``s`` with ``a`` members on candidate ``sid``
+    contributes ``a * (s - a)`` to ``dist[sid]`` — all-same classes
+    contribute 0, so the result equals the unsharded
+    ``refine_scores`` entry for entry.
+    """
+    dist = [0] * n_candidates
+    for (cid, sid), a in counts.items():
+        s = class_sizes[cid]
+        dist[sid] += a * (s - a)
+    return dist
+
+
+def sharded_refine_scores(
+    table: ResponseTable,
+    test_index: int,
+    partition: FaultPartition,
+    plan: FaultBlockPlan,
+) -> List[int]:
+    """Class-major ``dist(z)`` of one test as a fold over fault blocks."""
+    it = table.interned
+    colj = it.cols[test_index]
+    partials = [
+        block_counts(colj, partition.classes, block) for block in plan.blocks
+    ]
+    registry = get_default_registry()
+    registry.counter("parallel.block_folds").inc()
+    registry.counter("parallel.fault_blocks").inc(len(partials))
+    class_sizes = [len(members) for members in partition.classes]
+    return scores_from_counts(
+        fold_block_counts(partials), class_sizes, it.n_candidates(test_index)
+    )
+
+
+def sharded_procedure1(
+    table: ResponseTable,
+    order: Sequence[int],
+    lower: int,
+    plan: FaultBlockPlan,
+):
+    """One Procedure 1 restart scored through the block fold.
+
+    Selection semantics replicate the reference loop exactly (first
+    maximum wins, ``LOWER`` cutoff, split deltas applied through
+    :class:`~repro.partition.FaultPartition`), so the run is
+    byte-identical to any backend's ``procedure1`` for the same order.
+    """
+    from ..dictionaries.samediff import _candidate_members
+    from ..kernels import Procedure1Run
+
+    it = table.interned
+    partition = FaultPartition(range(table.n_faults))
+    baselines: List[Signature] = [PASS] * table.n_tests
+    distinguished = 0
+    evaluated = 0
+    cutoffs = 0
+    winners: List[Tuple[int, int]] = []
+    for j in order:
+        dist = sharded_refine_scores(table, j, partition, plan)
+        best_dist = -1
+        best_index = 0
+        consecutive_lower = 0
+        for index, d in enumerate(dist):
+            evaluated += 1
+            if d > best_dist:
+                best_dist = d
+                best_index = index
+                consecutive_lower = 0
+            elif d < best_dist:
+                consecutive_lower += 1
+                if consecutive_lower >= lower:
+                    cutoffs += 1
+                    break
+        baselines[j] = it.sigs[j][best_index]
+        if best_dist > 0:
+            winners.append((j, best_index))
+            distinguished += partition.split(_candidate_members(table, j, best_index))
+    return Procedure1Run(
+        baselines, distinguished, evaluated, cutoffs, winners, partition
+    )
+
+
+class HierarchicalFold(RestartFold):
+    """The two-level fold: block shards inside restarts, restarts outside.
+
+    Level 2 is the inherited :class:`RestartFold` reduction (index
+    order, stale budget, ceiling early-exit, observer hook).  Level 1 is
+    per restart: :meth:`run_restart` evaluates Procedure 1 through
+    :func:`sharded_refine_scores` over the shared read-only layout and
+    folds the outcome immediately.  Since both levels are exact folds,
+    the result is byte-identical to the serial unsharded build.
+    """
+
+    def __init__(
+        self,
+        table: ResponseTable,
+        lower: int,
+        plan: FaultBlockPlan,
+        **fold_kwargs,
+    ) -> None:
+        super().__init__(**fold_kwargs)
+        self.table = table
+        self.lower = lower
+        self.plan = plan
+
+    def run_restart(self, seed: int, restart: Optional[int] = None):
+        """Evaluate one restart through the block fold and consume it.
+
+        ``restart`` defaults to the fold's own cursor (``calls_made``) —
+        the same seed-stream position rule the scheduler and checkpoints
+        use.
+        """
+        if restart is None:
+            restart = self.calls_made
+        order = restart_order(seed, restart, self.table.n_tests)
+        run = sharded_procedure1(self.table, order, self.lower, self.plan)
+        from ..dictionaries.samediff import _flush_procedure1
+
+        _flush_procedure1(run)
+        self.consume(run.distinguished, run.baselines)
+        return run

@@ -25,9 +25,10 @@ all work actually done.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..obs import NullProgress, ProgressReporter, get_default_registry
 from ..sim.responses import ResponseTable, Signature
@@ -51,6 +52,7 @@ class RestartFold:
         baselines: Sequence[Signature],
         distinguished: int,
         progress: Optional[ProgressReporter] = None,
+        observer: Optional[Callable[["RestartFold"], None]] = None,
     ) -> None:
         if calls < 1:
             raise ValueError(f"calls (CALLS1) must be >= 1, got {calls}")
@@ -59,14 +61,38 @@ class RestartFold:
         self.best_baselines: List[Signature] = list(baselines)
         self.best_distinguished = distinguished
         self.progress = progress if progress is not None else NullProgress()
+        #: Called after every folded restart with the fold itself — the
+        #: hook the ``RFDC`` checkpoint layer hangs off (and anything
+        #: else that wants the exact post-fold state, observers never
+        #: change the fold).
+        self.observer = observer
         self.stale = 0
         self.calls_made = 0
+        #: Restarts folded before this fold was constructed (a resumed
+        #: checkpointed build); folded into ``calls_made`` so restart
+        #: cursors and reports stay continuous across the kill.
+        self.resumed_calls = 0
         self.ceiling_hit = False
+        self._started = time.perf_counter()
         self._check_ceiling()
 
     @property
     def done(self) -> bool:
         return self.ceiling_hit or self.stale >= self.calls
+
+    def eta_seconds(self) -> float:
+        """Remaining-work estimate for multi-minute builds.
+
+        Average seconds per restart folded *this process* times the
+        restarts left before the stale budget runs out (the worst case
+        when no further restart improves; an improvement extends it).
+        ``0.0`` until one restart has been folded, and once done.
+        """
+        folded = self.calls_made - self.resumed_calls
+        if folded <= 0 or self.done:
+            return 0.0
+        average = (time.perf_counter() - self._started) / folded
+        return round(average * max(self.calls - self.stale, 0), 3)
 
     def consume(self, distinguished: int, baselines: Sequence[Signature]) -> None:
         """Fold the next restart (they must arrive in restart-index order)."""
@@ -77,12 +103,43 @@ class RestartFold:
             self.stale = 0
         else:
             self.stale += 1
+        self._check_ceiling()
+        # Observers (the checkpoint layer) persist the folded state
+        # before progress is announced: anything a consumer learns from
+        # the report is already durable.
+        if self.observer is not None:
+            self.observer(self)
         self.progress.report(
             "build.procedure1",
             self.calls_made,
             stale=self.stale,
             best=self.best_distinguished,
+            eta_s=self.eta_seconds(),
         )
+
+    def restore(
+        self,
+        *,
+        calls_made: int,
+        stale: int,
+        best_distinguished: int,
+        best_baselines: Sequence[Signature],
+    ) -> None:
+        """Install checkpointed state: the fold position of a killed build.
+
+        ``calls_made`` doubles as the restart cursor — restarts fold in
+        index order from 0, so the next restart to evaluate is exactly
+        ``calls_made`` (the checkpoint's seed-stream position).
+        """
+        if calls_made < 0 or stale < 0 or stale > calls_made:
+            raise ValueError(
+                f"inconsistent fold state: calls_made={calls_made} stale={stale}"
+            )
+        self.calls_made = calls_made
+        self.resumed_calls = calls_made
+        self.stale = stale
+        self.best_distinguished = best_distinguished
+        self.best_baselines = list(best_baselines)
         self._check_ceiling()
 
     def _check_ceiling(self) -> None:
@@ -146,7 +203,9 @@ class RestartScheduler:
         registry = get_default_registry()
         registry.gauge("parallel.jobs").set(self.jobs)
         outcome = ScheduleOutcome()
-        next_restart = 0
+        # Restarts fold in index order from 0, so a fold restored from a
+        # checkpoint dictates the first restart still to evaluate.
+        next_restart = fold.calls_made
         with self._executor_factory() as pool:
             while not fold.done:
                 size = max(fold.calls - fold.stale, self.jobs)

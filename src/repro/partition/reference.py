@@ -1,0 +1,78 @@
+"""The pair-materialising reference partition.
+
+:class:`MaterializedPairPartition` keeps what :class:`~repro.partition.core.FaultPartition`
+deliberately avoids: the explicit set of still-indistinguished fault
+pairs, each encoded as ``min(i,j) * n + max(i,j)``.  It refines through
+the exact same :meth:`split` API, so any selection loop can run on
+either representation and produce byte-identical baselines — which is
+how two things get proven rather than claimed:
+
+* the Hypothesis property suite checks that :class:`FaultPartition`'s
+  incremental split deltas equal brute-force recomputation over the
+  materialised set on random tables;
+* ``benchmarks/test_scale_build.py`` measures the peak-memory gap
+  between the two representations under the same refinement stream —
+  the ≥5x scale gate of the partition-refinement core.
+
+This is the seed path's ``O(F^2)`` shape kept alive as an oracle; never
+use it on the build hot path.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .core import FaultPartition
+
+
+class MaterializedPairPartition(FaultPartition):
+    """A :class:`FaultPartition` that also materialises the pair set."""
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        super().__init__(indices)
+        members = self.classes[0]
+        self._encode_base = (max(members) + 1) if members else 1
+        self.pairs: Set[int] = {
+            self._encode(a, b) for a, b in combinations(members, 2)
+        }
+
+    def _encode(self, a: int, b: int) -> int:
+        if a > b:
+            a, b = b, a
+        return a * self._encode_base + b
+
+    def split(self, inside: Iterable[int]) -> int:
+        inside_by_class: Dict[int, List[int]] = {}
+        for index in inside:
+            inside_by_class.setdefault(self.class_of[index], []).append(index)
+        removed = 0
+        for cid, moved in inside_by_class.items():
+            members = self.classes[cid]
+            if len(moved) == len(members):
+                continue
+            moved_set = set(moved)
+            for a in moved:
+                for b in members:
+                    if b not in moved_set:
+                        self.pairs.discard(self._encode(a, b))
+                        removed += 1
+        delta = super().split(
+            [i for moved in inside_by_class.values() for i in moved]
+        )
+        if delta != removed:
+            raise AssertionError(
+                f"pair-set delta {removed} disagrees with class-size delta {delta}"
+            )
+        return delta
+
+    def indistinguished(self) -> int:
+        """Counted from the materialised set — must equal the class-size count."""
+        materialised = len(self.pairs)
+        incremental = super().indistinguished()
+        if materialised != incremental:
+            raise AssertionError(
+                f"materialised pair count {materialised} disagrees with "
+                f"incremental count {incremental}"
+            )
+        return materialised

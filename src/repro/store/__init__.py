@@ -2,9 +2,10 @@
 
 The paper computes a dictionary once and diagnoses many failing chips
 against it.  This package is that boundary in code: a versioned binary
-artifact format for built dictionaries (:mod:`repro.store.artifact`) and
-a content-addressed build cache on top of it
-(:mod:`repro.store.cache`).  The serve side —
+artifact format for built dictionaries (:mod:`repro.store.artifact`), a
+content-addressed build cache on top of it (:mod:`repro.store.cache`),
+and resumable ``RFDC`` build checkpoints bound to the same content keys
+(:mod:`repro.store.checkpoint`).  The serve side —
 :meth:`repro.diagnosis.Diagnoser.from_artifact` — needs only these
 modules, never a netlist or simulator.
 """
@@ -21,9 +22,21 @@ from .artifact import (
     load_artifact_buffer,
     read_content_hash,
     save_artifact,
+    semantic_digest,
     table_content_hash,
 )
 from .cache import ARTIFACT_SUFFIX, BuildCache
+from .checkpoint import (
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointHashError,
+    CheckpointManager,
+    CheckpointSession,
+    CheckpointState,
+    CheckpointVersionError,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "ARTIFACT_SUFFIX",
@@ -32,12 +45,22 @@ __all__ = [
     "ArtifactHashError",
     "ArtifactVersionError",
     "BuildCache",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointHashError",
+    "CheckpointManager",
+    "CheckpointSession",
+    "CheckpointState",
+    "CheckpointVersionError",
     "FORMAT_VERSION",
     "MAGIC",
     "build_inputs_hash",
     "load_artifact",
     "load_artifact_buffer",
+    "load_checkpoint",
     "read_content_hash",
     "save_artifact",
+    "save_checkpoint",
+    "semantic_digest",
     "table_content_hash",
 ]

@@ -160,6 +160,45 @@ def table_content_hash(
     return hashlib.sha256(_canonical(doc)).hexdigest()
 
 
+def semantic_digest(built: BuiltDictionary) -> str:
+    """Hash of what a build *produced*, execution details excluded.
+
+    The content hash identifies build inputs; this digest identifies
+    outputs: kind, key config, chosen baselines, packed columns and the
+    execution-independent report fields.  Two builds of the same inputs
+    — serial or ``jobs=N``, killed-and-resumed or uninterrupted — must
+    agree here, which is what the checkpoint determinism gates compare.
+    Wall-clock seconds, ``jobs`` and batch counts are excluded because
+    they legitimately vary run to run.
+    """
+    table = built.table
+    interned = table.interned
+    baselines: Optional[List[Optional[int]]] = None
+    if built.kind == "same-different":
+        baselines = [
+            interned.sig_ids[j].get(b)
+            for j, b in enumerate(built.dictionary.baselines)
+        ]
+    report = None
+    if built.report is not None:
+        report = built.report.as_dict(schema=3)
+        for volatile in (
+            "procedure1_seconds",
+            "procedure2_seconds",
+            "jobs",
+            "batches",
+        ):
+            report.pop(volatile, None)
+    doc = {
+        "kind": built.kind,
+        "build": _build_key(built.kind, built.config),
+        "baselines": baselines,
+        "cols": interned.cols,
+        "report": report,
+    }
+    return hashlib.sha256(_canonical(doc)).hexdigest()
+
+
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
@@ -204,7 +243,7 @@ def save_artifact(
         header = {
             "kind": built.kind,
             "config": asdict(built.config),
-            "report": built.report.as_dict(schema=2) if built.report else None,
+            "report": built.report.as_dict(schema=3) if built.report else None,
             "outputs": list(table.outputs),
             "faults": _faults_doc(table.faults),
             "test_inputs": list(table.tests.inputs),

@@ -18,10 +18,27 @@ class TestBuildReportSchemas:
             replacements=1,
         )
 
-    def test_schema_2_is_the_default_and_marked(self):
+    def test_schema_3_is_the_default_and_marked(self):
         data = self._report().as_dict()
-        assert data["schema"] == 2
-        assert data == self._report().as_dict(schema=2)
+        assert data["schema"] == 3
+        assert data == self._report().as_dict(schema=3)
+        assert data["classes_after_procedure1"] == 0
+        assert data["classes_after_procedure2"] == 0
+
+    def test_schema_2_shim_drops_class_counts(self):
+        report = self._report()
+        legacy = report.as_dict(schema=2)
+        assert legacy["schema"] == 2
+        assert "classes_after_procedure1" not in legacy
+        assert "classes_after_procedure2" not in legacy
+        modern = report.as_dict(schema=3)
+        stripped = {
+            k: v
+            for k, v in modern.items()
+            if k not in ("classes_after_procedure1", "classes_after_procedure2")
+        }
+        stripped["schema"] = 2
+        assert legacy == stripped
 
     def test_schema_1_shim_is_marker_free(self):
         report = self._report()
@@ -30,8 +47,8 @@ class TestBuildReportSchemas:
         modern = report.as_dict(schema=2)
         assert legacy == {k: v for k, v in modern.items() if k != "schema"}
 
-    def test_derived_counts_present_in_both(self):
-        for schema in (1, 2):
+    def test_derived_counts_present_in_all(self):
+        for schema in (1, 2, 3):
             data = self._report().as_dict(schema=schema)
             assert data["indistinguished_procedure1"] == 10 - 7
             assert data["indistinguished_procedure2"] == 10 - 9
@@ -40,7 +57,7 @@ class TestBuildReportSchemas:
 
     def test_unknown_schema_rejected(self):
         with pytest.raises(ValueError, match="schema"):
-            self._report().as_dict(schema=3)
+            self._report().as_dict(schema=4)
         with pytest.raises(ValueError, match="schema"):
             self._report().as_dict(schema=0)
 

@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import DictionaryConfig, build
-from repro.dictionaries.resolution import Partition
+from repro.partition import Partition
 from repro.kernels import VectorBackend, get_backend
 from repro.obs import scoped_registry
 from repro.sim import PASS

@@ -1,0 +1,171 @@
+"""Tests for the hierarchical two-level fold (fault-block shards).
+
+The level-1 histogram fold must be exact for any block plan, the sharded
+Procedure 1 byte-identical to every backend's, and the end-to-end build
+under ``REPRO_FAULT_BLOCKS`` byte-identical to the unsharded serial
+path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionaries.samediff import _refine_scores
+from repro.kernels import get_backend
+from repro.obs import get_default_registry, scoped_registry
+from repro.parallel.hierarchy import (
+    FAULT_BLOCKS_ENV,
+    FaultBlockPlan,
+    HierarchicalFold,
+    block_counts,
+    fault_blocks_from_env,
+    fold_block_counts,
+    scores_from_counts,
+    sharded_procedure1,
+    sharded_refine_scores,
+)
+from repro.parallel.seeds import restart_order
+from repro.partition import FaultPartition, total_pairs
+from repro.sim import PASS
+from tests.util import build_sd, random_table
+
+
+class TestFaultBlockPlan:
+    def test_blocks_cover_the_fault_range_contiguously(self):
+        plan = FaultBlockPlan(17, 4)
+        assert plan.blocks[0][0] == 0
+        assert plan.blocks[-1][1] == 17
+        for (_, hi), (lo, _) in zip(plan.blocks, plan.blocks[1:]):
+            assert hi == lo
+        assert sum(hi - lo for lo, hi in plan.blocks) == 17
+
+    def test_more_blocks_than_faults(self):
+        plan = FaultBlockPlan(3, 8)
+        assert sum(hi - lo for lo, hi in plan.blocks) == 3
+
+    def test_deterministic(self):
+        assert FaultBlockPlan(100, 7).blocks == FaultBlockPlan(100, 7).blocks
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_faults"):
+            FaultBlockPlan(-1, 2)
+        with pytest.raises(ValueError, match="n_blocks"):
+            FaultBlockPlan(10, 0)
+
+
+class TestEnvOptIn:
+    def test_unset_means_unsharded(self, monkeypatch):
+        monkeypatch.delenv(FAULT_BLOCKS_ENV, raising=False)
+        assert fault_blocks_from_env() == 0
+
+    def test_integer_value(self, monkeypatch):
+        monkeypatch.setenv(FAULT_BLOCKS_ENV, "4")
+        assert fault_blocks_from_env() == 4
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULT_BLOCKS_ENV, "many")
+        with pytest.raises(ValueError, match=FAULT_BLOCKS_ENV):
+            fault_blocks_from_env()
+
+
+class TestLevelOneFold:
+    def test_block_counts_skip_singleton_classes(self):
+        colj = [1, 1, 2, 2, 1]
+        partition = FaultPartition.from_groups([[0, 1, 2, 3], [4]])
+        counts = block_counts(colj, partition.classes, (0, 5))
+        assert counts == {(0, 1): 2, (0, 2): 2}
+
+    def test_fold_is_order_independent(self):
+        partials = [{(0, 1): 2}, {(0, 1): 1, (1, 2): 3}, {}]
+        assert fold_block_counts(partials) == fold_block_counts(partials[::-1])
+        assert fold_block_counts(partials) == {(0, 1): 3, (1, 2): 3}
+
+    def test_scores_from_counts(self):
+        # Class 0 has size 4 with 1 member on candidate 2: 1 * 3 = 3.
+        assert scores_from_counts({(0, 2): 1}, [4], 3) == [0, 0, 3]
+
+    @pytest.mark.parametrize("n_blocks", [1, 2, 3, 7])
+    def test_sharded_scores_equal_unsharded(self, n_blocks):
+        table = random_table(20, 5, 3, seed=11, density=0.6)
+        partition = FaultPartition(range(20))
+        partition.refine(table.interned.cols[0])
+        plan = FaultBlockPlan(20, n_blocks)
+        for j in range(table.n_tests):
+            assert sharded_refine_scores(
+                table, j, partition, plan
+            ) == _refine_scores(table, j, partition)
+
+    def test_metrics_count_the_fold(self):
+        table = random_table(8, 2, 2, seed=3, density=0.7)
+        partition = FaultPartition(range(8))
+        plan = FaultBlockPlan(8, 4)
+        with scoped_registry() as registry:
+            sharded_refine_scores(table, 0, partition, plan)
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["parallel.block_folds"] == 1
+        assert snapshot["counters"]["parallel.fault_blocks"] == plan.n_blocks
+
+
+class TestShardedProcedure1:
+    @pytest.mark.parametrize("backend", ["naive", "packed", "vector"])
+    @pytest.mark.parametrize("n_blocks", [2, 5])
+    def test_byte_identical_to_backends(self, backend, n_blocks):
+        table = random_table(24, 6, 3, seed=7, density=0.5)
+        plan = FaultBlockPlan(table.n_faults, n_blocks)
+        for restart in range(3):
+            order = restart_order(0, restart, table.n_tests)
+            want = get_backend(backend).procedure1(table, order, 10, {})
+            got = sharded_procedure1(table, order, 10, plan)
+            assert got.baselines == want.baselines
+            assert got.distinguished == want.distinguished
+            assert got.evaluated == want.evaluated
+            assert got.cutoffs == want.cutoffs
+            assert got.winners == want.winners
+
+    def test_partition_accounts_for_distinguished(self):
+        table = random_table(15, 4, 2, seed=5, density=0.6)
+        run = sharded_procedure1(
+            table, range(table.n_tests), 10, FaultBlockPlan(15, 3)
+        )
+        assert run.partition.distinguished() == run.distinguished
+
+
+class TestHierarchicalFold:
+    def test_runs_restarts_at_its_own_cursor(self):
+        table = random_table(20, 5, 2, seed=2, density=0.8)
+        fold = HierarchicalFold(
+            table,
+            10,
+            FaultBlockPlan(20, 3),
+            calls=3,
+            ceiling=total_pairs(20),
+            baselines=[PASS] * table.n_tests,
+            distinguished=0,
+        )
+        first = fold.run_restart(0)
+        assert fold.calls_made == 1
+        again = sharded_procedure1(
+            table,
+            restart_order(0, 0, table.n_tests),
+            10,
+            FaultBlockPlan(20, 3),
+        )
+        assert first.baselines == again.baselines
+        while not fold.done:
+            fold.run_restart(0)
+        assert fold.calls_made > 1
+
+    @pytest.mark.parametrize("blocks", ["2", "5"])
+    def test_env_opted_build_is_byte_identical(self, blocks, monkeypatch):
+        table = random_table(30, 6, 3, seed=4, density=0.6)
+        with scoped_registry():
+            monkeypatch.delenv(FAULT_BLOCKS_ENV, raising=False)
+            _, serial = build_sd(table, calls=4, seed=0)
+        with scoped_registry() as registry:
+            monkeypatch.setenv(FAULT_BLOCKS_ENV, blocks)
+            _, sharded = build_sd(table, calls=4, seed=0)
+            snapshot = registry.snapshot()
+        assert sharded.distinguished_procedure1 == serial.distinguished_procedure1
+        assert sharded.distinguished_procedure2 == serial.distinguished_procedure2
+        assert sharded.procedure1_calls == serial.procedure1_calls
+        assert snapshot["counters"]["parallel.block_folds"] > 0

@@ -1,0 +1,97 @@
+"""Hypothesis property suite: incremental pair deltas vs brute force.
+
+:class:`~repro.partition.FaultPartition` maintains its indistinguished
+count *incrementally* from class sizes; the scale gate depends on those
+deltas being exact.  :class:`~repro.partition.reference.MaterializedPairPartition`
+keeps the explicit pair set and self-checks every delta against it, so
+running arbitrary refinement streams through both (and through direct
+recomputation) is a proof by search that the O(F) arithmetic equals the
+O(F^2) semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import FaultPartition, rows_indistinguished, total_pairs
+from repro.partition.reference import MaterializedPairPartition
+from tests.util import random_table
+
+
+@st.composite
+def refinement_streams(draw):
+    """A fault count plus a stream of refinement columns over it."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    n_columns = draw(st.integers(min_value=0, max_value=6))
+    columns = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=3), min_size=n, max_size=n
+            )
+        )
+        for _ in range(n_columns)
+    ]
+    return n, columns
+
+
+@settings(max_examples=60, deadline=None)
+@given(refinement_streams())
+def test_refine_deltas_match_materialized_pairs(stream):
+    """Every multiway refine delta equals the pair-set recomputation."""
+    n, columns = stream
+    fast = FaultPartition(range(n))
+    oracle = MaterializedPairPartition(range(n))
+    for column in columns:
+        before = len(oracle.pairs)
+        delta = fast.refine(column)
+        # The oracle refines through binary splits per distinct value;
+        # the union of those splits is the multiway refine.
+        for value in sorted(set(column)):
+            oracle.split([i for i in range(n) if column[i] == value])
+        assert delta == before - len(oracle.pairs)
+        assert fast.indistinguished() == oracle.indistinguished()
+        assert fast.sizes() == oracle.sizes()
+    # Terminal cross-check: grouping faults by their full column tuple
+    # reproduces the same indistinguished count from scratch.
+    rows = [tuple(column[i] for column in columns) for i in range(n)]
+    assert fast.indistinguished() == rows_indistinguished(rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_faults=st.integers(min_value=2, max_value=16),
+    n_tests=st.integers(min_value=1, max_value=6),
+    density=st.sampled_from([0.2, 0.5, 0.8]),
+)
+def test_refine_over_response_columns(seed, n_faults, n_tests, density):
+    """Refining by a table's interned columns equals row grouping."""
+    table = random_table(n_faults, n_tests, 2, seed=seed, density=density)
+    interned = table.interned
+    partition = FaultPartition(range(n_faults))
+    for j in range(n_tests):
+        partition.refine(interned.cols[j])
+    rows = [
+        tuple(interned.cols[j][i] for j in range(n_tests))
+        for i in range(n_faults)
+    ]
+    assert partition.indistinguished() == rows_indistinguished(rows)
+    assert partition.distinguished() == total_pairs(n_faults) - rows_indistinguished(
+        rows
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(refinement_streams())
+def test_snapshot_round_trip_under_arbitrary_streams(stream):
+    """to_doc/from_doc survives any refinement history, canonically."""
+    n, columns = stream
+    partition = FaultPartition(range(n))
+    for column in columns:
+        partition.refine(column)
+    doc = partition.to_doc()
+    restored = FaultPartition.from_doc(doc)
+    assert restored.to_doc() == doc
+    assert restored.indistinguished() == partition.indistinguished()
+    assert restored.sizes() == partition.sizes()

@@ -1,0 +1,46 @@
+"""Deprecation shims for helpers consolidated into :mod:`repro.partition`."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.dictionaries.samediff as samediff
+import repro.partition as partition
+
+
+class TestSamediffMovedHelpers:
+    def test_partition_indistinguished_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="repro.partition"):
+            moved = samediff._partition_indistinguished
+        assert moved is partition.rows_indistinguished
+
+    def test_indistinguished_with_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="repro.partition"):
+            moved = samediff._indistinguished_with
+        assert moved is partition.indistinguished_after_split
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            samediff.does_not_exist
+
+
+class TestResolutionShimExports:
+    """The old ``dictionaries.resolution`` names resolve to the new homes."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Partition",
+            "pairs_within",
+            "indistinguished_pairs",
+            "total_pairs",
+            "partition_by_key",
+            "refine",
+        ],
+    )
+    def test_name_delegates(self, name):
+        import repro.dictionaries.resolution as resolution
+
+        with pytest.warns(DeprecationWarning, match="repro.partition"):
+            shimmed = getattr(resolution, name)
+        assert shimmed is getattr(partition, name)

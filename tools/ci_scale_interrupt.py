@@ -1,0 +1,150 @@
+"""SIGKILL a checkpointed proxy build mid-restart, then resume it.
+
+The CI ``scale`` job's interrupt/resume check (see docs/scaling.md): a
+child process starts a same/different build on an ITC-99-scale proxy
+table with ``checkpoint_dir`` set and a progress hook that sleeps after
+every folded Procedure 1 restart — widening the window in which the
+RFDC checkpoint is already durable but the build is still running.  As
+soon as the first ``*.rfdc`` file appears the child is SIGKILL'd, the
+build is resumed in-process, and the resumed artifact is required to
+match an uninterrupted build: same semantic digest, same saved content
+hash, and no checkpoint left behind.
+
+Runs locally too::
+
+    PYTHONPATH=src python tools/ci_scale_interrupt.py --faults 10000
+
+Exit status 0 only if every invariant holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import DictionaryConfig, build  # noqa: E402
+from repro.circuit.generate import proxy_response_table  # noqa: E402
+from repro.store import load_artifact, save_artifact, semantic_digest  # noqa: E402
+
+_DRIVER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.api import DictionaryConfig, build
+from repro.circuit.generate import proxy_response_table
+
+class SlowProgress:
+    # The checkpoint observer runs before progress is reported, so by
+    # the time this sleeps the fold state is already on disk.
+    def report(self, stage, done, total=None, **info):
+        if stage == "build.procedure1":
+            time.sleep(0.25)
+
+table = proxy_response_table({preset!r}, n_faults={faults}, n_tests={tests})
+build(
+    table,
+    config=DictionaryConfig(seed={seed}, calls1={calls}),
+    checkpoint_dir={ckpt!r},
+    progress=SlowProgress(),
+)
+"""
+
+
+def interrupt_and_resume(args: argparse.Namespace, ckpt_dir: Path) -> None:
+    table = proxy_response_table(
+        args.preset, n_faults=args.faults, n_tests=args.tests
+    )
+    config = DictionaryConfig(seed=args.seed, calls1=args.calls)
+    driver = _DRIVER.format(
+        src=str(REPO_ROOT / "src"),
+        preset=args.preset,
+        faults=args.faults,
+        tests=args.tests,
+        seed=args.seed,
+        calls=args.calls,
+        ckpt=str(ckpt_dir),
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", driver],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + args.timeout
+        while not list(ckpt_dir.glob("*.rfdc")):
+            if child.poll() is not None:
+                raise SystemExit(
+                    "driver exited before writing a checkpoint:\n"
+                    + child.stderr.read().decode()
+                )
+            if time.monotonic() > deadline:
+                raise SystemExit(
+                    f"no checkpoint appeared within {args.timeout}s"
+                )
+            time.sleep(0.01)
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+    if child.returncode != -signal.SIGKILL:
+        raise SystemExit(f"unexpected driver exit code {child.returncode}")
+    if not list(ckpt_dir.glob("*.rfdc")):
+        raise SystemExit("the kill must leave the checkpoint behind")
+    print(f"killed pid {child.pid} mid-restart; resuming from {ckpt_dir}")
+
+    resumed = build(table, config=config, checkpoint_dir=ckpt_dir, resume=True)
+    if list(ckpt_dir.glob("*.rfdc")):
+        raise SystemExit("completion must remove the checkpoint")
+    reference = build(table, config=config)
+    if semantic_digest(resumed) != semantic_digest(reference):
+        raise SystemExit("resumed build differs from the uninterrupted build")
+
+    resumed_path = ckpt_dir / "resumed.rfd"
+    reference_path = ckpt_dir / "reference.rfd"
+    resumed_hash = save_artifact(resumed, resumed_path)
+    reference_hash = save_artifact(reference, reference_path)
+    if resumed_hash != reference_hash:
+        raise SystemExit("resumed artifact hash differs from the reference")
+    if semantic_digest(load_artifact(resumed_path)) != semantic_digest(
+        load_artifact(reference_path)
+    ):
+        raise SystemExit("reloaded artifacts disagree semantically")
+    print(
+        f"resumed build matches the uninterrupted build "
+        f"(content hash {resumed_hash[:12]}, "
+        f"{resumed.report.procedure1_calls} Procedure 1 calls)"
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="ci_scale_interrupt"
+    )
+    parser.add_argument("--preset", default="b14p")
+    parser.add_argument("--faults", type=int, default=10_000)
+    parser.add_argument("--tests", type=int, default=48)
+    parser.add_argument("--calls", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=180.0,
+        help="seconds to wait for the first checkpoint before giving up",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="scale-interrupt-") as tmp:
+        interrupt_and_resume(args, Path(tmp) / "ckpt")
+
+
+if __name__ == "__main__":
+    main()

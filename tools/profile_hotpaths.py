@@ -9,6 +9,9 @@ guess.  This harness runs one representative workload per area —
 * ``parallel``  — the restart scheduler with ``jobs=2`` (worker-process
                   internals run out-of-process and are profiled via the
                   ``kernels``/``build`` areas instead),
+* ``partition`` — the partition-refinement path: class-major
+                  ``refine_scores`` sweeps plus a fault-block-sharded
+                  Procedure 1 restart on an ITC-99-class proxy table,
 * ``artifact``  — artifact save/load round trips (the serve cold path),
 * ``serve``     — a warm-pool request batch through ``DiagnosisServer``
                   (``workers=1`` keeps the work on the profiled thread)
@@ -49,6 +52,8 @@ CALLS = 10 if QUICK else 40
 REQUESTS = 50 if QUICK else 300
 ARTIFACT_ROUNDS = 5 if QUICK else 20
 KERNEL_SWEEPS = 2 if QUICK else 5
+PARTITION_FAULTS = 1500 if QUICK else 4000
+PARTITION_TESTS = 24 if QUICK else 48
 
 
 # ----------------------------------------------------------------------
@@ -93,6 +98,25 @@ def prepare_parallel():
     return lambda: build(table, config=config)
 
 
+def prepare_partition():
+    from repro.circuit.generate import proxy_response_table
+    from repro.parallel.hierarchy import FaultBlockPlan, sharded_procedure1
+    from repro.parallel.seeds import restart_order
+
+    table = proxy_response_table(
+        "b14p", n_faults=PARTITION_FAULTS, n_tests=PARTITION_TESTS
+    )
+    table.interned
+    plan = FaultBlockPlan(table.n_faults, 4)
+    orders = [restart_order(0, r, table.n_tests) for r in range(3)]
+
+    def run():
+        for order in orders:
+            sharded_procedure1(table, order, 10, plan)
+
+    return run
+
+
 def prepare_artifact(workdir: Path):
     from repro.api import DictionaryConfig, build
     from repro.store import load_artifact, save_artifact
@@ -132,6 +156,7 @@ AREAS = {
     "build": lambda workdir: prepare_build(),
     "kernels": lambda workdir: prepare_kernels(),
     "parallel": lambda workdir: prepare_parallel(),
+    "partition": lambda workdir: prepare_partition(),
     "artifact": prepare_artifact,
     "serve": prepare_serve,
 }
