@@ -1,0 +1,117 @@
+"""Benchmark E12: fleet diagnosis campaigns — resolution vs tests applied.
+
+Drives synthetic defective-unit populations through adaptive diagnosis
+sessions against all three dictionary organisations and records how many
+tests each needs to resolve a unit.  The headline gate is the paper's
+fleet-scale claim: on noisy double-fault populations the same/different
+dictionary resolves units in measurably fewer tests than pass/fail.
+"""
+
+import pytest
+
+from benchmarks.util import pick
+from repro.experiments.fleet import FleetConfig, run_campaign
+
+UNITS = pick(100, 30)
+FAULTS = pick(120, 60)
+TESTS = pick(48, 32)
+
+KINDS = ("pass-fail", "same-different", "full")
+
+
+def _campaign(**overrides):
+    config = FleetConfig(
+        n_faults=FAULTS,
+        n_tests=TESTS,
+        n_outputs=6,
+        density=0.85,
+        units=UNITS,
+        seed=0,
+        **overrides,
+    )
+    return config, run_campaign(config, kinds=KINDS, strategies=("greedy",))
+
+
+def _cell_info(report):
+    return {
+        cell.kind: {
+            "tests_to_resolution": round(cell.mean_tests_to_resolution, 3),
+            "final_candidates": round(cell.mean_final_candidates, 3),
+            "resolved_rate": round(cell.resolved_rate, 3),
+            "hit_rate": round(cell.hit_rate, 3),
+        }
+        for cell in report.cells
+        if cell.strategy == "greedy"
+    }
+
+
+def test_fleet_clean_singles(bench):
+    """Single-fault, noiseless units: the organisations' baseline ordering."""
+    case = bench.case("fleet_clean_singles", units=UNITS)
+    with case.measure():
+        _, report = _campaign()
+    case.iterations(UNITS * len(KINDS))
+    case.info(_cell_info(report))
+
+    pf = report.cell("pass-fail", "greedy")
+    sd = report.cell("same-different", "greedy")
+    full = report.cell("full", "greedy")
+    assert (
+        full.mean_tests_to_resolution
+        <= sd.mean_tests_to_resolution
+        <= pf.mean_tests_to_resolution
+    )
+    assert sd.hit_rate == 1.0 and pf.hit_rate == 1.0
+
+
+def test_fleet_noisy_doubles(bench):
+    """The headline fleet claim: noisy double-fault units resolve in
+    measurably fewer tests under same/different than under pass/fail."""
+    case = bench.case(
+        "fleet_noisy_doubles", units=UNITS, doubles=0.3, noise=0.05
+    )
+    with case.measure():
+        _, report = _campaign(
+            double_fraction=0.3, noise=0.05, flip_budget=2
+        )
+    case.iterations(UNITS * len(KINDS))
+    case.info(_cell_info(report))
+
+    pf = report.cell("pass-fail", "greedy")
+    sd = report.cell("same-different", "greedy")
+    full = report.cell("full", "greedy")
+    advantage = pf.mean_tests_to_resolution / sd.mean_tests_to_resolution
+    case.gate("sd_advantage", advantage, higher_is_better=True,
+              tolerance=0.25)
+    assert advantage > 1.05, (
+        f"same/different needed {sd.mean_tests_to_resolution:.2f} tests vs "
+        f"pass/fail {pf.mean_tests_to_resolution:.2f} — no measurable "
+        "advantage on noisy doubles"
+    )
+    assert full.mean_tests_to_resolution <= sd.mean_tests_to_resolution
+
+
+def test_fleet_entropy_strategy(bench):
+    """Entropy suggestion never does worse than greedy on the full
+    dictionary (the one organisation with multi-valued columns)."""
+    config = FleetConfig(
+        n_faults=FAULTS, n_tests=TESTS, n_outputs=6, density=0.85,
+        units=UNITS, seed=0,
+    )
+    case = bench.case("fleet_entropy_full", units=UNITS)
+    with case.measure():
+        report = run_campaign(
+            config, kinds=("full",), strategies=("greedy", "entropy")
+        )
+    case.iterations(UNITS * 2)
+    greedy = report.cell("full", "greedy")
+    entropy = report.cell("full", "entropy")
+    case.info({
+        "greedy_tests": round(greedy.mean_tests_to_resolution, 3),
+        "entropy_tests": round(entropy.mean_tests_to_resolution, 3),
+    })
+    # Small synthetic tables can tie; entropy must not be meaningfully worse.
+    assert (
+        entropy.mean_tests_to_resolution
+        <= greedy.mean_tests_to_resolution + 0.5
+    )

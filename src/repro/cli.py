@@ -154,6 +154,24 @@ def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fleet_diagnosis_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-faults", type=int, default=1, metavar="M",
+        help="server default for requests without max_faults=: search "
+        "candidate multiplets of up to M simultaneous faults (default 1)",
+    )
+    parser.add_argument(
+        "--flip-budget", type=int, default=0, metavar="K",
+        help="server default for requests without flip_budget=: admit "
+        "candidates within K mismatching tests (default 0 = exact)",
+    )
+    parser.add_argument(
+        "--strategy", choices=("greedy", "entropy"), default="greedy",
+        help="session test-suggestion strategy for requests without "
+        "strategy= (default greedy)",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -330,6 +348,12 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+        if args.max_faults < 1:
+            print("diagnose: --max-faults must be >= 1", file=sys.stderr)
+            return 1
+        if args.flip_budget < 0:
+            print("diagnose: --flip-budget must be >= 0", file=sys.stderr)
+            return 1
         if built.kind == "same-different":
             dictionaries = [
                 FullDictionary(table), PassFailDictionary(table), built.dictionary,
@@ -359,6 +383,23 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
             session.out.emit(
                 f"[{dictionary.kind:^14}] {len(diagnosis.exact)} exact: {exact}"
             )
+        if args.max_faults > 1 or args.flip_budget > 0:
+            from .diagnosis import match_multiplets
+
+            matches = match_multiplets(
+                table,
+                observed,
+                max_faults=args.max_faults,
+                flip_budget=args.flip_budget,
+                limit=8,
+            )
+            rendered = ", ".join(
+                f"{m.render(table.faults)} (flips={m.flips})" for m in matches
+            ) or "(none)"
+            session.out.emit(
+                f"\nmultiplets (max_faults={args.max_faults}, "
+                f"flip_budget={args.flip_budget}): {rendered}"
+            )
         sizes = DictionarySizes.of(table)
         session.out.emit(
             f"\nsizes: full={sizes.full} p/f={sizes.pass_fail} "
@@ -378,6 +419,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 deadline_ms=args.deadline_ms,
                 max_retries=args.max_retries,
                 limit=args.limit,
+                max_faults=args.max_faults,
+                flip_budget=args.flip_budget,
+                strategy=args.strategy,
             )
         except ValueError as exc:
             print(f"serve: {exc}", file=sys.stderr)
@@ -442,6 +486,9 @@ def cmd_daemon(args: argparse.Namespace) -> int:
                 deadline_ms=args.deadline_ms,
                 max_retries=args.max_retries,
                 limit=args.limit,
+                max_faults=args.max_faults,
+                flip_budget=args.flip_budget,
+                strategy=args.strategy,
             ),
             default_artifact=args.artifact,
             max_inflight=args.max_inflight,
@@ -483,6 +530,51 @@ def cmd_daemon(args: argparse.Namespace) -> int:
             asyncio.run(run())
         except KeyboardInterrupt:
             pass
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .experiments.fleet import FleetConfig, render_report, run_campaign
+
+    with _observability(args) as session:
+        units = args.units
+        n_faults, n_tests, n_outputs = args.faults, args.tests, args.outputs
+        if args.quick:
+            # The CI docs job runs this: a seconds-scale campaign with
+            # the same grid and gates as the full one.
+            units = min(units, 30)
+            n_faults = min(n_faults, 60)
+            n_tests = min(n_tests, 32)
+        try:
+            config = FleetConfig(
+                n_faults=n_faults,
+                n_tests=n_tests,
+                n_outputs=n_outputs,
+                density=args.density,
+                units=units,
+                double_fraction=args.double_fraction,
+                noise=args.noise,
+                flip_budget=args.flip_budget,
+                resolve_at=args.resolve_at,
+                max_tests=args.max_tests,
+                seed=args.seed,
+            )
+            report = run_campaign(
+                config,
+                kinds=tuple(args.kind) if args.kind else ("pass-fail", "same-different", "full"),
+                strategies=tuple(args.strategy) if args.strategy else ("greedy", "entropy"),
+            )
+        except ValueError as exc:
+            print(f"fleet: {exc}", file=sys.stderr)
+            return 1
+        session.out.emit(render_report(report))
+        if args.json:
+            with open(args.json, "w") as handle:
+                _json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            session.out.emit(f"\nwrote {args.json}")
     return 0
 
 
@@ -579,6 +671,17 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--fault", type=_parse_fault, default=None)
     diagnose.add_argument("--seed", type=int, default=0)
     diagnose.add_argument("--calls", type=int, default=20)
+    diagnose.add_argument(
+        "--max-faults", type=int, default=1, metavar="M",
+        help="also search candidate multiplets of up to M simultaneous "
+        "faults via masking-aware envelopes (default 1 = classic "
+        "single-fault matching; see docs/diagnosis.md)",
+    )
+    diagnose.add_argument(
+        "--flip-budget", type=int, default=0, metavar="K",
+        help="admit candidates whose signature disagrees with the observed "
+        "response on up to K tests (default 0 = exact matching)",
+    )
     _add_jobs_flag(diagnose)
     _add_backend_flag(diagnose)
     _add_cache_flag(diagnose)
@@ -648,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ranked candidates per outcome for requests without limit= "
         "(default 10)",
     )
+    _add_fleet_diagnosis_flags(serve)
     _add_obs_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -725,8 +829,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-slot cap for tenants without an explicit "
         "--tenant-quota (default: only the global --max-inflight applies)",
     )
+    _add_fleet_diagnosis_flags(daemon)
     _add_obs_flags(daemon)
     daemon.set_defaults(func=cmd_daemon)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a synthetic fleet diagnosis campaign: resolution-vs-tests "
+        "curves per dictionary organisation and session strategy "
+        "(see docs/diagnosis.md)",
+    )
+    fleet.add_argument(
+        "--units", type=int, default=200, metavar="N",
+        help="defective units to synthesize and diagnose (default 200)",
+    )
+    fleet.add_argument(
+        "--faults", type=int, default=120, metavar="N",
+        help="modeled faults in the synthetic circuit (default 120)",
+    )
+    fleet.add_argument(
+        "--tests", type=int, default=48, metavar="N",
+        help="tests in the synthetic test set (default 48)",
+    )
+    fleet.add_argument(
+        "--outputs", type=int, default=6, metavar="N",
+        help="observed outputs per test (default 6)",
+    )
+    fleet.add_argument(
+        "--density", type=float, default=0.85, metavar="P",
+        help="probability a fault fails a given test (default 0.85; high "
+        "density is the regime where the pass/fail detect bit carries "
+        "little information)",
+    )
+    fleet.add_argument(
+        "--double-fraction", type=float, default=0.0, metavar="P",
+        help="fraction of units carrying two simultaneous faults "
+        "(default 0.0)",
+    )
+    fleet.add_argument(
+        "--noise", type=float, default=0.0, metavar="P",
+        help="per-test probability of flipping a unit's observed outcome "
+        "(default 0.0)",
+    )
+    fleet.add_argument(
+        "--flip-budget", type=int, default=0, metavar="K",
+        help="session flip budget: candidates survive up to K mismatching "
+        "tests (default 0)",
+    )
+    fleet.add_argument(
+        "--resolve-at", type=int, default=1, metavar="N",
+        help="a unit counts as resolved once its candidate set is at most "
+        "N faults (default 1)",
+    )
+    fleet.add_argument(
+        "--max-tests", type=int, default=None, metavar="N",
+        help="per-unit test budget (default: apply every test)",
+    )
+    fleet.add_argument(
+        "--kind", action="append",
+        choices=("pass-fail", "same-different", "full"),
+        help="dictionary organisation to evaluate (repeatable; default: "
+        "all three)",
+    )
+    fleet.add_argument(
+        "--strategy", action="append", choices=("greedy", "entropy"),
+        help="session test-selection strategy to evaluate (repeatable; "
+        "default: both)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full campaign report as JSON to FILE",
+    )
+    fleet.add_argument(
+        "--quick", action="store_true",
+        help="shrink the campaign to a seconds-scale smoke run (CI)",
+    )
+    _add_obs_flags(fleet)
+    fleet.set_defaults(func=cmd_fleet)
 
     from .obs.benchreport import add_report_arguments
 

@@ -13,6 +13,22 @@ from .matching import (
     score_fault,
     slat_candidates,
 )
+from .multiplet import (
+    Envelope,
+    MultipletMatch,
+    compose_observation,
+    envelope,
+    envelope_violations,
+    match_multiplets,
+    multiplet_matches,
+)
+from .noisy import (
+    NoisyScore,
+    admitted_candidates,
+    rank_noisy,
+    rank_noisy_prefix,
+    response_distance,
+)
 from .truncated import (
     TruncatedLog,
     TruncatedScore,
@@ -31,7 +47,10 @@ __all__ = [
     "CampaignResult",
     "Diagnoser",
     "Diagnosis",
+    "Envelope",
     "MatchScore",
+    "MultipletMatch",
+    "NoisyScore",
     "Policy",
     "TruncatedLog",
     "TruncatedScore",
@@ -41,10 +60,19 @@ __all__ = [
     "score_truncated",
     "truncate_log",
     "TwoStageDiagnosis",
+    "admitted_candidates",
+    "compose_observation",
     "double_fault_campaign",
+    "envelope",
+    "envelope_violations",
+    "match_multiplets",
+    "multiplet_matches",
     "observe_defect",
     "observe_fault",
     "rank_candidates",
+    "rank_noisy",
+    "rank_noisy_prefix",
+    "response_distance",
     "score_fault",
     "screening_cost_comparison",
     "single_fault_campaign",

@@ -28,6 +28,7 @@ from ..sim.logicsim import output_words
 from ..sim.patterns import TestSet
 from ..sim.responses import Signature
 from ..dictionaries.base import FaultDictionary
+from . import metrics as M
 
 
 @dataclass
@@ -81,7 +82,7 @@ class Diagnoser:
         from ..store import load_artifact
 
         built = load_artifact(path)
-        get_default_registry().counter("diagnosis.artifact_diagnosers").inc()
+        get_default_registry().counter(M.ARTIFACT_DIAGNOSERS).inc()
         return cls(built.dictionary, source="artifact")
 
     def diagnose(self, observed: Sequence[Signature], limit: int = 10) -> Diagnosis:
@@ -97,11 +98,11 @@ class Diagnoser:
                 for candidate in self.dictionary.ranked_candidates(observed, limit)
             ]
         registry = get_default_registry()
-        registry.counter("diagnosis.lookups").inc()
+        registry.counter(M.LOOKUPS).inc()
         # The exact match is one hash lookup against the dictionary's row
         # index; only the ranking still scores every stored row.
-        registry.counter("diagnosis.candidates_scored").inc(len(faults))
-        registry.counter("diagnosis.exact_matches").inc(len(exact))
+        registry.counter(M.CANDIDATES_SCORED).inc(len(faults))
+        registry.counter(M.EXACT_MATCHES).inc(len(exact))
         return Diagnosis(exact, ranked)
 
 

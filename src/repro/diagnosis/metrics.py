@@ -1,0 +1,79 @@
+"""The diagnosis layer's metric-name catalog.
+
+Mirrors :mod:`repro.serve.metrics`: every metric the diagnosis and fleet
+layers emit is addressed through a constant here — never an inline
+string literal — so this table *is* the emission surface.
+``tests/docs/test_metrics_catalog.py`` holds the names (this catalog
+plus a literal scan of ``src/repro/diagnosis/`` and
+``src/repro/experiments/fleet.py``) against the table in
+``docs/observability.md``: a metric added here without a doc row fails
+the suite.
+
+The four pre-existing ``diagnosis.*`` counters emitted by
+:mod:`repro.diagnosis.engine` (``lookups``, ``candidates_scored``,
+``exact_matches``, ``artifact_diagnosers``) predate this catalog and are
+enumerated here so the docs test covers them too.
+"""
+
+from __future__ import annotations
+
+# -- counters (single-fault engine, pre-existing) ----------------------
+#: Dictionary lookups served by :class:`~repro.diagnosis.engine.Diagnoser`.
+LOOKUPS = "diagnosis.lookups"
+#: Stored rows compared across lookups.
+CANDIDATES_SCORED = "diagnosis.candidates_scored"
+#: Exact candidates returned across lookups.
+EXACT_MATCHES = "diagnosis.exact_matches"
+#: Diagnosers stood up from on-disk artifacts.
+ARTIFACT_DIAGNOSERS = "diagnosis.artifact_diagnosers"
+
+# -- counters (multi-fault envelope matching) --------------------------
+#: Multi-fault candidate searches (:func:`~repro.diagnosis.multiplet.match_multiplets`).
+MULTIPLET_SEARCHES = "diagnosis.multiplet_searches"
+#: Candidate multiplets whose envelopes were checked against an observation.
+MULTIPLETS_CHECKED = "diagnosis.multiplets_checked"
+#: Multiplets admitted (within the flip budget) across searches.
+MULTIPLETS_ADMITTED = "diagnosis.multiplets_admitted"
+
+# -- counters (noise-tolerant scoring) ---------------------------------
+#: Flip-budget rankings served (:func:`~repro.diagnosis.noisy.rank_noisy`).
+NOISY_RANKINGS = "diagnosis.noisy_rankings"
+#: Candidates admitted within the flip budget across rankings.
+NOISY_ADMITTED = "diagnosis.noisy_admitted"
+
+# -- counters/timers (fleet campaigns) ---------------------------------
+#: Defective units synthesized and diagnosed across fleet campaigns.
+FLEET_UNITS = "fleet.units"
+#: Tester observations applied across all fleet units.
+FLEET_OBSERVATIONS = "fleet.observations"
+#: Units whose adaptive session converged before the test budget ran out.
+FLEET_CONVERGED = "fleet.converged"
+#: Units whose true fault (or a constituent of it) survived to the end.
+FLEET_HITS = "fleet.hits"
+#: (timer) Wall time of one fleet campaign cell (kind × strategy).
+FLEET_CELL_SECONDS = "fleet.cell_seconds"
+
+
+def catalog() -> dict:
+    """Every metric name the diagnosis/fleet layers can emit, by kind."""
+    return {
+        "counters": [
+            LOOKUPS,
+            CANDIDATES_SCORED,
+            EXACT_MATCHES,
+            ARTIFACT_DIAGNOSERS,
+            MULTIPLET_SEARCHES,
+            MULTIPLETS_CHECKED,
+            MULTIPLETS_ADMITTED,
+            NOISY_RANKINGS,
+            NOISY_ADMITTED,
+            FLEET_UNITS,
+            FLEET_OBSERVATIONS,
+            FLEET_CONVERGED,
+            FLEET_HITS,
+        ],
+        "gauges": [],
+        "timers": [
+            FLEET_CELL_SECONDS,
+        ],
+    }

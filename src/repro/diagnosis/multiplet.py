@@ -1,0 +1,334 @@
+"""Masking-aware multi-fault candidate matching (fault multiplets).
+
+A single-stuck-at dictionary models one fault at a time, but a real
+defective unit may carry several.  When faults ``f_a`` and ``f_b`` are
+both present, each primary output behaves per test ``t_j`` as:
+
+* an output failed by **exactly one** member must fail — the other
+  member does not drive that output on that test, so nothing can cancel
+  the error;
+* an output failed by **two or more** members *may* pass — the error
+  effects can mask each other along reconvergent paths;
+* an output failed by **no** member cannot fail (under the composition
+  model; noise is the flip budget's job, below).
+
+That gives every candidate multiplet a per-test *envelope*: a lower
+bound (outputs failed by exactly one member) and an upper bound (the
+union of the members' failing sets).  A multiplet **matches** an
+observed response when, on every test, the observed failing-output set
+lies between the two bounds: ``lower ⊆ observed ⊆ upper``.
+
+This is deliberately a dictionary-level approximation.  True multi-fault
+interaction can also block activation or open new propagation paths, so
+the envelope admits some physically impossible composites and —
+rarely — excludes a real one; ``docs/diagnosis.md`` discusses the
+caveats.  The approximation is what makes multi-fault diagnosis possible
+*without re-simulating fault combinations*: everything here reads only
+the stored single-fault signatures.
+
+A singleton multiplet's envelope collapses to its exact signature
+(``lower == upper``), so ``max_faults=1`` with ``flip_budget=0``
+reproduces the exact-match candidate set of the full dictionary —
+``tests/diagnosis/test_multiplets.py`` pins that byte-for-byte.
+
+Noise composes orthogonally: a ``flip_budget`` of ``k`` admits
+multiplets whose envelope is violated on at most ``k`` tests (see
+:mod:`repro.diagnosis.noisy` for the single-fault form and the ranking
+rationale).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..obs import get_default_registry, trace_span
+from ..sim.responses import PASS, ResponseTable, Signature
+from . import metrics as M
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The per-test failing-output bounds of one multiplet.
+
+    ``lower`` holds the outputs that must fail (failed by exactly one
+    member), ``upper`` the outputs that may fail (failed by any member).
+    ``lower ⊆ upper`` always holds.
+    """
+
+    lower: FrozenSet[int]
+    upper: FrozenSet[int]
+
+    def admits(self, observed: Signature) -> bool:
+        """Does an observed failing-output set fall inside the bounds?"""
+        failing = frozenset(observed)
+        return self.lower <= failing <= self.upper
+
+
+def envelope(
+    table: ResponseTable, members: Sequence[int], test_index: int
+) -> Envelope:
+    """The masking envelope of ``members`` under one test."""
+    counts: Dict[int, int] = {}
+    for fault_index in members:
+        for output in table.signature(fault_index, test_index):
+            counts[output] = counts.get(output, 0) + 1
+    return Envelope(
+        lower=frozenset(o for o, c in counts.items() if c == 1),
+        upper=frozenset(counts),
+    )
+
+
+def envelope_violations(
+    table: ResponseTable,
+    members: Sequence[int],
+    observed: Sequence[Signature],
+    *,
+    budget: Optional[int] = None,
+) -> int:
+    """Tests on which the observation falls outside the multiplet's envelope.
+
+    With ``budget`` set, counting stops early once the budget is
+    exceeded (the returned value is then ``budget + 1``) — the pruning
+    the candidate search relies on.
+    """
+    if len(observed) != table.n_tests:
+        raise ValueError(
+            f"observation has {len(observed)} tests, table has {table.n_tests}"
+        )
+    violations = 0
+    for j, signature in enumerate(observed):
+        if not envelope(table, members, j).admits(tuple(signature)):
+            violations += 1
+            if budget is not None and violations > budget:
+                return violations
+    return violations
+
+
+def multiplet_matches(
+    table: ResponseTable, members: Sequence[int], observed: Sequence[Signature]
+) -> bool:
+    """Envelope consistency on every test (no flip budget)."""
+    return envelope_violations(table, members, observed, budget=0) == 0
+
+
+@dataclass(frozen=True)
+class MultipletMatch:
+    """One admitted candidate multiplet."""
+
+    #: Member fault indices, strictly ascending.
+    members: Tuple[int, ...]
+    #: Tests on which the envelope was violated (0 = fully consistent).
+    flips: int
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def sort_key(self) -> Tuple[int, int, Tuple[int, ...]]:
+        """Fewest repairs first, then smallest (most parsimonious)
+        multiplet, then ascending member indices — a total order, so
+        rankings are deterministic."""
+        return (self.flips, self.size, self.members)
+
+    def render(self, faults: Sequence[object]) -> str:
+        """Human/wire name: member fault names joined with ``+``."""
+        return "+".join(str(faults[i]) for i in self.members)
+
+
+def _contributing_pool(
+    table: ResponseTable, observed: Sequence[Signature]
+) -> List[int]:
+    """Faults that explain at least one observed failing output somewhere.
+
+    A fault that never intersects the observed failing set can only
+    *add* masking obligations, so multiplets built purely from
+    non-contributing faults are dominated; restricting the pool is the
+    standard SLAT-style cut that keeps pair enumeration tractable.
+    """
+    pool = []
+    for i in range(table.n_faults):
+        for j, signature in enumerate(observed):
+            if signature and set(table.signature(i, j)) & set(signature):
+                pool.append(i)
+                break
+    return pool
+
+
+def _seed_faults(
+    table: ResponseTable,
+    observed: Sequence[Signature],
+    pool: Sequence[int],
+    flip_budget: int,
+) -> List[int]:
+    """A set of faults every admissible multiplet must intersect.
+
+    For each observed failing test, the multiplet must (unless it spends
+    a flip there) contain a member whose signature intersects the
+    observed failing outputs.  At most ``flip_budget`` failing tests can
+    be flipped away, so picking the ``flip_budget + 1`` failing tests
+    with the *smallest* cover sets yields a seed set that at least one
+    member of every admissible multiplet belongs to.  Falls back to the
+    whole pool when the observation has no failing test.
+    """
+    covers: List[List[int]] = []
+    for j, signature in enumerate(observed):
+        if not signature:
+            continue
+        failing = set(signature)
+        cover = [
+            i for i in pool if set(table.signature(i, j)) & failing
+        ]
+        covers.append(cover)
+    if not covers:
+        return list(pool)
+    covers.sort(key=len)
+    seeds: List[int] = []
+    seen = set()
+    for cover in covers[: flip_budget + 1]:
+        for i in cover:
+            if i not in seen:
+                seen.add(i)
+                seeds.append(i)
+    return seeds
+
+
+def _minimal_only(matches: List[MultipletMatch]) -> List[MultipletMatch]:
+    """Drop multiplets that strictly contain a no-worse admitted multiplet.
+
+    A pair ``{a, b}`` that matches only because ``{a}`` already matches
+    adds no diagnostic information; parsimonious candidates are what the
+    operator acts on.
+    """
+    kept: List[MultipletMatch] = []
+    by_size = sorted(matches, key=lambda m: (m.size, m.flips, m.members))
+    accepted: List[MultipletMatch] = []
+    for match in by_size:
+        members = set(match.members)
+        dominated = any(
+            set(small.members) < members and small.flips <= match.flips
+            for small in accepted
+        )
+        if not dominated:
+            accepted.append(match)
+            kept.append(match)
+    return kept
+
+
+def match_multiplets(
+    table: ResponseTable,
+    observed: Sequence[Signature],
+    *,
+    max_faults: int = 2,
+    flip_budget: int = 0,
+    limit: Optional[int] = None,
+    minimal: bool = True,
+) -> List[MultipletMatch]:
+    """All admitted multiplets of up to ``max_faults`` members, ranked.
+
+    A multiplet is admitted when its envelope is violated on at most
+    ``flip_budget`` tests.  The result is sorted by
+    :meth:`MultipletMatch.sort_key` — fewest flips, then fewest members,
+    then member indices — and truncated to ``limit`` entries when given.
+    With ``minimal=True`` (the default), multiplets that strictly
+    contain an admitted no-worse multiplet are dropped first.
+
+    Cost: singles are one scan; size-``m`` enumeration pairs a seed set
+    (faults covering the hardest-to-explain failing tests) with the
+    contributing pool, so it stays far below the raw
+    ``C(n_faults, m)`` blow-up on realistic observations.
+    """
+    if max_faults < 1:
+        raise ValueError(f"max_faults must be >= 1, got {max_faults}")
+    if flip_budget < 0:
+        raise ValueError(f"flip_budget must be >= 0, got {flip_budget}")
+    if len(observed) != table.n_tests:
+        raise ValueError(
+            f"observation has {len(observed)} tests, table has {table.n_tests}"
+        )
+    observed = [tuple(signature) for signature in observed]
+    registry = get_default_registry()
+    registry.counter(M.MULTIPLET_SEARCHES).inc()
+
+    matches: List[MultipletMatch] = []
+    checked = 0
+    with trace_span(
+        "diagnosis.multiplets", max_faults=max_faults, flip_budget=flip_budget
+    ):
+        # Singles: the singleton envelope is the exact signature, so this
+        # is plain row-distance admission (noisy.py's semantics).
+        for i in range(table.n_faults):
+            checked += 1
+            flips = envelope_violations(
+                table, (i,), observed, budget=flip_budget
+            )
+            if flips <= flip_budget:
+                matches.append(MultipletMatch((i,), flips))
+
+        if max_faults >= 2:
+            pool = _contributing_pool(table, observed)
+            seeds = _seed_faults(table, observed, pool, flip_budget)
+            seed_set = set(seeds)
+            for size in range(2, max_faults + 1):
+                for rest in itertools.combinations(pool, size - 1):
+                    for seed in seeds:
+                        if seed in rest:
+                            continue
+                        members = tuple(sorted((seed, *rest)))
+                        # Canonical enumeration: emit each multiplet once,
+                        # via its lowest-index seed member.
+                        if any(
+                            m in seed_set and m < seed for m in members
+                        ):
+                            continue
+                        checked += 1
+                        flips = envelope_violations(
+                            table, members, observed, budget=flip_budget
+                        )
+                        if flips <= flip_budget:
+                            matches.append(MultipletMatch(members, flips))
+
+    if minimal:
+        matches = _minimal_only(matches)
+    matches.sort(key=MultipletMatch.sort_key)
+    registry.counter(M.MULTIPLETS_CHECKED).inc(checked)
+    registry.counter(M.MULTIPLETS_ADMITTED).inc(len(matches))
+    if limit is not None:
+        matches = matches[:limit]
+    return matches
+
+
+def compose_observation(
+    table: ResponseTable,
+    members: Sequence[int],
+    *,
+    masked: Sequence[Tuple[int, int]] = (),
+) -> List[Signature]:
+    """The composite response of a multiplet under the envelope model.
+
+    Each test's failing set is the union of the members' failing sets,
+    minus any ``(test, output)`` pairs listed in ``masked`` — which must
+    name outputs the envelope actually allows to mask (failed by two or
+    more members).  This is the synthetic-unit generator the fleet
+    campaign (:mod:`repro.experiments.fleet`) uses; it raises on a
+    ``masked`` pair outside the envelope so generated units always fall
+    inside the model they are diagnosed under.
+    """
+    masked_set = set(masked)
+    for j, output in masked_set:
+        env = envelope(table, members, j)
+        if output not in env.upper or output in env.lower:
+            raise ValueError(
+                f"({j}, {output}) is not maskable for multiplet "
+                f"{tuple(members)}: masking needs two or more members "
+                "failing that output on that test"
+            )
+    response: List[Signature] = []
+    for j in range(table.n_tests):
+        env = envelope(table, members, j)
+        failing = sorted(
+            o for o in env.upper if (j, o) not in masked_set
+        )
+        response.append(tuple(failing) if failing else PASS)
+    return response

@@ -1,0 +1,179 @@
+"""Noise-tolerant ranked scoring with a flip budget.
+
+Exact matching (`FaultDictionary.exact_candidates`) assumes the tester
+report is a faithful copy of the stored row.  Fleet traffic is noisier:
+marginal timing, tester retries, or intermittent defects flip an
+occasional test between pass and fail, and one flipped test makes the
+exact lookup return *nothing* even though the stored dictionary
+pinpoints the fault.
+
+The flip budget recovers those lookups.  A candidate's **flip count**
+is the number of tests on which its stored signature disagrees with the
+observation (a per-test Hamming distance over signature-valued rows).  A
+budget of ``k`` admits every candidate with at most ``k`` flips; ranking
+then prefers
+
+1. fewer flips used (the most literal explanation first),
+2. a smaller equivalence class — candidates whose stored row is shared
+   by fewer faults are more actionable, matching the paper's
+   resolution-by-class-size framing,
+3. ascending fault index (a deterministic final tie-break).
+
+``flip_budget=0`` degenerates to exact matching: the admitted set equals
+`exact_candidates` in the same order, which
+``tests/diagnosis/test_noisy.py`` pins byte-for-byte.
+
+:func:`rank_noisy_prefix` composes with truncated tester logs
+(:mod:`repro.diagnosis.truncated`): flips are counted only on the
+observed prefix, never in the unobserved tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import get_default_registry
+from ..sim.responses import ResponseTable, Signature
+from . import metrics as M
+from .truncated import TruncatedLog
+
+
+@dataclass(frozen=True)
+class NoisyScore:
+    """One admitted candidate under a flip budget."""
+
+    fault_index: int
+    #: Tests where the stored signature disagrees with the observation.
+    flips: int
+    #: Faults sharing this candidate's stored row (smaller = sharper).
+    class_size: int
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (self.flips, self.class_size, self.fault_index)
+
+
+def response_distance(
+    table: ResponseTable,
+    fault_index: int,
+    observed: Sequence[Signature],
+    *,
+    budget: Optional[int] = None,
+) -> int:
+    """Number of tests where the stored row differs from the observation.
+
+    With ``budget`` set, counting stops at ``budget + 1`` — enough to
+    know the candidate is inadmissible without scanning the rest.
+    """
+    if len(observed) != table.n_tests:
+        raise ValueError(
+            f"observation has {len(observed)} tests, table has {table.n_tests}"
+        )
+    flips = 0
+    for j, signature in enumerate(observed):
+        if table.signature(fault_index, j) != tuple(signature):
+            flips += 1
+            if budget is not None and flips > budget:
+                return flips
+    return flips
+
+
+def _row_class_sizes(table: ResponseTable) -> Dict[int, int]:
+    """Fault index → number of faults sharing its full stored row."""
+    groups: Dict[Tuple[Signature, ...], int] = {}
+    rows = [table.full_row(i) for i in range(table.n_faults)]
+    for row in rows:
+        groups[row] = groups.get(row, 0) + 1
+    return {i: groups[row] for i, row in enumerate(rows)}
+
+
+def rank_noisy(
+    table: ResponseTable,
+    observed: Sequence[Signature],
+    *,
+    flip_budget: int = 0,
+    limit: Optional[int] = None,
+) -> List[NoisyScore]:
+    """Candidates within the flip budget, ranked.
+
+    Sorted by :meth:`NoisyScore.sort_key` — fewest flips, then smallest
+    equivalence class, then fault index — and truncated to ``limit``
+    entries when given.  ``flip_budget=0`` reproduces the exact-match
+    candidate list (same faults, same order).
+    """
+    if flip_budget < 0:
+        raise ValueError(f"flip_budget must be >= 0, got {flip_budget}")
+    observed = [tuple(signature) for signature in observed]
+    registry = get_default_registry()
+    registry.counter(M.NOISY_RANKINGS).inc()
+
+    admitted: List[NoisyScore] = []
+    class_sizes: Optional[Dict[int, int]] = None
+    for i in range(table.n_faults):
+        flips = response_distance(table, i, observed, budget=flip_budget)
+        if flips > flip_budget:
+            continue
+        if class_sizes is None:
+            class_sizes = _row_class_sizes(table)
+        admitted.append(NoisyScore(i, flips, class_sizes[i]))
+    admitted.sort(key=NoisyScore.sort_key)
+    registry.counter(M.NOISY_ADMITTED).inc(len(admitted))
+    if limit is not None:
+        admitted = admitted[:limit]
+    return admitted
+
+
+def admitted_candidates(
+    table: ResponseTable,
+    observed: Sequence[Signature],
+    *,
+    flip_budget: int = 0,
+) -> List[int]:
+    """Just the admitted fault indices, in ranked order."""
+    return [
+        score.fault_index
+        for score in rank_noisy(table, observed, flip_budget=flip_budget)
+    ]
+
+
+def rank_noisy_prefix(
+    table: ResponseTable,
+    log: TruncatedLog,
+    *,
+    flip_budget: int = 0,
+    limit: Optional[int] = None,
+) -> List[NoisyScore]:
+    """Flip-budget ranking against a truncated tester log.
+
+    Flips are counted only over the observed prefix (``log.cutoff``
+    tests); the unobserved tail is unknown, not disagreement.  With a
+    complete log this equals :func:`rank_noisy`.
+    """
+    if flip_budget < 0:
+        raise ValueError(f"flip_budget must be >= 0, got {flip_budget}")
+    if log.cutoff > table.n_tests:
+        raise ValueError(
+            f"log cutoff {log.cutoff} exceeds table's {table.n_tests} tests"
+        )
+    registry = get_default_registry()
+    registry.counter(M.NOISY_RANKINGS).inc()
+
+    admitted: List[NoisyScore] = []
+    class_sizes: Optional[Dict[int, int]] = None
+    for i in range(table.n_faults):
+        flips = 0
+        for j in range(log.cutoff):
+            if table.signature(i, j) != log.responses[j]:
+                flips += 1
+                if flips > flip_budget:
+                    break
+        if flips > flip_budget:
+            continue
+        if class_sizes is None:
+            class_sizes = _row_class_sizes(table)
+        admitted.append(NoisyScore(i, flips, class_sizes[i]))
+    admitted.sort(key=NoisyScore.sort_key)
+    registry.counter(M.NOISY_ADMITTED).inc(len(admitted))
+    if limit is not None:
+        admitted = admitted[:limit]
+    return admitted

@@ -7,6 +7,18 @@ from .ablations import (
     multi_baseline_study,
 )
 from .example_tables import example_table, render_all
+from .fleet import (
+    CellResult,
+    FleetConfig,
+    FleetReport,
+    UnitResult,
+    drive_unit,
+    run_campaign,
+    run_cell,
+    render_report,
+    synthesize_unit,
+    synthetic_table,
+)
 from .pareto import (
     ParetoPoint,
     dominated_points,
@@ -35,11 +47,21 @@ __all__ = [
     "DEFAULT_CIRCUITS",
     "EXTENDED_CIRCUITS",
     "TEST_TYPES",
+    "CellResult",
+    "FleetConfig",
+    "FleetReport",
     "ParetoPoint",
     "ReportPrinter",
     "ScalingPoint",
     "Table6Row",
+    "UnitResult",
     "calls_sweep",
+    "drive_unit",
+    "run_campaign",
+    "run_cell",
+    "render_report",
+    "synthesize_unit",
+    "synthetic_table",
     "dominated_points",
     "example_table",
     "format_table",

@@ -1,0 +1,475 @@
+"""Synthetic fleet campaigns: many noisy, possibly multi-fault units.
+
+The paper evaluates dictionaries on one modelled single-stuck-at fault
+with a noise-free tester.  A fleet is messier: thousands of defective
+units, a fraction carrying *two* simultaneous faults (with masking on
+shared outputs), and a tester that occasionally flips a test's
+pass/fail.  This module synthesizes that population over a random
+response table and drives one adaptive :class:`~repro.serve.session.
+DiagnosisSession` per unit, comparing dictionary organisations
+(pass/fail, same/different, full) and next-test strategies (greedy,
+entropy) by how many tests each needs to resolve a unit.
+
+Everything is deterministic in the config seed — two runs of the same
+:class:`FleetConfig` produce identical reports — so the campaign can be
+benchmarked (``benchmarks/test_fleet.py`` → ``BENCH_fleet.json``) and
+recorded in ``EXPERIMENTS.md`` with an exact reproduce command
+(``repro-fd fleet``).
+
+Unit synthesis uses the same envelope model diagnosis assumes
+(:func:`repro.diagnosis.multiplet.compose_observation`): a double-fault
+unit fails every output exactly one constituent drives, while outputs
+driven by both constituents mask with ``mask_probability``.  Noise then
+flips each test independently with probability ``noise`` (a failing
+test reads as a pass, a passing test fails one random output), which is
+what the session ``flip_budget`` is there to absorb.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..diagnosis import metrics as FM
+from ..diagnosis.multiplet import envelope
+from ..dictionaries.full import FullDictionary
+from ..dictionaries.passfail import PassFailDictionary
+from ..dictionaries.samediff import SameDifferentDictionary
+from ..faults.model import Fault
+from ..obs import get_default_registry
+from ..serve.session import STRATEGIES, DiagnosisSession
+from ..sim.patterns import TestSet
+from ..sim.responses import PASS, ResponseTable, Signature
+
+#: Dictionary organisations a campaign compares, in report order.
+KINDS = ("pass-fail", "same-different", "full")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One campaign's population and diagnosis settings."""
+
+    #: Synthetic response-table shape.  The default density is high on
+    #: purpose: when most faults fail most tests, the pass/fail detect
+    #: bit carries little information and the s/d baseline comparison
+    #: shows its resolution advantage — the regime the paper targets.
+    n_faults: int = 120
+    n_tests: int = 48
+    n_outputs: int = 6
+    density: float = 0.85
+    #: Distinct faulty signatures per test.  Real faulty responses
+    #: cluster into a few values per test (that clustering is what makes
+    #: a same/different baseline informative); unconstrained random
+    #: signatures would make every dictionary organisation look alike.
+    signature_pool: int = 4
+    #: Defective units to synthesize and diagnose.
+    units: int = 200
+    #: Fraction of units carrying two simultaneous faults.
+    double_fraction: float = 0.0
+    #: Per-test probability that the tester flips the outcome.
+    noise: float = 0.0
+    #: Probability that a maskable (test, output) of a double actually masks.
+    mask_probability: float = 0.5
+    #: Session noise tolerance (see :class:`DiagnosisSession`).
+    flip_budget: int = 0
+    #: Max tests applied per unit (None = the whole test set).
+    max_tests: Optional[int] = None
+    #: A unit counts as resolved once its candidate set is this small.
+    resolve_at: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError(f"units must be >= 1, got {self.units}")
+        if not 0.0 <= self.double_fraction <= 1.0:
+            raise ValueError(
+                f"double_fraction must be in [0, 1], got {self.double_fraction}"
+            )
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {self.noise}")
+        if self.flip_budget < 0:
+            raise ValueError(
+                f"flip_budget must be >= 0, got {self.flip_budget}"
+            )
+        if self.resolve_at < 1:
+            raise ValueError(f"resolve_at must be >= 1, got {self.resolve_at}")
+
+    @property
+    def test_budget(self) -> int:
+        return self.max_tests if self.max_tests is not None else self.n_tests
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """One unit's diagnosis transcript summary."""
+
+    #: True injected fault indices (one or two members).
+    members: Tuple[int, ...]
+    #: Observations applied before the session stopped.
+    tests_used: int
+    #: Observations until the candidate set first reached ``resolve_at``
+    #: (the test budget when it never did).
+    tests_to_resolution: int
+    #: Candidate count when the session stopped.
+    final_candidates: int
+    #: A true member survived in the final candidate set.
+    hit: bool
+    #: Candidate count after each observation.
+    curve: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (dictionary kind × strategy) cell of the campaign grid."""
+
+    kind: str
+    strategy: str
+    units: int
+    mean_tests_to_resolution: float
+    mean_tests_used: float
+    mean_final_candidates: float
+    hit_rate: float
+    resolved_rate: float
+    #: Mean candidate count after 1..N observations (units that stopped
+    #: earlier contribute their final count — the curve EXPERIMENTS.md
+    #: plots as resolution vs tests applied).
+    mean_curve: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The full campaign grid plus the population it ran over."""
+
+    config: FleetConfig
+    cells: Tuple[CellResult, ...]
+
+    def cell(self, kind: str, strategy: str) -> CellResult:
+        for cell in self.cells:
+            if cell.kind == kind and cell.strategy == strategy:
+                return cell
+        raise KeyError(f"no campaign cell ({kind!r}, {strategy!r})")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for JSON reports and bench info blocks."""
+        return {
+            "config": {
+                "n_faults": self.config.n_faults,
+                "n_tests": self.config.n_tests,
+                "n_outputs": self.config.n_outputs,
+                "units": self.config.units,
+                "double_fraction": self.config.double_fraction,
+                "noise": self.config.noise,
+                "flip_budget": self.config.flip_budget,
+                "resolve_at": self.config.resolve_at,
+                "seed": self.config.seed,
+            },
+            "cells": [
+                {
+                    "kind": cell.kind,
+                    "strategy": cell.strategy,
+                    "units": cell.units,
+                    "mean_tests_to_resolution": round(
+                        cell.mean_tests_to_resolution, 3
+                    ),
+                    "mean_tests_used": round(cell.mean_tests_used, 3),
+                    "mean_final_candidates": round(
+                        cell.mean_final_candidates, 3
+                    ),
+                    "hit_rate": round(cell.hit_rate, 3),
+                    "resolved_rate": round(cell.resolved_rate, 3),
+                    "mean_curve": [round(c, 2) for c in cell.mean_curve],
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# population synthesis
+# ----------------------------------------------------------------------
+def synthetic_table(config: FleetConfig) -> ResponseTable:
+    """A deterministic random response table for the campaign.
+
+    Each (fault, test) pair fails with probability ``density``; a
+    failing pair draws its signature from the test's pool of
+    ``signature_pool`` distinct values with a skewed (rank-weighted)
+    distribution — modelling how real faulty responses cluster per test,
+    with one dominant value and a tail of rarer ones.
+    """
+    rng = random.Random(config.seed)
+    faults = [Fault(f"f{i}", 0) for i in range(config.n_faults)]
+    tests = TestSet(("i0",), [0] * config.n_tests)
+    pools: List[List[Signature]] = []
+    for _ in range(config.n_tests):
+        pool: List[Signature] = []
+        while len(pool) < config.signature_pool:
+            signature = tuple(sorted(rng.sample(
+                range(config.n_outputs),
+                rng.randint(1, max(1, config.n_outputs // 2)),
+            )))
+            if signature not in pool:
+                pool.append(signature)
+        pools.append(pool)
+    # Rank weights 1, 1/2, 1/3, ... — the first pool entry dominates.
+    weights = [1.0 / (rank + 1) for rank in range(config.signature_pool)]
+    failing: List[Dict[int, Signature]] = []
+    for _ in range(config.n_faults):
+        row: Dict[int, Signature] = {}
+        for j in range(config.n_tests):
+            if rng.random() < config.density:
+                row[j] = rng.choices(pools[j], weights=weights, k=1)[0]
+        failing.append(row)
+    good = {
+        f"z{o}": rng.getrandbits(config.n_tests)
+        for o in range(config.n_outputs)
+    }
+    return ResponseTable(
+        tuple(f"z{o}" for o in range(config.n_outputs)),
+        faults, tests, failing, good,
+    )
+
+
+def synthesize_unit(
+    table: ResponseTable, config: FleetConfig, rng: random.Random
+) -> Tuple[Tuple[int, ...], List[Signature]]:
+    """One defective unit: its true fault members and tester response.
+
+    Doubles compose under the envelope model: uniquely-driven outputs
+    always fail; outputs both members drive mask with
+    ``mask_probability``.  Per-test noise then flips outcomes
+    independently.
+    """
+    if rng.random() < config.double_fraction and table.n_faults >= 2:
+        members = tuple(sorted(rng.sample(range(table.n_faults), 2)))
+    else:
+        members = (rng.randrange(table.n_faults),)
+
+    observed: List[Signature] = []
+    for j in range(table.n_tests):
+        env = envelope(table, members, j)
+        failing = set(env.lower)
+        for output in sorted(env.upper - env.lower):
+            if rng.random() >= config.mask_probability:
+                failing.add(output)
+        if config.noise and rng.random() < config.noise:
+            if failing:
+                failing = set()
+            else:
+                failing = {rng.randrange(table.n_outputs)}
+        observed.append(tuple(sorted(failing)) if failing else PASS)
+    return members, observed
+
+
+# ----------------------------------------------------------------------
+# driving one unit / one grid cell
+# ----------------------------------------------------------------------
+def drive_unit(
+    dictionary,
+    observed: Sequence[Signature],
+    members: Tuple[int, ...],
+    *,
+    strategy: str,
+    flip_budget: int,
+    test_budget: int,
+    resolve_at: int,
+) -> UnitResult:
+    """Adaptively test one unit until resolved, stalled or out of budget."""
+    session = DiagnosisSession(
+        dictionary,
+        stall_after=test_budget,  # the budget, not stalling, ends a unit
+        flip_budget=flip_budget,
+    )
+    curve: List[int] = []
+    tests_to_resolution: Optional[int] = None
+    while len(curve) < test_budget:
+        suggestion = session.suggest_next_test(strategy)
+        if suggestion is None:
+            break  # no unobserved test splits the candidates any further
+        session.observe(suggestion, observed[suggestion])
+        curve.append(len(session.candidates))
+        if (
+            tests_to_resolution is None
+            and len(session.candidates) <= resolve_at
+        ):
+            tests_to_resolution = len(curve)
+    survivors = set(session.candidates)
+    return UnitResult(
+        members=members,
+        tests_used=len(curve),
+        tests_to_resolution=(
+            tests_to_resolution
+            if tests_to_resolution is not None else test_budget
+        ),
+        final_candidates=len(survivors),
+        hit=any(member in survivors for member in members),
+        curve=tuple(curve),
+    )
+
+
+def mode_baselines(table: ResponseTable) -> List[Signature]:
+    """Per-test baseline = the most common *faulty* signature of the column.
+
+    The build facade's Procedure 1/2 optimizes joint pairwise
+    resolution, and on dense synthetic tables that objective saturates —
+    every baseline assignment (including all-PASS, which degenerates to
+    pass/fail) already distinguishes every pair, so the optimizer has no
+    reason to prefer informative baselines.  Adaptive sessions care
+    about a different quantity: *per-test split balance*.  The classic
+    same/different configuration — baseline = the modal faulty response
+    — maximizes exactly that (the "same" side carries the dominant
+    cluster instead of the small passing set), which is where the s/d
+    organisation beats pass/fail on tests-to-resolution.  Ties break on
+    the smaller signature so the choice is deterministic.
+    """
+    baselines: List[Signature] = []
+    for j in range(table.n_tests):
+        counts: Dict[Signature, int] = {}
+        for i in range(table.n_faults):
+            signature = table.signature(i, j)
+            if signature != PASS:
+                counts[signature] = counts.get(signature, 0) + 1
+        if not counts:
+            baselines.append(PASS)
+            continue
+        baselines.append(
+            min(counts, key=lambda sig: (-counts[sig], sig))
+        )
+    return baselines
+
+
+def _dictionary_for(kind: str, table: ResponseTable, seed: int):
+    if kind == "pass-fail":
+        return PassFailDictionary(table)
+    if kind == "full":
+        return FullDictionary(table)
+    if kind == "same-different":
+        return SameDifferentDictionary(table, mode_baselines(table))
+    raise ValueError(f"unknown dictionary kind {kind!r}: expected {KINDS}")
+
+
+def run_cell(
+    table: ResponseTable,
+    population: Sequence[Tuple[Tuple[int, ...], List[Signature]]],
+    config: FleetConfig,
+    *,
+    kind: str,
+    strategy: str,
+    dictionary=None,
+) -> CellResult:
+    """Diagnose the whole population against one (kind, strategy) cell."""
+    registry = get_default_registry()
+    if dictionary is None:
+        dictionary = _dictionary_for(kind, table, config.seed)
+    budget = config.test_budget
+    results: List[UnitResult] = []
+    with registry.timer(FM.FLEET_CELL_SECONDS).time():
+        for members, observed in population:
+            result = drive_unit(
+                dictionary,
+                observed,
+                members,
+                strategy=strategy,
+                flip_budget=config.flip_budget,
+                test_budget=budget,
+                resolve_at=config.resolve_at,
+            )
+            results.append(result)
+    n = len(results)
+    registry.counter(FM.FLEET_UNITS).inc(n)
+    registry.counter(FM.FLEET_OBSERVATIONS).inc(
+        sum(r.tests_used for r in results)
+    )
+    resolved = [r for r in results if r.tests_to_resolution < budget]
+    registry.counter(FM.FLEET_CONVERGED).inc(len(resolved))
+    registry.counter(FM.FLEET_HITS).inc(sum(1 for r in results if r.hit))
+    # Mean candidates after t observations; a unit that stopped before t
+    # contributes its final count (its candidate set no longer changes).
+    mean_curve: List[float] = []
+    for t in range(budget):
+        total = 0.0
+        for r in results:
+            if t < len(r.curve):
+                total += r.curve[t]
+            elif r.curve:
+                total += r.curve[-1]
+            else:
+                total += table.n_faults
+        mean_curve.append(total / n)
+    return CellResult(
+        kind=kind,
+        strategy=strategy,
+        units=n,
+        mean_tests_to_resolution=(
+            sum(r.tests_to_resolution for r in results) / n
+        ),
+        mean_tests_used=sum(r.tests_used for r in results) / n,
+        mean_final_candidates=sum(r.final_candidates for r in results) / n,
+        hit_rate=sum(1 for r in results if r.hit) / n,
+        resolved_rate=len(resolved) / n,
+        mean_curve=tuple(mean_curve),
+    )
+
+
+def run_campaign(
+    config: FleetConfig,
+    *,
+    kinds: Sequence[str] = KINDS,
+    strategies: Sequence[str] = STRATEGIES,
+) -> FleetReport:
+    """The full campaign grid: every dictionary kind × every strategy.
+
+    The population is synthesized once (same units, same noise for every
+    cell) so the grid isolates the dictionary/strategy effect.
+    """
+    for kind in kinds:
+        if kind not in KINDS:
+            raise ValueError(f"unknown dictionary kind {kind!r}: expected {KINDS}")
+    for strategy in strategies:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}: expected {STRATEGIES}"
+            )
+    table = synthetic_table(config)
+    rng = random.Random(config.seed + 1)
+    population = [
+        synthesize_unit(table, config, rng) for _ in range(config.units)
+    ]
+    cells: List[CellResult] = []
+    for kind in kinds:
+        dictionary = _dictionary_for(kind, table, config.seed)
+        for strategy in strategies:
+            cells.append(run_cell(
+                table, population, config,
+                kind=kind, strategy=strategy, dictionary=dictionary,
+            ))
+    return FleetReport(config=config, cells=tuple(cells))
+
+
+def render_report(report: FleetReport) -> str:
+    """The campaign grid as an aligned monospace table."""
+    from .reporting import format_table
+
+    config = report.config
+    rows = [
+        (
+            cell.kind,
+            cell.strategy,
+            cell.mean_tests_to_resolution,
+            cell.mean_final_candidates,
+            cell.resolved_rate,
+            cell.hit_rate,
+        )
+        for cell in report.cells
+    ]
+    title = (
+        f"fleet: {config.units} units over {config.n_faults} faults x "
+        f"{config.n_tests} tests (doubles={config.double_fraction:g}, "
+        f"noise={config.noise:g}, flip_budget={config.flip_budget})"
+    )
+    return format_table(
+        ("dictionary", "strategy", "tests-to-res", "final-cands",
+         "resolved", "hit-rate"),
+        rows,
+        title=title,
+    )

@@ -550,7 +550,7 @@ class DiagnosisDaemon:
             raise H.FrameError(
                 400, H.MALFORMED_FRAME, "session open body must be an object"
             )
-        unknown = set(doc) - {"schema", "artifact", "stall_after"}
+        unknown = set(doc) - {"schema", "artifact", "stall_after", "flip_budget"}
         if unknown:
             return 200, self._schema_rejection(
                 f"unknown session-open fields: {sorted(unknown)}"
@@ -568,13 +568,24 @@ class DiagnosisDaemon:
             return 200, self._schema_rejection(
                 f"stall_after must be a positive integer, got {stall_after!r}"
             )
+        flip_budget = doc.get("flip_budget")
+        if flip_budget is not None and (
+            isinstance(flip_budget, bool) or not isinstance(flip_budget, int)
+            or flip_budget < 0
+        ):
+            return 200, self._schema_rejection(
+                f"flip_budget must be a non-negative integer, "
+                f"got {flip_budget!r}"
+            )
         tenant = self._tenant_of(request, doc)
         rejected = self._admit(tenant)
         if rejected:
             return rejected
         try:
             session = await self._run_in_worker(
-                lambda: self.server.session(artifact, stall_after=stall_after)
+                lambda: self.server.session(
+                    artifact, stall_after=stall_after, flip_budget=flip_budget
+                )
             )
         except Exception as exc:  # noqa: BLE001 - load failures -> document
             return 200, self._schema_rejection(
@@ -641,7 +652,12 @@ class DiagnosisDaemon:
             "candidates": candidates,
         }
         if advance.suggest:
-            document["suggested_test"] = session.suggest_next_test()
+            strategy = (
+                advance.strategy
+                if advance.strategy is not None
+                else self.server.config.strategy
+            )
+            document["suggested_test"] = session.suggest_next_test(strategy)
         return document
 
     def _handle_session_close(self, session_id: str):

@@ -100,6 +100,9 @@ class DiagnosisOutcome:
     #: retry settings), so a ``deadline_expired``/``artifact_error`` line
     #: is auditable from the JSONL output alone.
     policy: Optional[Dict[str, object]] = None
+    #: Session flow only, and only when the request asked for one: the
+    #: next test worth applying (``None`` = not asked or nothing helps).
+    suggested_test: Optional[int] = None
 
     @property
     def ok(self) -> bool:

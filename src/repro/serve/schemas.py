@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..sim.responses import Signature
+from .session import STRATEGIES
 
 #: Version of the request/result wire layout; bump on incompatible change.
 SCHEMA_VERSION = 1
@@ -135,6 +136,22 @@ def _parse_limit(raw: object) -> int:
     return raw
 
 
+def _parse_count(raw: object, *, name: str, minimum: int) -> int:
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < minimum:
+        raise SchemaError(
+            f"{name} must be an integer >= {minimum}, got {raw!r}"
+        )
+    return raw
+
+
+def _parse_strategy(raw: object) -> str:
+    if raw not in STRATEGIES:
+        raise SchemaError(
+            f"strategy must be one of {list(STRATEGIES)}, got {raw!r}"
+        )
+    return raw
+
+
 # ----------------------------------------------------------------------
 # requests
 # ----------------------------------------------------------------------
@@ -148,6 +165,13 @@ class DiagnoseRequest:
     (the incremental session flow) must be given.  ``artifact`` overrides
     the server's default artifact for this request; ``tenant`` tags the
     request for the daemon's per-tenant admission quotas.
+
+    The fleet knobs — ``max_faults`` (consider candidate multiplets of up
+    to this many simultaneous faults), ``flip_budget`` (tolerate up to
+    this many noise-flipped tests) and ``strategy`` (next-test selection
+    for session requests: ``"greedy"`` or ``"entropy"``) — default to
+    ``None``, meaning *use the server's configured default*.  A request
+    that sets them explicitly overrides the server either way.
     """
 
     request_id: str
@@ -157,11 +181,14 @@ class DiagnoseRequest:
     observations: Optional[Tuple[Tuple[int, Signature], ...]] = None
     limit: int = 10
     tenant: Optional[str] = None
+    max_faults: Optional[int] = None
+    flip_budget: Optional[int] = None
+    strategy: Optional[str] = None
 
     #: Wire fields ``from_dict`` accepts (anything else is rejected).
     WIRE_FIELDS = (
         "schema", "id", "observed", "fault", "artifact", "observations",
-        "limit", "tenant",
+        "limit", "tenant", "max_faults", "flip_budget", "strategy",
     )
 
     @classmethod
@@ -235,6 +262,18 @@ class DiagnoseRequest:
                 f"tenant must be a non-empty string, got {tenant!r}"
             )
 
+        max_faults = doc.get("max_faults")
+        if max_faults is not None:
+            max_faults = _parse_count(max_faults, name="max_faults", minimum=1)
+        flip_budget = doc.get("flip_budget")
+        if flip_budget is not None:
+            flip_budget = _parse_count(
+                flip_budget, name="flip_budget", minimum=0
+            )
+        strategy = doc.get("strategy")
+        if strategy is not None:
+            strategy = _parse_strategy(strategy)
+
         return cls(
             request_id=request_id,
             observed=observed,
@@ -243,6 +282,9 @@ class DiagnoseRequest:
             observations=observations,
             limit=_parse_limit(doc.get("limit", 10)),
             tenant=tenant,
+            max_faults=max_faults,
+            flip_budget=flip_budget,
+            strategy=strategy,
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -265,6 +307,12 @@ class DiagnoseRequest:
             doc["limit"] = self.limit
         if self.tenant is not None:
             doc["tenant"] = self.tenant
+        if self.max_faults is not None:
+            doc["max_faults"] = self.max_faults
+        if self.flip_budget is not None:
+            doc["flip_budget"] = self.flip_budget
+        if self.strategy is not None:
+            doc["strategy"] = self.strategy
         return doc
 
     def to_json(self) -> str:
@@ -295,6 +343,7 @@ class DiagnoseResult:
     narrowing: Optional[Tuple[int, ...]] = None
     converged: Optional[bool] = None
     policy: Optional[Tuple[Tuple[str, object], ...]] = None
+    suggested_test: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -320,6 +369,7 @@ class DiagnoseResult:
             policy=(
                 tuple(sorted(policy.items())) if policy is not None else None
             ),
+            suggested_test=outcome.suggested_test,
         )
 
     def as_dict(self, *, include_schema: bool = True) -> Dict[str, object]:
@@ -341,6 +391,8 @@ class DiagnoseResult:
             doc["converged"] = self.converged
         if self.policy is not None:
             doc["policy"] = dict(self.policy)
+        if self.suggested_test is not None:
+            doc["suggested_test"] = self.suggested_test
         return doc
 
     @classmethod
@@ -364,6 +416,15 @@ class DiagnoseResult:
         if policy is not None and not isinstance(policy, dict):
             raise SchemaError(f"result policy must be an object, got {policy!r}")
         narrowing = doc.get("narrowing")
+        suggested = doc.get("suggested_test")
+        if suggested is not None and (
+            isinstance(suggested, bool) or not isinstance(suggested, int)
+            or suggested < 0
+        ):
+            raise SchemaError(
+                f"result suggested_test must be a non-negative integer, "
+                f"got {suggested!r}"
+            )
         return cls(
             request_id=request_id,
             code=code,
@@ -380,6 +441,7 @@ class DiagnoseResult:
             policy=(
                 tuple(sorted(policy.items())) if policy is not None else None
             ),
+            suggested_test=suggested,
         )
 
     def to_json_line(self) -> str:
@@ -395,17 +457,22 @@ class SessionAdvance:
 
     ``observations`` may be empty (query the current state without
     folding anything in); ``suggest`` asks the server to compute the
-    greedy next-test suggestion, which costs a scan over the remaining
-    candidates; ``limit`` bounds the candidate names echoed back.
+    next-test suggestion, which costs a scan over the remaining
+    candidates; ``strategy`` picks the selection rule for that
+    suggestion (``"greedy"`` or ``"entropy"``; omitted = the server's
+    default); ``limit`` bounds the candidate names echoed back.
     """
 
     session_id: str
     observations: Tuple[Tuple[int, Signature], ...] = ()
     suggest: bool = False
     limit: int = 10
+    strategy: Optional[str] = None
 
     #: Wire fields ``from_dict`` accepts (anything else is rejected).
-    WIRE_FIELDS = ("schema", "session", "observations", "suggest", "limit")
+    WIRE_FIELDS = (
+        "schema", "session", "observations", "suggest", "limit", "strategy",
+    )
 
     @classmethod
     def from_dict(
@@ -438,11 +505,15 @@ class SessionAdvance:
         suggest = doc.get("suggest", False)
         if not isinstance(suggest, bool):
             raise SchemaError(f"suggest must be a boolean, got {suggest!r}")
+        strategy = doc.get("strategy")
+        if strategy is not None:
+            strategy = _parse_strategy(strategy)
         return cls(
             session_id=sid,
             observations=observations,
             suggest=suggest,
             limit=_parse_limit(doc.get("limit", 10)),
+            strategy=strategy,
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -458,4 +529,6 @@ class SessionAdvance:
             doc["suggest"] = True
         if self.limit != 10:
             doc["limit"] = self.limit
+        if self.strategy is not None:
+            doc["strategy"] = self.strategy
         return doc

@@ -40,8 +40,9 @@ from .outcomes import (
     DiagnosisRequest,
     parse_jsonl,
 )
+from ..diagnosis.multiplet import match_multiplets
 from .pool import ArtifactPool, PoolEntry
-from .session import DiagnosisSession
+from .session import STRATEGIES, DiagnosisSession
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,14 @@ class ServeConfig:
     retry_backoff_ms: float = 10.0
     #: Default ranked-candidate count for requests that don't set one.
     limit: int = 10
+    #: Default multi-fault candidate width for requests that don't set
+    #: one; 1 = classic single-fault exact matching.
+    max_faults: int = 1
+    #: Default per-request noise tolerance (tests allowed to disagree);
+    #: 0 = strict matching.
+    flip_budget: int = 0
+    #: Default next-test selection rule for session suggestions.
+    strategy: str = "greedy"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -71,6 +80,17 @@ class ServeConfig:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.max_faults < 1:
+            raise ValueError(f"max_faults must be >= 1, got {self.max_faults}")
+        if self.flip_budget < 0:
+            raise ValueError(
+                f"flip_budget must be >= 0, got {self.flip_budget}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {list(STRATEGIES)}, "
+                f"got {self.strategy!r}"
+            )
 
     def policy(self) -> dict:
         """The deadline/retry settings as an auditable outcome block.
@@ -180,15 +200,27 @@ class DiagnosisServer:
 
     # ------------------------------------------------------------------
     def session(
-        self, artifact: Optional[str] = None, *, stall_after: int = 3
+        self,
+        artifact: Optional[str] = None,
+        *,
+        stall_after: int = 3,
+        flip_budget: Optional[int] = None,
     ) -> DiagnosisSession:
         """Open an incremental multi-observation session on an artifact.
 
         The artifact goes through the same pool (hot sessions on a warm
-        dictionary cost no load).
+        dictionary cost no load).  ``flip_budget=None`` inherits the
+        server's configured default.
         """
         entry = self.pool.get(self._artifact_for(artifact))
-        return DiagnosisSession(entry.built.dictionary, stall_after=stall_after)
+        budget = (
+            flip_budget if flip_budget is not None else self.config.flip_budget
+        )
+        return DiagnosisSession(
+            entry.built.dictionary,
+            stall_after=stall_after,
+            flip_budget=budget,
+        )
 
     # ------------------------------------------------------------------
     # per-request machinery
@@ -331,6 +363,18 @@ class DiagnosisServer:
                     )
         return list(observed), None
 
+    def _effective(self, request: DiagnosisRequest) -> tuple:
+        """Resolve the request's fleet knobs against the config defaults."""
+        max_faults = (
+            request.max_faults
+            if request.max_faults is not None else self.config.max_faults
+        )
+        flip_budget = (
+            request.flip_budget
+            if request.flip_budget is not None else self.config.flip_budget
+        )
+        return max_faults, flip_budget
+
     def _serve_lookup(
         self,
         request: DiagnosisRequest,
@@ -347,8 +391,36 @@ class DiagnosisServer:
                 detail=problem,
                 attempts=attempts,
             )
-        with registry.timer(M.DIAGNOSE_SECONDS).time():
-            diagnosis = entry.diagnoser.diagnose(observed, limit=request.limit)
+        max_faults, flip_budget = self._effective(request)
+        if max_faults == 1 and flip_budget == 0:
+            # Classic single-fault exact path — byte-identical to the
+            # pre-fleet server for default requests.
+            with registry.timer(M.DIAGNOSE_SECONDS).time():
+                diagnosis = entry.diagnoser.diagnose(
+                    observed, limit=request.limit
+                )
+            exact = [str(fault) for fault in diagnosis.exact]
+            ranked = [
+                (str(fault), score) for fault, score in diagnosis.ranked
+            ]
+        else:
+            # Fleet path: envelope-matched multiplets within the flip
+            # budget.  Ranked scores stay "tests agreed" so both paths
+            # read the same way downstream.
+            table = entry.table
+            with registry.timer(M.DIAGNOSE_SECONDS).time():
+                matches = match_multiplets(
+                    table,
+                    observed,
+                    max_faults=max_faults,
+                    flip_budget=flip_budget,
+                    limit=request.limit or None,
+                )
+            faults = table.faults
+            exact = [m.render(faults) for m in matches if m.flips == 0]
+            ranked = [
+                (m.render(faults), table.n_tests - m.flips) for m in matches
+            ]
         if deadline.expired:
             return DiagnosisOutcome(
                 request_id=request.request_id,
@@ -360,8 +432,8 @@ class DiagnosisServer:
         return DiagnosisOutcome(
             request_id=request.request_id,
             code=OK,
-            exact=[str(fault) for fault in diagnosis.exact],
-            ranked=[(str(fault), score) for fault, score in diagnosis.ranked],
+            exact=exact,
+            ranked=ranked,
             attempts=attempts,
         )
 
@@ -373,7 +445,10 @@ class DiagnosisServer:
         deadline: _Deadline,
     ) -> DiagnosisOutcome:
         table = entry.table
-        session = DiagnosisSession(entry.built.dictionary)
+        _, flip_budget = self._effective(request)
+        session = DiagnosisSession(
+            entry.built.dictionary, flip_budget=flip_budget
+        )
         for test_index, signature in request.observations:
             if test_index >= table.n_tests:
                 return DiagnosisOutcome(
@@ -404,6 +479,11 @@ class DiagnosisServer:
         candidates = [str(fault) for fault in session.candidate_faults()]
         if request.limit:
             candidates = candidates[: request.limit]
+        # A suggestion is computed only when the request names a
+        # strategy, so default requests stay byte-identical on the wire.
+        suggested = None
+        if request.strategy is not None:
+            suggested = session.suggest_next_test(request.strategy)
         return DiagnosisOutcome(
             request_id=request.request_id,
             code=OK,
@@ -411,4 +491,5 @@ class DiagnosisServer:
             attempts=attempts,
             narrowing=[update.after for update in session.history],
             converged=session.converged,
+            suggested_test=suggested,
         )

@@ -16,12 +16,24 @@ organisation's own per-test semantics:
 The session also answers the operational questions: ``converged`` turns
 true when the last ``stall_after`` observations failed to shrink the
 candidate set (resolution has stopped improving — stop testing), and
-:meth:`suggest_next_test` picks the unobserved test that splits the
-current candidates best, the greedy adaptive-testing step.
+:meth:`suggest_next_test` picks the next test to apply — either the
+greedy best-splitter or, with ``strategy="entropy"``, the test
+minimizing the expected posterior candidate-set entropy.
+
+Two fleet-facing extensions (both off by default, and byte-identical to
+the classic session when off):
+
+* ``flip_budget=k`` keeps a candidate alive until it has disagreed with
+  the observations on more than ``k`` tests — noise tolerance for
+  testers that occasionally flip a pass/fail (see
+  :mod:`repro.diagnosis.noisy` for the batch form);
+* :meth:`ranked_candidates` orders the survivors by (disagreements,
+  fault index) so noisy sessions still yield an actionable short list.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +43,9 @@ from ..dictionaries.samediff import SameDifferentDictionary
 from ..obs import get_default_registry
 from ..sim.responses import PASS, Signature
 from . import metrics as M
+
+#: Valid ``suggest_next_test`` strategies, in documentation order.
+STRATEGIES = ("greedy", "entropy")
 
 
 @dataclass(frozen=True)
@@ -58,17 +73,33 @@ class DiagnosisSession:
     does); the caller reads it to stop applying tests.  The session never
     touches a simulator — it is a pure serve-side object, so it works
     against artifact-restored dictionaries with no circuit files.
+
+    ``flip_budget`` is the per-candidate noise tolerance: a candidate is
+    dropped only once its stored row has disagreed with the observations
+    on more than ``flip_budget`` tests.  The default of ``0`` is the
+    classic strict filter — one disagreement eliminates.
     """
 
-    def __init__(self, dictionary: FaultDictionary, *, stall_after: int = 3) -> None:
+    def __init__(
+        self,
+        dictionary: FaultDictionary,
+        *,
+        stall_after: int = 3,
+        flip_budget: int = 0,
+    ) -> None:
         if stall_after < 1:
             raise ValueError(f"stall_after must be >= 1, got {stall_after}")
+        if flip_budget < 0:
+            raise ValueError(f"flip_budget must be >= 0, got {flip_budget}")
         self.dictionary = dictionary
         self.table = dictionary.table
         self.stall_after = stall_after
+        self.flip_budget = flip_budget
         self.candidates: List[int] = list(range(self.table.n_faults))
         self.history: List[SessionUpdate] = []
         self._observed: Dict[int, Signature] = {}
+        #: Per-candidate count of observations its stored row disagreed with.
+        self._mismatches: Dict[int, int] = {}
         self._stalled = 0
         self._converged_counted = False
         registry = get_default_registry()
@@ -119,10 +150,15 @@ class DiagnosisSession:
                 )
         before = len(self.candidates)
         want = self._observed_value(test_index, signature)
-        self.candidates = [
-            i for i in self.candidates
-            if self._stored_value(i, test_index) == want
-        ]
+        survivors: List[int] = []
+        for i in self.candidates:
+            if self._stored_value(i, test_index) != want:
+                misses = self._mismatches.get(i, 0) + 1
+                self._mismatches[i] = misses
+                if misses > self.flip_budget:
+                    continue
+            survivors.append(i)
+        self.candidates = survivors
         after = len(self.candidates)
         self._observed[test_index] = signature
         self._stalled = 0 if after < before else self._stalled + 1
@@ -173,32 +209,91 @@ class DiagnosisSession:
         faults = self.table.faults
         return [faults[i] for i in self.candidates]
 
-    # ------------------------------------------------------------------
-    def suggest_next_test(self) -> Optional[int]:
-        """The unobserved test that best splits the current candidates.
+    def ranked_candidates(self) -> List[Tuple[int, int]]:
+        """Surviving candidates as ``(fault_index, disagreements)``, best
+        first.
 
-        Greedy adaptive testing: score each remaining test by the number
-        of candidate pairs its dictionary column separates and return the
-        best (lowest index on ties).  ``None`` when no test can improve —
-        the session is converged by construction at that point.
+        Ordered by (disagreements, fault index).  With ``flip_budget=0``
+        every survivor has zero disagreements, so this is just the
+        candidate list annotated with zeros.
         """
+        return sorted(
+            ((i, self._mismatches.get(i, 0)) for i in self.candidates),
+            key=lambda item: (item[1], item[0]),
+        )
+
+    # ------------------------------------------------------------------
+    def _column_groups(self, test_index: int) -> Dict[object, int]:
+        """Current candidates grouped by their stored value at one test."""
+        groups: Dict[object, int] = {}
+        for i in self.candidates:
+            value = self._stored_value(i, test_index)
+            groups[value] = groups.get(value, 0) + 1
+        return groups
+
+    @staticmethod
+    def _split_pairs(total: int, groups: Dict[object, int]) -> int:
+        """Candidate pairs a test's column separates (greedy score)."""
+        return (total * (total - 1) - sum(
+            size * (size - 1) for size in groups.values()
+        )) // 2
+
+    def suggest_next_test(self, strategy: str = "greedy") -> Optional[int]:
+        """The next test worth applying, or ``None`` when none helps.
+
+        Already-observed tests are never suggested — re-applying one
+        cannot change the candidate set.  Both strategies consider only
+        tests whose dictionary column actually splits the current
+        candidates, and both break ties deterministically, ending on the
+        lowest test index, so equal sessions always suggest the same
+        test.  ``None`` means no unobserved test can improve resolution;
+        the session is converged by construction at that point.
+
+        ``strategy="greedy"`` (default) maximises the number of candidate
+        pairs the test separates — the classic adaptive-testing step,
+        kept as the golden-path behavior.
+
+        ``strategy="entropy"`` minimises the expected posterior
+        candidate-set entropy ``Σ_v (n_v/N)·log2(n_v)`` over the stored
+        column values ``v`` (uniform prior over the ``N`` candidates;
+        ``n_v`` candidates answer ``v``).  The greedy split count is the
+        first tie-break, then the test index.  A three-way near-even
+        split beats a lopsided two-way split here, which is what shortens
+        noisy fleet sessions (see ``docs/diagnosis.md``).
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}: expected one of {STRATEGIES}"
+            )
         if len(self.candidates) <= 1:
             return None
-        best_test: Optional[int] = None
-        best_score = 0
         total = len(self.candidates)
+        if strategy == "greedy":
+            best_test: Optional[int] = None
+            best_score = 0
+            for j in range(self.table.n_tests):
+                if j in self._observed:
+                    continue
+                split = self._split_pairs(total, self._column_groups(j))
+                if split > best_score:
+                    best_test, best_score = j, split
+            return best_test
+        # entropy: lower expected posterior entropy wins; ties fall back
+        # to the greedy split count (more pairs separated), then index.
+        best_test = None
+        best_key: Optional[Tuple[float, int, int]] = None
         for j in range(self.table.n_tests):
             if j in self._observed:
                 continue
-            groups: Dict[object, int] = {}
-            for i in self.candidates:
-                value = self._stored_value(i, j)
-                groups[value] = groups.get(value, 0) + 1
-            split = (total * (total - 1) - sum(
-                size * (size - 1) for size in groups.values()
-            )) // 2
-            if split > best_score:
-                best_test, best_score = j, split
+            groups = self._column_groups(j)
+            if len(groups) <= 1:
+                continue  # no split — applying j cannot narrow anything
+            expected = sum(
+                size * math.log2(size) for size in groups.values() if size > 1
+            ) / total
+            key = (expected, -self._split_pairs(total, groups), j)
+            if best_key is None or key < best_key:
+                best_test, best_key = j, key
         return best_test
 
     # ------------------------------------------------------------------

@@ -1,0 +1,180 @@
+"""Masking-envelope multi-fault matching: hand cases and exact-match parity."""
+
+import pytest
+
+from repro.diagnosis.multiplet import (
+    MultipletMatch,
+    compose_observation,
+    envelope,
+    envelope_violations,
+    match_multiplets,
+    multiplet_matches,
+)
+from repro.dictionaries import FullDictionary
+from repro.faults import Fault
+from repro.sim import ResponseTable, TestSet
+from tests.util import random_table
+
+
+def hand_table():
+    """Three faults, two tests, three outputs — masking on z1.
+
+    test 0:  f0 fails {z0, z1},  f1 fails {z1, z2},  f2 passes
+    test 1:  f0 fails {z0},      f1 passes,          f2 fails {z2}
+    """
+    faults = [Fault("f0", 0), Fault("f1", 0), Fault("f2", 0)]
+    tests = TestSet(("i0",), [0, 0])
+    failing = [
+        {0: (0, 1), 1: (0,)},
+        {0: (1, 2)},
+        {1: (2,)},
+    ]
+    return ResponseTable(
+        ("z0", "z1", "z2"), faults, tests, failing, {"z0": 0, "z1": 0, "z2": 0}
+    )
+
+
+class TestEnvelope:
+    def test_hand_computed_bounds(self):
+        table = hand_table()
+        env = envelope(table, (0, 1), 0)
+        # z0 and z2 are each failed by exactly one member: must fail.
+        assert env.lower == frozenset({0, 2})
+        # z1 is failed by both: may mask, so it is upper-only.
+        assert env.upper == frozenset({0, 1, 2})
+
+    def test_singleton_envelope_is_the_exact_signature(self):
+        table = hand_table()
+        for i in range(table.n_faults):
+            for j in range(table.n_tests):
+                env = envelope(table, (i,), j)
+                signature = frozenset(table.signature(i, j))
+                assert env.lower == env.upper == signature
+
+    def test_admits_masked_and_unmasked(self):
+        table = hand_table()
+        env = envelope(table, (0, 1), 0)
+        assert env.admits((0, 1, 2))   # nothing masked
+        assert env.admits((0, 2))      # z1 masked away
+        assert not env.admits((0,))    # z2 is a unique driver: must fail
+        assert not env.admits(())      # lower bound not met
+
+    def test_violations_count_and_budget_early_stop(self):
+        table = hand_table()
+        observed = [(0,), (0,)]  # test 0 violates the (0,1) envelope
+        assert envelope_violations(table, (0, 1), observed) == 1
+        assert envelope_violations(table, (0, 1), observed, budget=0) == 1
+        assert not multiplet_matches(table, (0, 1), observed)
+
+    def test_length_checked(self):
+        table = hand_table()
+        with pytest.raises(ValueError):
+            envelope_violations(table, (0,), [()])
+
+
+class TestComposeObservation:
+    def test_union_when_nothing_masked(self):
+        table = hand_table()
+        observed = compose_observation(table, (0, 1))
+        assert observed == [(0, 1, 2), (0,)]
+        assert multiplet_matches(table, (0, 1), observed)
+
+    def test_masked_output_is_dropped(self):
+        table = hand_table()
+        observed = compose_observation(table, (0, 1), masked=[(0, 1)])
+        assert observed == [(0, 2), (0,)]
+        assert multiplet_matches(table, (0, 1), observed)
+
+    def test_unmaskable_pair_rejected(self):
+        table = hand_table()
+        # z0 on test 0 has a single driver (f0): masking it is outside
+        # the model, and a lower-bound output may never be masked.
+        with pytest.raises(ValueError):
+            compose_observation(table, (0, 1), masked=[(0, 0)])
+        # An output no member fails is not maskable either.
+        with pytest.raises(ValueError):
+            compose_observation(table, (0, 2), masked=[(1, 1)])
+
+
+class TestMatchMultiplets:
+    def test_single_fault_parity_with_exact_matching(self):
+        """max_faults=1, flip_budget=0 reproduces the full dictionary's
+        exact candidate list byte-for-byte."""
+        table = random_table(24, 16, 3, seed=7, density=0.4)
+        full = FullDictionary(table)
+        for i in (0, 5, 13, 23):
+            observed = list(table.full_row(i))
+            matches = match_multiplets(
+                table, observed, max_faults=1, flip_budget=0
+            )
+            assert [m.members for m in matches] == [
+                (index,) for index in full.exact_candidates(observed)
+            ]
+            assert all(m.flips == 0 for m in matches)
+
+    def test_double_fault_recovered(self):
+        table = random_table(24, 16, 3, seed=7, density=0.4)
+        members = (3, 11)
+        observed = compose_observation(table, members)
+        matches = match_multiplets(table, observed, max_faults=2)
+        assert any(m.members == members for m in matches)
+
+    def test_masked_double_still_matches(self):
+        table = hand_table()
+        observed = compose_observation(table, (0, 1), masked=[(0, 1)])
+        matches = match_multiplets(table, observed, max_faults=2)
+        assert (0, 1) in [m.members for m in matches]
+
+    def test_minimal_pruning_drops_dominated_pairs(self):
+        """When a single fault explains the observation exactly, no pair
+        containing it (at equal flips) survives minimal pruning."""
+        table = random_table(24, 16, 3, seed=7, density=0.4)
+        observed = list(table.full_row(4))
+        matches = match_multiplets(table, observed, max_faults=2)
+        singles = {m.members[0] for m in matches if m.size == 1}
+        assert 4 in singles
+        # No admitted pair strictly contains an admitted single with
+        # no-worse flips.
+        by_members = {m.members: m.flips for m in matches}
+        for members, flips in by_members.items():
+            if len(members) == 2:
+                for s in members:
+                    if (s,) in by_members:
+                        assert by_members[(s,)] > flips
+
+    def test_flip_budget_recovers_corrupted_observation(self):
+        table = random_table(24, 16, 3, seed=9, density=0.4)
+        observed = list(table.full_row(8))
+        observed[5] = () if observed[5] else (0,)
+        assert match_multiplets(table, observed, max_faults=1) == []
+        matches = match_multiplets(
+            table, observed, max_faults=1, flip_budget=1
+        )
+        assert (8,) in [m.members for m in matches]
+
+    def test_ranking_and_limit(self):
+        table = random_table(24, 16, 3, seed=9, density=0.4)
+        observed = compose_observation(table, (2, 17))
+        matches = match_multiplets(
+            table, observed, max_faults=2, flip_budget=1
+        )
+        keys = [m.sort_key() for m in matches]
+        assert keys == sorted(keys)
+        limited = match_multiplets(
+            table, observed, max_faults=2, flip_budget=1, limit=3
+        )
+        assert limited == matches[:3]
+
+    def test_render(self):
+        table = hand_table()
+        match = MultipletMatch((0, 2), 0)
+        assert match.render(table.faults) == "f0/sa0+f2/sa0"
+
+    def test_argument_validation(self):
+        table = hand_table()
+        with pytest.raises(ValueError):
+            match_multiplets(table, [(), ()], max_faults=0)
+        with pytest.raises(ValueError):
+            match_multiplets(table, [(), ()], flip_budget=-1)
+        with pytest.raises(ValueError):
+            match_multiplets(table, [()])

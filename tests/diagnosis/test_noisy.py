@@ -1,0 +1,113 @@
+"""Flip-budget ranking: budget 0 must equal exact matching byte-for-byte."""
+
+import pytest
+
+from repro.diagnosis.noisy import (
+    admitted_candidates,
+    rank_noisy,
+    rank_noisy_prefix,
+    response_distance,
+)
+from repro.diagnosis.truncated import TruncatedLog, truncate_log
+from repro.dictionaries import FullDictionary
+from tests.util import random_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return random_table(30, 20, 3, seed=5, density=0.4)
+
+
+class TestResponseDistance:
+    def test_own_row_is_zero(self, table):
+        for i in (0, 7, 29):
+            assert response_distance(table, i, list(table.full_row(i))) == 0
+
+    def test_counts_differing_tests(self, table):
+        observed = list(table.full_row(3))
+        observed[2] = () if observed[2] else (0,)
+        observed[9] = () if observed[9] else (0, 1, 2)
+        distance = response_distance(table, 3, observed)
+        assert distance == 2
+
+    def test_budget_early_stop(self, table):
+        observed = [(0, 1, 2)] * table.n_tests
+        assert response_distance(table, 0, observed, budget=3) == 4
+
+    def test_length_checked(self, table):
+        with pytest.raises(ValueError):
+            response_distance(table, 0, [()])
+
+
+class TestRankNoisy:
+    def test_budget_zero_equals_exact_matching(self, table):
+        """The admitted list at flip_budget=0 is the exact-candidate
+        list of the full dictionary — same faults, same order."""
+        full = FullDictionary(table)
+        for i in range(table.n_faults):
+            observed = list(table.full_row(i))
+            scores = rank_noisy(table, observed, flip_budget=0)
+            assert [s.fault_index for s in scores] == full.exact_candidates(
+                observed
+            )
+            assert all(s.flips == 0 for s in scores)
+            assert admitted_candidates(table, observed) == [
+                s.fault_index for s in scores
+            ]
+
+    def test_budget_one_recovers_corrupted_row(self, table):
+        observed = list(table.full_row(12))
+        observed[4] = () if observed[4] else (1,)
+        assert rank_noisy(table, observed, flip_budget=0) == []
+        scores = rank_noisy(table, observed, flip_budget=1)
+        assert 12 in [s.fault_index for s in scores]
+        assert all(s.flips <= 1 for s in scores)
+
+    def test_ranking_is_sorted_and_deterministic(self, table):
+        observed = list(table.full_row(0))
+        observed[1] = (0, 1)
+        scores = rank_noisy(table, observed, flip_budget=3)
+        keys = [s.sort_key() for s in scores]
+        assert keys == sorted(keys)
+        assert scores == rank_noisy(table, observed, flip_budget=3)
+
+    def test_limit(self, table):
+        observed = list(table.full_row(0))
+        scores = rank_noisy(table, observed, flip_budget=4)
+        limited = rank_noisy(table, observed, flip_budget=4, limit=2)
+        assert limited == scores[:2]
+
+    def test_negative_budget_rejected(self, table):
+        with pytest.raises(ValueError):
+            rank_noisy(table, [()] * table.n_tests, flip_budget=-1)
+
+
+class TestRankNoisyPrefix:
+    def test_complete_log_equals_rank_noisy(self, table):
+        observed = list(table.full_row(6))
+        observed[3] = () if observed[3] else (2,)
+        log = TruncatedLog(tuple(tuple(s) for s in observed), table.n_tests)
+        assert rank_noisy_prefix(
+            table, log, flip_budget=2
+        ) == rank_noisy(table, observed, flip_budget=2)
+
+    def test_tail_is_unknown_not_disagreement(self, table):
+        """A fault that disagrees only past the cutoff stays at 0 flips."""
+        observed = list(table.full_row(10))
+        log = truncate_log(observed, max_failures=2)
+        assert log.cutoff < table.n_tests
+        scores = rank_noisy_prefix(table, log, flip_budget=0)
+        by_index = {s.fault_index: s for s in scores}
+        assert by_index[10].flips == 0
+        # The prefix admits at least as many candidates as the full row.
+        full_row = rank_noisy(table, observed, flip_budget=0)
+        assert len(scores) >= len(full_row)
+
+    def test_cutoff_validated(self, table):
+        log = TruncatedLog(((),) * (table.n_tests + 1), table.n_tests + 1)
+        with pytest.raises(ValueError):
+            rank_noisy_prefix(table, log)
+        with pytest.raises(ValueError):
+            rank_noisy_prefix(
+                table, TruncatedLog((), 0), flip_budget=-1
+            )

@@ -1,9 +1,11 @@
-"""Every serve-layer metric must be documented in docs/observability.md.
+"""Every serve- and diagnosis-layer metric must be documented in
+docs/observability.md.
 
-Two independent enumerations feed the check: the declared catalog in
-``repro.serve.metrics.catalog()``, and a literal scan of the serve
-sources for ``"serve.…"`` strings — so neither an undeclared inline
-metric nor an undocumented declared one can slip through.
+Two independent enumerations feed each check: the declared catalog
+(``repro.serve.metrics.catalog()`` / ``repro.diagnosis.metrics.
+catalog()``), and a literal scan of the sources for ``"serve.…"`` /
+``"diagnosis.…"`` / ``"fleet.…"`` strings — so neither an undeclared
+inline metric nor an undocumented declared one can slip through.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
+from repro.diagnosis import metrics as diagnosis_metrics
 from repro.serve import metrics
 from repro.serve.outcomes import REASON_CODES
 
@@ -18,9 +21,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 DOC = (REPO_ROOT / "docs" / "observability.md").read_text()
 
 SERVE_NAME = re.compile(r'"(serve\.[a-z0-9_.]+)"')
+DIAGNOSIS_NAME = re.compile(r'"((?:diagnosis|fleet)\.[a-z0-9_.]+)"')
 
 #: Trace-span names (not metrics); checked against the span taxonomy.
 SPANS = {"serve.batch"}
+DIAGNOSIS_SPANS = {"diagnosis.lookup", "diagnosis.multiplets"}
 
 
 def declared_names():
@@ -67,6 +72,49 @@ def test_every_serve_metric_is_documented():
 
 def test_serve_spans_are_in_the_taxonomy():
     for span in SPANS:
+        assert span in DOC, (
+            f"span {span} is missing from the span taxonomy in "
+            f"docs/observability.md"
+        )
+
+
+def diagnosis_declared_names():
+    catalog = diagnosis_metrics.catalog()
+    return sorted(name for names in catalog.values() for name in names)
+
+
+def diagnosis_literal_names():
+    names = set()
+    sources = sorted(
+        (REPO_ROOT / "src" / "repro" / "diagnosis").rglob("*.py")
+    ) + [REPO_ROOT / "src" / "repro" / "experiments" / "fleet.py"]
+    for source in sources:
+        for match in DIAGNOSIS_NAME.finditer(source.read_text()):
+            names.add(match.group(1))
+    return sorted(names)
+
+
+def test_diagnosis_catalog_covers_the_literals():
+    declared = set(diagnosis_declared_names())
+    for name in diagnosis_literal_names():
+        if name in DIAGNOSIS_SPANS:
+            continue
+        assert name in declared, (
+            f"{name} is emitted by the diagnosis/fleet sources but not "
+            f"declared in repro.diagnosis.metrics.catalog()"
+        )
+
+
+def test_every_diagnosis_metric_is_documented():
+    for name in diagnosis_declared_names():
+        assert f"`{name}`" in DOC, (
+            f"{name} is missing from the diagnosis/fleet metrics table in "
+            f"docs/observability.md"
+        )
+
+
+def test_diagnosis_spans_are_in_the_taxonomy():
+    for span in DIAGNOSIS_SPANS:
         assert span in DOC, (
             f"span {span} is missing from the span taxonomy in "
             f"docs/observability.md"

@@ -1,0 +1,140 @@
+"""Fleet campaign driver: determinism, unit synthesis, grid claims."""
+
+import pytest
+
+from repro.diagnosis.multiplet import envelope
+from repro.experiments.fleet import (
+    FleetConfig,
+    drive_unit,
+    mode_baselines,
+    run_campaign,
+    synthesize_unit,
+    synthetic_table,
+)
+from repro.dictionaries import FullDictionary
+from repro.obs import scoped_registry
+from repro.sim.responses import PASS
+
+import random
+
+QUICK = FleetConfig(
+    n_faults=40, n_tests=24, n_outputs=4, units=30, seed=0
+)
+
+
+class TestSynthesis:
+    def test_table_is_deterministic(self):
+        a = synthetic_table(QUICK)
+        b = synthetic_table(QUICK)
+        for i in range(a.n_faults):
+            assert a.full_row(i) == b.full_row(i)
+
+    def test_signature_pool_bounds_distinct_values(self):
+        table = synthetic_table(QUICK)
+        for j in range(table.n_tests):
+            distinct = {
+                table.signature(i, j)
+                for i in range(table.n_faults)
+            } - {PASS}
+            assert len(distinct) <= QUICK.signature_pool
+
+    def test_clean_single_unit_is_its_own_row(self):
+        table = synthetic_table(QUICK)
+        rng = random.Random(1)
+        members, observed = synthesize_unit(table, QUICK, rng)
+        assert len(members) == 1
+        assert tuple(observed) == table.full_row(members[0])
+
+    def test_double_unit_stays_inside_the_envelope(self):
+        config = FleetConfig(
+            n_faults=40, n_tests=24, n_outputs=4, units=30,
+            double_fraction=1.0, seed=0,
+        )
+        table = synthetic_table(config)
+        rng = random.Random(2)
+        members, observed = synthesize_unit(table, config, rng)
+        assert len(members) == 2
+        for j, signature in enumerate(observed):
+            assert envelope(table, members, j).admits(tuple(signature))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(units=0)
+        with pytest.raises(ValueError):
+            FleetConfig(noise=1.5)
+        with pytest.raises(ValueError):
+            FleetConfig(double_fraction=-0.1)
+        with pytest.raises(ValueError):
+            FleetConfig(flip_budget=-1)
+
+
+class TestModeBaselines:
+    def test_baseline_is_the_modal_faulty_signature(self):
+        table = synthetic_table(QUICK)
+        baselines = mode_baselines(table)
+        for j, baseline in enumerate(baselines):
+            counts = {}
+            for i in range(table.n_faults):
+                signature = table.signature(i, j)
+                if signature != PASS:
+                    counts[signature] = counts.get(signature, 0) + 1
+            if counts:
+                assert counts[baseline] == max(counts.values())
+            else:
+                assert baseline == PASS
+
+
+class TestDriveUnit:
+    def test_clean_unit_resolves_to_its_class(self):
+        table = synthetic_table(QUICK)
+        dictionary = FullDictionary(table)
+        observed = list(table.full_row(5))
+        with scoped_registry():
+            result = drive_unit(
+                dictionary, observed, (5,),
+                strategy="greedy", flip_budget=0,
+                test_budget=table.n_tests, resolve_at=1,
+            )
+        assert result.hit
+        assert result.tests_used <= table.n_tests
+        assert result.curve[-1] == result.final_candidates
+
+
+class TestCampaign:
+    def test_report_is_deterministic(self):
+        with scoped_registry():
+            a = run_campaign(QUICK, kinds=("full",), strategies=("greedy",))
+            b = run_campaign(QUICK, kinds=("full",), strategies=("greedy",))
+        assert a.as_dict() == b.as_dict()
+
+    def test_grid_ordering_full_beats_passfail(self):
+        with scoped_registry():
+            report = run_campaign(QUICK, strategies=("greedy",))
+        pf = report.cell("pass-fail", "greedy")
+        sd = report.cell("same-different", "greedy")
+        full = report.cell("full", "greedy")
+        assert (
+            full.mean_tests_to_resolution
+            <= sd.mean_tests_to_resolution
+            <= pf.mean_tests_to_resolution
+        )
+        assert full.hit_rate == 1.0
+
+    def test_unknown_cells_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(QUICK, kinds=("bogus",))
+        with pytest.raises(ValueError):
+            run_campaign(QUICK, strategies=("oracle",))
+        with scoped_registry():
+            report = run_campaign(
+                QUICK, kinds=("full",), strategies=("greedy",)
+            )
+        with pytest.raises(KeyError):
+            report.cell("pass-fail", "greedy")
+
+    def test_fleet_metrics_emitted(self):
+        with scoped_registry() as registry:
+            run_campaign(QUICK, kinds=("full",), strategies=("greedy",))
+            assert registry.counters["fleet.units"].value == QUICK.units
+            assert registry.counters["fleet.observations"].value > 0
+            assert "fleet.cell_seconds" in registry.timers

@@ -57,6 +57,53 @@ class TestDiagnoseRequestRoundTrip:
         ).as_dict()
         assert set(doc) == {"schema", "id", "fault"}
 
+    def test_fleet_fields_round_trip(self):
+        request = DiagnoseRequest.from_dict(
+            {
+                "id": "a", "fault": "f", "max_faults": 2,
+                "flip_budget": 1, "strategy": "entropy",
+            },
+            default_id="x",
+        )
+        assert request.max_faults == 2
+        assert request.flip_budget == 1
+        assert request.strategy == "entropy"
+        doc = request.as_dict()
+        assert doc["max_faults"] == 2
+        assert DiagnoseRequest.from_dict(doc, default_id="x") == request
+
+    def test_fleet_fields_default_to_none_and_stay_off_the_wire(self):
+        """A request without the fleet fields serializes byte-identically
+        to the pre-fleet wire shape — server defaults apply."""
+        request = DiagnoseRequest.from_dict(
+            {"id": "a", "fault": "f"}, default_id="x"
+        )
+        assert request.max_faults is None
+        assert request.flip_budget is None
+        assert request.strategy is None
+        assert set(request.as_dict()) == {"schema", "id", "fault"}
+
+    @pytest.mark.parametrize("doc, fragment", [
+        ({"id": "a", "fault": "f", "max_faults": 0}, "max_faults"),
+        ({"id": "a", "fault": "f", "max_faults": True}, "max_faults"),
+        ({"id": "a", "fault": "f", "flip_budget": -1}, "flip_budget"),
+        ({"id": "a", "fault": "f", "strategy": "oracle"}, "strategy"),
+        ({"id": "a", "fault": "f", "strategy": 1}, "strategy"),
+    ])
+    def test_fleet_field_validation(self, doc, fragment):
+        with pytest.raises(SchemaError, match=fragment):
+            DiagnoseRequest.from_dict(doc, default_id="x")
+
+    def test_session_advance_strategy_round_trips(self):
+        advance = SessionAdvance.from_dict(
+            {"session": "s", "suggest": True, "strategy": "entropy"}
+        )
+        assert advance.strategy == "entropy"
+        assert SessionAdvance.from_dict(advance.as_dict()) == advance
+        plain = SessionAdvance.from_dict({"session": "s"})
+        assert plain.strategy is None
+        assert "strategy" not in plain.as_dict()
+
 
 class TestSchemaVersioning:
     def test_missing_schema_field_means_current(self):

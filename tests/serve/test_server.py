@@ -118,6 +118,63 @@ class TestLookups:
         assert outcome.code == "unmodeled_response"
         assert "output" in outcome.detail
 
+    def test_flip_budget_request_recovers_corrupted_row(self, artifact_a):
+        path, built = artifact_a
+        observed = list(built.table.full_row(3))
+        observed[1] = () if observed[1] else (0,)
+        server, _, _ = make_server(path)
+        with scoped_registry():
+            [strict] = server.diagnose_batch([
+                DiagnosisRequest(request_id="r1", observed=tuple(observed))
+            ])
+            [tolerant] = server.diagnose_batch([
+                DiagnosisRequest(
+                    request_id="r2", observed=tuple(observed), flip_budget=1
+                )
+            ])
+        assert strict.code == "ok" and "f3/sa0" not in strict.exact
+        assert tolerant.code == "ok"
+        ranked_names = [name for name, _ in tolerant.ranked]
+        assert "f3/sa0" in ranked_names
+
+    def test_multiplet_request_names_the_pair(self, artifact_a):
+        from repro.diagnosis.multiplet import compose_observation
+
+        path, built = artifact_a
+        observed = compose_observation(built.table, (2, 9))
+        server, _, _ = make_server(path)
+        with scoped_registry():
+            [outcome] = server.diagnose_batch([
+                DiagnosisRequest(
+                    request_id="r1", observed=tuple(observed), max_faults=2
+                )
+            ])
+        assert outcome.code == "ok"
+        names = outcome.exact + [name for name, _ in outcome.ranked]
+        assert any("+" in name for name in names)
+
+    def test_config_level_defaults_apply_when_request_is_silent(
+        self, artifact_a
+    ):
+        path, built = artifact_a
+        observed = list(built.table.full_row(3))
+        observed[1] = () if observed[1] else (0,)
+        server, _, _ = make_server(path, flip_budget=1)
+        with scoped_registry():
+            [outcome] = server.diagnose_batch([
+                DiagnosisRequest(request_id="r1", observed=tuple(observed))
+            ])
+        assert outcome.code == "ok"
+        assert "f3/sa0" in [name for name, _ in outcome.ranked]
+
+    def test_fleet_config_validation(self):
+        with pytest.raises(ValueError, match="max_faults"):
+            ServeConfig(max_faults=0)
+        with pytest.raises(ValueError, match="flip_budget"):
+            ServeConfig(flip_budget=-1)
+        with pytest.raises(ValueError, match="strategy"):
+            ServeConfig(strategy="oracle")
+
     def test_request_with_no_mode_is_bad_request(self, artifact_a):
         path, _ = artifact_a
         server, _, _ = make_server(path)

@@ -209,3 +209,109 @@ class TestSuggestion:
             session = DiagnosisSession(built.dictionary)
             session.candidates = [0]
             assert session.suggest_next_test() is None
+
+    def test_tie_break_is_lowest_test_index(self):
+        """Regression for the docstring/behavior drift: equal split
+        scores must resolve to the lowest test index, deterministically."""
+        # Two identical columns: test 0 and test 1 split 2-vs-2 alike.
+        from repro.faults import Fault
+        from repro.sim import ResponseTable, TestSet
+
+        faults = [Fault(f"f{i}", 0) for i in range(4)]
+        tests = TestSet(("i0",), [0, 0])
+        failing = [{0: (0,), 1: (0,)}, {0: (0,), 1: (0,)}, {}, {}]
+        table = ResponseTable(("z0",), faults, tests, failing, {"z0": 0})
+        dictionary = FullDictionary(table)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            assert session.suggest_next_test() == 0
+            assert session.suggest_next_test("entropy") == 0
+            # Once test 0 is observed it is never suggested again.
+            session.observe(0, (0,))
+            assert session.suggest_next_test() != 0
+
+    def test_unknown_strategy_rejected(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            session = DiagnosisSession(built.dictionary)
+            with pytest.raises(ValueError, match="strategy"):
+                session.suggest_next_test("oracle")
+
+    def test_entropy_prefers_the_finer_split(self):
+        """A 3-way even split must beat a lopsided 2-way split under
+        entropy, while greedy may prefer either."""
+        from repro.faults import Fault
+        from repro.sim import ResponseTable, TestSet
+
+        # 6 faults; test 0 splits {2,2,2} by signature, test 1 splits {5,1}.
+        faults = [Fault(f"f{i}", 0) for i in range(6)]
+        tests = TestSet(("i0",), [0, 0])
+        failing = [
+            {0: (0,), 1: (0,)},
+            {0: (0,), 1: (0,)},
+            {0: (1,), 1: (0,)},
+            {0: (1,), 1: (0,)},
+            {1: (0,)},
+            {},
+        ]
+        table = ResponseTable(("z0", "z1"), faults, tests, failing, {"z0": 0, "z1": 0})
+        dictionary = FullDictionary(table)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary)
+            assert session.suggest_next_test("entropy") == 0
+
+
+class TestFlipBudget:
+    def test_budget_zero_is_the_classic_filter(self, artifact_a):
+        """flip_budget=0 sessions match the default session's candidate
+        trajectory exactly, observation for observation."""
+        _, built = artifact_a
+        table = built.table
+        row = table.full_row(6)
+        with scoped_registry():
+            classic = DiagnosisSession(built.dictionary)
+            budgeted = DiagnosisSession(built.dictionary, flip_budget=0)
+            for j, signature in enumerate(row):
+                classic.observe(j, signature)
+                budgeted.observe(j, signature)
+                assert classic.candidates == budgeted.candidates
+
+    def test_candidate_survives_within_budget(self, artifact_a):
+        _, built = artifact_a
+        dictionary = built.dictionary
+        baseline = dictionary.baselines[0]
+        flipped = PASS if baseline != PASS else (0,)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary, flip_budget=1)
+            session.observe(0, baseline)
+            # The contradictory re-observation costs every survivor one
+            # mismatch but eliminates none of them at budget 1.
+            survivors = list(session.candidates)
+            session.observe(0, flipped)
+            assert session.candidates == survivors
+            # A second contradiction exceeds the budget and empties it.
+            session.observe(0, baseline)
+            session.observe(0, flipped)
+            assert session.candidates == []
+
+    def test_ranked_candidates_order_and_annotation(self):
+        table = random_table(12, 6, 2, seed=3)
+        dictionary = FullDictionary(table)
+        row = table.full_row(2)
+        with scoped_registry():
+            session = DiagnosisSession(dictionary, flip_budget=1)
+            for j, signature in enumerate(row):
+                session.observe(j, signature)
+        ranked = session.ranked_candidates()
+        assert [pair for pair in ranked] == sorted(
+            ranked, key=lambda pair: (pair[1], pair[0])
+        )
+        by_index = dict(ranked)
+        assert by_index[2] == 0  # ground truth used no flips
+        assert all(flips <= 1 for flips in by_index.values())
+
+    def test_negative_budget_rejected(self, artifact_a):
+        _, built = artifact_a
+        with scoped_registry():
+            with pytest.raises(ValueError, match="flip_budget"):
+                DiagnosisSession(built.dictionary, flip_budget=-1)
